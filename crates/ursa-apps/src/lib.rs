@@ -1,0 +1,231 @@
+//! Benchmark microservice applications for the Ursa reproduction.
+//!
+//! Reimplements, as simulator topologies, the three Dapr applications the
+//! paper builds in §VI — the social network (plus its "vanilla" variant),
+//! the media service, and the video processing pipeline — together with
+//! their SLA tables (Tables II–IV), the request mixes used during
+//! exploration (§VII-C), and the synthetic 5-tier chains of the §III
+//! backpressure study.
+//!
+//! Service-time scales are calibrated so that each class's unloaded latency
+//! sits comfortably under its SLA, mirroring how the paper chose SLAs
+//! ("latency before saturation"); the calibration is locked in by tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ursa_apps::social_network;
+//! use ursa_sim::prelude::*;
+//!
+//! let app = social_network(false);
+//! let mut sim = app.build_sim(42);
+//! app.apply_load(&mut sim, RateFn::Constant(200.0));
+//! sim.run_for(SimDur::from_secs(60));
+//! let snap = sim.harvest();
+//! let post = app.class("upload-post").expect("class exists");
+//! assert!(snap.completions[post.0] > 0);
+//! ```
+
+pub mod chains;
+mod media;
+mod social;
+mod video;
+
+pub use media::media_service;
+pub use social::social_network;
+pub use video::video_pipeline;
+
+use ursa_sim::control::Sla;
+use ursa_sim::engine::{SimConfig, Simulation};
+use ursa_sim::topology::{ClassId, ServiceId, Topology};
+use ursa_sim::workload::RateFn;
+
+/// A packaged benchmark application: topology, SLAs and default request mix.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Application name ("social", "social-vanilla", "media", "video").
+    pub name: String,
+    /// The service graph and request-class call trees.
+    pub topology: Topology,
+    /// End-to-end SLAs per request class (paper Tables II–IV).
+    pub slas: Vec<Sla>,
+    /// Relative per-class arrival weights (the exploration mix of §VII-C).
+    pub mix: Vec<f64>,
+    /// A sensible total arrival rate (requests/second) for experiments.
+    pub default_rps: f64,
+}
+
+impl App {
+    /// Builds a simulation of this application with the given seed.
+    pub fn build_sim(&self, seed: u64) -> Simulation {
+        Simulation::new(self.topology.clone(), SimConfig::default(), seed)
+    }
+
+    /// Looks up a request class by name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.topology.class_by_name(name)
+    }
+
+    /// Looks up a service by name.
+    pub fn service(&self, name: &str) -> Option<ServiceId> {
+        self.topology.service_by_name(name)
+    }
+
+    /// Splits an application-wide arrival pattern across classes according
+    /// to the app's request mix: class *i* receives `shape` scaled by
+    /// `mix[i] / Σ mix`.
+    pub fn apply_load(&self, sim: &mut Simulation, shape: RateFn) {
+        self.apply_load_with_mix(sim, shape, &self.mix.clone());
+    }
+
+    /// Like [`App::apply_load`] with an explicit mix (for skewed loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mix.len()` differs from the class count or sums to zero.
+    pub fn apply_load_with_mix(&self, sim: &mut Simulation, shape: RateFn, mix: &[f64]) {
+        assert_eq!(mix.len(), self.topology.num_classes(), "mix length mismatch");
+        let total: f64 = mix.iter().sum();
+        assert!(total > 0.0, "mix must not be all zero");
+        for (i, w) in mix.iter().enumerate() {
+            sim.set_rate(ClassId(i), shape.scaled(w / total));
+        }
+    }
+
+    /// The SLA covering a class, if any.
+    pub fn sla_of(&self, class: ClassId) -> Option<Sla> {
+        self.slas.iter().copied().find(|s| s.class == class)
+    }
+
+    /// A skewed mix per §VII-E: the frequency of update/write-style classes
+    /// multiplied by `factor` (the paper uses 2.0 and 0.5).
+    pub fn skewed_mix(&self, factor: f64) -> Vec<f64> {
+        let mut mix = self.mix.clone();
+        for (i, cfg) in self.topology.classes().iter().enumerate() {
+            if is_update_class(&cfg.name) {
+                mix[i] *= factor;
+            }
+        }
+        mix
+    }
+}
+
+fn is_update_class(name: &str) -> bool {
+    name.contains("upload") || name.contains("update") || name.contains("rate-video")
+}
+
+/// All four applications evaluated in §VII-E.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        social_network(false),
+        social_network(true),
+        media_service(),
+        video_pipeline(0.5),
+    ]
+}
+
+/// Finds an application by name.
+pub fn app_by_name(name: &str) -> Option<App> {
+    match name {
+        "social" => Some(social_network(false)),
+        "social-vanilla" => Some(social_network(true)),
+        "media" => Some(media_service()),
+        "video" => Some(video_pipeline(0.5)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_sim::time::SimDur;
+
+    #[test]
+    fn all_apps_build_and_have_consistent_shapes() {
+        for app in all_apps() {
+            assert_eq!(app.mix.len(), app.topology.num_classes(), "{}", app.name);
+            assert!(!app.slas.is_empty(), "{}", app.name);
+            for sla in &app.slas {
+                assert!(sla.class.0 < app.topology.num_classes());
+            }
+            assert!(app.default_rps > 0.0);
+        }
+    }
+
+    #[test]
+    fn app_lookup() {
+        assert!(app_by_name("social").is_some());
+        assert!(app_by_name("social-vanilla").is_some());
+        assert!(app_by_name("media").is_some());
+        assert!(app_by_name("video").is_some());
+        assert!(app_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn skewed_mix_scales_updates_only() {
+        let app = social_network(false);
+        let doubled = app.skewed_mix(2.0);
+        let upload = app.class("upload-post").unwrap().0;
+        let read = app.class("read-timeline").unwrap().0;
+        assert_eq!(doubled[upload], app.mix[upload] * 2.0);
+        assert_eq!(doubled[read], app.mix[read]);
+    }
+
+    /// Every class's unloaded latency must sit under its SLA — the paper's
+    /// "latency before saturation" calibration.
+    #[test]
+    fn slas_attainable_when_overprovisioned() {
+        for app in all_apps() {
+            let mut sim = app.build_sim(1);
+            // Generous provisioning.
+            for s in 0..app.topology.num_services() {
+                sim.set_replicas(ServiceId(s), 8);
+            }
+            app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+            sim.run_for(SimDur::from_secs(120));
+            let snap = sim.harvest();
+            for sla in &app.slas {
+                let lat = snap.e2e_latency[sla.class.0]
+                    .percentile(sla.percentile)
+                    .unwrap_or_else(|| panic!("{}: class {} has no samples", app.name, sla.class.0));
+                assert!(
+                    lat < sla.target,
+                    "{}: class {} p{} = {:.3}s exceeds SLA {:.3}s",
+                    app.name,
+                    app.topology.classes()[sla.class.0].name,
+                    sla.percentile,
+                    lat,
+                    sla.target
+                );
+            }
+        }
+    }
+
+    /// SLAs must also be *meaningful*: unloaded latency should not be
+    /// absurdly far below target (otherwise the experiments are trivial).
+    #[test]
+    fn slas_not_vacuous() {
+        for app in all_apps() {
+            let mut sim = app.build_sim(2);
+            for s in 0..app.topology.num_services() {
+                sim.set_replicas(ServiceId(s), 8);
+            }
+            app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+            sim.run_for(SimDur::from_secs(120));
+            let snap = sim.harvest();
+            for sla in &app.slas {
+                if let Some(lat) = snap.e2e_latency[sla.class.0].percentile(sla.percentile) {
+                    assert!(
+                        lat > sla.target * 0.02,
+                        "{}: class {} p{} = {:.4}s vacuous vs SLA {:.3}s",
+                        app.name,
+                        app.topology.classes()[sla.class.0].name,
+                        sla.percentile,
+                        lat,
+                        sla.target
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The re-implemented media service application (paper §VI, Table III).
+//!
+//! Adds to the original DeathStarBench media app the ability to upload and
+//! download actual videos, plus FFmpeg-style video transcoding and thumbnail
+//! generation reached over message queues. Transcoding cost is strongly
+//! size-dependent, so it gets a heavy-tailed (Pareto) service time.
+
+use crate::App;
+use ursa_sim::control::Sla;
+use ursa_sim::topology::{
+    CallNode, ClassCfg, ClassId, EdgeKind, Priority, ServiceCfg, ServiceId, Topology, WorkDist,
+};
+
+const FRONTEND: ServiceId = ServiceId(0);
+const VIDEO_STORE: ServiceId = ServiceId(1);
+const INFO_DB: ServiceId = ServiceId(2);
+const RATING: ServiceId = ServiceId(3);
+const TRANSCODE: ServiceId = ServiceId(4);
+const THUMBNAIL: ServiceId = ServiceId(5);
+
+/// Global service-time scale (see `social.rs`: SLAs are set at the latency
+/// before saturation, so unloaded latency must sit near the target).
+const WORK_SCALE: f64 = 1.7;
+
+fn ln(mean: f64, cv: f64) -> WorkDist {
+    WorkDist::LogNormal { mean: mean * WORK_SCALE, cv }
+}
+
+/// Builds the media service application.
+pub fn media_service() -> App {
+    let services = vec![
+        ServiceCfg::new("frontend", 2.0).with_workers(8192).with_replicas(2),
+        ServiceCfg::new("video-store", 2.0).with_workers(256).with_replicas(3),
+        ServiceCfg::new("info-db", 2.0).with_workers(256).with_replicas(2),
+        ServiceCfg::new("rating", 2.0).with_workers(256).with_replicas(2),
+        ServiceCfg::new("transcode", 4.0).with_workers(8).with_replicas(8),
+        ServiceCfg::new("thumbnail", 4.0).with_workers(8).with_replicas(2),
+    ];
+
+    let classes = vec![
+        // upload-video: push the bytes into the store. SLA p99 2 s.
+        ClassCfg {
+            name: "upload-video".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0008, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(VIDEO_STORE, ln(0.180, 0.8))
+                    .with_child(EdgeKind::NestedRpc, CallNode::leaf(INFO_DB, ln(0.0030, 0.6))),
+            ),
+        },
+        // download-video: SLA p99 1.5 s.
+        ClassCfg {
+            name: "download-video".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0006, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(VIDEO_STORE, ln(0.120, 0.8)),
+            ),
+        },
+        // get-info: metadata lookup. SLA p99 250 ms.
+        ClassCfg {
+            name: "get-info".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(INFO_DB, ln(0.0045, 0.7)),
+            ),
+        },
+        // rate-video: write a rating, then refresh aggregates. SLA p99 400 ms.
+        ClassCfg {
+            name: "rate-video".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(RATING, ln(0.0080, 0.7))
+                    .with_child(EdgeKind::NestedRpc, CallNode::leaf(INFO_DB, ln(0.0030, 0.6))),
+            ),
+        },
+        // transcode-video: FFmpeg re-encode to multiple resolutions, via MQ.
+        // Heavy-tailed in upload size. SLA p99 40 s.
+        ClassCfg {
+            name: "transcode-video".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0008, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(VIDEO_STORE, ln(0.100, 0.7)).with_child(
+                    EdgeKind::Mq,
+                    CallNode::leaf(TRANSCODE, WorkDist::Pareto { x_min: 2.8 * WORK_SCALE, alpha: 2.6 }),
+                ),
+            ),
+        },
+        // generate-thumbnail: cheap FFmpeg frame grab, via MQ. SLA p99 2 s.
+        ClassCfg {
+            name: "generate-thumbnail".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0006, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(VIDEO_STORE, ln(0.060, 0.7)).with_child(
+                    EdgeKind::Mq,
+                    CallNode::leaf(THUMBNAIL, ln(0.250, 0.6)),
+                ),
+            ),
+        },
+    ];
+
+    let slas = vec![
+        Sla::new(ClassId(0), 99.0, 2.0),
+        Sla::new(ClassId(1), 99.0, 1.5),
+        Sla::new(ClassId(2), 99.0, 0.250),
+        Sla::new(ClassId(3), 99.0, 0.400),
+        Sla::new(ClassId(4), 99.0, 40.0),
+        Sla::new(ClassId(5), 99.0, 2.0),
+    ];
+    // §VII-C: upload : get-info : download : rate = 1 : 100 : 25 : 25;
+    // transcode and thumbnail ride along with uploads.
+    let mix = vec![1.0, 25.0, 100.0, 25.0, 1.0, 1.0];
+
+    let topology = Topology::new(services, classes).expect("media topology is valid");
+    App {
+        name: "media".into(),
+        topology,
+        slas,
+        mix,
+        default_rps: 150.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_iii() {
+        let app = media_service();
+        assert_eq!(app.topology.num_classes(), 6);
+        let expect = [
+            ("upload-video", 2.0),
+            ("download-video", 1.5),
+            ("get-info", 0.250),
+            ("rate-video", 0.400),
+            ("transcode-video", 40.0),
+            ("generate-thumbnail", 2.0),
+        ];
+        for (name, target) in expect {
+            let c = app.class(name).unwrap();
+            assert_eq!(app.sla_of(c).unwrap().target, target, "{name}");
+        }
+    }
+
+    #[test]
+    fn transcode_is_heavy_tailed_and_mq() {
+        let app = media_service();
+        let tc = app.service("transcode").unwrap();
+        let nodes = app.topology.nodes_on_service(tc);
+        assert!(matches!(nodes[0].2, Some(EdgeKind::Mq)));
+        assert!(matches!(nodes[0].1.pre_work, WorkDist::Pareto { .. }));
+    }
+
+    #[test]
+    fn get_info_dominates_mix() {
+        let app = media_service();
+        let gi = app.class("get-info").unwrap();
+        let max = app.mix.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(app.mix[gi.0], max);
+    }
+}

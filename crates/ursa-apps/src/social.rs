@@ -1,0 +1,233 @@
+//! The re-implemented social network application (paper §VI, Table II).
+//!
+//! Beyond the original DeathStarBench features (posts, timelines), the
+//! paper's version adds image upload/download, sentiment analysis of post
+//! text, and object detection on uploaded images; the two ML features are
+//! reached through message queues and dominate the resource-heterogeneity
+//! challenge (§VII-E). Service-time scales here reflect the paper's latency
+//! regimes: "tens of milliseconds to upload a post, hundreds of milliseconds
+//! to update timelines, and a few seconds to perform object detection".
+
+use crate::App;
+use ursa_sim::control::Sla;
+use ursa_sim::topology::{
+    CallMode, CallNode, ClassCfg, ClassId, EdgeKind, Priority, ServiceCfg, ServiceId, Topology,
+    WorkDist,
+};
+
+// Service indices (full variant).
+const FRONTEND: ServiceId = ServiceId(0);
+const COMPOSE: ServiceId = ServiceId(1);
+const POST_STORE: ServiceId = ServiceId(2);
+const TIMELINE_READ: ServiceId = ServiceId(3);
+const TIMELINE_UPDATE: ServiceId = ServiceId(4);
+const SOCIAL_GRAPH: ServiceId = ServiceId(5);
+const IMAGE_STORE: ServiceId = ServiceId(6);
+const SENTIMENT: ServiceId = ServiceId(7);
+const OBJECT_DETECT: ServiceId = ServiceId(8);
+
+/// Global service-time scale. The paper sets SLAs at the latency observed
+/// just before saturation, i.e. SLAs are *tight*: unloaded p99 sits at
+/// 35–65 % of target, so meeting the SLA requires real latency headroom and
+/// naive utilization targets (Auto-a's 60 %) are insufficient.
+const WORK_SCALE: f64 = 1.7;
+
+fn ln(mean: f64, cv: f64) -> WorkDist {
+    WorkDist::LogNormal { mean: mean * WORK_SCALE, cv }
+}
+
+/// Builds the social network application.
+///
+/// With `vanilla = true`, returns the original-DeathStarBench-equivalent
+/// variant: the ML services (sentiment, object detection) and image classes
+/// are disabled, leaving the three classes Sinan managed (upload-post,
+/// read-timeline, update-timeline). The paper uses the vanilla variant to
+/// isolate the difficulty added by heterogeneous ML microservices.
+pub fn social_network(vanilla: bool) -> App {
+    let mut services = vec![
+        // Client-facing nginx-style frontend: huge admission concurrency.
+        ServiceCfg::new("frontend", 2.0).with_workers(8192).with_replicas(2),
+        ServiceCfg::new("compose-post", 2.0).with_workers(512).with_replicas(2),
+        ServiceCfg::new("post-store", 2.0).with_workers(256).with_replicas(2),
+        ServiceCfg::new("timeline-read", 2.0).with_workers(256).with_replicas(2),
+        ServiceCfg::new("timeline-update", 2.0).with_workers(256).with_daemons(64, 128).with_replicas(2),
+        ServiceCfg::new("social-graph", 2.0).with_workers(256).with_replicas(2),
+    ];
+    if !vanilla {
+        services.push(ServiceCfg::new("image-store", 2.0).with_workers(256).with_replicas(2));
+        // ML services: CPU-bound batch workers, few per replica.
+        services.push(ServiceCfg::new("sentiment", 4.0).with_workers(8).with_replicas(4));
+        services.push(ServiceCfg::new("object-detect", 4.0).with_workers(8).with_replicas(8));
+    }
+
+    // -- Interactive classes (RPC paths) ------------------------------------
+    // upload-post: frontend -> compose -> {post-store, social-graph} in
+    // parallel; light text handling. SLA p99 75 ms.
+    let upload_post = ClassCfg {
+        name: "upload-post".into(),
+        priority: Priority::HIGH,
+        root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+            EdgeKind::NestedRpc,
+            CallNode::leaf(COMPOSE, ln(0.0025, 0.6))
+                .with_mode(CallMode::Parallel)
+                .with_child(EdgeKind::NestedRpc, CallNode::leaf(POST_STORE, ln(0.0020, 0.7)))
+                .with_child(EdgeKind::NestedRpc, CallNode::leaf(SOCIAL_GRAPH, ln(0.0015, 0.6)))
+                .with_post_work(ln(0.0008, 0.5)),
+        ),
+    };
+    // read-timeline: frontend -> timeline-read -> {post-store, social-graph}.
+    // Fetches many posts: heavier. SLA p99 250 ms.
+    let read_timeline = ClassCfg {
+        name: "read-timeline".into(),
+        priority: Priority::HIGH,
+        root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+            EdgeKind::NestedRpc,
+            CallNode::leaf(TIMELINE_READ, ln(0.0060, 0.8))
+                .with_mode(CallMode::Parallel)
+                .with_child(EdgeKind::NestedRpc, CallNode::leaf(POST_STORE, ln(0.0080, 0.8)))
+                .with_child(EdgeKind::NestedRpc, CallNode::leaf(SOCIAL_GRAPH, ln(0.0020, 0.6)))
+                .with_post_work(ln(0.0030, 0.6)),
+        ),
+    };
+    // update-timeline: fan-out of a new post to followers' timelines. The
+    // frontend acks immediately (event-driven edge); the fan-out completes
+    // asynchronously. SLA p99 500 ms covers full completion.
+    let update_timeline = ClassCfg {
+        name: "update-timeline".into(),
+        priority: Priority::HIGH,
+        root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+            EdgeKind::EventDrivenRpc,
+            CallNode::leaf(TIMELINE_UPDATE, ln(0.0250, 0.9))
+                .with_child(EdgeKind::NestedRpc, CallNode::leaf(SOCIAL_GRAPH, ln(0.0040, 0.7)))
+                .with_child(EdgeKind::NestedRpc, CallNode::leaf(POST_STORE, ln(0.0030, 0.7))),
+        ),
+    };
+
+    let mut classes = vec![upload_post, read_timeline, update_timeline];
+    let mut slas = vec![
+        Sla::new(ClassId(0), 99.0, 0.075),
+        Sla::new(ClassId(1), 99.0, 0.250),
+        Sla::new(ClassId(2), 99.0, 0.500),
+    ];
+    // Exploration mix (§VII-C): post/comment : download-image : read-timeline
+    // = 76 : 15 : 25; update-timeline rides along with uploads.
+    let mut mix = vec![76.0, 25.0, 20.0];
+
+    if !vanilla {
+        // upload-image: store an image. SLA p99 200 ms.
+        classes.push(ClassCfg {
+            name: "upload-image".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0005, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(IMAGE_STORE, ln(0.0220, 0.8)),
+            ),
+        });
+        // download-image: SLA p99 75 ms.
+        classes.push(ClassCfg {
+            name: "download-image".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(IMAGE_STORE, ln(0.0060, 0.7)),
+            ),
+        });
+        // sentiment-analysis: text of a new post flows over an MQ to the
+        // HuggingFace-style sentiment model. SLA p99 500 ms.
+        classes.push(ClassCfg {
+            name: "sentiment-analysis".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(COMPOSE, ln(0.0020, 0.6)).with_child(
+                    EdgeKind::Mq,
+                    CallNode::leaf(SENTIMENT, ln(0.060, 0.5)),
+                ),
+            ),
+        });
+        // object-detect: an uploaded image flows over MQs through the image
+        // store to the DETR detector. SLA p99 10 s. (The work scale of the
+        // object-detect service is what §VII-G swaps to MobileNet.)
+        classes.push(ClassCfg {
+            name: "object-detect".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(FRONTEND, ln(0.0005, 0.4)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(IMAGE_STORE, ln(0.0080, 0.7)).with_child(
+                    EdgeKind::Mq,
+                    CallNode::leaf(OBJECT_DETECT, ln(1.400, 0.45)),
+                ),
+            ),
+        });
+        slas.push(Sla::new(ClassId(3), 99.0, 0.200));
+        slas.push(Sla::new(ClassId(4), 99.0, 0.075));
+        slas.push(Sla::new(ClassId(5), 99.0, 0.500));
+        slas.push(Sla::new(ClassId(6), 99.0, 10.0));
+        mix.extend_from_slice(&[5.0, 15.0, 8.0, 2.0]);
+    }
+
+    let topology = Topology::new(services, classes).expect("social network topology is valid");
+    App {
+        name: if vanilla { "social-vanilla".into() } else { "social".into() },
+        topology,
+        slas,
+        mix,
+        // The vanilla variant's classes are all lightweight text handling,
+        // so it needs a higher rate before resource management is
+        // non-trivial; the full variant's ML classes load it at 300 rps.
+        default_rps: if vanilla { 1000.0 } else { 300.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_variant_shape() {
+        let app = social_network(false);
+        assert_eq!(app.topology.num_services(), 9);
+        assert_eq!(app.topology.num_classes(), 7);
+        assert_eq!(app.slas.len(), 7);
+        assert!(app.class("object-detect").is_some());
+        assert!(app.service("sentiment").is_some());
+    }
+
+    #[test]
+    fn vanilla_variant_shape() {
+        let app = social_network(true);
+        assert_eq!(app.topology.num_services(), 6);
+        assert_eq!(app.topology.num_classes(), 3);
+        assert!(app.class("object-detect").is_none());
+    }
+
+    #[test]
+    fn sla_targets_match_table_ii() {
+        let app = social_network(false);
+        let expect = [
+            ("upload-post", 0.075),
+            ("read-timeline", 0.250),
+            ("update-timeline", 0.500),
+            ("upload-image", 0.200),
+            ("download-image", 0.075),
+            ("sentiment-analysis", 0.500),
+            ("object-detect", 10.0),
+        ];
+        for (name, target) in expect {
+            let c = app.class(name).unwrap();
+            let sla = app.sla_of(c).unwrap();
+            assert_eq!(sla.target, target, "{name}");
+            assert_eq!(sla.percentile, 99.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn ml_classes_use_mq_edges() {
+        let app = social_network(false);
+        let det = app.service("object-detect").unwrap();
+        let on = app.topology.nodes_on_service(det);
+        assert!(on
+            .iter()
+            .all(|(_, _, via)| matches!(via, Some(EdgeKind::Mq))));
+    }
+}

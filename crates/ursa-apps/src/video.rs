@@ -1,0 +1,123 @@
+//! The video processing pipeline (paper §VI, Table IV).
+//!
+//! Three MQ-connected stages: metadata extraction (FFmpeg), snapshotting at
+//! fixed intervals (FFmpeg), and face recognition on the snapshots (OpenCV).
+//! Two request priorities share the pipeline; low-priority requests are
+//! served only when no high-priority request waits — realized by the
+//! simulator's strict-priority queues. SLAs differ per priority: p99 ≤ 20 s
+//! for high, p50 ≤ 4 s for low (the only non-p99 SLA in the paper).
+
+use crate::App;
+use ursa_sim::control::Sla;
+use ursa_sim::topology::{
+    CallNode, ClassCfg, ClassId, EdgeKind, Priority, ServiceCfg, ServiceId, Topology, WorkDist,
+};
+
+const INGEST: ServiceId = ServiceId(0);
+const METADATA: ServiceId = ServiceId(1);
+const SNAPSHOT: ServiceId = ServiceId(2);
+const FACE_REC: ServiceId = ServiceId(3);
+
+fn ln(mean: f64, cv: f64) -> WorkDist {
+    WorkDist::LogNormal { mean, cv }
+}
+
+fn pipeline_root() -> CallNode {
+    CallNode::leaf(INGEST, ln(0.004, 0.5)).with_child(
+        EdgeKind::Mq,
+        CallNode::leaf(METADATA, ln(0.350, 0.6)).with_child(
+            EdgeKind::Mq,
+            CallNode::leaf(SNAPSHOT, ln(0.700, 0.6)).with_child(
+                EdgeKind::Mq,
+                CallNode::leaf(FACE_REC, ln(1.100, 0.5)),
+            ),
+        ),
+    )
+}
+
+/// Builds the video processing pipeline with the given fraction of
+/// high-priority requests in the default mix (the paper explores 5:95,
+/// 25:75, 50:50 and 75:25; skewed loads use 40:60 and 60:40).
+///
+/// # Panics
+///
+/// Panics if `high_fraction` is outside `(0, 1)`.
+pub fn video_pipeline(high_fraction: f64) -> App {
+    assert!(high_fraction > 0.0 && high_fraction < 1.0);
+    let services = vec![
+        ServiceCfg::new("ingest", 2.0).with_workers(4096).with_replicas(1),
+        ServiceCfg::new("metadata", 4.0).with_workers(8).with_replicas(2),
+        ServiceCfg::new("snapshot", 4.0).with_workers(8).with_replicas(3),
+        ServiceCfg::new("face-rec", 4.0).with_workers(8).with_replicas(4),
+    ];
+    let classes = vec![
+        ClassCfg {
+            name: "high-priority".into(),
+            priority: Priority::HIGH,
+            root: pipeline_root(),
+        },
+        ClassCfg {
+            name: "low-priority".into(),
+            priority: Priority::LOW,
+            root: pipeline_root(),
+        },
+    ];
+    let slas = vec![
+        Sla::new(ClassId(0), 99.0, 20.0),
+        Sla::new(ClassId(1), 50.0, 4.0),
+    ];
+    let topology = Topology::new(services, classes).expect("video pipeline topology is valid");
+    App {
+        name: "video".into(),
+        topology,
+        slas,
+        mix: vec![high_fraction, 1.0 - high_fraction],
+        default_rps: 6.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_sim::prelude::*;
+
+    #[test]
+    fn shape_matches_table_iv() {
+        let app = video_pipeline(0.5);
+        assert_eq!(app.topology.num_classes(), 2);
+        let high = app.sla_of(app.class("high-priority").unwrap()).unwrap();
+        let low = app.sla_of(app.class("low-priority").unwrap()).unwrap();
+        assert_eq!((high.percentile, high.target), (99.0, 20.0));
+        assert_eq!((low.percentile, low.target), (50.0, 4.0));
+    }
+
+    #[test]
+    fn stages_are_mq_connected() {
+        let app = video_pipeline(0.25);
+        for name in ["metadata", "snapshot", "face-rec"] {
+            let s = app.service(name).unwrap();
+            for (_, _, via) in app.topology.nodes_on_service(s) {
+                assert!(matches!(via, Some(EdgeKind::Mq)), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_priority_wins_under_contention() {
+        let app = video_pipeline(0.5);
+        let mut sim = app.build_sim(5);
+        // Constrain capacity so the pipeline contends.
+        app.apply_load(&mut sim, RateFn::Constant(10.0));
+        sim.run_for(SimDur::from_secs(300));
+        let snap = sim.harvest();
+        let high = snap.e2e_latency[0].percentile(50.0).unwrap();
+        let low = snap.e2e_latency[1].percentile(50.0).unwrap();
+        assert!(high < low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_fraction() {
+        video_pipeline(1.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! A Sinan-style model-based ML resource manager (paper §VII-B).
+//!
+//! Sinan trains (i) a neural network predicting the end-to-end latency a
+//! candidate allocation would produce and (ii) a boosted-trees model
+//! predicting the probability the allocation leads to an SLA violation
+//! later; a centralized scheduler then queries the models over candidate
+//! allocations each interval and picks the cheapest one predicted safe.
+//!
+//! Data collection follows Sinan's recipe: explore allocations around the
+//! feasible boundary, keeping violating and satisfying samples roughly
+//! balanced (1:1), one sample per telemetry interval — which is exactly why
+//! the paper's Table V charges it 10 000 samples ≈ 166.7 hours per
+//! application.
+
+use ursa_ml::gbt::{GbtParams, GbtRegressor};
+use ursa_ml::mlp::{Activation, Mlp, Output};
+use ursa_sim::control::{ControlPlane, ResourceManager, Sla};
+use ursa_sim::engine::Simulation;
+use ursa_sim::telemetry::MetricsSnapshot;
+use ursa_sim::time::SimDur;
+use ursa_sim::topology::{ServiceId, Topology};
+use ursa_stats::rng::Rng;
+
+/// One training sample: allocation + load → latency outcome.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Feature vector (normalized replicas per service ++ normalized RPS
+    /// per class).
+    pub features: Vec<f64>,
+    /// Per-SLA-class latency as a fraction of its SLA target.
+    pub latency_ratio: Vec<f64>,
+    /// Whether any SLA class violated its target in this window.
+    pub violated: bool,
+}
+
+/// A collected training set plus the normalization constants.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Collected samples.
+    pub samples: Vec<Sample>,
+    /// Per-service replica normalizer (max replicas seen).
+    pub replica_scale: Vec<f64>,
+    /// Per-class RPS normalizer.
+    pub rps_scale: Vec<f64>,
+    /// Simulated time the collection took.
+    pub collection_time: SimDur,
+}
+
+impl Dataset {
+    /// Fraction of samples labelled as violations.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.violated).count() as f64 / self.samples.len() as f64
+    }
+}
+
+/// Collection configuration.
+#[derive(Debug, Clone)]
+pub struct CollectConfig {
+    /// Number of samples (the paper uses 10 000).
+    pub samples: usize,
+    /// Telemetry interval per sample (the paper samples once per minute).
+    pub window: SimDur,
+    /// Maximum replicas per service explored.
+    pub max_replicas: usize,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            samples: 10_000,
+            window: SimDur::from_mins(1),
+            max_replicas: 24,
+        }
+    }
+}
+
+fn features_of(
+    replicas: &[usize],
+    rps: &[f64],
+    replica_scale: &[f64],
+    rps_scale: &[f64],
+) -> Vec<f64> {
+    replicas
+        .iter()
+        .zip(replica_scale)
+        .map(|(&r, &s)| r as f64 / s.max(1.0))
+        .chain(rps.iter().zip(rps_scale).map(|(&a, &s)| a / s.max(1e-9)))
+        .collect()
+}
+
+/// Runs Sinan's data-collection episode on a fresh simulation.
+///
+/// Each window, the collector perturbs the allocation; it biases the
+/// perturbations to keep violating and satisfying windows near 1:1 (Sinan's
+/// balance requirement): after a violating window it adds resources, after
+/// a comfortable window it removes them.
+pub fn collect(sim: &mut Simulation, slas: &[Sla], cfg: &CollectConfig, seed: u64) -> Dataset {
+    let n_services = sim.topology().num_services();
+    let mut rng = Rng::seed_from(seed);
+    let mut samples = Vec::with_capacity(cfg.samples);
+    let replica_scale = vec![cfg.max_replicas as f64; n_services];
+    let mut rps_scale = vec![1e-9; sim.topology().num_classes()];
+    let t0 = sim.now();
+
+    // Warm-up window.
+    sim.run_for(cfg.window);
+    sim.harvest();
+
+    let mut last_violated = false;
+    for _ in 0..cfg.samples {
+        // Perturb the allocation, biased toward the violation boundary.
+        for s in 0..n_services {
+            let cur = sim.replicas(ServiceId(s));
+            let delta: i64 = if last_violated {
+                // Mostly add.
+                [0, 1, 1, 2][rng.index(4)]
+            } else {
+                // Mostly remove.
+                [0, -1, -1, -2, 1][rng.index(5)]
+            };
+            let next = (cur as i64 + delta).clamp(1, cfg.max_replicas as i64) as usize;
+            sim.set_replicas(ServiceId(s), next);
+        }
+        sim.run_for(cfg.window);
+        let snap = sim.harvest();
+        let replicas: Vec<usize> = (0..n_services).map(|s| snap.services[s].replicas).collect();
+        let rps: Vec<f64> = (0..sim.topology().num_classes())
+            .map(|c| snap.class_rps(ursa_sim::topology::ClassId(c)))
+            .collect();
+        for (sc, &a) in rps_scale.iter_mut().zip(&rps) {
+            *sc = f64::max(*sc, a);
+        }
+        let mut latency_ratio = Vec::with_capacity(slas.len());
+        let mut violated = false;
+        for sla in slas {
+            let ratio = snap.e2e_latency[sla.class.0]
+                .percentile(sla.percentile)
+                .map(|l| l / sla.target)
+                .unwrap_or(0.0);
+            if ratio > 1.0 {
+                violated = true;
+            }
+            latency_ratio.push(ratio.min(5.0));
+        }
+        last_violated = violated;
+        samples.push(Sample {
+            features: features_of(&replicas, &rps, &replica_scale, &rps_scale),
+            latency_ratio,
+            violated,
+        });
+    }
+    Dataset {
+        samples,
+        replica_scale,
+        rps_scale,
+        collection_time: sim.now() - t0,
+    }
+}
+
+/// The trained Sinan-style manager.
+#[derive(Debug)]
+pub struct Sinan {
+    latency_model: Mlp,
+    violation_model: GbtRegressor,
+    replica_scale: Vec<f64>,
+    rps_scale: Vec<f64>,
+    slas: Vec<Sla>,
+    /// Candidate allocations evaluated per decision.
+    pub candidates_per_tick: usize,
+    /// Predicted latency-ratio ceiling accepted as safe.
+    pub safety_ratio: f64,
+    /// Predicted violation probability accepted as safe.
+    pub safety_violation_prob: f64,
+    max_replicas: usize,
+    rng: Rng,
+    training_wall: std::time::Duration,
+}
+
+impl Sinan {
+    /// Trains the latency MLP and violation GBT on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(dataset: &Dataset, slas: &[Sla], epochs: usize, seed: u64) -> Self {
+        assert!(!dataset.samples.is_empty(), "empty dataset");
+        let t0 = std::time::Instant::now();
+        let in_dim = dataset.samples[0].features.len();
+        let out_dim = slas.len();
+        let mut latency_model = Mlp::new(&[in_dim, 64, 64, out_dim], Activation::Relu, Output::Linear, seed);
+        let xs: Vec<Vec<f64>> = dataset.samples.iter().map(|s| s.features.clone()).collect();
+        let ys: Vec<Vec<f64>> = dataset.samples.iter().map(|s| s.latency_ratio.clone()).collect();
+        let mut rng = Rng::seed_from(seed ^ 0xBEEF);
+        let batch = 64.min(xs.len());
+        for _ in 0..epochs {
+            // Mini-batch SGD over shuffled indices.
+            let mut idx: Vec<usize> = (0..xs.len()).collect();
+            rng.shuffle(&mut idx);
+            for chunk in idx.chunks(batch) {
+                let bx: Vec<Vec<f64>> = chunk.iter().map(|&i| xs[i].clone()).collect();
+                let by: Vec<Vec<f64>> = chunk.iter().map(|&i| ys[i].clone()).collect();
+                latency_model.train_batch(&bx, &by, 1e-3);
+            }
+        }
+        let labels: Vec<f64> = dataset
+            .samples
+            .iter()
+            .map(|s| if s.violated { 1.0 } else { 0.0 })
+            .collect();
+        let violation_model = GbtRegressor::fit(&xs, &labels, &GbtParams::default(), seed ^ 0xCAFE);
+        Sinan {
+            latency_model,
+            violation_model,
+            replica_scale: dataset.replica_scale.clone(),
+            rps_scale: dataset.rps_scale.clone(),
+            slas: slas.to_vec(),
+            candidates_per_tick: 64,
+            safety_ratio: 0.85,
+            safety_violation_prob: 0.45,
+            max_replicas: dataset.replica_scale[0] as usize,
+            rng: Rng::seed_from(seed ^ 0xD00D),
+            training_wall: t0.elapsed(),
+        }
+    }
+
+    /// Wall-clock time spent training (Table VI's "update" latency analog).
+    pub fn training_wall(&self) -> std::time::Duration {
+        self.training_wall
+    }
+
+    /// The SLAs this manager was trained against.
+    pub fn slas(&self) -> &[Sla] {
+        &self.slas
+    }
+
+    /// Evaluates the violation predictor on a dataset: returns
+    /// (classification accuracy at the 0.5 threshold, AUC if both classes
+    /// are present). The paper reports Sinan's predictor reaching only
+    /// 80–85 % accuracy with multiple request classes, which it links to
+    /// Sinan's residual SLA violations.
+    pub fn evaluate_violation_predictor(&self, dataset: &Dataset) -> (f64, Option<f64>) {
+        let scores: Vec<f64> = dataset
+            .samples
+            .iter()
+            .map(|s| self.violation_model.predict(&s.features).clamp(0.0, 1.0))
+            .collect();
+        let labels: Vec<f64> = dataset
+            .samples
+            .iter()
+            .map(|s| if s.violated { 1.0 } else { 0.0 })
+            .collect();
+        (
+            ursa_ml::metrics::accuracy(&scores, &labels, 0.5),
+            ursa_ml::metrics::auc(&scores, &labels),
+        )
+    }
+
+    /// Predicts (max latency ratio, violation probability) for an
+    /// allocation under a load.
+    pub fn predict(&self, replicas: &[usize], rps: &[f64]) -> (f64, f64) {
+        let x = features_of(replicas, rps, &self.replica_scale, &self.rps_scale);
+        let ratios = self.latency_model.predict(&x);
+        let max_ratio = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let viol = self.violation_model.predict(&x).clamp(0.0, 1.0);
+        (max_ratio, viol)
+    }
+}
+
+impl ResourceManager for Sinan {
+    fn name(&self) -> &str {
+        "sinan"
+    }
+
+    /// The centralized decision loop: evaluate candidate allocations with
+    /// the models, pick the cheapest predicted-safe one.
+    fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+        let n = control.num_services();
+        let current: Vec<usize> = (0..n).map(|s| control.replicas(ServiceId(s))).collect();
+        let rps: Vec<f64> = (0..snapshot.injections.len())
+            .map(|c| snapshot.class_rps(ursa_sim::topology::ClassId(c)))
+            .collect();
+
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for k in 0..self.candidates_per_tick {
+            let candidate: Vec<usize> = if k == 0 {
+                current.clone()
+            } else {
+                current
+                    .iter()
+                    .map(|&r| {
+                        let delta = [-2i64, -1, -1, 0, 0, 1, 1, 2][self.rng.index(8)];
+                        (r as i64 + delta).clamp(1, self.max_replicas as i64) as usize
+                    })
+                    .collect()
+            };
+            let (ratio, viol) = self.predict(&candidate, &rps);
+            if ratio < self.safety_ratio && viol < self.safety_violation_prob {
+                let cores: f64 = candidate
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &r)| r as f64 * control.cpu_limit(ServiceId(s)))
+                    .sum();
+                if best.as_ref().map(|(c, _)| cores < *c).unwrap_or(true) {
+                    best = Some((cores, candidate));
+                }
+            }
+        }
+        match best {
+            Some((_, alloc)) => {
+                for (s, &r) in alloc.iter().enumerate() {
+                    if r != current[s] {
+                        control.set_replicas(ServiceId(s), r);
+                    }
+                }
+            }
+            None => {
+                // No candidate predicted safe: scale everything out.
+                for (s, &r) in current.iter().enumerate() {
+                    control.set_replicas(ServiceId(s), (r + 1).min(self.max_replicas));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: collect and train in one call on a fresh sim of `topology`.
+///
+/// The caller configures arrival rates on the sim before passing it in.
+pub fn collect_and_train(
+    sim: &mut Simulation,
+    _topology: &Topology,
+    slas: &[Sla],
+    cfg: &CollectConfig,
+    epochs: usize,
+    seed: u64,
+) -> (Sinan, Dataset) {
+    let dataset = collect(sim, slas, cfg, seed);
+    let sinan = Sinan::train(&dataset, slas, epochs, seed ^ 1);
+    (sinan, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_apps::social_network;
+    use ursa_sim::topology::ClassId;
+    use ursa_sim::workload::RateFn;
+
+    fn quick_collect(samples: usize) -> (Sinan, Dataset) {
+        let app = social_network(true);
+        let mut sim = app.build_sim(5);
+        app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+        let cfg = CollectConfig {
+            samples,
+            window: SimDur::from_secs(15),
+            max_replicas: 12,
+        };
+        collect_and_train(&mut sim, &app.topology, &app.slas, &cfg, 6, 9)
+    }
+
+    #[test]
+    fn collection_balances_labels() {
+        let (_, dataset) = quick_collect(120);
+        let frac = dataset.violation_fraction();
+        assert!(
+            (0.15..=0.85).contains(&frac),
+            "violation fraction {frac} should be near-balanced"
+        );
+        assert_eq!(dataset.samples.len(), 120);
+        assert!(dataset.collection_time >= SimDur::from_secs(15 * 120));
+    }
+
+    #[test]
+    fn model_distinguishes_rich_from_poor_allocations() {
+        let (sinan, dataset) = quick_collect(200);
+        let n_services = dataset.replica_scale.len();
+        let rps: Vec<f64> = dataset.rps_scale.clone();
+        // The violation model (GBT) is the sample-efficient half; with a
+        // small training set it must already separate starved from rich.
+        let (_, viol_rich) = sinan.predict(&vec![12; n_services], &rps);
+        let (_, viol_poor) = sinan.predict(&vec![1; n_services], &rps);
+        assert!(
+            viol_poor > viol_rich,
+            "poor {viol_poor} should predict worse than rich {viol_rich}"
+        );
+    }
+
+    /// Train/test evaluation of the violation predictor: well above chance
+    /// but imperfect — the regime the paper attributes Sinan's residual
+    /// violations to.
+    #[test]
+    fn violation_predictor_accuracy_in_paper_band() {
+        let app = social_network(true);
+        let mut sim = app.build_sim(5);
+        app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+        let cfg = CollectConfig {
+            samples: 260,
+            window: SimDur::from_secs(15),
+            max_replicas: 12,
+        };
+        let full = collect(&mut sim, &app.slas, &cfg, 9);
+        // Deterministic stride split: every 4th sample held out.
+        let (train_idx, test_idx) = ursa_ml::metrics::split_indices(full.samples.len(), 4);
+        let train = Dataset {
+            samples: train_idx.iter().map(|&i| full.samples[i].clone()).collect(),
+            ..full.clone()
+        };
+        let test = Dataset {
+            samples: test_idx.iter().map(|&i| full.samples[i].clone()).collect(),
+            ..full.clone()
+        };
+        let sinan = Sinan::train(&train, &app.slas, 6, 10);
+        let (acc, auc) = sinan.evaluate_violation_predictor(&test);
+        assert!(acc > 0.6, "held-out accuracy {acc}");
+        if let Some(auc) = auc {
+            assert!(auc > 0.6, "held-out AUC {auc}");
+        }
+    }
+
+    #[test]
+    fn manager_acts_on_control_plane() {
+        let app = social_network(true);
+        let (mut sinan, _) = quick_collect(80);
+        let mut sim = app.build_sim(11);
+        app.apply_load(&mut sim, RateFn::Constant(250.0));
+        sim.run_for(SimDur::from_secs(30));
+        let snap = sim.harvest();
+        sinan.on_tick(&snap, &mut sim);
+        // Every service still has at least one replica.
+        for s in 0..app.topology.num_services() {
+            assert!(sim.replicas(ServiceId(s)) >= 1);
+        }
+        let _ = snap.class_rps(ClassId(0));
+    }
+}

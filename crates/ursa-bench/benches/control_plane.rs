@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for per-decision control-plane latency
+//! (Table VI's "deploy" row, measured precisely).
+//!
+//! Expected ordering (paper): autoscaling < Ursa ≪ Firm ≪ Sinan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ursa_apps::social_network;
+use ursa_baselines::Autoscaler;
+use ursa_bench::{default_rates, prepare_firm, prepare_sinan, prepare_ursa, Scale};
+use ursa_sim::control::ResourceManager;
+use ursa_sim::time::SimDur;
+use ursa_sim::workload::RateFn;
+
+fn bench_decisions(c: &mut Criterion) {
+    let app = social_network(false);
+    let mut sim = app.build_sim(0xBE9C);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    sim.run_for(SimDur::from_mins(2));
+    let snapshot = sim.harvest();
+
+    let mut group = c.benchmark_group("control_plane_decision");
+    group.sample_size(20);
+
+    let mut ursa = prepare_ursa(&app, Scale::Quick, 1);
+    group.bench_function("ursa", |b| b.iter(|| ursa.on_tick(&snapshot, &mut sim)));
+
+    let (mut sinan, _) = prepare_sinan(&app, Scale::Quick, 2);
+    group.bench_function("sinan", |b| b.iter(|| sinan.on_tick(&snapshot, &mut sim)));
+
+    let mut firm = prepare_firm(&app, Scale::Quick, 3);
+    group.bench_function("firm", |b| b.iter(|| firm.on_tick(&snapshot, &mut sim)));
+
+    let mut auto = Autoscaler::auto_a(app.topology.num_services());
+    group.bench_function("autoscaling", |b| b.iter(|| auto.on_tick(&snapshot, &mut sim)));
+
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let app = social_network(false);
+    let rates = default_rates(&app);
+    let mut group = c.benchmark_group("control_plane_update");
+    group.sample_size(10);
+
+    let mut ursa = prepare_ursa(&app, Scale::Quick, 4);
+    group.bench_function("ursa_recalculate", |b| {
+        b.iter(|| ursa.recalculate(&rates).expect("feasible"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion benchmarks of the MIP solver (the Gurobi stand-in): exact
+//! branch-and-bound and greedy descent across instance sizes, plus the
+//! per-class DP subsolver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ursa_mip::{solve, solve_greedy, LatencyMatrix, MipModel, ServiceModel, SlaConstraint};
+use ursa_stats::rng::Rng;
+
+/// A synthetic model shaped like real exploration output: monotone
+/// resource/latency options with noise.
+fn synthetic_model(services: usize, options: usize, classes: usize, seed: u64) -> MipModel {
+    let grid = vec![90.0, 95.0, 99.0, 99.5, 99.9];
+    let mut rng = Rng::seed_from(seed);
+    let svc = (0..services)
+        .map(|s| {
+            let resource: Vec<f64> = (0..options)
+                .map(|o| (options - o) as f64 * 2.0)
+                .collect();
+            let latency = (0..classes)
+                .map(|c| {
+                    // Real request paths traverse a handful of services (a
+                    // p99 residual budget cannot even be split across more
+                    // than 10); cap participation per class.
+                    let participates = (s + c) % ((services / 5).max(1)) == 0 || rng.chance(0.25);
+                    let participates = participates && (s % services) < 10;
+                    if participates {
+                        let base = 0.002 + 0.01 * rng.next_f64();
+                        let data: Vec<f64> = (0..options)
+                            .flat_map(|o| {
+                                let row = base * (1.0 + 0.6 * o as f64);
+                                (0..grid.len())
+                                    .map(|g| row * (1.0 + 0.4 * g as f64))
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect();
+                        Some(LatencyMatrix::new(options, grid.len(), data))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            ServiceModel {
+                name: format!("s{s}"),
+                resource,
+                latency,
+            }
+        })
+        .collect();
+    // Realistic instances are feasible-but-tight: derive each class's
+    // target from the Theorem-1 bound at full provisioning (the same way
+    // the exploration data constrains real solves). Loose targets would
+    // neuter feasibility pruning and blow the search up unrealistically.
+    let probe = MipModel {
+        percentiles: grid.clone(),
+        services: svc,
+        constraints: (0..classes)
+            .map(|c| SlaConstraint {
+                class: c,
+                percentile: 99.0,
+                target: 1e9,
+            })
+            .collect(),
+    };
+    let mut single = probe.clone();
+    for s in &mut single.services {
+        let keep = 1;
+        s.resource.truncate(keep);
+        for m in s.latency.iter_mut().flatten() {
+            let data: Vec<f64> = (0..keep)
+                .flat_map(|r| m.row(r).to_vec())
+                .collect();
+            *m = LatencyMatrix::new(keep, grid.len(), data);
+        }
+    }
+    let best = ursa_mip::solve_greedy(&single).expect("full provisioning is feasible");
+    let constraints = (0..classes)
+        .map(|c| SlaConstraint {
+            class: c,
+            percentile: 99.0,
+            target: best.estimated_latency(&single, c) * 1.6,
+        })
+        .collect();
+    MipModel {
+        percentiles: grid,
+        services: probe.services,
+        constraints,
+    }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mip_solve_exact");
+    group.sample_size(20);
+    for (services, options, classes) in [(5, 5, 2), (10, 8, 4), (16, 10, 6)] {
+        let model = synthetic_model(services, options, classes, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{services}svc_{options}opt_{classes}cls")),
+            &model,
+            |b, m| b.iter(|| solve(m).expect("feasible")),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mip_solve_greedy");
+    let model = synthetic_model(16, 10, 6, 42);
+    group.bench_function("16svc_10opt_6cls", |b| {
+        b.iter(|| solve_greedy(&model).expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the discrete-event simulator: event throughput
+//! on the benchmark applications (simulated seconds per wall second drive
+//! how cheaply the experiments run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ursa_apps::{app_by_name, social_network};
+use ursa_sim::time::SimDur;
+use ursa_sim::workload::RateFn;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10s");
+    group.sample_size(10);
+    for name in ["social", "social-vanilla", "media", "video"] {
+        let app = app_by_name(name).expect("known app");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| {
+                let mut sim = app.build_sim(7);
+                app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+                sim.run_for(SimDur::from_secs(10));
+                sim.harvest().completions.iter().sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_ops(c: &mut Criterion) {
+    let app = social_network(false);
+    let mut sim = app.build_sim(9);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    sim.run_for(SimDur::from_secs(10));
+    let mut group = c.benchmark_group("control_ops");
+    let mut n = 2usize;
+    group.bench_function("set_replicas_toggle", |b| {
+        b.iter(|| {
+            n = if n == 2 { 3 } else { 2 };
+            sim.set_replicas(ursa_sim::topology::ServiceId(2), n);
+            sim.run_for(SimDur::from_millis(100));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_scaling_ops);
+criterion_main!(benches);

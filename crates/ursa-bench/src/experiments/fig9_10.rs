@@ -1,0 +1,155 @@
+//! **Figures 9 & 10** — estimated vs measured end-to-end latency.
+//!
+//! Fig. 9: four representative social-network classes (upload-post,
+//! update-timeline, object-detect, sentiment-analysis). Fig. 10: the video
+//! pipeline's two priorities (p99 for high, p50 for low).
+//!
+//! Procedure mirrors §VII-D: during a managed run with dynamically changing
+//! allocations (diurnal load), record per 5-minute window the measured
+//! percentile latency and Ursa's estimate — the Theorem-1 bound multiplied
+//! by the tracked overestimation ratio. The paper's result: the average
+//! estimated/measured ratio stays within 0.96–1.05.
+
+use crate::{default_rates, prepare_ursa, results_dir, Scale, TsvTable};
+use ursa_apps::{social_network, video_pipeline, App};
+use ursa_sim::control::ResourceManager;
+use ursa_sim::time::SimDur;
+use ursa_sim::workload::RateFn;
+
+/// Series of (measured, estimated) per window for one class.
+#[derive(Debug, Clone)]
+pub struct AccuracySeries {
+    /// Class name.
+    pub class: String,
+    /// One (time s, measured s, estimated s) triple per window.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl AccuracySeries {
+    /// Mean estimated/measured ratio.
+    pub fn mean_ratio(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(_, m, _)| *m > 0.0)
+            .map(|(_, m, e)| e / m)
+            .collect();
+        if ratios.is_empty() {
+            return f64::NAN;
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+/// Runs the accuracy experiment for one app; returns a series per SLA class
+/// in `class_filter` (or all SLA classes when empty).
+pub fn run_app(app: &App, class_filter: &[&str], scale: Scale, seed: u64) -> Vec<AccuracySeries> {
+    let mut ursa = prepare_ursa(app, scale, seed);
+    let rates = default_rates(app);
+    let mut sim = app.build_sim(seed ^ 0xACC);
+    let duration = match scale {
+        Scale::Quick => SimDur::from_mins(50),
+        Scale::Full => SimDur::from_mins(150),
+    };
+    app.apply_load(
+        &mut sim,
+        RateFn::Diurnal {
+            base: app.default_rps * 0.7,
+            peak: app.default_rps * 1.3,
+            period: duration,
+        },
+    );
+    ursa.apply_initial_allocation(&rates, &mut sim);
+
+    let window = SimDur::from_mins(5);
+    let windows = (duration.as_nanos() / window.as_nanos()) as usize;
+    let mut series: Vec<AccuracySeries> = app
+        .slas
+        .iter()
+        .map(|sla| AccuracySeries {
+            class: app.topology.classes()[sla.class.0].name.clone(),
+            points: Vec::new(),
+        })
+        .collect();
+    for _ in 0..windows {
+        sim.run_for(window);
+        let snap = sim.harvest();
+        let t = snap.at.as_secs_f64() / 60.0;
+        // Tick first so the tracker sees the newest window, then read the
+        // estimate the controller would report for it.
+        ursa.on_tick(&snap, &mut sim);
+        for (k, sla) in app.slas.iter().enumerate() {
+            if let Some(measured) = snap.e2e_latency[sla.class.0].percentile(sla.percentile) {
+                let estimated = ursa.estimated_latency(k);
+                series[k].points.push((t, measured, estimated));
+            }
+        }
+    }
+    if class_filter.is_empty() {
+        series
+    } else {
+        series
+            .into_iter()
+            .filter(|s| class_filter.contains(&s.class.as_str()))
+            .collect()
+    }
+}
+
+/// Runs both figures and writes the series.
+pub fn run(scale: Scale) -> Vec<AccuracySeries> {
+    println!("== Figures 9 & 10: estimated vs measured latency ==");
+    let mut all = Vec::new();
+    let social = social_network(false);
+    let fig9 = run_app(
+        &social,
+        &["upload-post", "update-timeline", "object-detect", "sentiment-analysis"],
+        scale,
+        0xF16_9,
+    );
+    let video = video_pipeline(0.5);
+    let fig10 = run_app(&video, &[], scale, 0xF16_10);
+    for (fig, series) in [("fig9", fig9), ("fig10", fig10)] {
+        for s in series {
+            let mut table = TsvTable::new(
+                &format!("{fig}_{}", s.class),
+                &["minute", "measured_s", "estimated_s"],
+            );
+            for (t, m, e) in &s.points {
+                table.row(vec![format!("{t:.0}"), format!("{m:.4}"), format!("{e:.4}")]);
+            }
+            let _ = table.write_tsv(&results_dir().join(fig));
+            println!(
+                "{fig} {:<22} windows {:>3}  mean estimated/measured ratio {:.3}",
+                s.class,
+                s.points.len(),
+                s.mean_ratio()
+            );
+            all.push(s);
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §VII-D's claim: the corrected estimate tracks measured latency; the
+    /// paper reports mean ratios 0.96–1.05, we accept a looser band on the
+    /// quick scale.
+    #[test]
+    fn estimates_track_measurements_on_social() {
+        let app = social_network(true);
+        let series = run_app(&app, &[], Scale::Quick, 77);
+        assert!(!series.is_empty());
+        for s in &series {
+            assert!(!s.points.is_empty(), "{} has no windows", s.class);
+            let r = s.mean_ratio();
+            assert!(
+                (0.5..=2.0).contains(&r),
+                "{}: mean ratio {r} out of band",
+                s.class
+            );
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VII).
+//!
+//! Each experiment lives in [`experiments`] and maps one-to-one onto a
+//! paper artifact (see `DESIGN.md` §4 for the index). The binary
+//! (`cargo run -p ursa-bench -- --exp fig11`) runs one or all of them,
+//! prints the same rows/series the paper reports, and writes TSV files
+//! under `results/` for plotting. `EXPERIMENTS.md` records paper-reported
+//! versus measured values.
+//!
+//! Experiments run at two scales: [`Scale::Quick`] (minutes of wall clock,
+//! reduced durations/sample counts — shapes hold, error bars are wider) and
+//! [`Scale::Full`] (paper-protocol durations).
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ursa_apps::App;
+use ursa_baselines::{collect_and_train, train_firm, Autoscaler, CollectConfig, Firm, FirmConfig, Sinan};
+use ursa_core::exploration::ExplorationConfig;
+use ursa_core::manager::{Ursa, UrsaConfig};
+use ursa_core::profiling::ProfilingConfig;
+use ursa_sim::control::{run_deployment, DeployConfig, DeploymentReport};
+use ursa_sim::engine::Simulation;
+use ursa_sim::time::{SimDur, SimTime};
+use ursa_sim::topology::ServiceId;
+use ursa_sim::workload::RateFn;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced durations/samples: minutes of wall-clock for the full suite.
+    Quick,
+    /// Paper-protocol durations (hours of simulated time per cell).
+    Full,
+}
+
+impl Scale {
+    /// Deployment length per scenario.
+    pub fn deploy_duration(self) -> SimDur {
+        match self {
+            Scale::Quick => SimDur::from_mins(14),
+            Scale::Full => SimDur::from_mins(45),
+        }
+    }
+
+    /// Exploration configuration (Algorithm 1).
+    pub fn exploration(self) -> ExplorationConfig {
+        match self {
+            Scale::Quick => ExplorationConfig {
+                samples_per_option: 4,
+                window: SimDur::from_secs(20),
+                max_options: 6,
+                ..Default::default()
+            },
+            Scale::Full => ExplorationConfig::default(),
+        }
+    }
+
+    /// Backpressure profiling configuration.
+    pub fn profiling(self) -> ProfilingConfig {
+        match self {
+            Scale::Quick => ProfilingConfig {
+                windows_per_level: 4,
+                window: SimDur::from_secs(10),
+                levels: 8,
+                ..Default::default()
+            },
+            Scale::Full => ProfilingConfig::default(),
+        }
+    }
+
+    /// Sinan data-collection configuration actually *run* (the paper
+    /// protocol is 10 000 one-minute samples; Quick runs a reduced episode
+    /// and Table 5 reports the protocol numbers alongside).
+    pub fn sinan_collect(self) -> CollectConfig {
+        match self {
+            Scale::Quick => CollectConfig {
+                samples: 400,
+                window: SimDur::from_secs(15),
+                max_replicas: 24,
+            },
+            Scale::Full => CollectConfig {
+                samples: 4000,
+                window: SimDur::from_secs(30),
+                max_replicas: 24,
+            },
+        }
+    }
+
+    /// Firm training windows actually run.
+    pub fn firm_windows(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 4000,
+        }
+    }
+}
+
+/// A load scenario of §VII-E.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadSpec {
+    /// Poisson arrivals at the app's default total RPS.
+    Constant,
+    /// Diurnal ramp between 60 % and 140 % of the default RPS.
+    Diurnal,
+    /// Flat load with a +100 % burst in the middle of the run.
+    Burst,
+    /// Default pattern but with update-class frequency scaled by the factor
+    /// (2.0 and 0.5 in the paper).
+    Skewed(f64),
+}
+
+impl LoadSpec {
+    /// Short identifier for tables.
+    pub fn label(&self) -> String {
+        match self {
+            LoadSpec::Constant => "constant".into(),
+            LoadSpec::Diurnal => "diurnal".into(),
+            LoadSpec::Burst => "burst".into(),
+            LoadSpec::Skewed(f) => format!("skewed-{f}"),
+        }
+    }
+
+    /// Applies this load to a simulation of `app` over `duration`.
+    pub fn apply(&self, app: &App, sim: &mut Simulation, duration: SimDur) {
+        let total = app.default_rps;
+        match self {
+            LoadSpec::Constant => app.apply_load(sim, RateFn::Constant(total)),
+            LoadSpec::Diurnal => app.apply_load(
+                sim,
+                RateFn::Diurnal {
+                    base: total * 0.6,
+                    peak: total * 1.4,
+                    period: duration,
+                },
+            ),
+            LoadSpec::Burst => {
+                let start = SimTime::ZERO + SimDur::from_nanos(duration.as_nanos() * 2 / 5);
+                let end = SimTime::ZERO + SimDur::from_nanos(duration.as_nanos() * 3 / 5);
+                app.apply_load(
+                    sim,
+                    RateFn::Burst {
+                        base: total * 0.8,
+                        burst: total * 1.6,
+                        start,
+                        end,
+                    },
+                )
+            }
+            LoadSpec::Skewed(factor) => {
+                let mix = app.skewed_mix(*factor);
+                app.apply_load_with_mix(sim, RateFn::Constant(total), &mix);
+            }
+        }
+    }
+}
+
+/// Per-class application rates at the default total RPS (exploration mix).
+pub fn default_rates(app: &App) -> Vec<f64> {
+    let sum: f64 = app.mix.iter().sum();
+    app.mix.iter().map(|w| app.default_rps * w / sum).collect()
+}
+
+/// Runs Ursa's full offline phase for an app.
+pub fn prepare_ursa(app: &App, scale: Scale, seed: u64) -> Ursa {
+    let rates = default_rates(app);
+    let cfg = UrsaConfig {
+        exploration: scale.exploration(),
+        profiling: scale.profiling(),
+    };
+    Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, cfg, seed)
+        .expect("ursa offline phase must find a feasible allocation")
+}
+
+/// Runs Sinan's data collection + training for an app.
+pub fn prepare_sinan(app: &App, scale: Scale, seed: u64) -> (Sinan, ursa_baselines::Dataset) {
+    let mut sim = app.build_sim(seed ^ 0x51A4);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    let cfg = scale.sinan_collect();
+    let epochs = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 20,
+    };
+    collect_and_train(&mut sim, &app.topology, &app.slas, &cfg, epochs, seed)
+}
+
+/// Trains Firm's per-service agents for an app.
+pub fn prepare_firm(app: &App, scale: Scale, seed: u64) -> Firm {
+    let service_classes: Vec<Vec<usize>> = (0..app.topology.num_services())
+        .map(|s| {
+            app.topology
+                .classes_on_service(ServiceId(s))
+                .into_iter()
+                .map(|c| c.0)
+                .collect()
+        })
+        .collect();
+    let mut firm = Firm::new(
+        app.topology.num_services(),
+        &app.slas,
+        service_classes,
+        FirmConfig::default(),
+        seed,
+    );
+    let mut sim = app.build_sim(seed ^ 0xF1B3);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    train_firm(
+        &mut sim,
+        &mut firm,
+        &app.slas,
+        scale.firm_windows(),
+        SimDur::from_secs(15),
+        seed ^ 7,
+    );
+    firm.training = false;
+    firm
+}
+
+/// The five competing systems of §VII-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Ursa (this paper).
+    Ursa,
+    /// Sinan-style model-based ML.
+    Sinan,
+    /// Firm-style per-service RL.
+    Firm,
+    /// AWS step-scaling defaults.
+    AutoA,
+    /// Manually tuned conservative autoscaling.
+    AutoB,
+}
+
+impl System {
+    /// All systems in paper order.
+    pub const ALL: [System; 5] = [
+        System::Ursa,
+        System::Sinan,
+        System::Firm,
+        System::AutoA,
+        System::AutoB,
+    ];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Ursa => "ursa",
+            System::Sinan => "sinan",
+            System::Firm => "firm",
+            System::AutoA => "auto-a",
+            System::AutoB => "auto-b",
+        }
+    }
+}
+
+/// Pre-trained managers for one application, reused across load scenarios.
+pub struct PreparedManagers {
+    /// Ursa after the offline phase.
+    pub ursa: Ursa,
+    /// Trained Sinan.
+    pub sinan: Sinan,
+    /// Trained Firm (deployment mode).
+    pub firm: Firm,
+    num_services: usize,
+}
+
+impl PreparedManagers {
+    /// Prepares every system for an app (the expensive, once-per-app step).
+    pub fn prepare(app: &App, scale: Scale, seed: u64) -> Self {
+        let ursa = prepare_ursa(app, scale, seed);
+        let (sinan, _) = prepare_sinan(app, scale, seed ^ 0xAA);
+        let firm = prepare_firm(app, scale, seed ^ 0xBB);
+        PreparedManagers {
+            ursa,
+            sinan,
+            firm,
+            num_services: app.topology.num_services(),
+        }
+    }
+
+    /// Deploys `system` on `app` under `load`, returning the report.
+    pub fn deploy(
+        &mut self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+    ) -> DeploymentReport {
+        let duration = scale.deploy_duration();
+        let mut sim = app.build_sim(seed);
+        load.apply(app, &mut sim, duration);
+        let cfg = DeployConfig {
+            duration,
+            control_interval: SimDur::from_mins(1),
+            warmup: SimDur::from_mins(2),
+            collect_samples: false,
+        };
+        match system {
+            System::Ursa => {
+                let rates = default_rates(app);
+                self.ursa.apply_initial_allocation(&rates, &mut sim);
+                run_deployment(&mut sim, &app.slas, &mut self.ursa, &cfg)
+            }
+            System::Sinan => run_deployment(&mut sim, &app.slas, &mut self.sinan, &cfg),
+            System::Firm => run_deployment(&mut sim, &app.slas, &mut self.firm, &cfg),
+            System::AutoA => {
+                let mut auto = Autoscaler::auto_a(self.num_services);
+                run_deployment(&mut sim, &app.slas, &mut auto, &cfg)
+            }
+            System::AutoB => {
+                let mut auto = Autoscaler::auto_b(self.num_services);
+                run_deployment(&mut sim, &app.slas, &mut auto, &cfg)
+            }
+        }
+    }
+}
+
+/// A simple TSV table writer that also renders to the terminal.
+#[derive(Debug, Clone)]
+pub struct TsvTable {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TsvTable {
+    /// Creates a table with the given file stem and column names.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        TsvTable {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as TSV under `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_tsv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.tsv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(path)
+    }
+}
+
+/// The default results directory (`results/` under the workspace root).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage for table cells.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_table_renders_and_writes() {
+        let mut t = TsvTable::new("unit-test-table", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains('a') && s.contains('1'));
+        let dir = std::env::temp_dir().join("ursa-bench-test");
+        let path = t.write_tsv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn tsv_table_checks_width() {
+        let mut t = TsvTable::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn load_specs_label_and_apply() {
+        let app = ursa_apps::social_network(true);
+        for load in [
+            LoadSpec::Constant,
+            LoadSpec::Diurnal,
+            LoadSpec::Burst,
+            LoadSpec::Skewed(2.0),
+        ] {
+            assert!(!load.label().is_empty());
+            let mut sim = app.build_sim(1);
+            load.apply(&app, &mut sim, SimDur::from_mins(10));
+            sim.run_for(SimDur::from_secs(30));
+            let snap = sim.harvest();
+            assert!(snap.injections.iter().sum::<u64>() > 0, "{:?}", load.label());
+        }
+    }
+
+    #[test]
+    fn default_rates_sum_to_default_rps() {
+        let app = ursa_apps::social_network(false);
+        let rates = default_rates(&app);
+        let total: f64 = rates.iter().sum();
+        assert!((total - app.default_rps).abs() < 1e-9);
+    }
+}

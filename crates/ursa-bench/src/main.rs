@@ -1,0 +1,86 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ursa-bench -- --exp all [--full]
+//! cargo run --release -p ursa-bench -- --exp fig2|fig4|table5|fig9|fig11|fig13|table6|fig14
+//! ```
+
+use ursa_bench::experiments;
+use ursa_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut exp = "all".to_string();
+    let mut scale = Scale::Quick;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--help" | "-h" => {
+                usage();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let t0 = std::time::Instant::now();
+    let run_one = |name: &str| match name {
+        "fig2" => {
+            experiments::fig2::run(scale);
+        }
+        "fig4" => {
+            experiments::fig4::run(scale);
+        }
+        "table5" => {
+            experiments::table5::run(scale);
+        }
+        "fig9" | "fig10" | "fig9_10" => {
+            experiments::fig9_10::run(scale);
+        }
+        "fig11" | "fig12" | "fig11_12" => {
+            experiments::fig11_12::run(scale);
+        }
+        "fig13" => {
+            experiments::fig13::run(scale);
+        }
+        "table6" => {
+            experiments::table6::run(scale);
+        }
+        "fig14" => {
+            experiments::fig14::run(scale);
+        }
+        "ablation" => {
+            experiments::ablation::run(scale);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    };
+    if exp == "all" {
+        for name in [
+            "fig2", "fig4", "table5", "fig9", "fig11", "fig13", "table6", "fig14", "ablation",
+        ] {
+            println!();
+            run_one(name);
+        }
+    } else {
+        run_one(&exp);
+    }
+    eprintln!("\n[done in {:.1}s, results under results/]", t0.elapsed().as_secs_f64());
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation] [--quick|--full]"
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,250 @@
+//! The resource controller (paper §V, component 4).
+//!
+//! With the per-service LPR thresholds fixed by the optimizer, the critical
+//! path of every scaling decision reduces to a threshold check: count
+//! arrivals per service per class, divide by the threshold, take the
+//! ceiling. This is why Ursa's control-plane latency is orders of magnitude
+//! below ML inference (Table VI). To absorb load noise, scale-*in*
+//! decisions require the recent load history to support the smaller
+//! allocation (Welch's t-test when enough history exists, matching §V's
+//! description); scale-*out* is immediate.
+
+use crate::optimizer::ScalingThreshold;
+use std::collections::VecDeque;
+use ursa_sim::control::ControlPlane;
+use ursa_sim::telemetry::MetricsSnapshot;
+use ursa_sim::topology::ServiceId;
+use ursa_stats::ttest::welch_t_test;
+
+/// Threshold-based replica controller.
+#[derive(Debug, Clone)]
+pub struct ThresholdScaler {
+    /// Per application-service threshold (None = unmanaged service).
+    thresholds: Vec<Option<ScalingThreshold>>,
+    /// Recent desired-replica history per service (for damped scale-in).
+    history: Vec<VecDeque<usize>>,
+    /// Recent per-class load history per service (for the t-test).
+    load_history: Vec<VecDeque<Vec<f64>>>,
+    /// Windows of history consulted before scaling in.
+    patience: usize,
+    /// t-test significance for concluding the load fits fewer replicas.
+    alpha: f64,
+}
+
+impl ThresholdScaler {
+    /// Creates a scaler for `num_services` services from the optimizer's
+    /// thresholds.
+    pub fn new(num_services: usize, thresholds: &[ScalingThreshold]) -> Self {
+        let mut per_service: Vec<Option<ScalingThreshold>> = vec![None; num_services];
+        for t in thresholds {
+            per_service[t.service] = Some(t.clone());
+        }
+        ThresholdScaler {
+            thresholds: per_service,
+            history: vec![VecDeque::new(); num_services],
+            load_history: vec![VecDeque::new(); num_services],
+            patience: 3,
+            alpha: 0.05,
+        }
+    }
+
+    /// Replaces the thresholds (after a recalculation) without losing load
+    /// history.
+    pub fn update_thresholds(&mut self, thresholds: &[ScalingThreshold]) {
+        for t in self.thresholds.iter_mut() {
+            *t = None;
+        }
+        for t in thresholds {
+            self.thresholds[t.service] = Some(t.clone());
+        }
+    }
+
+    /// The managed threshold of a service, if any.
+    pub fn threshold(&self, service: usize) -> Option<&ScalingThreshold> {
+        self.thresholds[service].as_ref()
+    }
+
+    /// Applies one control tick: reads per-service loads from the snapshot
+    /// and adjusts replica counts through the control plane.
+    pub fn tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+        let window_secs = snapshot.window.as_secs_f64().max(1e-9);
+        for s in 0..self.thresholds.len() {
+            let Some(threshold) = &self.thresholds[s] else {
+                continue;
+            };
+            let loads: Vec<f64> = snapshot.services[s]
+                .arrivals
+                .iter()
+                .map(|&a| a as f64 / window_secs)
+                .collect();
+            let desired = threshold.replicas_for(&loads);
+            let current = control.replicas(ServiceId(s));
+
+            self.history[s].push_back(desired);
+            if self.history[s].len() > self.patience {
+                self.history[s].pop_front();
+            }
+            self.load_history[s].push_back(loads.clone());
+            if self.load_history[s].len() > 8 {
+                self.load_history[s].pop_front();
+            }
+
+            if desired > current {
+                // Scale out immediately: the threshold was chosen so that
+                // operating above it risks the per-service SLA budget.
+                control.set_replicas(ServiceId(s), desired);
+            } else if desired < current {
+                // Scale in only when recent history consistently supports
+                // the smaller allocation…
+                let recent_max = self.history[s].iter().copied().max().unwrap_or(desired);
+                if self.history[s].len() >= self.patience && recent_max < current {
+                    // …and, when we have enough samples, the t-test agrees
+                    // that the binding class's mean load sits below the
+                    // smaller allocation's capacity.
+                    if self.scale_in_supported(s, threshold, recent_max) {
+                        control.set_replicas(ServiceId(s), recent_max);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Welch-tests whether the binding class's recent loads are
+    /// significantly *below* the capacity of `target_replicas`. With fewer
+    /// than 4 history windows, falls back to accepting (the max-based
+    /// patience already damps noise).
+    fn scale_in_supported(&self, s: usize, threshold: &ScalingThreshold, target_replicas: usize) -> bool {
+        let hist = &self.load_history[s];
+        if hist.len() < 4 {
+            return true;
+        }
+        // Find the binding class (largest load/threshold ratio).
+        let latest = hist.back().expect("non-empty history");
+        let mut binding = None;
+        let mut best_ratio = 0.0;
+        for (j, (&a, &y)) in latest.iter().zip(&threshold.lpr).enumerate() {
+            if y > 0.0 {
+                let r = a / y;
+                if r > best_ratio {
+                    best_ratio = r;
+                    binding = Some(j);
+                }
+            }
+        }
+        let Some(j) = binding else { return true };
+        let y = threshold.lpr[j];
+        let capacity = y * target_replicas as f64;
+        let samples: Vec<f64> = hist.iter().map(|l| l[j]).collect();
+        // H1: capacity > mean(load). Construct via one-sided Welch against
+        // a pseudo-sample at the capacity level with matching spread.
+        let cap_samples: Vec<f64> = samples.iter().map(|x| capacity + (x - samples.iter().sum::<f64>() / samples.len() as f64)).collect();
+        match welch_t_test(&cap_samples, &samples) {
+            Some(t) => t.concludes_greater(self.alpha),
+            None => samples.iter().sum::<f64>() / samples.len() as f64 <= capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_sim::engine::{SimConfig, Simulation};
+    use ursa_sim::telemetry::Telemetry;
+    use ursa_sim::time::SimTime;
+    use ursa_sim::topology::{CallNode, ClassCfg, ClassId, Priority, ServiceCfg, Topology, WorkDist};
+
+    fn threshold(lpr: f64) -> ScalingThreshold {
+        ScalingThreshold {
+            service: 0,
+            name: "svc".into(),
+            lpr: vec![lpr],
+            cores_per_replica: 2.0,
+        }
+    }
+
+    fn topo() -> Topology {
+        Topology::new(
+            vec![ServiceCfg::new("svc", 2.0)],
+            vec![ClassCfg {
+                name: "c".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)),
+            }],
+        )
+        .unwrap()
+    }
+
+    fn snapshot_with_load(topology: &Topology, rps: f64, window: f64) -> MetricsSnapshot {
+        let mut t = Telemetry::new(topology);
+        for _ in 0..(rps * window) as usize {
+            t.record_arrival(ServiceId(0), ClassId(0));
+        }
+        t.harvest(
+            SimTime::from_secs_f64(window),
+            &["svc".to_string()],
+            &[1],
+            &[2.0],
+            &[0],
+        )
+    }
+
+    #[test]
+    fn scales_out_immediately() {
+        let topology = topo();
+        let mut sim = Simulation::new(topology.clone(), SimConfig::default(), 1);
+        let mut scaler = ThresholdScaler::new(1, &[threshold(50.0)]);
+        let snap = snapshot_with_load(&topology, 170.0, 60.0);
+        scaler.tick(&snap, &mut sim);
+        assert_eq!(sim.replicas(ServiceId(0)), 4); // ceil(170/50)
+    }
+
+    #[test]
+    fn scales_in_only_after_patience() {
+        let topology = topo();
+        let mut sim = Simulation::new(topology.clone(), SimConfig::default(), 2);
+        sim.set_replicas(ServiceId(0), 5);
+        let mut scaler = ThresholdScaler::new(1, &[threshold(50.0)]);
+        // Low load for one window: no scale-in yet.
+        let low = snapshot_with_load(&topology, 60.0, 60.0);
+        scaler.tick(&low, &mut sim);
+        assert_eq!(sim.replicas(ServiceId(0)), 5);
+        // After `patience` consistent windows, scale-in happens.
+        for _ in 0..4 {
+            let low = snapshot_with_load(&topology, 60.0, 60.0);
+            scaler.tick(&low, &mut sim);
+        }
+        assert_eq!(sim.replicas(ServiceId(0)), 2); // ceil(60/50)
+    }
+
+    #[test]
+    fn burst_within_history_blocks_scale_in() {
+        let topology = topo();
+        let mut sim = Simulation::new(topology.clone(), SimConfig::default(), 3);
+        sim.set_replicas(ServiceId(0), 4);
+        let mut scaler = ThresholdScaler::new(1, &[threshold(50.0)]);
+        // Alternating loads: the max over history keeps replicas up.
+        for rps in [190.0, 60.0, 190.0, 60.0] {
+            let snap = snapshot_with_load(&topology, rps, 60.0);
+            scaler.tick(&snap, &mut sim);
+        }
+        assert_eq!(sim.replicas(ServiceId(0)), 4);
+    }
+
+    #[test]
+    fn unmanaged_services_untouched() {
+        let topology = topo();
+        let mut sim = Simulation::new(topology.clone(), SimConfig::default(), 4);
+        let mut scaler = ThresholdScaler::new(1, &[]);
+        let snap = snapshot_with_load(&topology, 500.0, 60.0);
+        scaler.tick(&snap, &mut sim);
+        assert_eq!(sim.replicas(ServiceId(0)), 1);
+        assert!(scaler.threshold(0).is_none());
+    }
+
+    #[test]
+    fn update_thresholds_replaces() {
+        let mut scaler = ThresholdScaler::new(1, &[threshold(50.0)]);
+        scaler.update_thresholds(&[threshold(100.0)]);
+        assert_eq!(scaler.threshold(0).unwrap().lpr, vec![100.0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! SLA decomposition (paper §IV, Theorem 1).
+//!
+//! **Theorem 1.** For a chain of services with latency distributions `t_i`,
+//! the end-to-end `x_c`-th percentile satisfies
+//! `t_c(x_c) ≤ Σ_i t_i(x_i)` whenever `100 − x_c ≥ Σ_i (100 − x_i)`,
+//! regardless of the joint distribution (independent or correlated).
+//!
+//! *Proof sketch (union bound).* Let `L_i` be service *i*'s latency and
+//! `q_i = t_i(x_i)` its `x_i`-th percentile, so `P(L_i > q_i) ≤ (100−x_i)/100`.
+//! If the end-to-end latency `L = Σ L_i` exceeds `Σ q_i`, then at least one
+//! `L_i > q_i`. Hence `P(L > Σ q_i) ≤ Σ P(L_i > q_i) ≤ Σ(100−x_i)/100
+//! ≤ (100−x_c)/100`, which is exactly the statement that the `x_c`-th
+//! percentile of `L` is at most `Σ q_i`.
+//!
+//! This module provides the bound computation and residual-budget helpers;
+//! the property-based validation (arbitrary correlated joint distributions)
+//! lives in the crate's test suite.
+
+use ursa_stats::quantile::percentile_of_sorted;
+
+/// A per-service percentile assignment: service *i* contributes its
+/// `percentiles[i]`-th percentile latency to the end-to-end bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileSplit {
+    /// Per-service percentiles `x_i` (each in `(0, 100)`).
+    pub percentiles: Vec<f64>,
+}
+
+impl PercentileSplit {
+    /// Checks the residual condition `Σ (100 − x_i) ≤ 100 − x_c`.
+    pub fn is_valid_for(&self, end_to_end_percentile: f64) -> bool {
+        let spent: f64 = self.percentiles.iter().map(|x| 100.0 - x).sum();
+        spent <= 100.0 - end_to_end_percentile + 1e-9
+    }
+
+    /// An equal split: every service gets
+    /// `100 − (100 − x_c)/n`, the simplest valid assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the percentile is outside `(0, 100)`.
+    pub fn equal(end_to_end_percentile: f64, n: usize) -> Self {
+        assert!(n > 0, "need at least one service");
+        assert!((0.0..100.0).contains(&end_to_end_percentile));
+        let share = (100.0 - end_to_end_percentile) / n as f64;
+        PercentileSplit {
+            percentiles: vec![100.0 - share; n],
+        }
+    }
+}
+
+/// Computes the Theorem-1 upper bound on the end-to-end percentile latency:
+/// the sum of each service's `x_i`-th percentile over its samples.
+///
+/// # Panics
+///
+/// Panics if the split length differs from the number of sample sets, any
+/// sample set is empty, or the split is invalid for `end_to_end_percentile`.
+pub fn latency_bound(
+    per_service_samples: &[Vec<f64>],
+    split: &PercentileSplit,
+    end_to_end_percentile: f64,
+) -> f64 {
+    assert_eq!(
+        per_service_samples.len(),
+        split.percentiles.len(),
+        "split/sample mismatch"
+    );
+    assert!(
+        split.is_valid_for(end_to_end_percentile),
+        "residual condition violated"
+    );
+    per_service_samples
+        .iter()
+        .zip(&split.percentiles)
+        .map(|(samples, &p)| {
+            assert!(!samples.is_empty(), "empty sample set");
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+            percentile_of_sorted(&sorted, p)
+        })
+        .sum()
+}
+
+/// Empirical end-to-end percentile of per-request sums (for validating the
+/// bound): `rows` is indexed `[service][request]`, requests aligned.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths or are empty.
+pub fn empirical_e2e_percentile(rows: &[Vec<f64>], percentile: f64) -> f64 {
+    assert!(!rows.is_empty() && !rows[0].is_empty());
+    let n = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == n), "ragged rows");
+    let mut sums: Vec<f64> = (0..n).map(|i| rows.iter().map(|r| r[i]).sum()).collect();
+    sums.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    percentile_of_sorted(&sums, percentile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_stats::dist::{Distribution, Exponential, LogNormal};
+    use ursa_stats::rng::Rng;
+
+    #[test]
+    fn equal_split_is_valid() {
+        let s = PercentileSplit::equal(99.0, 4);
+        assert!(s.is_valid_for(99.0));
+        assert!((s.percentiles[0] - 99.75).abs() < 1e-12);
+        // It is NOT valid for a tighter end-to-end percentile.
+        assert!(!s.is_valid_for(99.5));
+    }
+
+    #[test]
+    fn asymmetric_splits() {
+        let s = PercentileSplit {
+            percentiles: vec![99.1, 99.9],
+        };
+        assert!(s.is_valid_for(99.0));
+        let s2 = PercentileSplit {
+            percentiles: vec![99.5, 99.4],
+        };
+        assert!(!s2.is_valid_for(99.0), "residuals 0.5+0.6 > 1.0");
+    }
+
+    #[test]
+    fn bound_holds_for_independent_latencies() {
+        let mut rng = Rng::seed_from(1);
+        let dists = [
+            LogNormal::from_mean_cv(0.010, 1.0),
+            LogNormal::from_mean_cv(0.030, 0.5),
+            LogNormal::from_mean_cv(0.005, 2.0),
+        ];
+        let n = 40_000;
+        let rows: Vec<Vec<f64>> = dists
+            .iter()
+            .map(|d| (0..n).map(|_| d.sample(&mut rng)).collect())
+            .collect();
+        let split = PercentileSplit::equal(99.0, 3);
+        let bound = latency_bound(&rows, &split, 99.0);
+        let actual = empirical_e2e_percentile(&rows, 99.0);
+        assert!(actual <= bound, "actual {actual} > bound {bound}");
+    }
+
+    #[test]
+    fn bound_holds_for_perfectly_correlated_latencies() {
+        // Worst case for naive per-service reasoning: all services slow
+        // simultaneously. Theorem 1 still holds.
+        let mut rng = Rng::seed_from(2);
+        let d = Exponential::with_mean(0.020);
+        let n = 40_000;
+        let shared: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let rows = vec![shared.clone(), shared.clone(), shared];
+        let split = PercentileSplit::equal(99.0, 3);
+        let bound = latency_bound(&rows, &split, 99.0);
+        let actual = empirical_e2e_percentile(&rows, 99.0);
+        assert!(actual <= bound + 1e-12, "actual {actual} > bound {bound}");
+    }
+
+    #[test]
+    fn bound_holds_for_anticorrelated_latencies() {
+        let mut rng = Rng::seed_from(3);
+        let n = 40_000;
+        let a: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = a.iter().map(|x| 1.0 - x).collect();
+        let rows = vec![a, b];
+        let split = PercentileSplit::equal(99.0, 2);
+        let bound = latency_bound(&rows, &split, 99.0);
+        let actual = empirical_e2e_percentile(&rows, 99.0);
+        assert!(actual <= bound + 1e-12, "actual {actual} > bound {bound}");
+    }
+
+    #[test]
+    #[should_panic(expected = "residual condition violated")]
+    fn bound_rejects_invalid_split() {
+        let rows = vec![vec![1.0, 2.0], vec![1.0, 2.0]];
+        let split = PercentileSplit {
+            percentiles: vec![99.0, 99.0], // residuals 1+1 > 1
+        };
+        latency_bound(&rows, &split, 99.0);
+    }
+
+    #[test]
+    fn empirical_percentile_of_sums() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]];
+        assert_eq!(empirical_e2e_percentile(&rows, 100.0), 33.0);
+        assert_eq!(empirical_e2e_percentile(&rows, 0.0), 11.0);
+    }
+}

@@ -1,0 +1,684 @@
+//! The end-to-end Ursa resource manager (paper §V, Fig. 5).
+//!
+//! [`Ursa`] packages the full pipeline: offline backpressure profiling
+//! (§III) → per-service LPR exploration (Algorithm 1) → MIP optimization
+//! (§IV) → online threshold scaling with anomaly detection (§V). Online it
+//! implements [`ResourceManager`], so it plugs into the same deployment
+//! driver as the Sinan/Firm/autoscaling baselines.
+
+use crate::anomaly::{Anomaly, AnomalyDetector};
+use crate::controller::ThresholdScaler;
+use crate::exploration::{explore_all, explore_service, ExplorationConfig, ExplorationReport};
+use crate::harness::ServiceProfile;
+use crate::optimizer::{optimize, OptimizeOutcome, OverestimationTracker};
+use crate::profiling::{profile_service, BackpressureProfile, ProfilingConfig};
+use ursa_mip::ModelError;
+use ursa_sim::control::{ControlPlane, ResourceManager, Sla};
+use ursa_sim::telemetry::MetricsSnapshot;
+use ursa_sim::time::SimDur;
+use ursa_sim::topology::{ServiceId, Topology};
+
+/// Ursa configuration.
+#[derive(Debug, Clone, Default)]
+pub struct UrsaConfig {
+    /// Exploration (Algorithm 1) parameters.
+    pub exploration: ExplorationConfig,
+    /// Backpressure profiling parameters.
+    pub profiling: ProfilingConfig,
+}
+
+/// Statistics of the offline phase (drives Table V).
+#[derive(Debug, Clone)]
+pub struct OfflineStats {
+    /// Telemetry samples consumed by exploration.
+    pub exploration_samples: usize,
+    /// Exploration wall-time analog (longest single service).
+    pub exploration_time: SimDur,
+    /// Services that went through backpressure profiling.
+    pub profiled_services: usize,
+}
+
+/// Outcome of an online re-exploration (drives §VII-G / Fig. 14).
+#[derive(Debug, Clone)]
+pub struct ReexplorationStats {
+    /// Service that was re-explored.
+    pub service: usize,
+    /// Samples collected during the partial exploration.
+    pub samples: usize,
+    /// Simulated time the partial exploration took.
+    pub time: SimDur,
+}
+
+/// The Ursa resource manager.
+#[derive(Debug)]
+pub struct Ursa {
+    topology: Topology,
+    slas: Vec<Sla>,
+    cfg: UrsaConfig,
+    seed: u64,
+    profiles: Vec<Option<BackpressureProfile>>,
+    report: ExplorationReport,
+    outcome: OptimizeOutcome,
+    scaler: ThresholdScaler,
+    detector: AnomalyDetector,
+    tracker: OverestimationTracker,
+    class_services: Vec<Vec<usize>>,
+    /// Per-SLA-constraint target relaxation (the calibrated bound/measured
+    /// overestimation ratio, >= 1).
+    relaxation: Vec<f64>,
+    /// Known per-service work scales (updated by re-exploration after
+    /// business-logic changes; used when recalibrating).
+    work_scales: Vec<f64>,
+    /// Raised when a latency anomaly asks for re-exploration; the operator
+    /// (or experiment driver) answers with [`Ursa::re_explore`].
+    pending_reexploration: Option<usize>,
+    recalc_cooldown: usize,
+    recalcs: u64,
+    last_recalc_wall_ms: f64,
+}
+
+impl Ursa {
+    /// Runs the complete offline phase — backpressure profiling of every
+    /// RPC-connected service, Algorithm-1 exploration of every service, and
+    /// the initial MIP solve at `class_rates` — and returns a ready manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] if no allocation can satisfy the
+    /// SLAs, or [`ModelError::Invalid`] if exploration produced a malformed
+    /// model.
+    pub fn explore_and_prepare(
+        topology: &Topology,
+        slas: &[Sla],
+        class_rates: &[f64],
+        cfg: UrsaConfig,
+        seed: u64,
+    ) -> Result<Ursa, ModelError> {
+        // 1. Backpressure-free thresholds for RPC-connected services
+        //    (profiled on parallel threads; per-service seeds keep results
+        //    independent of scheduling).
+        let profiles: Vec<Option<BackpressureProfile>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..topology.num_services())
+                .map(|s| {
+                    let cfg = &cfg;
+                    scope.spawn(move || {
+                        let sid = ServiceId(s);
+                        let profile = ServiceProfile::extract(topology, sid, class_rates);
+                        let rpc_connected = topology.is_rpc_connected(sid)
+                            || profile.per_class.iter().any(|c| !c.via_mq);
+                        if rpc_connected && profile.total_rate() > 0.0 {
+                            Some(profile_service(
+                                &profile,
+                                &cfg.profiling,
+                                seed ^ ((s as u64) << 24),
+                            ))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("profiling thread panicked"))
+                .collect()
+        });
+        let bp: Vec<Option<f64>> = profiles
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.threshold))
+            .collect();
+
+        // 2. Algorithm-1 exploration of every loaded service.
+        let mut report = explore_all(topology, slas, class_rates, &bp, &cfg.exploration, seed);
+
+        // 3. Initial optimization. If the raw Theorem-1 bound makes the
+        //    model infeasible (it overestimates long chains at low
+        //    percentiles — e.g. the video pipeline's 4-hop p50 SLA, where
+        //    the bound is ~2x the measured latency), fall back to the
+        //    paper's "mitigating latency overestimation" refinement:
+        //    measure the bound/measured ratio on a briefly deployed
+        //    full-provisioned allocation and relax the MIP targets by it
+        //    (with a 0.9 safety factor, never below 1).
+        let work_scales = vec![1.0; topology.num_services()];
+        let (relaxation, outcome) =
+            match optimize(&report, slas, class_rates, &cfg.exploration.percentile_grid) {
+                Ok(outcome) => (vec![1.0; slas.len()], outcome),
+                Err(ModelError::Infeasible { .. }) => {
+                    let relaxation = calibrate_relaxation(
+                        topology,
+                        slas,
+                        class_rates,
+                        &work_scales,
+                        &mut report,
+                        &cfg.exploration,
+                        seed ^ 0xCA11B,
+                    );
+                    let relaxed = relax_slas(slas, &relaxation);
+                    let outcome =
+                        optimize(&report, &relaxed, class_rates, &cfg.exploration.percentile_grid)?;
+                    (relaxation, outcome)
+                }
+                Err(e) => return Err(e),
+            };
+
+        let scaler = ThresholdScaler::new(topology.num_services(), &outcome.thresholds);
+        let detector = AnomalyDetector::new(topology.num_classes());
+        let tracker = OverestimationTracker::new(slas.len(), 0.25);
+        let class_services = (0..topology.num_classes())
+            .map(|c| {
+                topology
+                    .services_of_class(ursa_sim::topology::ClassId(c))
+                    .into_iter()
+                    .map(|s| s.0)
+                    .collect()
+            })
+            .collect();
+        Ok(Ursa {
+            topology: topology.clone(),
+            slas: slas.to_vec(),
+            cfg,
+            seed,
+            profiles,
+            report,
+            outcome,
+            scaler,
+            detector,
+            tracker,
+            class_services,
+            relaxation,
+            work_scales,
+            pending_reexploration: None,
+            recalc_cooldown: 0,
+            recalcs: 0,
+            last_recalc_wall_ms: 0.0,
+        })
+    }
+
+    /// Offline-phase statistics (Table V's Ursa row).
+    pub fn offline_stats(&self) -> OfflineStats {
+        OfflineStats {
+            exploration_samples: self.report.total_samples,
+            exploration_time: self.report.wall_time,
+            profiled_services: self.profiles.iter().flatten().count(),
+        }
+    }
+
+    /// The backpressure profiles (Fig. 4 curves).
+    pub fn profiles(&self) -> &[Option<BackpressureProfile>] {
+        &self.profiles
+    }
+
+    /// The exploration data.
+    pub fn exploration(&self) -> &ExplorationReport {
+        &self.report
+    }
+
+    /// The current optimization outcome (thresholds, bounds, objective).
+    pub fn outcome(&self) -> &OptimizeOutcome {
+        &self.outcome
+    }
+
+    /// Number of threshold recalculations triggered online.
+    pub fn recalcs(&self) -> u64 {
+        self.recalcs
+    }
+
+    /// Wall-clock milliseconds of the most recent model recalculation
+    /// (Table VI's "update" latency).
+    pub fn last_recalc_wall_ms(&self) -> f64 {
+        self.last_recalc_wall_ms
+    }
+
+    /// Latency anomaly waiting for a re-exploration, if any.
+    pub fn pending_reexploration(&self) -> Option<usize> {
+        self.pending_reexploration
+    }
+
+    /// Replaces the exploration data and optimization outcome wholesale.
+    ///
+    /// An ablation/testing hook: lets experiments splice in exploration
+    /// data gathered under non-standard stop conditions (e.g. with the
+    /// backpressure ceiling lifted) while keeping the rest of the manager.
+    #[doc(hidden)]
+    pub fn override_for_ablation(
+        &mut self,
+        report: ExplorationReport,
+        outcome: crate::optimizer::OptimizeOutcome,
+    ) {
+        self.scaler.update_thresholds(&outcome.thresholds);
+        self.report = report;
+        self.outcome = outcome;
+    }
+
+    /// The Theorem-1 latency bound for SLA constraint `k`, corrected by the
+    /// observed overestimation ratio (the paper's estimated latency in
+    /// Figs. 9–10).
+    pub fn estimated_latency(&self, k: usize) -> f64 {
+        self.tracker.estimate(k, self.outcome.latency_bounds[k])
+    }
+
+    /// The uncorrected Theorem-1 bound for SLA constraint `k`.
+    pub fn latency_bound(&self, k: usize) -> f64 {
+        self.outcome.latency_bounds[k]
+    }
+
+    /// Applies the initial allocation for the given application rates.
+    pub fn apply_initial_allocation(&self, class_rates: &[f64], control: &mut dyn ControlPlane) {
+        for t in &self.outcome.thresholds {
+            let mut service_loads = vec![0.0; class_rates.len()];
+            let exp = self
+                .report
+                .services
+                .iter()
+                .find(|e| e.service == t.service)
+                .expect("threshold has exploration data");
+            for (j, rate) in class_rates.iter().enumerate() {
+                service_loads[j] = rate * exp.visits[j];
+            }
+            control.set_replicas(ServiceId(t.service), t.replicas_for(&service_loads));
+        }
+    }
+
+    /// Recalculates LPR thresholds from existing exploration data at the
+    /// given application-level rates (§V: load-anomaly response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; on error the previous thresholds stay
+    /// active.
+    pub fn recalculate(&mut self, class_rates: &[f64]) -> Result<(), ModelError> {
+        let t0 = std::time::Instant::now();
+        let relaxed = relax_slas(&self.slas, &self.relaxation);
+        let outcome = optimize(
+            &self.report,
+            &relaxed,
+            class_rates,
+            &self.cfg.exploration.percentile_grid,
+        )?;
+        self.last_recalc_wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+        self.scaler.update_thresholds(&outcome.thresholds);
+        self.outcome = outcome;
+        self.recalcs += 1;
+        Ok(())
+    }
+
+    /// Partially re-explores one service (e.g. after a business-logic
+    /// update; §VII-G) with `work_scale` applied to its service times, then
+    /// re-optimizes. Returns the partial-exploration cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn re_explore(
+        &mut self,
+        service: usize,
+        work_scale: f64,
+        class_rates: &[f64],
+    ) -> Result<ReexplorationStats, ModelError> {
+        let sid = ServiceId(service);
+        let mut profile = ServiceProfile::extract(&self.topology, sid, class_rates);
+        // Fold the logic change into the replayed work profile.
+        for cw in &mut profile.per_class {
+            cw.pre = scale_work(&cw.pre, work_scale);
+            cw.post = scale_work(&cw.post, work_scale);
+        }
+        let mut sla_of_class = vec![None; self.topology.num_classes()];
+        for s in &self.slas {
+            sla_of_class[s.class.0] = Some(*s);
+        }
+        let bp = self.profiles[service]
+            .as_ref()
+            .map(|p| p.threshold)
+            .unwrap_or(self.cfg.exploration.mq_utilization_cap);
+        let exp = explore_service(
+            &profile,
+            service,
+            &sla_of_class,
+            bp,
+            &self.cfg.exploration,
+            self.seed ^ 0xA11CE,
+        );
+        let stats = ReexplorationStats {
+            service,
+            samples: exp.samples,
+            time: exp.time,
+        };
+        if let Some(slot) = self.report.services.iter_mut().find(|e| e.service == service) {
+            *slot = exp;
+        } else {
+            self.report.services.push(exp);
+        }
+        self.report.total_samples += stats.samples;
+        self.work_scales[service] = work_scale;
+        match self.recalculate(class_rates) {
+            Ok(()) => {}
+            Err(ModelError::Infeasible { .. }) => {
+                // The refreshed latency rows over-constrain the model:
+                // recalibrate the overestimation relaxation against the
+                // updated application (paper §IV's refinement) and retry.
+                self.relaxation = calibrate_relaxation(
+                    &self.topology,
+                    &self.slas,
+                    class_rates,
+                    &self.work_scales,
+                    &mut self.report,
+                    &self.cfg.exploration,
+                    self.seed ^ 0xCA11B2,
+                );
+                self.recalculate(class_rates)?;
+            }
+            Err(e) => return Err(e),
+        }
+        self.pending_reexploration = None;
+        Ok(stats)
+    }
+}
+
+/// Applies per-constraint target relaxation.
+fn relax_slas(slas: &[Sla], relaxation: &[f64]) -> Vec<Sla> {
+    slas.iter()
+        .zip(relaxation)
+        .map(|(s, r)| Sla::new(s.class, s.percentile, s.target * r))
+        .collect()
+}
+
+/// Measures the Theorem-1 overestimation ratio per SLA constraint by
+/// deploying the most-provisioned explored allocation and comparing the
+/// model's latency bound against measured end-to-end percentiles.
+///
+/// Returns one relaxation factor per constraint, clamped to `[1, 3]`.
+/// Calibration windows are charged to the exploration sample count.
+#[doc(hidden)]
+pub fn calibrate_relaxation(
+    topology: &Topology,
+    slas: &[Sla],
+    class_rates: &[f64],
+    work_scales: &[f64],
+    report: &mut crate::exploration::ExplorationReport,
+    cfg: &ExplorationConfig,
+    seed: u64,
+) -> Vec<f64> {
+    use ursa_mip::solve_greedy;
+
+    if slas.is_empty() {
+        return Vec::new();
+    }
+    // Deploy the most-provisioned explored allocation briefly and measure
+    // end-to-end latencies per class.
+    let mut sim = ursa_sim::engine::Simulation::new(
+        topology.clone(),
+        ursa_sim::engine::SimConfig::default(),
+        seed,
+    );
+    for (svc, &scale) in work_scales.iter().enumerate() {
+        if (scale - 1.0).abs() > 1e-12 {
+            sim.set_work_scale(ServiceId(svc), scale);
+        }
+    }
+    for exp in &report.services {
+        if let Some(opt) = exp.options.first() {
+            let mut loads = vec![0.0; class_rates.len()];
+            for (j, rate) in class_rates.iter().enumerate() {
+                loads[j] = rate * exp.visits[j];
+            }
+            let mut replicas = 1usize;
+            for (j, &y) in opt.lpr.iter().enumerate() {
+                if y > 0.0 && loads[j] > 0.0 {
+                    replicas = replicas.max((loads[j] / y).ceil() as usize);
+                }
+            }
+            sim.set_replicas(ServiceId(exp.service), replicas);
+        }
+    }
+    for (j, &rate) in class_rates.iter().enumerate() {
+        sim.set_rate(
+            ursa_sim::topology::ClassId(j),
+            ursa_sim::workload::RateFn::Constant(rate),
+        );
+    }
+    // Warm up one window, then measure a few.
+    let windows = 4usize;
+    sim.run_for(cfg.window);
+    sim.harvest();
+    let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); class_rates.len()];
+    for _ in 0..windows {
+        sim.run_for(cfg.window);
+        let snap = sim.harvest();
+        for (c, acc) in pooled.iter_mut().enumerate() {
+            acc.extend_from_slice(snap.e2e_latency[c].samples());
+        }
+    }
+    report.total_samples += windows;
+    report.wall_time += cfg.window.times(windows as u64 + 1);
+
+    // The ratio at the SLA percentile is noisy when the measured tail is
+    // thin (p99 of a few hundred samples is itself an extreme order
+    // statistic), so measure the ratio at the closest *stable* percentile:
+    // the one leaving at least ~30 samples beyond it. The overestimation
+    // ratio of a chain varies slowly with the percentile, so the stable
+    // ratio transfers to the SLA percentile.
+    let stable_pct: Vec<f64> = slas
+        .iter()
+        .map(|sla| {
+            let n = pooled[sla.class.0].len() as f64;
+            let stable = if n > 60.0 { 100.0 * (1.0 - 30.0 / n) } else { 50.0 };
+            sla.percentile.min(stable).max(50.0)
+        })
+        .collect();
+
+    // The model's bound at the stable percentile, with every service forced
+    // to its most-provisioned option and targets disabled: the greedy
+    // solver's DP then returns the tightest Theorem-1 bound.
+    let mut single = report.clone();
+    for svc in &mut single.services {
+        svc.options.truncate(1);
+    }
+    let generous: Vec<Sla> = slas
+        .iter()
+        .zip(&stable_pct)
+        .map(|(s, &p)| Sla::new(s.class, p, s.target * 1e6))
+        .collect();
+    let model = crate::optimizer::build_model(&single, &generous, class_rates, &cfg.percentile_grid);
+    let Ok(solution) = solve_greedy(&model) else {
+        return vec![1.0; slas.len()];
+    };
+
+    slas.iter()
+        .enumerate()
+        .map(|(k, sla)| {
+            let bound = solution.estimated_latency(&model, k);
+            let samples = &mut pooled[sla.class.0];
+            if samples.is_empty() || bound <= 0.0 {
+                return 1.0;
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let measured =
+                ursa_stats::quantile::percentile_of_sorted(samples, stable_pct[k]);
+            if std::env::var("URSA_DEBUG_CALIBRATION").is_ok() {
+                eprintln!(
+                    "[calibrate] class {} stable_p {:.2} bound {:.3}s measured {:.3}s n {}",
+                    sla.class.0, stable_pct[k], bound, measured, samples.len()
+                );
+            }
+            // 0.9 safety factor: the overestimation ratio shrinks as
+            // allocations tighten (queueing correlates the hops), so
+            // relaxing by the full-provisioning ratio would be optimistic.
+            (0.9 * bound / measured.max(1e-9)).clamp(1.0, 3.0)
+        })
+        .collect()
+}
+
+
+/// Scales a work distribution's magnitude by `k` (logic-update hook).
+fn scale_work(w: &ursa_sim::topology::WorkDist, k: f64) -> ursa_sim::topology::WorkDist {
+    use ursa_sim::topology::WorkDist::*;
+    match w {
+        Constant(c) => Constant(c * k),
+        Uniform { low, high } => Uniform {
+            low: low * k,
+            high: high * k,
+        },
+        Exponential { mean } => Exponential { mean: mean * k },
+        LogNormal { mean, cv } => LogNormal {
+            mean: mean * k,
+            cv: *cv,
+        },
+        Pareto { x_min, alpha } => Pareto {
+            x_min: x_min * k,
+            alpha: *alpha,
+        },
+    }
+}
+
+impl ResourceManager for Ursa {
+    fn name(&self) -> &str {
+        "ursa"
+    }
+
+    fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+        // 1. Threshold scaling (the fast path).
+        self.scaler.tick(snapshot, control);
+
+        // 2. Track overestimation ratios for the latency estimate.
+        for (k, sla) in self.slas.iter().enumerate() {
+            if let Some(measured) = snapshot.e2e_latency[sla.class.0].percentile(sla.percentile) {
+                let bound = self.outcome.latency_bounds[k];
+                self.tracker.observe(k, measured, bound);
+            }
+        }
+
+        // 3. Anomaly detection.
+        if self.recalc_cooldown > 0 {
+            self.recalc_cooldown -= 1;
+        }
+        let anomalies = self.detector.check(
+            snapshot,
+            &self.slas,
+            &self.outcome.thresholds,
+            &self.class_services,
+        );
+        for anomaly in anomalies {
+            match anomaly {
+                Anomaly::LoadMix { .. } if self.recalc_cooldown == 0 => {
+                    let window = snapshot.window.as_secs_f64().max(1e-9);
+                    let rates: Vec<f64> = snapshot
+                        .injections
+                        .iter()
+                        .map(|&n| n as f64 / window)
+                        .collect();
+                    // Ignore solver errors online; stale thresholds remain.
+                    let _ = self.recalculate(&rates);
+                    self.recalc_cooldown = 5;
+                }
+                Anomaly::LoadMix { .. } => {}
+                Anomaly::Latency { service, .. } => {
+                    self.pending_reexploration = Some(service);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_apps::social_network;
+    use ursa_sim::control::{run_deployment, DeployConfig};
+    use ursa_sim::workload::RateFn;
+
+    fn quick_cfg() -> UrsaConfig {
+        UrsaConfig {
+            exploration: ExplorationConfig {
+                samples_per_option: 3,
+                window: SimDur::from_secs(15),
+                max_options: 5,
+                ..Default::default()
+            },
+            profiling: ProfilingConfig {
+                windows_per_level: 4,
+                window: SimDur::from_secs(8),
+                levels: 6,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn prepares_and_manages_vanilla_social() {
+        let app = social_network(true);
+        let total = 250.0;
+        let sum: f64 = app.mix.iter().sum();
+        let rates: Vec<f64> = app.mix.iter().map(|w| total * w / sum).collect();
+        let mut ursa =
+            Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 42).expect("prepare");
+
+        let stats = ursa.offline_stats();
+        assert!(stats.exploration_samples > 0);
+        assert!(stats.profiled_services >= 3, "profiled {}", stats.profiled_services);
+        assert!(ursa.outcome().solution.objective > 0.0);
+
+        // Deploy under the exploration mix.
+        let mut sim = app.build_sim(7);
+        app.apply_load(&mut sim, RateFn::Constant(total));
+        ursa.apply_initial_allocation(&rates, &mut sim);
+        let cfg = DeployConfig {
+            duration: SimDur::from_mins(12),
+            warmup: SimDur::from_mins(2),
+            ..Default::default()
+        };
+        let report = run_deployment(&mut sim, &app.slas, &mut ursa, &cfg);
+        let viol = report.overall_violation_rate();
+        assert!(viol < 0.25, "violation rate {viol}");
+        // Latency estimate is in the right ballpark of the bound.
+        for k in 0..app.slas.len() {
+            let bound = ursa.latency_bound(k);
+            let est = ursa.estimated_latency(k);
+            assert!(bound > 0.0 && est > 0.0 && est <= bound * 2.0);
+        }
+    }
+
+    #[test]
+    fn recalculate_updates_thresholds() {
+        let app = social_network(true);
+        let sum: f64 = app.mix.iter().sum();
+        let rates: Vec<f64> = app.mix.iter().map(|w| 200.0 * w / sum).collect();
+        let mut ursa =
+            Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 43).expect("prepare");
+        let obj_before = ursa.outcome().solution.objective;
+        // Double the load: objective (projected cores) must grow.
+        let doubled: Vec<f64> = rates.iter().map(|r| r * 2.0).collect();
+        ursa.recalculate(&doubled).expect("recalc");
+        assert!(ursa.outcome().solution.objective > obj_before);
+        assert_eq!(ursa.recalcs(), 1);
+        assert!(ursa.last_recalc_wall_ms() > 0.0);
+    }
+
+    #[test]
+    fn re_explore_shrinks_latency_rows_after_speedup() {
+        let app = social_network(true);
+        let sum: f64 = app.mix.iter().sum();
+        let rates: Vec<f64> = app.mix.iter().map(|w| 200.0 * w / sum).collect();
+        let mut ursa =
+            Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 44).expect("prepare");
+        let svc = app.service("timeline-update").unwrap().0;
+        let before: f64 = ursa
+            .exploration()
+            .services
+            .iter()
+            .find(|e| e.service == svc)
+            .and_then(|e| e.options[0].latency.iter().flatten().next().cloned())
+            .map(|row| row[0])
+            .expect("row");
+        let stats = ursa.re_explore(svc, 0.25, &rates).expect("re-explore");
+        assert!(stats.samples > 0);
+        let after: f64 = ursa
+            .exploration()
+            .services
+            .iter()
+            .find(|e| e.service == svc)
+            .and_then(|e| e.options[0].latency.iter().flatten().next().cloned())
+            .map(|row| row[0])
+            .expect("row");
+        assert!(after < before, "{before} -> {after}");
+    }
+}

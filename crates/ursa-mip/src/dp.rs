@@ -1,0 +1,227 @@
+//! Per-class percentile-allocation subproblem.
+//!
+//! Once every service's LPR option `α_i` is fixed, the remaining freedom for
+//! a class *j* is the percentile choice `β_ij` per service. Constraint 2 of
+//! the model gives a shared budget of percentile *residuals*
+//! (`Σ (100 − P[β]) ≤ 100 − x_j`), and we want the minimum achievable sum of
+//! latencies under that budget — a multiple-choice knapsack solved exactly
+//! by dynamic programming over the (discretized) residual budget.
+//!
+//! Residuals are discretized in units of [`RESIDUAL_UNIT`] percent; the grid
+//! percentiles used across this workspace (90, 95, 99, 99.5, 99.9, …) are
+//! exact multiples, so the discretization is lossless.
+
+/// Residual discretization step, in percentage points.
+pub const RESIDUAL_UNIT: f64 = 0.1;
+
+/// Converts a percentile residual (percentage points) to integer units,
+/// rounding *up* so feasibility is never overstated.
+pub fn residual_units(residual: f64) -> usize {
+    (residual / RESIDUAL_UNIT - 1e-9).ceil().max(0.0) as usize
+}
+
+/// Converts a residual *budget* to integer units, rounding *down* so the
+/// budget is never overstated.
+pub fn budget_units(budget: f64) -> usize {
+    (budget / RESIDUAL_UNIT + 1e-9).floor().max(0.0) as usize
+}
+
+/// Outcome of the per-class DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassAllocation {
+    /// Minimum achievable sum of per-service latencies (seconds).
+    pub latency_sum: f64,
+    /// Chosen percentile index per participating service (same order as the
+    /// `options` argument to [`min_latency_allocation`]).
+    pub beta: Vec<usize>,
+}
+
+/// Computes the minimum total latency achievable for one class.
+///
+/// `options[k]` lists, for the *k*-th participating service, its available
+/// `(latency_seconds, residual_units)` pairs — one per percentile-grid
+/// column at the service's fixed LPR row. `budget` is the class residual
+/// budget in units.
+///
+/// Returns `None` if even spending the whole budget cannot make every
+/// service pick an option (i.e. the budget is smaller than the sum of
+/// minimum residuals).
+pub fn min_latency_allocation(
+    options: &[Vec<(f64, usize)>],
+    budget: usize,
+) -> Option<ClassAllocation> {
+    if options.is_empty() {
+        return Some(ClassAllocation {
+            latency_sum: 0.0,
+            beta: Vec::new(),
+        });
+    }
+    const INF: f64 = f64::INFINITY;
+    let b = budget + 1;
+    // dp[r] = min latency sum using services processed so far with exactly
+    // <= r residual units spent; choice[k][r] = option picked at service k.
+    let mut dp = vec![INF; b];
+    dp[0] = 0.0;
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(options.len());
+    for opts in options {
+        debug_assert!(!opts.is_empty(), "each service needs at least one option");
+        let mut next = vec![INF; b];
+        let mut pick = vec![u32::MAX; b];
+        for (oi, &(lat, res)) in opts.iter().enumerate() {
+            for spent in 0..b.saturating_sub(res) {
+                if dp[spent].is_finite() {
+                    let total = spent + res;
+                    let cand = dp[spent] + lat;
+                    if cand < next[total] {
+                        next[total] = cand;
+                        pick[total] = oi as u32;
+                    }
+                }
+            }
+        }
+        dp = next;
+        choice.push(pick);
+    }
+    // Best over all spends within budget.
+    let (best_spent, best) = dp
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
+    // Backtrack the choices.
+    let mut beta = vec![0usize; options.len()];
+    let mut spent = best_spent;
+    let mut lat_left = *best;
+    for k in (0..options.len()).rev() {
+        // Find the recorded pick consistent with the running spend; the
+        // stored table already identifies it directly.
+        let oi = choice[k][spent] as usize;
+        debug_assert!(oi != u32::MAX as usize, "backtrack hit an unreachable cell");
+        beta[k] = oi;
+        let (lat, res) = options[k][oi];
+        spent -= res;
+        lat_left -= lat;
+    }
+    debug_assert!(lat_left.abs() < 1e-6, "backtrack mismatch: {lat_left}");
+    Some(ClassAllocation {
+        latency_sum: *best,
+        beta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_are_safe() {
+        assert_eq!(residual_units(1.0), 10); // p99 -> 1.0% -> 10 units
+        assert_eq!(residual_units(0.1), 1); // p99.9
+        assert_eq!(residual_units(0.5), 5); // p99.5
+        assert_eq!(budget_units(1.0), 10);
+        assert_eq!(budget_units(50.0), 500); // p50 SLA
+        // Rounding directions: residuals up, budgets down.
+        assert_eq!(residual_units(0.14), 2);
+        assert_eq!(budget_units(0.14), 1);
+    }
+
+    #[test]
+    fn empty_is_trivially_feasible() {
+        let a = min_latency_allocation(&[], 0).unwrap();
+        assert_eq!(a.latency_sum, 0.0);
+        assert!(a.beta.is_empty());
+    }
+
+    #[test]
+    fn single_service_picks_cheapest_within_budget() {
+        // Options: (latency, residual): p99 costs 10 units but is fast;
+        // p99.9 costs 1 unit but slower.
+        let opts = vec![vec![(0.010, 10), (0.030, 1)]];
+        // Budget 10 -> can afford p99.
+        let a = min_latency_allocation(&opts, 10).unwrap();
+        assert_eq!(a.beta, vec![0]);
+        assert!((a.latency_sum - 0.010).abs() < 1e-12);
+        // Budget 5 -> must take p99.9.
+        let a = min_latency_allocation(&opts, 5).unwrap();
+        assert_eq!(a.beta, vec![1]);
+        // Budget 0 -> infeasible.
+        assert!(min_latency_allocation(&opts, 0).is_none());
+    }
+
+    #[test]
+    fn splits_budget_across_services() {
+        // Two services; budget 11 units. Giving the slow service the loose
+        // percentile (10 units) and the fast one the tight percentile
+        // (1 unit) minimizes the sum.
+        let slow = vec![(0.100, 10), (0.300, 1)];
+        let fast = vec![(0.010, 10), (0.012, 1)];
+        let a = min_latency_allocation(&[slow, fast], 11).unwrap();
+        assert_eq!(a.beta, vec![0, 1]);
+        assert!((a.latency_sum - 0.112).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_vs_exhaustive_on_random_instances() {
+        use ursa_stats::rng::Rng;
+        let mut rng = Rng::seed_from(99);
+        for trial in 0..50 {
+            let n = 1 + rng.index(4);
+            let opts: Vec<Vec<(f64, usize)>> = (0..n)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.next_f64(), rng.index(6)))
+                        .collect()
+                })
+                .collect();
+            let budget = rng.index(12);
+            let dp = min_latency_allocation(&opts, budget);
+            // Exhaustive reference.
+            let mut best: Option<f64> = None;
+            let mut idx = vec![0usize; n];
+            loop {
+                let spend: usize = idx.iter().enumerate().map(|(k, &i)| opts[k][i].1).sum();
+                if spend <= budget {
+                    let lat: f64 = idx.iter().enumerate().map(|(k, &i)| opts[k][i].0).sum();
+                    best = Some(best.map_or(lat, |b: f64| b.min(lat)));
+                }
+                // Increment mixed-radix counter.
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < opts[k].len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+            match (dp, best) {
+                (Some(a), Some(b)) => {
+                    assert!((a.latency_sum - b).abs() < 1e-9, "trial {trial}: {} vs {b}", a.latency_sum)
+                }
+                (None, None) => {}
+                (a, b) => panic!("trial {trial}: dp {a:?} vs brute {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backtracked_choices_are_consistent() {
+        let opts = vec![
+            vec![(0.5, 3), (0.9, 1)],
+            vec![(0.2, 2), (0.4, 0)],
+            vec![(0.1, 4), (0.7, 2)],
+        ];
+        let a = min_latency_allocation(&opts, 7).unwrap();
+        let lat: f64 = a.beta.iter().enumerate().map(|(k, &i)| opts[k][i].0).sum();
+        let res: usize = a.beta.iter().enumerate().map(|(k, &i)| opts[k][i].1).sum();
+        assert!((lat - a.latency_sum).abs() < 1e-12);
+        assert!(res <= 7);
+    }
+}

@@ -1,0 +1,391 @@
+//! A dense two-phase primal simplex solver for linear programs.
+//!
+//! The Ursa MIP itself is solved by the specialized branch-and-bound in
+//! [`mod@crate::solve`]; this module provides the general-purpose LP substrate
+//! that a Gurobi-class solver would bring along. It is used to compute an
+//! LP-relaxation lower bound that strengthens branch-and-bound pruning
+//! (see [`crate::solve::solve_with_options`]) and is exercised directly in
+//! benches and tests.
+//!
+//! Problems are stated over variables `x ≥ 0` with a minimization
+//! objective and `≤ / ≥ / =` row constraints; the solver uses Bland's rule,
+//! so it terminates on degenerate problems.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `row · x ≤ rhs`
+    Le,
+    /// `row · x ≥ rhs`
+    Ge,
+    /// `row · x = rhs`
+    Eq,
+}
+
+/// A linear program: minimize `c · x` subject to row constraints, `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients (minimized).
+    pub objective: Vec<f64>,
+    /// Constraints as `(coefficients, sense, rhs)`.
+    pub constraints: Vec<(Vec<f64>, Cmp, f64)>,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Objective value.
+        objective: f64,
+        /// Variable assignment.
+        x: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP with two-phase primal simplex (Bland's rule).
+///
+/// # Panics
+///
+/// Panics if constraint rows and the objective disagree on the variable
+/// count, or the problem has no variables.
+pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
+    let n = problem.objective.len();
+    assert!(n > 0, "no variables");
+    for (row, _, _) in &problem.constraints {
+        assert_eq!(row.len(), n, "row width mismatch");
+    }
+    let m = problem.constraints.len();
+
+    // Standard form: Ax = b with slack/surplus, b >= 0, plus artificials.
+    // Columns: [x (n)] [slack/surplus (one per Le/Ge)] [artificials].
+    let mut slack_cols = 0usize;
+    for (_, cmp, _) in &problem.constraints {
+        if matches!(cmp, Cmp::Le | Cmp::Ge) {
+            slack_cols += 1;
+        }
+    }
+    let total = n + slack_cols + m; // upper bound on columns incl. artificials
+    let mut a = vec![vec![0.0; total]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    for (i, (row, cmp, rhs)) in problem.constraints.iter().enumerate() {
+        let flip = *rhs < 0.0;
+        let sgn = if flip { -1.0 } else { 1.0 };
+        for (j, &c) in row.iter().enumerate() {
+            a[i][j] = sgn * c;
+        }
+        b[i] = sgn * rhs;
+        let eff = match (cmp, flip) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match eff {
+            Cmp::Le => {
+                a[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                a[i][next_slack] = -1.0;
+                next_slack += 1;
+                // Needs an artificial below.
+            }
+            Cmp::Eq => {}
+        }
+        if basis[i] == usize::MAX {
+            let art = n + slack_cols + artificial_cols.len();
+            a[i][art] = 1.0;
+            basis[i] = art;
+            artificial_cols.push(art);
+        }
+    }
+    let ncols = n + slack_cols + artificial_cols.len();
+    for row in &mut a {
+        row.truncate(ncols);
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificial_cols.is_empty() {
+        let mut c1 = vec![0.0; ncols];
+        for &j in &artificial_cols {
+            c1[j] = 1.0;
+        }
+        match simplex(&mut a, &mut b, &mut basis, &c1) {
+            SimplexEnd::Optimal(obj) if obj > EPS => return LpOutcome::Infeasible,
+            SimplexEnd::Optimal(_) => {}
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for i in 0..m {
+            if artificial_cols.contains(&basis[i]) {
+                if let Some(j) = (0..n + slack_cols).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                }
+                // If no pivot column exists the row is 0 = 0; leave it.
+            }
+        }
+    }
+
+    // Phase 2: original objective (artificials pinned to zero by exclusion).
+    let mut c2 = vec![0.0; ncols];
+    c2[..n].copy_from_slice(&problem.objective);
+    // Forbid artificials from re-entering by giving them huge cost.
+    for &j in &artificial_cols {
+        c2[j] = 1e30;
+    }
+    match simplex(&mut a, &mut b, &mut basis, &c2) {
+        SimplexEnd::Unbounded => LpOutcome::Unbounded,
+        SimplexEnd::Optimal(_) => {
+            let mut x = vec![0.0; n];
+            for (i, &bj) in basis.iter().enumerate() {
+                if bj < n {
+                    x[bj] = b[i];
+                }
+            }
+            let objective = problem
+                .objective
+                .iter()
+                .zip(&x)
+                .map(|(c, v)| c * v)
+                .sum();
+            LpOutcome::Optimal { objective, x }
+        }
+    }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Runs primal simplex on the tableau in place; returns the objective.
+fn simplex(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], c: &[f64]) -> SimplexEnd {
+    let m = a.len();
+    let ncols = c.len();
+    loop {
+        // Reduced costs: r_j = c_j - c_B · B^{-1} A_j. The tableau is kept
+        // in canonical form, so r_j = c_j - sum_i c[basis[i]] * a[i][j].
+        let mut entering = None;
+        for j in 0..ncols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = c[j];
+            for i in 0..m {
+                r -= c[basis[i]] * a[i][j];
+            }
+            if r < -EPS {
+                entering = Some(j); // Bland: smallest index
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let obj = (0..m).map(|i| c[basis[i]] * b[i]).sum();
+            return SimplexEnd::Optimal(obj);
+        };
+        // Ratio test (Bland: smallest basis index on ties).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if a[i][j] > EPS {
+                let ratio = b[i] / a[i][j];
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return SimplexEnd::Unbounded;
+        };
+        pivot(a, b, basis, i, j);
+    }
+}
+
+/// Pivots the tableau: column `j` enters the basis at row `i`.
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], i: usize, j: usize) {
+    let m = a.len();
+    let p = a[i][j];
+    debug_assert!(p.abs() > EPS, "zero pivot");
+    for v in &mut a[i] {
+        *v /= p;
+    }
+    b[i] /= p;
+    for r in 0..m {
+        if r != i && a[r][j].abs() > EPS {
+            let f = a[r][j];
+            for col in 0..a[r].len() {
+                a[r][col] -= f * a[i][col];
+            }
+            b[r] -= f * b[i];
+        }
+    }
+    basis[i] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: LpOutcome) -> (f64, Vec<f64>) {
+        match outcome {
+            LpOutcome::Optimal { objective, x } => (objective, x),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of the
+        // negation; classic answer x=2, y=6, obj=36).
+        let p = LpProblem {
+            objective: vec![-3.0, -5.0],
+            constraints: vec![
+                (vec![1.0, 0.0], Cmp::Le, 4.0),
+                (vec![0.0, 2.0], Cmp::Le, 12.0),
+                (vec![3.0, 2.0], Cmp::Le, 18.0),
+            ],
+        };
+        let (obj, x) = optimal(solve_lp(&p));
+        assert!((obj + 36.0).abs() < 1e-7, "obj {obj}");
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 6.0).abs() < 1e-7, "{x:?}");
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + y s.t. x + y >= 2, x = 0.5 -> y = 1.5, obj 2.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                (vec![1.0, 1.0], Cmp::Ge, 2.0),
+                (vec![1.0, 0.0], Cmp::Eq, 0.5),
+            ],
+        };
+        let (obj, x) = optimal(solve_lp(&p));
+        assert!((obj - 2.0).abs() < 1e-7);
+        assert!((x[0] - 0.5).abs() < 1e-7 && (x[1] - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = LpProblem {
+            objective: vec![1.0],
+            constraints: vec![
+                (vec![1.0], Cmp::Ge, 3.0),
+                (vec![1.0], Cmp::Le, 2.0),
+            ],
+        };
+        assert_eq!(solve_lp(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x >= 1 (x can grow forever).
+        let p = LpProblem {
+            objective: vec![-1.0],
+            constraints: vec![(vec![1.0], Cmp::Ge, 1.0)],
+        };
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -2  (i.e. x >= 2).
+        let p = LpProblem {
+            objective: vec![1.0],
+            constraints: vec![(vec![-1.0], Cmp::Le, -2.0)],
+        };
+        let (obj, _) = optimal(solve_lp(&p));
+        assert!((obj - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple constraints intersecting at the same vertex.
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            constraints: vec![
+                (vec![1.0, 0.0], Cmp::Le, 1.0),
+                (vec![0.0, 1.0], Cmp::Le, 1.0),
+                (vec![1.0, 1.0], Cmp::Le, 2.0),
+                (vec![2.0, 2.0], Cmp::Le, 4.0),
+            ],
+        };
+        let (obj, _) = optimal(solve_lp(&p));
+        assert!((obj + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relaxation_of_multiple_choice_structure() {
+        // One service, two options with resource 4 and 2: z0 + z1 = 1,
+        // latency constraint 0.01 z0 + 0.05 z1 <= 0.02 -> z1 <= 0.25,
+        // min 4 z0 + 2 z1 -> z0 = 0.75, obj = 3.5 (a fractional bound
+        // below the integral optimum of 4).
+        let p = LpProblem {
+            objective: vec![4.0, 2.0],
+            constraints: vec![
+                (vec![1.0, 1.0], Cmp::Eq, 1.0),
+                (vec![0.01, 0.05], Cmp::Le, 0.02),
+            ],
+        };
+        let (obj, x) = optimal(solve_lp(&p));
+        assert!((obj - 3.5).abs() < 1e-7, "obj {obj}");
+        assert!((x[0] - 0.75).abs() < 1e-7);
+    }
+
+    #[test]
+    fn random_lps_satisfy_kkt_feasibility() {
+        use ursa_stats::rng::Rng;
+        let mut rng = Rng::seed_from(17);
+        for trial in 0..40 {
+            let n = 2 + rng.index(3);
+            let m = 1 + rng.index(4);
+            let objective: Vec<f64> = (0..n).map(|_| rng.range_f64(0.1, 5.0)).collect();
+            let constraints: Vec<(Vec<f64>, Cmp, f64)> = (0..m)
+                .map(|_| {
+                    let row: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 3.0)).collect();
+                    (row, Cmp::Ge, rng.range_f64(0.5, 4.0))
+                })
+                .collect();
+            // min positive objective with >= constraints: feasible, bounded.
+            let p = LpProblem {
+                objective,
+                constraints,
+            };
+            match solve_lp(&p) {
+                LpOutcome::Optimal { x, .. } => {
+                    for (row, _, rhs) in &p.constraints {
+                        let lhs: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+                        assert!(lhs >= rhs - 1e-6, "trial {trial}: {lhs} < {rhs}");
+                    }
+                    assert!(x.iter().all(|&v| v >= -1e-9));
+                }
+                LpOutcome::Infeasible => {
+                    // Possible if some row has all-zero coefficients with
+                    // positive rhs.
+                    let degenerate = p
+                        .constraints
+                        .iter()
+                        .any(|(row, _, rhs)| row.iter().all(|&c| c.abs() < 1e-12) && *rhs > 0.0);
+                    assert!(degenerate, "trial {trial}: spurious infeasibility");
+                }
+                LpOutcome::Unbounded => panic!("trial {trial}: spurious unboundedness"),
+            }
+        }
+    }
+}

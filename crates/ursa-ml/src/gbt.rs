@@ -1,0 +1,263 @@
+//! Gradient-boosted regression trees, from scratch.
+//!
+//! Sinan pairs its CNN with boosted trees to predict the probability that a
+//! resource allocation leads to an SLA violation later on; this module
+//! provides the boosted-tree half. Squared-error boosting with depth-limited
+//! CART trees and candidate-threshold splitting.
+
+use ursa_stats::rng::Rng;
+
+/// Hyper-parameters for [`GbtRegressor::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Candidate split thresholds sampled per feature per node.
+    pub candidates_per_feature: usize,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams {
+            n_trees: 60,
+            max_depth: 4,
+            min_samples_split: 8,
+            learning_rate: 0.15,
+            candidates_per_feature: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf(v) => *v,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+fn mean(idx: &[usize], y: &[f64]) -> f64 {
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64
+}
+
+fn sse_around_mean(idx: &[usize], y: &[f64]) -> f64 {
+    let m = mean(idx, y);
+    idx.iter().map(|&i| (y[i] - m) * (y[i] - m)).sum()
+}
+
+fn build_tree(
+    xs: &[Vec<f64>],
+    residuals: &[f64],
+    idx: &[usize],
+    depth: usize,
+    params: &GbtParams,
+    rng: &mut Rng,
+) -> Node {
+    if depth >= params.max_depth || idx.len() < params.min_samples_split {
+        return Node::Leaf(mean(idx, residuals));
+    }
+    let n_features = xs[0].len();
+    let parent_sse = sse_around_mean(idx, residuals);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for f in 0..n_features {
+        for _ in 0..params.candidates_per_feature {
+            let pivot = xs[idx[rng.index(idx.len())]][f];
+            let (mut ln, mut ls, mut lss) = (0usize, 0.0, 0.0);
+            let (mut rn, mut rs, mut rss) = (0usize, 0.0, 0.0);
+            for &i in idx {
+                let v = residuals[i];
+                if xs[i][f] <= pivot {
+                    ln += 1;
+                    ls += v;
+                    lss += v * v;
+                } else {
+                    rn += 1;
+                    rs += v;
+                    rss += v * v;
+                }
+            }
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let child_sse = (lss - ls * ls / ln as f64) + (rss - rs * rs / rn as f64);
+            let gain = parent_sse - child_sse;
+            if gain > best.map(|(g, _, _)| g).unwrap_or(1e-12) {
+                best = Some((gain, f, pivot));
+            }
+        }
+    }
+    match best {
+        None => Node::Leaf(mean(idx, residuals)),
+        Some((_, feature, threshold)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+            let left = build_tree(xs, residuals, &left_idx, depth + 1, params, rng);
+            let right = build_tree(xs, residuals, &right_idx, depth + 1, params, rng);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+    }
+}
+
+/// A fitted gradient-boosted regression model.
+#[derive(Debug, Clone)]
+pub struct GbtRegressor {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<Node>,
+}
+
+impl GbtRegressor {
+    /// Fits boosted trees to `(xs, ys)` with squared-error loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or rows have inconsistent widths.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams, seed: u64) -> Self {
+        assert!(!xs.is_empty() && xs.len() == ys.len(), "bad dataset");
+        let width = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == width), "ragged rows");
+        let mut rng = Rng::seed_from(seed);
+        let base = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut pred = vec![base; ys.len()];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let all_idx: Vec<usize> = (0..ys.len()).collect();
+        for _ in 0..params.n_trees {
+            let residuals: Vec<f64> = ys.iter().zip(&pred).map(|(y, p)| y - p).collect();
+            let tree = build_tree(xs, &residuals, &all_idx, 0, params, &mut rng);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += params.learning_rate * tree.predict(&xs[i]);
+            }
+            trees.push(tree);
+        }
+        GbtRegressor {
+            base,
+            learning_rate: params.learning_rate,
+            trees,
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let p = self.predict(x);
+                (p - y) * (p - y)
+            })
+            .sum::<f64>()
+            / ys.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = Rng::seed_from(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x[0] * x[0] + 0.5 * x[1] + if x[1] > 0.7 { 2.0 } else { 0.0 })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (xs, ys) = dataset(600, 1);
+        let model = GbtRegressor::fit(&xs, &ys, &GbtParams::default(), 2);
+        let var = {
+            let m = ys.iter().sum::<f64>() / ys.len() as f64;
+            ys.iter().map(|y| (y - m) * (y - m)).sum::<f64>() / ys.len() as f64
+        };
+        let mse = model.mse(&xs, &ys);
+        assert!(mse < var * 0.1, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out() {
+        let (xs, ys) = dataset(800, 3);
+        let (test_x, test_y) = dataset(200, 4);
+        let model = GbtRegressor::fit(&xs, &ys, &GbtParams::default(), 5);
+        let var = {
+            let m = test_y.iter().sum::<f64>() / test_y.len() as f64;
+            test_y.iter().map(|y| (y - m) * (y - m)).sum::<f64>() / test_y.len() as f64
+        };
+        let mse = model.mse(&test_x, &test_y);
+        assert!(mse < var * 0.25, "test mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn constant_target_yields_base() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![5.0, 5.0, 5.0];
+        let model = GbtRegressor::fit(&xs, &ys, &GbtParams::default(), 1);
+        assert!((model.predict(&[1.5]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (xs, ys) = dataset(100, 7);
+        let a = GbtRegressor::fit(&xs, &ys, &GbtParams::default(), 9);
+        let b = GbtRegressor::fit(&xs, &ys, &GbtParams::default(), 9);
+        assert_eq!(a.predict(&xs[0]), b.predict(&xs[0]));
+    }
+
+    #[test]
+    fn more_trees_fit_better() {
+        let (xs, ys) = dataset(400, 11);
+        let small = GbtRegressor::fit(&xs, &ys, &GbtParams { n_trees: 5, ..Default::default() }, 1);
+        let big = GbtRegressor::fit(&xs, &ys, &GbtParams { n_trees: 80, ..Default::default() }, 1);
+        assert!(big.mse(&xs, &ys) < small.mse(&xs, &ys));
+        assert_eq!(big.n_trees(), 80);
+    }
+}

@@ -1,0 +1,178 @@
+//! Evaluation metrics and feature normalization for the learned baselines.
+//!
+//! The paper attributes part of Sinan's SLA violations to its violation
+//! predictor's 80–85 % accuracy; these helpers let the reproduction measure
+//! the same quantity on held-out data.
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert!(!pred.is_empty() && pred.len() == target.len());
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
+    assert!(!pred.is_empty() && pred.len() == target.len());
+    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Binary classification accuracy of scores thresholded at `threshold`
+/// against 0/1 labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    assert!(!scores.is_empty() && scores.len() == labels.len());
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(s, l)| (**s >= threshold) == (**l >= 0.5))
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// Area under the ROC curve of scores against 0/1 labels
+/// (rank-based; ties contribute half).
+///
+/// Returns `None` if either class is absent.
+pub fn auc(scores: &[f64], labels: &[f64]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let pos: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, l)| **l >= 0.5)
+        .map(|(s, _)| *s)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, l)| **l < 0.5)
+        .map(|(s, _)| *s)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    let mut wins = 0.0;
+    for p in &pos {
+        for n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if (p - n).abs() < 1e-12 {
+                wins += 0.5;
+            }
+        }
+    }
+    Some(wins / (pos.len() * neg.len()) as f64)
+}
+
+/// Per-feature min–max normalizer fitted on a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxNormalizer {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MinMaxNormalizer {
+    /// Fits per-feature ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "empty dataset");
+        let width = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == width), "ragged rows");
+        let mut lo = vec![f64::INFINITY; width];
+        let mut hi = vec![f64::NEG_INFINITY; width];
+        for r in rows {
+            for (i, &x) in r.iter().enumerate() {
+                lo[i] = lo[i].min(x);
+                hi[i] = hi[i].max(x);
+            }
+        }
+        MinMaxNormalizer { lo, hi }
+    }
+
+    /// Maps a row into `[0, 1]` per feature (constant features map to 0).
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&x, (&l, &h))| if h > l { (x - l) / (h - l) } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Deterministic train/test split by index stride: every `k`-th row goes to
+/// the test set.
+pub fn split_indices(n: usize, k: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(k >= 2, "k must be at least 2");
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for i in 0..n {
+        if i % k == 0 {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_mae() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 4.0, 3.0];
+        assert!((mse(&p, &t) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&p, &t) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_thresholding() {
+        let scores = [0.1, 0.9, 0.6, 0.4];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        assert_eq!(accuracy(&scores, &labels, 0.5), 0.5);
+        assert_eq!(accuracy(&scores, &[0.0, 1.0, 1.0, 0.0], 0.5), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &labels), Some(1.0));
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &labels), Some(0.0));
+        assert_eq!(auc(&[0.5, 0.5, 0.5, 0.5], &labels), Some(0.5));
+        assert_eq!(auc(&[0.5], &[1.0]), None);
+    }
+
+    #[test]
+    fn normalizer_roundtrip() {
+        let rows = vec![vec![0.0, 10.0], vec![4.0, 10.0]];
+        let norm = MinMaxNormalizer::fit(&rows);
+        assert_eq!(norm.transform(&[2.0, 10.0]), vec![0.5, 0.0]);
+        assert_eq!(norm.transform(&[4.0, 10.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let (train, test) = split_indices(10, 5);
+        assert_eq!(test, vec![0, 5]);
+        assert_eq!(train.len() + test.len(), 10);
+        assert!(train.iter().all(|i| !test.contains(i)));
+    }
+}

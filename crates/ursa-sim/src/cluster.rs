@@ -1,0 +1,388 @@
+//! Cluster capacity model: machines, replica placement, and a
+//! capacity-constrained control plane.
+//!
+//! The paper deploys on a local Kubernetes cluster of 8 machines with
+//! 40–88 CPUs each, using the static CPU-manager policy (exclusive integer
+//! cores per container). This module reproduces that layer: replicas are
+//! *placed* on machines with a bin-packing policy, total placement never
+//! exceeds machine capacity, and a [`CappedControlPlane`] wrapper lets any
+//! resource manager run under a finite cluster, with scale-outs clamped to
+//! what fits.
+
+use crate::control::ControlPlane;
+use crate::topology::ServiceId;
+
+/// A physical machine's capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineCfg {
+    /// Machine name.
+    pub name: String,
+    /// Allocatable CPU cores.
+    pub cores: f64,
+}
+
+/// Replica placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Pack the machine with the least remaining capacity that still fits
+    /// (minimizes fragmentation — Kubernetes' `MostAllocated` flavour).
+    #[default]
+    BestFit,
+    /// Spread onto the machine with the most remaining capacity
+    /// (`LeastAllocated`).
+    WorstFit,
+}
+
+/// One placed replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The service the replica belongs to.
+    pub service: ServiceId,
+    /// Machine index.
+    pub machine: usize,
+    /// Cores reserved on the machine.
+    pub cores: f64,
+}
+
+/// Error returned when a placement does not fit anywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityError {
+    /// Cores requested.
+    pub requested: f64,
+    /// Largest free block available.
+    pub largest_free: f64,
+}
+
+impl core::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "no machine fits {} cores (largest free block {})",
+            self.requested, self.largest_free
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// A cluster of machines with tracked placements.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machines: Vec<MachineCfg>,
+    used: Vec<f64>,
+    placements: Vec<Placement>,
+    policy: PlacementPolicy,
+}
+
+impl Cluster {
+    /// Creates a cluster from machine configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is empty or any capacity is non-positive.
+    pub fn new(machines: Vec<MachineCfg>, policy: PlacementPolicy) -> Self {
+        assert!(!machines.is_empty(), "cluster needs machines");
+        assert!(machines.iter().all(|m| m.cores > 0.0), "non-positive capacity");
+        let used = vec![0.0; machines.len()];
+        Cluster {
+            machines,
+            used,
+            placements: Vec::new(),
+            policy,
+        }
+    }
+
+    /// The paper's testbed: 8 machines, 40–88 cores each (§VII-A).
+    pub fn paper_testbed() -> Self {
+        let cores = [88.0, 80.0, 64.0, 64.0, 48.0, 48.0, 40.0, 40.0];
+        Cluster::new(
+            cores
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| MachineCfg {
+                    name: format!("node{i}"),
+                    cores: c,
+                })
+                .collect(),
+            PlacementPolicy::BestFit,
+        )
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total allocatable cores.
+    pub fn total_cores(&self) -> f64 {
+        self.machines.iter().map(|m| m.cores).sum()
+    }
+
+    /// Cores currently reserved across machines.
+    pub fn used_cores(&self) -> f64 {
+        self.used.iter().sum()
+    }
+
+    /// Free cores on the fullest-fitting machine for a request of `cores`.
+    pub fn largest_free(&self) -> f64 {
+        self.machines
+            .iter()
+            .zip(&self.used)
+            .map(|(m, u)| m.cores - u)
+            .fold(0.0, f64::max)
+    }
+
+    /// Current placements (replicas → machines).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Replica count of a service.
+    pub fn replicas_of(&self, service: ServiceId) -> usize {
+        self.placements.iter().filter(|p| p.service == service).count()
+    }
+
+    /// Places one replica of `service` needing `cores`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if no machine has room.
+    pub fn place(&mut self, service: ServiceId, cores: f64) -> Result<usize, CapacityError> {
+        let fits = self
+            .machines
+            .iter()
+            .zip(&self.used)
+            .enumerate()
+            .filter(|(_, (m, u))| m.cores - *u >= cores - 1e-9)
+            .map(|(i, (m, u))| (i, m.cores - u));
+        let chosen = match self.policy {
+            PlacementPolicy::BestFit => fits.min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")),
+            PlacementPolicy::WorstFit => fits.max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")),
+        };
+        match chosen {
+            Some((machine, _)) => {
+                self.used[machine] += cores;
+                self.placements.push(Placement {
+                    service,
+                    machine,
+                    cores,
+                });
+                Ok(machine)
+            }
+            None => Err(CapacityError {
+                requested: cores,
+                largest_free: self.largest_free(),
+            }),
+        }
+    }
+
+    /// Evicts one replica of `service` (the most recently placed), freeing
+    /// its machine reservation. Returns false if none was placed.
+    pub fn evict(&mut self, service: ServiceId) -> bool {
+        if let Some(idx) = self.placements.iter().rposition(|p| p.service == service) {
+            let p = self.placements.remove(idx);
+            self.used[p.machine] -= p.cores;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-machine utilization of reservations in `[0, 1]`.
+    pub fn machine_utilization(&self) -> Vec<f64> {
+        self.machines
+            .iter()
+            .zip(&self.used)
+            .map(|(m, u)| u / m.cores)
+            .collect()
+    }
+}
+
+/// A control plane wrapper that enforces cluster capacity: scale-outs are
+/// clamped to the replicas that actually fit, scale-ins free machine
+/// reservations.
+#[derive(Debug)]
+pub struct CappedControlPlane<'a, C: ControlPlane> {
+    inner: &'a mut C,
+    cluster: &'a mut Cluster,
+    /// Scale-out requests denied (fully or partially) by capacity.
+    pub denials: u64,
+}
+
+impl<'a, C: ControlPlane> CappedControlPlane<'a, C> {
+    /// Wraps `inner`, syncing the cluster to the current replica counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current allocation already exceeds cluster capacity.
+    pub fn new(inner: &'a mut C, cluster: &'a mut Cluster) -> Self {
+        for s in 0..inner.num_services() {
+            let sid = ServiceId(s);
+            let want = inner.replicas(sid);
+            let cores = inner.cpu_limit(sid);
+            while cluster.replicas_of(sid) < want {
+                cluster
+                    .place(sid, cores)
+                    .expect("initial allocation must fit the cluster");
+            }
+        }
+        CappedControlPlane {
+            inner,
+            cluster,
+            denials: 0,
+        }
+    }
+}
+
+impl<C: ControlPlane> ControlPlane for CappedControlPlane<'_, C> {
+    fn num_services(&self) -> usize {
+        self.inner.num_services()
+    }
+    fn service_name(&self, service: ServiceId) -> String {
+        self.inner.service_name(service)
+    }
+    fn replicas(&self, service: ServiceId) -> usize {
+        self.inner.replicas(service)
+    }
+    fn set_replicas(&mut self, service: ServiceId, n: usize) {
+        let cores = self.inner.cpu_limit(service);
+        let current = self.cluster.replicas_of(service);
+        if n > current {
+            let mut placed = current;
+            while placed < n {
+                match self.cluster.place(service, cores) {
+                    Ok(_) => placed += 1,
+                    Err(_) => {
+                        self.denials += 1;
+                        break;
+                    }
+                }
+            }
+            self.inner.set_replicas(service, placed);
+        } else if n < current {
+            for _ in n..current {
+                self.cluster.evict(service);
+            }
+            self.inner.set_replicas(service, n.max(1));
+        }
+    }
+    fn cpu_limit(&self, service: ServiceId) -> f64 {
+        self.inner.cpu_limit(service)
+    }
+    fn set_cpu_limit(&mut self, service: ServiceId, cores: f64) {
+        self.inner.set_cpu_limit(service, cores);
+    }
+    fn total_allocated_cores(&self) -> f64 {
+        self.inner.total_allocated_cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, Topology, WorkDist};
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(
+            vec![
+                MachineCfg { name: "a".into(), cores: 8.0 },
+                MachineCfg { name: "b".into(), cores: 4.0 },
+            ],
+            PlacementPolicy::BestFit,
+        )
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.num_machines(), 8);
+        assert_eq!(c.total_cores(), 472.0);
+        assert_eq!(c.used_cores(), 0.0);
+    }
+
+    #[test]
+    fn best_fit_packs_tightest() {
+        let mut c = small_cluster();
+        // 4-core request: best fit is the 4-core machine (index 1).
+        let m = c.place(ServiceId(0), 4.0).unwrap();
+        assert_eq!(m, 1);
+        // Next 4-core request must go to the big machine.
+        let m = c.place(ServiceId(0), 4.0).unwrap();
+        assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let mut c = Cluster::new(
+            vec![
+                MachineCfg { name: "a".into(), cores: 8.0 },
+                MachineCfg { name: "b".into(), cores: 4.0 },
+            ],
+            PlacementPolicy::WorstFit,
+        );
+        assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0);
+        assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0); // 6 free > 4 free
+        // 4 free == 4 free: either machine is a valid worst-fit choice.
+        let third = c.place(ServiceId(0), 2.0).unwrap();
+        assert!(third == 0 || third == 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c = small_cluster();
+        c.place(ServiceId(0), 8.0).unwrap();
+        c.place(ServiceId(0), 4.0).unwrap();
+        let err = c.place(ServiceId(0), 1.0).unwrap_err();
+        assert_eq!(err.requested, 1.0);
+        assert_eq!(err.largest_free, 0.0);
+        assert_eq!(c.used_cores(), 12.0);
+    }
+
+    #[test]
+    fn evict_frees_capacity() {
+        let mut c = small_cluster();
+        c.place(ServiceId(0), 4.0).unwrap();
+        c.place(ServiceId(1), 4.0).unwrap();
+        assert!(c.evict(ServiceId(0)));
+        assert!(!c.evict(ServiceId(0)));
+        assert_eq!(c.replicas_of(ServiceId(0)), 0);
+        assert_eq!(c.replicas_of(ServiceId(1)), 1);
+        assert_eq!(c.used_cores(), 4.0);
+    }
+
+    fn sim_one_service(cores: f64, replicas: usize) -> Simulation {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("svc", cores).with_replicas(replicas)],
+            vec![ClassCfg {
+                name: "c".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)),
+            }],
+        )
+        .unwrap();
+        Simulation::new(topo, SimConfig::default(), 1)
+    }
+
+    #[test]
+    fn capped_plane_clamps_scale_out() {
+        let mut sim = sim_one_service(4.0, 1);
+        let mut cluster = small_cluster(); // 12 cores total -> 3 replicas max
+        let mut capped = CappedControlPlane::new(&mut sim, &mut cluster);
+        capped.set_replicas(ServiceId(0), 10);
+        assert_eq!(capped.replicas(ServiceId(0)), 3);
+        assert!(capped.denials > 0);
+        // Scale-in frees capacity for a later scale-out.
+        capped.set_replicas(ServiceId(0), 1);
+        capped.set_replicas(ServiceId(0), 2);
+        assert_eq!(capped.replicas(ServiceId(0)), 2);
+    }
+
+    #[test]
+    fn machine_utilization_reported() {
+        let mut c = small_cluster();
+        c.place(ServiceId(0), 4.0).unwrap();
+        let util = c.machine_utilization();
+        assert_eq!(util, vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,1793 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulation`] executes a [`Topology`] under injected load. The model is
+//! deliberately mechanistic rather than formula-based, so that the paper's
+//! phenomena *emerge* instead of being asserted:
+//!
+//! * **Replicas** have a fractional CPU allocation (`cores`) and a bounded
+//!   worker pool. Compute phases of in-flight requests share the CPU via
+//!   processor sharing: with `n` active phases each progresses at rate
+//!   `min(1, cores/n)` CPU-seconds per second.
+//! * **Nested RPC** holds the caller's worker (but no CPU) until the callee
+//!   responds, so a slow downstream tier exhausts upstream worker pools and
+//!   inflates upstream queueing delay — the backpressure of paper §III.
+//! * **Event-driven RPC** responds upstream immediately but parks a
+//!   continuation on a bounded daemon pool; when the daemon pool and its
+//!   submission queue fill, handlers block on submission — the residual
+//!   backpressure the paper observes for event-driven chains.
+//! * **Message queues** are unbounded and pull-based; producers never block,
+//!   so no backpressure propagates (paper Fig. 2c).
+//!
+//! Queues serve strictly by [`crate::topology::Priority`], then FIFO. Scaling is by replica
+//! count (Kubernetes-style) with graceful draining on scale-in.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ursa_stats::dist::{Distribution, Exponential};
+use ursa_stats::rng::Rng;
+
+use crate::telemetry::{MetricsSnapshot, Telemetry};
+use crate::time::{SimDur, SimTime};
+use crate::topology::{CallMode, CallNode, ClassId, EdgeKind, ServiceId, Topology};
+use crate::workload::RateFn;
+
+/// Work remainders below this many CPU-seconds count as complete.
+const WORK_EPS: f64 = 1e-12;
+/// Minimum compute per phase, so every start traverses the event loop
+/// (bounds recursion depth by call-tree depth).
+const MIN_WORK: f64 = 1e-9;
+/// Smallest allowed CPU limit.
+const MIN_CORES: f64 = 0.01;
+
+/// Identifies one hop of one in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Token {
+    slot: u32,
+    gen: u32,
+    node: u16,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Next candidate arrival of a class's Poisson source (thinning).
+    SourceNext { class: usize, gen: u64 },
+    /// A request hop arrives at its service (after network delay).
+    NodeArrive { token: Token },
+    /// Possible processor-sharing completion on a replica.
+    PsCheck { service: usize, replica: usize, gen: u64 },
+    /// A trace-replay arrival scheduled via `schedule_arrivals`.
+    TraceArrival { class: usize },
+}
+
+#[derive(Debug)]
+struct EventEntry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Strict-priority FIFO queue of tokens.
+#[derive(Debug, Clone)]
+struct PrioQueue {
+    qs: Vec<VecDeque<Token>>,
+    len: usize,
+}
+
+impl PrioQueue {
+    fn new(levels: usize) -> Self {
+        PrioQueue {
+            qs: (0..levels.max(1)).map(|_| VecDeque::new()).collect(),
+            len: 0,
+        }
+    }
+    fn push(&mut self, prio: usize, token: Token) {
+        self.qs[prio].push_back(token);
+        self.len += 1;
+    }
+    fn pop(&mut self) -> Option<Token> {
+        for q in &mut self.qs {
+            if let Some(t) = q.pop_front() {
+                self.len -= 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn drain_all(&mut self) -> Vec<(usize, Token)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (p, q) in self.qs.iter_mut().enumerate() {
+            out.extend(q.drain(..).map(|t| (p, t)));
+        }
+        self.len = 0;
+        out
+    }
+}
+
+/// A compute phase in a replica's processor-sharing set.
+#[derive(Debug, Clone, Copy)]
+struct PsJob {
+    token: Token,
+    remaining: f64,
+}
+
+#[derive(Debug)]
+struct Replica {
+    cores: f64,
+    workers: usize,
+    busy_workers: usize,
+    daemons: usize,
+    busy_daemons: usize,
+    daemon_cap: usize,
+    /// Continuation tokens (child hops) waiting for a free daemon.
+    daemon_queue: VecDeque<Token>,
+    /// Handler hops blocked submitting a continuation: `(parent, child_idx)`.
+    blocked_submitters: VecDeque<(Token, u16)>,
+    queue: PrioQueue,
+    active: Vec<PsJob>,
+    last_advance: SimTime,
+    ps_gen: u64,
+    draining: bool,
+}
+
+impl Replica {
+    fn new(cores: f64, workers: usize, daemons: usize, daemon_cap: usize, levels: usize, now: SimTime) -> Self {
+        Replica {
+            cores,
+            workers,
+            busy_workers: 0,
+            daemons,
+            busy_daemons: 0,
+            daemon_cap,
+            daemon_queue: VecDeque::new(),
+            blocked_submitters: VecDeque::new(),
+            queue: PrioQueue::new(levels),
+            active: Vec::new(),
+            last_advance: now,
+            ps_gen: 0,
+            draining: false,
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.busy_workers == 0
+            && self.busy_daemons == 0
+            && self.queue.len() == 0
+            && self.active.is_empty()
+            && self.daemon_queue.is_empty()
+            && self.blocked_submitters.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct ServiceRt {
+    cores: f64,
+    workers: usize,
+    daemons: usize,
+    daemon_cap: usize,
+    replicas: Vec<Option<Replica>>,
+    rr: usize,
+    mq: PrioQueue,
+}
+
+impl ServiceRt {
+    fn live_indices(&self) -> Vec<usize> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                Some(rep) if !rep.draining => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+    fn live_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| matches!(r, Some(rep) if !rep.draining))
+            .count()
+    }
+}
+
+/// Flattened call-tree node.
+#[derive(Debug, Clone)]
+struct NodeT {
+    service: usize,
+    parent: Option<(u16, EdgeKind)>,
+    children: Vec<(u16, EdgeKind)>,
+    mode: CallMode,
+    pre: crate::topology::WorkDist,
+    post: crate::topology::WorkDist,
+}
+
+#[derive(Debug, Clone)]
+struct ClassT {
+    nodes: Vec<NodeT>,
+    prio: usize,
+}
+
+fn flatten(root: &CallNode, out: &mut Vec<NodeT>, parent: Option<(u16, EdgeKind)>) -> u16 {
+    let idx = out.len() as u16;
+    out.push(NodeT {
+        service: root.service.0,
+        parent,
+        children: Vec::new(),
+        mode: root.mode,
+        pre: root.pre_work.clone(),
+        post: root.post_work.clone(),
+    });
+    for (edge, child) in &root.children {
+        let cidx = flatten(child, out, Some((idx, *edge)));
+        out[idx as usize].children.push((cidx, *edge));
+    }
+    idx
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Pre,
+    Issuing,
+    BlockedDaemon,
+    Waiting,
+    Post,
+    Responded,
+}
+
+#[derive(Debug, Clone)]
+struct NodeRt {
+    phase: Phase,
+    enqueue_at: SimTime,
+    nested_wait: SimDur,
+    wait_start: SimTime,
+    awaiting: u16,
+    next_child: u16,
+    replica: u32,
+    /// Replica (service, index) whose daemon pool this hop's response frees.
+    daemon_of: Option<(u32, u32)>,
+}
+
+impl NodeRt {
+    fn fresh() -> Self {
+        NodeRt {
+            phase: Phase::Queued,
+            enqueue_at: SimTime::ZERO,
+            nested_wait: SimDur::ZERO,
+            wait_start: SimTime::ZERO,
+            awaiting: 0,
+            next_child: 0,
+            replica: 0,
+            daemon_of: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RequestRt {
+    class: usize,
+    arrival: SimTime,
+    nodes: Vec<NodeRt>,
+    responded: u16,
+}
+
+#[derive(Debug)]
+struct Source {
+    rate: RateFn,
+    gen: u64,
+    rng: Rng,
+}
+
+/// One completed hop of a request, recorded when tracing is enabled —
+/// the simulator's analog of a distributed-tracing span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Request class.
+    pub class: ClassId,
+    /// Hop index within the class's flattened call tree (0 = root).
+    pub node: u16,
+    /// Service that executed the hop.
+    pub service: ServiceId,
+    /// When the hop arrived at the service.
+    pub enqueue_at: SimTime,
+    /// When the hop responded.
+    pub respond_at: SimTime,
+    /// Time spent blocked on nested downstream responses.
+    pub nested_wait: SimDur,
+}
+
+impl Span {
+    /// Full hop latency (enqueue → respond).
+    pub fn latency(&self) -> SimDur {
+        self.respond_at - self.enqueue_at
+    }
+
+    /// Hop latency excluding nested downstream waits (the paper's per-tier
+    /// response time).
+    pub fn tier_latency(&self) -> SimDur {
+        self.latency() - self.nested_wait
+    }
+}
+
+/// Simulator configuration knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Mean one-way network delay applied to every inter-service hop (and
+    /// to request injection). Default: 100 µs.
+    pub net_delay: SimDur,
+    /// Coefficient of variation of the network delay. 0 (default) keeps
+    /// hops deterministic; > 0 samples each hop from a log-normal with the
+    /// configured mean.
+    pub net_delay_cv: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            net_delay: SimDur::from_nanos(100_000),
+            net_delay_cv: 0.0,
+        }
+    }
+}
+
+/// A discrete-event simulation of a microservice application.
+///
+/// # Example
+///
+/// ```
+/// use ursa_sim::engine::{SimConfig, Simulation};
+/// use ursa_sim::time::SimDur;
+/// use ursa_sim::topology::*;
+/// use ursa_sim::workload::RateFn;
+///
+/// let topo = Topology::new(
+///     vec![ServiceCfg::new("api", 4.0)],
+///     vec![ClassCfg {
+///         name: "get".into(),
+///         priority: Priority::HIGH,
+///         root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.002 }),
+///     }],
+/// ).expect("valid topology");
+/// let mut sim = Simulation::new(topo, SimConfig::default(), 42);
+/// sim.set_rate(ClassId(0), RateFn::Constant(200.0));
+/// sim.run_for(SimDur::from_secs(60));
+/// let snap = sim.harvest();
+/// assert!(snap.completions[0] > 10_000);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    topology: Topology,
+    templates: Vec<ClassT>,
+    services: Vec<ServiceRt>,
+    names: Vec<String>,
+    slots: Vec<Option<RequestRt>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    telemetry: Telemetry,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    seq: u64,
+    now: SimTime,
+    rng: Rng,
+    sources: Vec<Source>,
+    work_scale: Vec<f64>,
+    cfg: SimConfig,
+    prio_levels: usize,
+    in_flight: usize,
+    spans: Option<(VecDeque<Span>, usize)>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `topology` with the given configuration and
+    /// deterministic seed.
+    pub fn new(topology: Topology, cfg: SimConfig, seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let prio_levels = topology
+            .classes()
+            .iter()
+            .map(|c| c.priority.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let templates: Vec<ClassT> = topology
+            .classes()
+            .iter()
+            .map(|c| {
+                let mut nodes = Vec::new();
+                flatten(&c.root, &mut nodes, None);
+                ClassT {
+                    nodes,
+                    prio: c.priority.0 as usize,
+                }
+            })
+            .collect();
+        let services: Vec<ServiceRt> = topology
+            .services()
+            .iter()
+            .map(|s| {
+                let replicas = (0..s.initial_replicas)
+                    .map(|_| {
+                        Some(Replica::new(
+                            s.cores,
+                            s.workers,
+                            s.daemon_workers,
+                            s.daemon_queue_cap,
+                            prio_levels,
+                            SimTime::ZERO,
+                        ))
+                    })
+                    .collect();
+                ServiceRt {
+                    cores: s.cores,
+                    workers: s.workers,
+                    daemons: s.daemon_workers,
+                    daemon_cap: s.daemon_queue_cap,
+                    replicas,
+                    rr: 0,
+                    mq: PrioQueue::new(prio_levels),
+                }
+            })
+            .collect();
+        let names = topology.services().iter().map(|s| s.name.clone()).collect();
+        let telemetry = Telemetry::new(&topology);
+        let sources = (0..topology.num_classes())
+            .map(|_| Source {
+                rate: RateFn::Constant(0.0),
+                gen: 0,
+                rng: rng.split(),
+            })
+            .collect();
+        let work_scale = vec![1.0; topology.num_services()];
+        Simulation {
+            topology,
+            templates,
+            services,
+            names,
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            telemetry,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng,
+            sources,
+            work_scale,
+            cfg,
+            prio_levels,
+            in_flight: 0,
+            spans: None,
+        }
+    }
+
+    /// Enables span tracing: every completed hop is recorded (bounded ring
+    /// of `capacity` spans, oldest evicted). Disabled by default — tracing
+    /// every hop costs memory and time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        assert!(capacity > 0, "capacity must be positive");
+        self.spans = Some((VecDeque::with_capacity(capacity.min(65_536)), capacity));
+    }
+
+    /// Drains the recorded spans (empty if tracing is disabled).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        match &mut self.spans {
+            Some((buf, _)) => buf.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The application topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Requests currently in flight (injected but not fully completed).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Sets (or replaces) the arrival process of a request class.
+    ///
+    /// Arrivals follow a Poisson process whose instantaneous rate is
+    /// `rate_fn.rate(t)` (non-homogeneous via thinning).
+    pub fn set_rate(&mut self, class: ClassId, rate_fn: RateFn) {
+        let src = &mut self.sources[class.0];
+        src.gen += 1;
+        src.rate = rate_fn;
+        let gen = src.gen;
+        self.arm_source(class.0, gen);
+    }
+
+    fn arm_source(&mut self, class: usize, gen: u64) {
+        let lam_max = self.sources[class].rate.max_rate();
+        if lam_max <= 0.0 {
+            return;
+        }
+        let dt = Exponential::new(lam_max).sample(&mut self.sources[class].rng);
+        let at = self.now + SimDur::from_secs_f64(dt);
+        self.schedule(at, EventKind::SourceNext { class, gen });
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Injects one request of `class` right now (root hop arrives after the
+    /// configured network delay).
+    pub fn inject(&mut self, class: ClassId) {
+        let template = &self.templates[class.0];
+        let nodes = vec![NodeRt::fresh(); template.nodes.len()];
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(RequestRt {
+                    class: class.0,
+                    arrival: self.now,
+                    nodes,
+                    responded: 0,
+                });
+                s
+            }
+            None => {
+                self.slots.push(Some(RequestRt {
+                    class: class.0,
+                    arrival: self.now,
+                    nodes,
+                    responded: 0,
+                }));
+                self.gens.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.in_flight += 1;
+        self.telemetry.record_injection(class);
+        let token = Token {
+            slot,
+            gen: self.gens[slot as usize],
+            node: 0,
+        };
+        let at = self.now + self.sample_net_delay();
+        self.schedule(at, EventKind::NodeArrive { token });
+    }
+
+    /// Schedules explicit arrivals of `class` at the given absolute times —
+    /// trace replay, complementing the Poisson sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time is in the past.
+    pub fn schedule_arrivals(&mut self, class: ClassId, times: &[SimTime]) {
+        for &at in times {
+            assert!(at >= self.now, "arrival {at} is in the past (now {})", self.now);
+            self.schedule(at, EventKind::TraceArrival { class: class.0 });
+        }
+    }
+
+    /// Runs the simulation until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(entry)) = self.events.peek() {
+            if entry.at > t {
+                break;
+            }
+            let Reverse(entry) = self.events.pop().expect("peeked");
+            self.now = entry.at;
+            self.dispatch(entry.kind);
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Runs the simulation for a span of simulated time.
+    pub fn run_for(&mut self, dur: SimDur) {
+        let t = self.now + dur;
+        self.run_until(t);
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::SourceNext { class, gen } => {
+                if self.sources[class].gen != gen {
+                    return;
+                }
+                let lam_max = self.sources[class].rate.max_rate();
+                let lam = self.sources[class].rate.rate(self.now);
+                if lam_max > 0.0 {
+                    let accept = self.sources[class].rng.next_f64() < lam / lam_max;
+                    if accept {
+                        self.inject(ClassId(class));
+                    }
+                    self.arm_source(class, gen);
+                }
+            }
+            EventKind::NodeArrive { token } => {
+                if self.token_alive(token) {
+                    self.node_arrive(token);
+                }
+            }
+            EventKind::PsCheck { service, replica, gen } => {
+                self.ps_check(service, replica, gen);
+            }
+            EventKind::TraceArrival { class } => {
+                self.inject(ClassId(class));
+            }
+        }
+    }
+
+    fn token_alive(&self, token: Token) -> bool {
+        (token.slot as usize) < self.slots.len()
+            && self.gens[token.slot as usize] == token.gen
+            && self.slots[token.slot as usize].is_some()
+    }
+
+    fn req(&self, token: Token) -> &RequestRt {
+        self.slots[token.slot as usize].as_ref().expect("live request")
+    }
+
+    fn req_mut(&mut self, token: Token) -> &mut RequestRt {
+        self.slots[token.slot as usize].as_mut().expect("live request")
+    }
+
+
+    /// A hop arrives at its service: route to a replica queue (RPC) or the
+    /// shared MQ queue, then try to start work.
+    fn node_arrive(&mut self, token: Token) {
+        let class = self.req(token).class;
+        let tmpl = &self.templates[class].nodes[token.node as usize];
+        let s = tmpl.service;
+        let via_mq = matches!(tmpl.parent, Some((_, EdgeKind::Mq)));
+        let prio = self.templates[class].prio;
+        self.telemetry.record_arrival(ServiceId(s), ClassId(class));
+        {
+            let now = self.now;
+            let node = &mut self.req_mut(token).nodes[token.node as usize];
+            node.enqueue_at = now;
+            node.phase = Phase::Queued;
+        }
+        if via_mq {
+            self.services[s].mq.push(prio, token);
+            self.dispatch_shared(s);
+        } else {
+            let r = self.pick_replica(s);
+            self.services[s].replicas[r]
+                .as_mut()
+                .expect("live replica")
+                .queue
+                .push(prio, token);
+            self.try_start(s, r);
+        }
+    }
+
+    fn pick_replica(&mut self, s: usize) -> usize {
+        let live = self.services[s].live_indices();
+        assert!(!live.is_empty(), "service {} has no live replicas", self.names[s]);
+        let svc = &mut self.services[s];
+        svc.rr = svc.rr.wrapping_add(1);
+        live[svc.rr % live.len()]
+    }
+
+    /// Assigns shared-queue (MQ) messages to consumers, least-busy replica
+    /// first — the balance a consumer group provides. Without this,
+    /// in-order offering concentrates messages on low-index replicas and
+    /// inflates their processor-sharing contention.
+    fn dispatch_shared(&mut self, s: usize) {
+        while self.services[s].mq.len() > 0 {
+            let target = self.services[s]
+                .replicas
+                .iter()
+                .enumerate()
+                .filter_map(|(i, rep)| match rep {
+                    Some(rep) if !rep.draining && rep.busy_workers < rep.workers => {
+                        Some((i, rep.busy_workers))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|&(_, busy)| busy);
+            let Some((r, _)) = target else { return };
+            let token = self.services[s].mq.pop().expect("checked non-empty");
+            self.services[s].replicas[r]
+                .as_mut()
+                .expect("live replica")
+                .busy_workers += 1;
+            self.start_pre(token, s, r);
+        }
+    }
+
+    /// Starts queued work on a replica while it has free workers.
+    fn try_start(&mut self, s: usize, r: usize) {
+        loop {
+            let token = {
+                let Some(rep) = self.services[s].replicas[r].as_mut() else {
+                    return;
+                };
+                if rep.busy_workers >= rep.workers {
+                    return;
+                }
+                let from_own = rep.queue.pop();
+                let token = match from_own {
+                    Some(t) => Some(t),
+                    None => {
+                        if rep.draining {
+                            None
+                        } else {
+                            self.services[s].mq.pop()
+                        }
+                    }
+                };
+                let Some(token) = token else { return };
+                self.services[s].replicas[r]
+                    .as_mut()
+                    .expect("live replica")
+                    .busy_workers += 1;
+                token
+            };
+            self.start_pre(token, s, r);
+        }
+    }
+
+    fn start_pre(&mut self, token: Token, s: usize, r: usize) {
+        let class = self.req(token).class;
+        let tmpl = &self.templates[class].nodes[token.node as usize];
+        let work = (tmpl.pre.sample(&mut self.rng) * self.work_scale[s]).max(MIN_WORK);
+        {
+            let node = &mut self.req_mut(token).nodes[token.node as usize];
+            node.phase = Phase::Pre;
+            node.replica = r as u32;
+        }
+        self.ps_add(s, r, token, work);
+    }
+
+    // ---- Processor-sharing machinery -------------------------------------
+
+    fn ps_advance(&mut self, s: usize, r: usize) {
+        let now = self.now;
+        let (busy, cap) = {
+            let Some(rep) = self.services[s].replicas[r].as_mut() else {
+                return;
+            };
+            let elapsed = (now - rep.last_advance).as_secs_f64();
+            rep.last_advance = now;
+            if elapsed <= 0.0 {
+                return;
+            }
+            let n = rep.active.len();
+            let mut busy = 0.0;
+            if n > 0 {
+                let rate = (rep.cores / n as f64).min(1.0);
+                for j in &mut rep.active {
+                    j.remaining -= elapsed * rate;
+                }
+                busy = (n as f64).min(rep.cores) * elapsed;
+            }
+            (busy, rep.cores * elapsed)
+        };
+        self.telemetry.record_cpu(ServiceId(s), busy, cap);
+    }
+
+    fn ps_reschedule(&mut self, s: usize, r: usize) {
+        let (at, gen) = {
+            let Some(rep) = self.services[s].replicas[r].as_mut() else {
+                return;
+            };
+            rep.ps_gen += 1;
+            if rep.active.is_empty() {
+                return;
+            }
+            let n = rep.active.len() as f64;
+            let rate = (rep.cores / n).min(1.0);
+            let min_rem = rep
+                .active
+                .iter()
+                .map(|j| j.remaining)
+                .fold(f64::INFINITY, f64::min)
+                .max(0.0);
+            let dt_ns = ((min_rem / rate) * 1e9).ceil().max(1.0) as u64;
+            (self.now + SimDur::from_nanos(dt_ns), rep.ps_gen)
+        };
+        self.schedule(at, EventKind::PsCheck { service: s, replica: r, gen });
+    }
+
+    fn ps_add(&mut self, s: usize, r: usize, token: Token, work: f64) {
+        self.ps_advance(s, r);
+        self.services[s].replicas[r]
+            .as_mut()
+            .expect("live replica")
+            .active
+            .push(PsJob {
+                token,
+                remaining: work,
+            });
+        self.ps_reschedule(s, r);
+    }
+
+    fn ps_check(&mut self, s: usize, r: usize, gen: u64) {
+        {
+            let Some(rep) = self.services[s].replicas[r].as_ref() else {
+                return;
+            };
+            if rep.ps_gen != gen {
+                return;
+            }
+        }
+        self.ps_advance(s, r);
+        let finished: Vec<Token> = {
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            let mut done = Vec::new();
+            rep.active.retain(|j| {
+                if j.remaining <= WORK_EPS {
+                    done.push(j.token);
+                    false
+                } else {
+                    true
+                }
+            });
+            done
+        };
+        self.ps_reschedule(s, r);
+        for token in finished {
+            let phase = self.req(token).nodes[token.node as usize].phase;
+            match phase {
+                Phase::Pre => self.on_pre_done(token),
+                Phase::Post => self.respond(token),
+                other => unreachable!("PS completion in phase {other:?}"),
+            }
+        }
+    }
+
+    // ---- Request state machine -------------------------------------------
+
+    fn on_pre_done(&mut self, token: Token) {
+        {
+            let node = &mut self.req_mut(token).nodes[token.node as usize];
+            node.phase = Phase::Issuing;
+            node.next_child = 0;
+            node.awaiting = 0;
+        }
+        self.issue_children(token);
+    }
+
+    /// Issues child calls from `next_child` onward, honoring the node's
+    /// [`CallMode`]. May leave the node blocked on daemon submission or
+    /// waiting for nested responses; otherwise proceeds to post-compute.
+    fn issue_children(&mut self, token: Token) {
+        let class = self.req(token).class;
+        let (mode, n_children) = {
+            let t = &self.templates[class].nodes[token.node as usize];
+            (t.mode, t.children.len() as u16)
+        };
+        loop {
+            let (i, replica) = {
+                let node = &self.req(token).nodes[token.node as usize];
+                (node.next_child, node.replica as usize)
+            };
+            if i >= n_children {
+                break;
+            }
+            let (child_idx, edge) = self.templates[class].nodes[token.node as usize].children[i as usize];
+            let s = self.templates[class].nodes[token.node as usize].service;
+            let child_token = Token {
+                node: child_idx,
+                ..token
+            };
+            match edge {
+                EdgeKind::Mq => {
+                    self.req_mut(token).nodes[token.node as usize].next_child = i + 1;
+                    self.launch_child(child_token);
+                }
+                EdgeKind::EventDrivenRpc => {
+                    let submitted = self.submit_continuation(s, replica, child_token);
+                    if submitted {
+                        self.req_mut(token).nodes[token.node as usize].next_child = i + 1;
+                    } else {
+                        // Daemon pool and queue full: block on submission.
+                        let node = &mut self.req_mut(token).nodes[token.node as usize];
+                        node.phase = Phase::BlockedDaemon;
+                        node.next_child = i;
+                        self.services[s].replicas[replica]
+                            .as_mut()
+                            .expect("live replica")
+                            .blocked_submitters
+                            .push_back((token, child_idx));
+                        return;
+                    }
+                }
+                EdgeKind::NestedRpc => {
+                    {
+                        let node = &mut self.req_mut(token).nodes[token.node as usize];
+                        node.next_child = i + 1;
+                        node.awaiting += 1;
+                    }
+                    self.launch_child(child_token);
+                    if mode == CallMode::Sequential {
+                        let now = self.now;
+                        let node = &mut self.req_mut(token).nodes[token.node as usize];
+                        node.phase = Phase::Waiting;
+                        node.wait_start = now;
+                        return;
+                    }
+                }
+            }
+        }
+        // All children issued; wait for outstanding nested responses.
+        let awaiting = self.req(token).nodes[token.node as usize].awaiting;
+        if awaiting > 0 {
+            let now = self.now;
+            let node = &mut self.req_mut(token).nodes[token.node as usize];
+            node.phase = Phase::Waiting;
+            node.wait_start = now;
+        } else {
+            self.start_post(token);
+        }
+    }
+
+    /// Sends a child hop toward its service (network delay applies).
+    fn launch_child(&mut self, child_token: Token) {
+        let at = self.now + self.sample_net_delay();
+        self.schedule(at, EventKind::NodeArrive { token: child_token });
+    }
+
+    /// One network-hop delay (deterministic, or log-normal when
+    /// `net_delay_cv > 0`).
+    fn sample_net_delay(&mut self) -> SimDur {
+        if self.cfg.net_delay_cv <= 0.0 || self.cfg.net_delay == SimDur::ZERO {
+            return self.cfg.net_delay;
+        }
+        let mean = self.cfg.net_delay.as_secs_f64();
+        let d = ursa_stats::dist::LogNormal::from_mean_cv(mean, self.cfg.net_delay_cv);
+        SimDur::from_secs_f64(d.sample(&mut self.rng))
+    }
+
+    /// Tries to place an event-driven continuation on the replica's daemon
+    /// pool (run now) or its bounded queue. Returns false if both are full.
+    fn submit_continuation(&mut self, s: usize, r: usize, child_token: Token) -> bool {
+        let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+        if rep.busy_daemons < rep.daemons {
+            rep.busy_daemons += 1;
+            self.req_mut(child_token).nodes[child_token.node as usize].daemon_of =
+                Some((s as u32, r as u32));
+            self.launch_child(child_token);
+            true
+        } else if rep.daemon_queue.len() < rep.daemon_cap {
+            rep.daemon_queue.push_back(child_token);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A daemon worker freed on `(s, r)`: run the next queued continuation,
+    /// then unblock one blocked submitter if queue space opened up.
+    fn daemon_freed(&mut self, s: usize, r: usize) {
+        {
+            let Some(rep) = self.services[s].replicas[r].as_mut() else {
+                return;
+            };
+            rep.busy_daemons -= 1;
+        }
+        // Promote a queued continuation into the freed daemon slot.
+        let next = {
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            if rep.busy_daemons < rep.daemons {
+                rep.daemon_queue.pop_front().inspect(|_| {
+                    rep.busy_daemons += 1;
+                })
+            } else {
+                None
+            }
+        };
+        if let Some(cont) = next {
+            self.req_mut(cont).nodes[cont.node as usize].daemon_of = Some((s as u32, r as u32));
+            self.launch_child(cont);
+        }
+        // Queue space may have opened: resume one blocked submitter.
+        let unblocked = {
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            if rep.daemon_queue.len() < rep.daemon_cap {
+                rep.blocked_submitters.pop_front()
+            } else {
+                None
+            }
+        };
+        if let Some((parent, child_idx)) = unblocked {
+            let child_token = Token {
+                node: child_idx,
+                ..parent
+            };
+            let ok = self.submit_continuation(s, r, child_token);
+            debug_assert!(ok, "submission must succeed after space opened");
+            // `next_child` still holds the blocked child's position;
+            // step past it and continue issuing the remaining children.
+            let node = &mut self.req_mut(parent).nodes[parent.node as usize];
+            node.phase = Phase::Issuing;
+            node.next_child += 1;
+            self.issue_children(parent);
+        }
+        self.maybe_remove_drained(s, r);
+    }
+
+    fn start_post(&mut self, token: Token) {
+        let class = self.req(token).class;
+        let (s, work) = {
+            let t = &self.templates[class].nodes[token.node as usize];
+            let w = t.post.sample(&mut self.rng) * self.work_scale[t.service];
+            (t.service, w)
+        };
+        let r = self.req(token).nodes[token.node as usize].replica as usize;
+        if work <= WORK_EPS {
+            self.respond(token);
+        } else {
+            self.req_mut(token).nodes[token.node as usize].phase = Phase::Post;
+            self.ps_add(s, r, token, work);
+        }
+    }
+
+    /// The hop responds: record latency, release its worker, notify the
+    /// parent, and complete the request if every hop has responded.
+    fn respond(&mut self, token: Token) {
+        let class = self.req(token).class;
+        let (s, parent) = {
+            let t = &self.templates[class].nodes[token.node as usize];
+            (t.service, t.parent)
+        };
+        let (r, full, tier, daemon_of) = {
+            let now = self.now;
+            let node = &mut self.req_mut(token).nodes[token.node as usize];
+            node.phase = Phase::Responded;
+            let full = (now - node.enqueue_at).as_secs_f64();
+            let tier = full - node.nested_wait.as_secs_f64();
+            (node.replica as usize, full, tier.max(0.0), node.daemon_of)
+        };
+        self.telemetry
+            .record_response(ServiceId(s), ClassId(class), tier, full);
+        if let Some((buf, cap)) = &mut self.spans {
+            if buf.len() == *cap {
+                buf.pop_front();
+            }
+            let node = &self.slots[token.slot as usize]
+                .as_ref()
+                .expect("live request")
+                .nodes[token.node as usize];
+            buf.push_back(Span {
+                class: ClassId(class),
+                node: token.node,
+                service: ServiceId(s),
+                enqueue_at: node.enqueue_at,
+                respond_at: self.now,
+                nested_wait: node.nested_wait,
+            });
+        }
+
+        // Release the worker and pull more work.
+        {
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            rep.busy_workers -= 1;
+        }
+        self.try_start(s, r);
+        self.maybe_remove_drained(s, r);
+
+        // Free the daemon that was awaiting this response (event-driven).
+        if let Some((ds, dr)) = daemon_of {
+            self.daemon_freed(ds as usize, dr as usize);
+        }
+
+        // Notify a nested-waiting parent. The parent resumes only if it is
+        // actually parked in `Waiting`; if it is blocked on daemon
+        // submission (parallel mode mixing edge kinds), the daemon-unblock
+        // path resumes it instead and re-checks `awaiting` at loop end.
+        if let Some((pidx, EdgeKind::NestedRpc)) = parent {
+            let parent_token = Token { node: pidx, ..token };
+            let resume = {
+                let now = self.now;
+                let node = &mut self.req_mut(parent_token).nodes[pidx as usize];
+                node.awaiting -= 1;
+                if node.awaiting == 0 && node.phase == Phase::Waiting {
+                    node.nested_wait += now - node.wait_start;
+                    node.phase = Phase::Issuing;
+                    true
+                } else {
+                    false
+                }
+            };
+            if resume {
+                self.issue_children(parent_token);
+            }
+        }
+
+        // Request-level completion.
+        let done = {
+            let req = self.req_mut(token);
+            req.responded += 1;
+            req.responded as usize == req.nodes.len()
+        };
+        if done {
+            let req = self.slots[token.slot as usize].take().expect("live request");
+            self.gens[token.slot as usize] = self.gens[token.slot as usize].wrapping_add(1);
+            self.free.push(token.slot);
+            self.in_flight -= 1;
+            let latency = (self.now - req.arrival).as_secs_f64();
+            self.telemetry.record_e2e(ClassId(req.class), latency);
+        }
+    }
+
+    fn maybe_remove_drained(&mut self, s: usize, r: usize) {
+        let remove = matches!(
+            &self.services[s].replicas[r],
+            Some(rep) if rep.draining && rep.is_idle()
+        );
+        if remove {
+            self.ps_advance(s, r); // final capacity accounting
+            self.services[s].replicas[r] = None;
+        }
+    }
+
+    // ---- Control-plane operations -----------------------------------------
+
+    /// Live (non-draining) replica count of a service.
+    pub fn replicas(&self, service: ServiceId) -> usize {
+        self.services[service.0].live_count()
+    }
+
+    /// Sets the live replica count of a service (graceful drain on scale-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_replicas(&mut self, service: ServiceId, n: usize) {
+        assert!(n > 0, "replica count must be at least 1");
+        let s = service.0;
+        let mut live = self.services[s].live_count();
+        // Scale out: first un-drain, then create.
+        while live < n {
+            let undrained = {
+                let svc = &mut self.services[s];
+                svc.replicas.iter_mut().find_map(|slot| match slot {
+                    Some(rep) if rep.draining => {
+                        rep.draining = false;
+                        Some(())
+                    }
+                    _ => None,
+                })
+            };
+            if undrained.is_none() {
+                let rep = Replica::new(
+                    self.services[s].cores,
+                    self.services[s].workers,
+                    self.services[s].daemons,
+                    self.services[s].daemon_cap,
+                    self.prio_levels,
+                    self.now,
+                );
+                let svc = &mut self.services[s];
+                if let Some(idx) = svc.replicas.iter().position(|x| x.is_none()) {
+                    svc.replicas[idx] = Some(rep);
+                } else {
+                    svc.replicas.push(Some(rep));
+                }
+            }
+            live += 1;
+        }
+        // Scale in: drain highest-index live replicas.
+        while live > n {
+            let idx = self.services[s]
+                .replicas
+                .iter()
+                .rposition(|x| matches!(x, Some(rep) if !rep.draining))
+                .expect("live replica exists");
+            let moved = {
+                let rep = self.services[s].replicas[idx].as_mut().expect("live");
+                rep.draining = true;
+                rep.queue.drain_all()
+            };
+            for (prio, token) in moved {
+                let dst = self.pick_replica(s);
+                self.services[s].replicas[dst]
+                    .as_mut()
+                    .expect("live replica")
+                    .queue
+                    .push(prio, token);
+                self.try_start(s, dst);
+            }
+            self.maybe_remove_drained(s, idx);
+            live -= 1;
+        }
+        // New capacity may be able to pull shared-queue work.
+        let live_idx = self.services[s].live_indices();
+        for r in live_idx {
+            self.try_start(s, r);
+        }
+    }
+
+    /// CPU cores per replica of a service.
+    pub fn cpu_limit(&self, service: ServiceId) -> f64 {
+        self.services[service.0].cores
+    }
+
+    /// Sets the per-replica CPU limit of a service (applies to existing and
+    /// future replicas). Values below 0.01 cores are clamped up.
+    pub fn set_cpu_limit(&mut self, service: ServiceId, cores: f64) {
+        let cores = cores.max(MIN_CORES);
+        let s = service.0;
+        self.services[s].cores = cores;
+        for r in 0..self.services[s].replicas.len() {
+            if self.services[s].replicas[r].is_some() {
+                self.ps_advance(s, r);
+                self.services[s].replicas[r].as_mut().expect("live").cores = cores;
+                self.ps_reschedule(s, r);
+            }
+        }
+    }
+
+    /// Scales all service times of a service by `scale` — the hook used to
+    /// model business-logic updates (§VII-G's DETR → MobileNet swap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn set_work_scale(&mut self, service: ServiceId, scale: f64) {
+        assert!(scale > 0.0 && scale.is_finite());
+        self.work_scale[service.0] = scale;
+    }
+
+    /// Current work scale of a service.
+    pub fn work_scale(&self, service: ServiceId) -> f64 {
+        self.work_scale[service.0]
+    }
+
+    /// Total CPU cores currently allocated (live and draining replicas).
+    pub fn total_allocated_cores(&self) -> f64 {
+        self.services
+            .iter()
+            .map(|svc| {
+                svc.replicas
+                    .iter()
+                    .flatten()
+                    .map(|r| r.cores)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Takes a metrics snapshot covering the window since the previous
+    /// harvest, and resets the telemetry accumulators.
+    pub fn harvest(&mut self) -> MetricsSnapshot {
+        for s in 0..self.services.len() {
+            for r in 0..self.services[s].replicas.len() {
+                if self.services[s].replicas[r].is_some() {
+                    self.ps_advance(s, r);
+                }
+            }
+        }
+        let replicas: Vec<usize> = (0..self.services.len())
+            .map(|s| self.services[s].live_count())
+            .collect();
+        let cores: Vec<f64> = self.services.iter().map(|s| s.cores).collect();
+        let mq_depths: Vec<usize> = self.services.iter().map(|s| s.mq.len()).collect();
+        self.telemetry
+            .harvest(self.now, &self.names, &replicas, &cores, &mq_depths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, WorkDist};
+
+    fn single_service(cores: f64, mean_work: f64) -> Simulation {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("svc", cores)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: mean_work }),
+            }],
+        )
+        .unwrap();
+        Simulation::new(topo, SimConfig::default(), 7)
+    }
+
+    #[test]
+    fn single_service_completes_requests() {
+        let mut sim = single_service(4.0, 0.002);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(30));
+        let snap = sim.harvest();
+        let injected = snap.injections[0];
+        let completed = snap.completions[0];
+        assert!(injected > 2500, "injected {injected}");
+        assert!(completed as f64 > injected as f64 * 0.98, "completed {completed}/{injected}");
+        // M/M-ish latency at low load ~ service time.
+        let p50 = snap.e2e_latency[0].percentile(50.0).unwrap();
+        assert!(p50 < 0.02, "p50 {p50}");
+    }
+
+    #[test]
+    fn poisson_arrival_rate_matches() {
+        let mut sim = single_service(8.0, 0.001);
+        sim.set_rate(ClassId(0), RateFn::Constant(500.0));
+        sim.run_for(SimDur::from_secs(60));
+        let snap = sim.harvest();
+        let rps = snap.class_rps(ClassId(0));
+        assert!((rps - 500.0).abs() < 25.0, "rps {rps}");
+    }
+
+    #[test]
+    fn utilization_tracks_load() {
+        // rho = lambda * E[S] / cores = 100 * 0.002 / 1 = 0.2
+        let mut sim = single_service(1.0, 0.002);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(60));
+        let snap = sim.harvest();
+        let util = snap.services[0].cpu_utilization;
+        assert!((util - 0.2).abs() < 0.03, "util {util}");
+    }
+
+    #[test]
+    fn latency_rises_with_utilization() {
+        let mut lats = Vec::new();
+        for rps in [100.0, 400.0, 470.0] {
+            let mut sim = single_service(1.0, 0.002);
+            sim.set_rate(ClassId(0), RateFn::Constant(rps));
+            sim.run_for(SimDur::from_secs(60));
+            let snap = sim.harvest();
+            lats.push(snap.e2e_latency[0].percentile(99.0).unwrap());
+        }
+        assert!(lats[0] < lats[1] && lats[1] < lats[2], "latencies {lats:?}");
+        // Near saturation (rho = 0.94) p99 should blow up well past service time.
+        assert!(lats[2] > 5.0 * lats[0], "saturated {} vs idle {}", lats[2], lats[0]);
+    }
+
+    #[test]
+    fn more_replicas_reduce_latency() {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("svc", 1.0)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.002 }),
+            }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 9);
+        sim.set_rate(ClassId(0), RateFn::Constant(450.0));
+        sim.run_for(SimDur::from_secs(40));
+        let p99_one = sim.harvest().e2e_latency[0].percentile(99.0).unwrap();
+        sim.set_replicas(ServiceId(0), 4);
+        sim.run_for(SimDur::from_secs(40));
+        let p99_four = sim.harvest().e2e_latency[0].percentile(99.0).unwrap();
+        assert!(
+            p99_four < p99_one * 0.5,
+            "p99 1 replica {p99_one}, 4 replicas {p99_four}"
+        );
+        assert_eq!(sim.replicas(ServiceId(0)), 4);
+    }
+
+    #[test]
+    fn scale_in_drains_gracefully() {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("svc", 2.0).with_replicas(4)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.002 }),
+            }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 10);
+        sim.set_rate(ClassId(0), RateFn::Constant(200.0));
+        sim.run_for(SimDur::from_secs(20));
+        sim.set_replicas(ServiceId(0), 1);
+        assert_eq!(sim.replicas(ServiceId(0)), 1);
+        sim.run_for(SimDur::from_secs(20));
+        let snap = sim.harvest();
+        // No requests lost across the scale-in.
+        let injected: u64 = snap.injections.iter().sum();
+        let completed: u64 = snap.completions.iter().sum();
+        assert!(completed as f64 > injected as f64 * 0.97, "{completed}/{injected}");
+    }
+
+    /// A linear chain. Worker pools shrink downstream (client-facing tiers
+    /// admit far more concurrency than deep backend tiers), which is what
+    /// makes backpressure surface near the culprit rather than at the
+    /// outermost queue — see DESIGN.md §3.
+    fn chain(edge: EdgeKind, tiers: usize, work: f64, cores: f64) -> Topology {
+        let services: Vec<ServiceCfg> = (0..tiers)
+            .map(|i| {
+                let workers = (4096usize >> (2 * i).min(12)).max(32);
+                ServiceCfg::new(format!("tier{}", i + 1), cores).with_workers(workers)
+            })
+            .collect();
+        fn build(i: usize, tiers: usize, work: f64, edge: EdgeKind) -> CallNode {
+            let node = CallNode::leaf(ServiceId(i), WorkDist::Exponential { mean: work });
+            if i + 1 < tiers {
+                node.with_child(edge, build(i + 1, tiers, work, edge))
+            } else {
+                node
+            }
+        }
+        Topology::new(
+            services,
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: build(0, tiers, work, edge),
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nested_chain_end_to_end_latency_sums_tiers() {
+        let mut sim = Simulation::new(chain(EdgeKind::NestedRpc, 3, 0.002, 4.0), SimConfig::default(), 11);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(30));
+        let snap = sim.harvest();
+        let e2e_mean = snap.e2e_latency[0].mean().unwrap();
+        let tier_sum: f64 = (0..3)
+            .map(|s| snap.services[s].tier_latency[0].mean().unwrap())
+            .sum();
+        // e2e = sum of tier means + network hops; allow tolerance.
+        assert!(
+            (e2e_mean - tier_sum).abs() < 0.35 * e2e_mean,
+            "e2e {e2e_mean} vs tier sum {tier_sum}"
+        );
+        assert!(e2e_mean > tier_sum, "e2e includes network delay");
+    }
+
+    #[test]
+    fn nested_chain_backpressure_on_throttle() {
+        // Throttle the leaf far below the offered load; the parent's
+        // tier latency (excluding downstream wait) must inflate
+        // (worker exhaustion -> queueing), while without throttling it
+        // stays small.
+        let mut sim = Simulation::new(chain(EdgeKind::NestedRpc, 3, 0.004, 4.0), SimConfig::default(), 12);
+        sim.set_rate(ClassId(0), RateFn::Constant(300.0));
+        sim.run_for(SimDur::from_secs(30));
+        let baseline = sim.harvest();
+        let parent_before = baseline.services[1].tier_latency[0].percentile(99.0).unwrap();
+
+        sim.set_cpu_limit(ServiceId(2), 0.5); // leaf capacity 125 rps << 300 rps
+        sim.run_for(SimDur::from_secs(60));
+        let throttled = sim.harvest();
+        let parent_after = throttled.services[1].tier_latency[0].percentile(99.0).unwrap();
+        let root_after = throttled.services[0].tier_latency[0].percentile(99.0).unwrap();
+        assert!(
+            parent_after > parent_before * 5.0,
+            "backpressure: parent p99 {parent_before} -> {parent_after}"
+        );
+        // The gradient diminishes up the chain during the anomaly window.
+        assert!(
+            root_after < parent_after,
+            "root {root_after} vs parent {parent_after}"
+        );
+    }
+
+    #[test]
+    fn mq_chain_no_backpressure_on_throttle() {
+        let mut sim = Simulation::new(chain(EdgeKind::Mq, 3, 0.004, 4.0), SimConfig::default(), 13);
+        sim.set_rate(ClassId(0), RateFn::Constant(300.0));
+        sim.run_for(SimDur::from_secs(30));
+        let baseline = sim.harvest();
+        let parent_before = baseline.services[1].tier_latency[0].percentile(99.0).unwrap();
+
+        sim.set_cpu_limit(ServiceId(2), 0.5);
+        sim.run_for(SimDur::from_secs(30));
+        let throttled = sim.harvest();
+        let parent_after = throttled.services[1].tier_latency[0].percentile(99.0).unwrap();
+        // The MQ producer tier is unaffected by the slow consumer.
+        assert!(
+            parent_after < parent_before * 2.0,
+            "no backpressure expected: {parent_before} -> {parent_after}"
+        );
+        // But the throttled tier itself suffers and its queue grows.
+        assert!(throttled.services[2].mq_depth > 1000, "depth {}", throttled.services[2].mq_depth);
+    }
+
+    #[test]
+    fn priorities_protect_high_class() {
+        // Two classes share one overloaded service; the high-priority class
+        // must see far lower latency.
+        let mk_class = |name: &str, prio: Priority| ClassCfg {
+            name: name.into(),
+            priority: prio,
+            root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.004 }),
+        };
+        let topo = Topology::new(
+            vec![ServiceCfg::new("svc", 1.0).with_workers(1)],
+            vec![mk_class("high", Priority::HIGH), mk_class("low", Priority::LOW)],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 14);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.set_rate(ClassId(1), RateFn::Constant(200.0)); // total rho = 1.2: overload
+        sim.run_for(SimDur::from_secs(30));
+        let snap = sim.harvest();
+        let p50_high = snap.e2e_latency[0].percentile(50.0).unwrap();
+        let p50_low = snap.e2e_latency[1].percentile(50.0).unwrap();
+        assert!(
+            p50_low > 10.0 * p50_high,
+            "high {p50_high} vs low {p50_low}"
+        );
+    }
+
+    #[test]
+    fn event_driven_parent_responds_before_child() {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("front", 4.0), ServiceCfg::new("back", 4.0)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)).with_child(
+                    EdgeKind::EventDrivenRpc,
+                    CallNode::leaf(ServiceId(1), WorkDist::Constant(0.050)),
+                ),
+            }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 15);
+        sim.set_rate(ClassId(0), RateFn::Constant(50.0));
+        sim.run_for(SimDur::from_secs(20));
+        let snap = sim.harvest();
+        // Parent's own response doesn't include the 50 ms child work.
+        let parent_p50 = snap.services[0].response_latency[0].percentile(50.0).unwrap();
+        assert!(parent_p50 < 0.010, "parent responds fast: {parent_p50}");
+        // But e2e completion includes the child.
+        let e2e_p50 = snap.e2e_latency[0].percentile(50.0).unwrap();
+        assert!(e2e_p50 > 0.050, "e2e includes child: {e2e_p50}");
+    }
+
+    #[test]
+    fn work_scale_shrinks_latency() {
+        let mut sim = single_service(2.0, 0.010);
+        sim.set_rate(ClassId(0), RateFn::Constant(50.0));
+        sim.run_for(SimDur::from_secs(20));
+        let before = sim.harvest().e2e_latency[0].percentile(50.0).unwrap();
+        sim.set_work_scale(ServiceId(0), 0.2);
+        sim.run_for(SimDur::from_secs(20));
+        let after = sim.harvest().e2e_latency[0].percentile(50.0).unwrap();
+        assert!(after < before * 0.5, "{before} -> {after}");
+    }
+
+    #[test]
+    fn total_allocated_cores_tracks_scaling() {
+        let mut sim = single_service(2.0, 0.001);
+        assert!((sim.total_allocated_cores() - 2.0).abs() < 1e-12);
+        sim.set_replicas(ServiceId(0), 3);
+        assert!((sim.total_allocated_cores() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = single_service(2.0, 0.002);
+            sim.set_rate(ClassId(0), RateFn::Constant(200.0));
+            sim.run_for(SimDur::from_secs(20));
+            let snap = sim.harvest();
+            (
+                snap.injections[0],
+                snap.completions[0],
+                snap.e2e_latency[0].percentile(99.0).unwrap(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut sim = single_service(2.0, 0.002);
+        sim.set_rate(ClassId(0), RateFn::Constant(0.0));
+        sim.run_for(SimDur::from_secs(10));
+        let snap = sim.harvest();
+        assert_eq!(snap.injections[0], 0);
+    }
+
+    #[test]
+    fn manual_injection() {
+        let mut sim = single_service(2.0, 0.002);
+        for _ in 0..10 {
+            sim.inject(ClassId(0));
+        }
+        sim.run_for(SimDur::from_secs(5));
+        let snap = sim.harvest();
+        assert_eq!(snap.injections[0], 10);
+        assert_eq!(snap.completions[0], 10);
+        assert_eq!(sim.in_flight(), 0);
+    }
+}
+
+#[cfg(test)]
+mod span_tests {
+    use super::*;
+    use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, WorkDist};
+
+    #[test]
+    fn spans_record_hops() {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("a", 2.0), ServiceCfg::new("b", 2.0)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)).with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(ServiceId(1), WorkDist::Constant(0.002)),
+                ),
+            }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 1);
+        sim.enable_tracing(1000);
+        for _ in 0..20 {
+            sim.inject(ClassId(0));
+        }
+        sim.run_for(SimDur::from_secs(5));
+        let spans = sim.take_spans();
+        assert_eq!(spans.len(), 40, "two hops per request");
+        // Root spans (node 0) cover their child spans.
+        for s in &spans {
+            assert!(s.respond_at >= s.enqueue_at);
+            assert!(s.tier_latency() <= s.latency());
+            if s.node == 0 {
+                assert!(s.nested_wait > SimDur::ZERO, "root waits on the child");
+            }
+        }
+        // Drained: second take is empty.
+        assert!(sim.take_spans().is_empty());
+    }
+
+    #[test]
+    fn span_ring_bounded() {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("a", 4.0)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.0005)),
+            }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 2);
+        sim.enable_tracing(16);
+        for _ in 0..100 {
+            sim.inject(ClassId(0));
+        }
+        sim.run_for(SimDur::from_secs(5));
+        let spans = sim.take_spans();
+        assert_eq!(spans.len(), 16, "ring keeps the newest 16");
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("a", 2.0)],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)),
+            }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 3);
+        sim.inject(ClassId(0));
+        sim.run_for(SimDur::from_secs(1));
+        assert!(sim.take_spans().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, WorkDist};
+
+    fn one_service() -> Topology {
+        Topology::new(
+            vec![ServiceCfg::new("svc", 4.0)],
+            vec![ClassCfg {
+                name: "c".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)),
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_replay_injects_exactly() {
+        let mut sim = Simulation::new(one_service(), SimConfig::default(), 1);
+        let times: Vec<SimTime> = (0..50).map(|i| SimTime::from_secs_f64(0.1 * i as f64)).collect();
+        sim.schedule_arrivals(ClassId(0), &times);
+        sim.run_for(SimDur::from_secs(10));
+        let snap = sim.harvest();
+        assert_eq!(snap.injections[0], 50);
+        assert_eq!(snap.completions[0], 50);
+    }
+
+    #[test]
+    fn trace_and_poisson_compose() {
+        let mut sim = Simulation::new(one_service(), SimConfig::default(), 2);
+        sim.set_rate(ClassId(0), RateFn::Constant(10.0));
+        sim.schedule_arrivals(ClassId(0), &[SimTime::from_secs_f64(1.0)]);
+        sim.run_for(SimDur::from_secs(30));
+        let snap = sim.harvest();
+        assert!(snap.injections[0] > 200, "poisson + trace arrivals");
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn trace_rejects_past_arrivals() {
+        let mut sim = Simulation::new(one_service(), SimConfig::default(), 3);
+        sim.run_for(SimDur::from_secs(5));
+        sim.schedule_arrivals(ClassId(0), &[SimTime::from_secs_f64(1.0)]);
+    }
+}
+
+#[cfg(test)]
+mod net_jitter_tests {
+    use super::*;
+    use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, WorkDist};
+
+    fn two_tier(cv: f64) -> Simulation {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("a", 4.0), ServiceCfg::new("b", 4.0)],
+            vec![ClassCfg {
+                name: "c".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)).with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(ServiceId(1), WorkDist::Constant(0.001)),
+                ),
+            }],
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            net_delay: SimDur::from_millis(2),
+            net_delay_cv: cv,
+        };
+        Simulation::new(topo, cfg, 9)
+    }
+
+    #[test]
+    fn jitter_preserves_mean_but_spreads_tail() {
+        let run = |cv: f64| {
+            let mut sim = two_tier(cv);
+            sim.set_rate(ClassId(0), RateFn::Constant(50.0));
+            sim.run_for(SimDur::from_secs(60));
+            let snap = sim.harvest();
+            let e2e = &snap.e2e_latency[0];
+            (e2e.mean().unwrap(), e2e.percentile(99.0).unwrap())
+        };
+        let (mean_det, p99_det) = run(0.0);
+        let (mean_jit, p99_jit) = run(1.0);
+        // Three network hops of 2 ms mean in either case.
+        assert!((mean_jit - mean_det).abs() < 0.0015, "{mean_det} vs {mean_jit}");
+        assert!(p99_jit > p99_det, "jitter must widen the tail: {p99_det} vs {p99_jit}");
+    }
+}

@@ -1,0 +1,535 @@
+//! Microservice application topologies.
+//!
+//! A [`Topology`] declares the services of an application (with their
+//! per-replica resource configuration) and one [`CallNode`] tree per request
+//! class, describing how a request of that class flows through the services:
+//! which service handles each hop, how much compute it costs, and whether
+//! each inter-service edge is a nested RPC, an event-driven RPC, or a
+//! message queue — the three communication styles whose backpressure
+//! behaviour §III of the paper characterizes.
+
+use ursa_stats::dist::{Constant, Distribution, Exponential, LogNormal, Pareto, Uniform};
+use ursa_stats::rng::Rng;
+
+/// Index of a service within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(pub usize);
+
+/// Index of a request class within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub usize);
+
+/// Request priority: lower value = higher priority (0 is highest).
+///
+/// Queues serve strictly by priority, matching the video-processing
+/// pipeline's semantics in the paper ("low-priority requests are processed
+/// only when there is no high-priority request waiting").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The highest priority.
+    pub const HIGH: Priority = Priority(0);
+    /// A standard low priority.
+    pub const LOW: Priority = Priority(1);
+}
+
+/// How an upstream service communicates with a downstream service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Synchronous RPC: the caller's worker thread blocks until the callee
+    /// responds (Fig. 1a). Exhibits backpressure.
+    NestedRpc,
+    /// Event-driven RPC: the handler submits a continuation to a bounded
+    /// daemon pool and responds immediately; the continuation performs the
+    /// RPC and waits (Fig. 1b). Exhibits backpressure when the daemon pool
+    /// and its submission queue fill up.
+    EventDrivenRpc,
+    /// Message queue: the producer publishes and continues; consumers pull
+    /// from an unbounded queue (Fig. 1c). No backpressure.
+    Mq,
+}
+
+/// A cloneable service-time distribution (CPU-seconds of work per request).
+///
+/// This is a closed enum rather than a boxed trait object so that topologies
+/// can be cloned, inspected, and re-profiled (the profiling engine in
+/// `ursa-core` builds synthetic single-service topologies from these specs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkDist {
+    /// Fixed compute cost.
+    Constant(f64),
+    /// Uniform on `[low, high)`.
+    Uniform { low: f64, high: f64 },
+    /// Exponential with the given mean.
+    Exponential { mean: f64 },
+    /// Log-normal with the given mean and coefficient of variation.
+    LogNormal { mean: f64, cv: f64 },
+    /// Pareto with scale `x_min` and shape `alpha`.
+    Pareto { x_min: f64, alpha: f64 },
+}
+
+impl WorkDist {
+    /// Draws one compute cost in CPU-seconds (always non-negative).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let v = match self {
+            WorkDist::Constant(c) => Constant(*c).sample(rng),
+            WorkDist::Uniform { low, high } => Uniform::new(*low, *high).sample(rng),
+            WorkDist::Exponential { mean } => Exponential::with_mean(*mean).sample(rng),
+            WorkDist::LogNormal { mean, cv } => LogNormal::from_mean_cv(*mean, *cv).sample(rng),
+            WorkDist::Pareto { x_min, alpha } => Pareto::new(*x_min, *alpha).sample(rng),
+        };
+        v.max(0.0)
+    }
+
+    /// The distribution mean in CPU-seconds.
+    pub fn mean(&self) -> f64 {
+        match self {
+            WorkDist::Constant(c) => *c,
+            WorkDist::Uniform { low, high } => 0.5 * (low + high),
+            WorkDist::Exponential { mean } => *mean,
+            WorkDist::LogNormal { mean, .. } => *mean,
+            WorkDist::Pareto { x_min, alpha } => Pareto::new(*x_min, *alpha).mean(),
+        }
+    }
+
+    /// Validates parameters, returning a description of the first problem.
+    fn validate(&self) -> Result<(), String> {
+        let ok = match self {
+            WorkDist::Constant(c) => *c >= 0.0 && c.is_finite(),
+            WorkDist::Uniform { low, high } => *low >= 0.0 && high >= low && high.is_finite(),
+            WorkDist::Exponential { mean } => *mean > 0.0 && mean.is_finite(),
+            WorkDist::LogNormal { mean, cv } => *mean > 0.0 && *cv >= 0.0 && cv.is_finite(),
+            WorkDist::Pareto { x_min, alpha } => *x_min > 0.0 && *alpha > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("invalid work distribution {self:?}"))
+        }
+    }
+}
+
+/// Whether a node's nested child calls are issued one-by-one or all at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CallMode {
+    /// Children are called in order; each nested call completes before the
+    /// next child is issued.
+    #[default]
+    Sequential,
+    /// All children are issued immediately; the node waits for every nested
+    /// response before continuing (fan-out).
+    Parallel,
+}
+
+/// One hop of a request-class call tree.
+#[derive(Debug, Clone)]
+pub struct CallNode {
+    /// Which service executes this hop.
+    pub service: ServiceId,
+    /// Compute performed before issuing child calls.
+    pub pre_work: WorkDist,
+    /// Compute performed after all nested children respond.
+    pub post_work: WorkDist,
+    /// Sequential or parallel issuance of children.
+    pub mode: CallMode,
+    /// Downstream calls made by this hop.
+    pub children: Vec<(EdgeKind, CallNode)>,
+}
+
+impl CallNode {
+    /// Creates a leaf hop with the given pre-work and no post-work.
+    pub fn leaf(service: ServiceId, work: WorkDist) -> Self {
+        CallNode {
+            service,
+            pre_work: work,
+            post_work: WorkDist::Constant(0.0),
+            mode: CallMode::Sequential,
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a downstream call, returning `self` for chaining.
+    pub fn with_child(mut self, edge: EdgeKind, node: CallNode) -> Self {
+        self.children.push((edge, node));
+        self
+    }
+
+    /// Sets the post-children compute, returning `self` for chaining.
+    pub fn with_post_work(mut self, work: WorkDist) -> Self {
+        self.post_work = work;
+        self
+    }
+
+    /// Sets the child call mode, returning `self` for chaining.
+    pub fn with_mode(mut self, mode: CallMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of hops in the subtree rooted here.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.node_count()).sum::<usize>()
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a CallNode)) {
+        f(self);
+        for (_, c) in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// Per-replica configuration of a service.
+#[derive(Debug, Clone)]
+pub struct ServiceCfg {
+    /// Human-readable name (unique within a topology).
+    pub name: String,
+    /// CPU cores per replica (the Kubernetes CPU limit; fractional allowed
+    /// for throttling experiments).
+    pub cores: f64,
+    /// Request worker threads per replica. A worker is held for the entire
+    /// synchronous lifetime of a request, including nested-RPC waits.
+    pub workers: usize,
+    /// Daemon threads per replica serving event-driven continuations.
+    pub daemon_workers: usize,
+    /// Bounded submission queue in front of the daemon pool; when full,
+    /// handlers block on submission (the §III event-driven backpressure
+    /// mechanism).
+    pub daemon_queue_cap: usize,
+    /// Replica count at simulation start.
+    pub initial_replicas: usize,
+}
+
+impl ServiceCfg {
+    /// A service with the given name and core count, with defaults sized so
+    /// that thread pools are not the bottleneck at moderate load
+    /// (64 workers, 32 daemons, 64-deep daemon queue, 1 replica).
+    pub fn new(name: impl Into<String>, cores: f64) -> Self {
+        ServiceCfg {
+            name: name.into(),
+            cores,
+            workers: 64,
+            daemon_workers: 32,
+            daemon_queue_cap: 64,
+            initial_replicas: 1,
+        }
+    }
+
+    /// Sets the worker pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the daemon pool size and submission queue depth.
+    pub fn with_daemons(mut self, daemons: usize, queue_cap: usize) -> Self {
+        self.daemon_workers = daemons;
+        self.daemon_queue_cap = queue_cap;
+        self
+    }
+
+    /// Sets the starting replica count.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.initial_replicas = replicas;
+        self
+    }
+}
+
+/// A request class: a named call tree with a priority.
+#[derive(Debug, Clone)]
+pub struct ClassCfg {
+    /// Human-readable name (unique within a topology).
+    pub name: String,
+    /// Scheduling priority of this class's requests.
+    pub priority: Priority,
+    /// The call tree executed by each request of this class.
+    pub root: CallNode,
+}
+
+/// Error produced when a topology fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyError(String);
+
+impl core::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid topology: {}", self.0)
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated microservice application: services plus request classes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    services: Vec<ServiceCfg>,
+    classes: Vec<ClassCfg>,
+}
+
+impl Topology {
+    /// Validates and constructs a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any of the following hold: no services; a
+    /// service with non-positive cores, zero workers, or zero replicas;
+    /// duplicate service or class names; a call node referencing an
+    /// out-of-range service; or an invalid work distribution.
+    pub fn new(services: Vec<ServiceCfg>, classes: Vec<ClassCfg>) -> Result<Self, TopologyError> {
+        if services.is_empty() {
+            return Err(TopologyError("no services".into()));
+        }
+        let mut names = std::collections::HashSet::new();
+        for s in &services {
+            if !(s.cores > 0.0 && s.cores.is_finite()) {
+                return Err(TopologyError(format!("service {} has invalid cores", s.name)));
+            }
+            if s.workers == 0 {
+                return Err(TopologyError(format!("service {} has zero workers", s.name)));
+            }
+            if s.initial_replicas == 0 {
+                return Err(TopologyError(format!("service {} has zero replicas", s.name)));
+            }
+            if !names.insert(s.name.clone()) {
+                return Err(TopologyError(format!("duplicate service name {}", s.name)));
+            }
+        }
+        let mut cnames = std::collections::HashSet::new();
+        for c in &classes {
+            if !cnames.insert(c.name.clone()) {
+                return Err(TopologyError(format!("duplicate class name {}", c.name)));
+            }
+            let mut err = None;
+            c.root.visit(&mut |node| {
+                if node.service.0 >= services.len() {
+                    err = Some(format!(
+                        "class {} references unknown service {}",
+                        c.name, node.service.0
+                    ));
+                }
+                if let Err(e) = node.pre_work.validate() {
+                    err = Some(format!("class {}: {e}", c.name));
+                }
+                if let Err(e) = node.post_work.validate() {
+                    err = Some(format!("class {}: {e}", c.name));
+                }
+            });
+            if let Some(e) = err {
+                return Err(TopologyError(e));
+            }
+        }
+        Ok(Topology { services, classes })
+    }
+
+    /// The services of this application.
+    pub fn services(&self) -> &[ServiceCfg] {
+        &self.services
+    }
+
+    /// The request classes of this application.
+    pub fn classes(&self) -> &[ClassCfg] {
+        &self.classes
+    }
+
+    /// Number of services.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Number of request classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Finds a service by name.
+    pub fn service_by_name(&self, name: &str) -> Option<ServiceId> {
+        self.services.iter().position(|s| s.name == name).map(ServiceId)
+    }
+
+    /// Finds a request class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes.iter().position(|c| c.name == name).map(ClassId)
+    }
+
+    /// All `(class, node)` pairs whose node runs on `service`, with the
+    /// edge kind through which the node is reached (`None` for roots).
+    ///
+    /// Used by the profiling engine to synthesize per-service workloads.
+    pub fn nodes_on_service(&self, service: ServiceId) -> Vec<(ClassId, &CallNode, Option<EdgeKind>)> {
+        let mut out = Vec::new();
+        for (ci, class) in self.classes.iter().enumerate() {
+            fn walk<'a>(
+                node: &'a CallNode,
+                via: Option<EdgeKind>,
+                service: ServiceId,
+                ci: usize,
+                out: &mut Vec<(ClassId, &'a CallNode, Option<EdgeKind>)>,
+            ) {
+                if node.service == service {
+                    out.push((ClassId(ci), node, via));
+                }
+                for (edge, child) in &node.children {
+                    walk(child, Some(*edge), service, ci, out);
+                }
+            }
+            walk(&class.root, None, service, ci, &mut out);
+        }
+        out
+    }
+
+    /// True if any request class reaches `service` via a synchronous
+    /// (nested or event-driven) RPC edge, i.e. the service can exert
+    /// backpressure on an upstream caller.
+    pub fn is_rpc_connected(&self, service: ServiceId) -> bool {
+        self.nodes_on_service(service).iter().any(|(_, _, via)| {
+            matches!(via, Some(EdgeKind::NestedRpc) | Some(EdgeKind::EventDrivenRpc))
+        })
+    }
+
+    /// Services traversed by the given class's call tree (deduplicated,
+    /// in visit order).
+    pub fn services_of_class(&self, class: ClassId) -> Vec<ServiceId> {
+        let mut seen = Vec::new();
+        self.classes[class.0].root.visit(&mut |node| {
+            if !seen.contains(&node.service) {
+                seen.push(node.service);
+            }
+        });
+        seen
+    }
+
+    /// Request classes whose call tree touches the given service.
+    pub fn classes_on_service(&self, service: ServiceId) -> Vec<ClassId> {
+        (0..self.classes.len())
+            .map(ClassId)
+            .filter(|&c| self.services_of_class(c).contains(&service))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> Topology {
+        let services = vec![
+            ServiceCfg::new("frontend", 2.0),
+            ServiceCfg::new("backend", 2.0),
+        ];
+        let root = CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)).with_child(
+            EdgeKind::NestedRpc,
+            CallNode::leaf(ServiceId(1), WorkDist::Exponential { mean: 0.002 }),
+        );
+        let classes = vec![ClassCfg {
+            name: "get".into(),
+            priority: Priority::HIGH,
+            root,
+        }];
+        Topology::new(services, classes).expect("valid")
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let t = two_tier();
+        assert_eq!(t.num_services(), 2);
+        assert_eq!(t.num_classes(), 1);
+        assert_eq!(t.service_by_name("backend"), Some(ServiceId(1)));
+        assert_eq!(t.class_by_name("get"), Some(ClassId(0)));
+        assert_eq!(t.class_by_name("nope"), None);
+        assert_eq!(t.classes()[0].root.node_count(), 2);
+    }
+
+    #[test]
+    fn nodes_on_service_reports_edges() {
+        let t = two_tier();
+        let on_backend = t.nodes_on_service(ServiceId(1));
+        assert_eq!(on_backend.len(), 1);
+        assert_eq!(on_backend[0].2, Some(EdgeKind::NestedRpc));
+        let on_frontend = t.nodes_on_service(ServiceId(0));
+        assert_eq!(on_frontend[0].2, None);
+    }
+
+    #[test]
+    fn rpc_connectivity() {
+        let t = two_tier();
+        assert!(t.is_rpc_connected(ServiceId(1)));
+        assert!(!t.is_rpc_connected(ServiceId(0))); // root is not called via RPC
+    }
+
+    #[test]
+    fn services_and_classes_cross_index() {
+        let t = two_tier();
+        assert_eq!(t.services_of_class(ClassId(0)), vec![ServiceId(0), ServiceId(1)]);
+        assert_eq!(t.classes_on_service(ServiceId(1)), vec![ClassId(0)]);
+    }
+
+    #[test]
+    fn rejects_unknown_service() {
+        let services = vec![ServiceCfg::new("a", 1.0)];
+        let classes = vec![ClassCfg {
+            name: "c".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(3), WorkDist::Constant(0.001)),
+        }];
+        assert!(Topology::new(services, classes).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let services = vec![ServiceCfg::new("a", 1.0), ServiceCfg::new("a", 1.0)];
+        assert!(Topology::new(services, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_work_dist() {
+        let services = vec![ServiceCfg::new("a", 1.0)];
+        let classes = vec![ClassCfg {
+            name: "c".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: -1.0 }),
+        }];
+        assert!(Topology::new(services, classes).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_replicas() {
+        let services = vec![ServiceCfg::new("a", 1.0).with_replicas(0)];
+        assert!(Topology::new(services, vec![]).is_err());
+    }
+
+    #[test]
+    fn work_dist_sampling_nonnegative_and_mean() {
+        let mut rng = Rng::seed_from(3);
+        let dists = [
+            WorkDist::Constant(0.01),
+            WorkDist::Uniform { low: 0.0, high: 0.02 },
+            WorkDist::Exponential { mean: 0.01 },
+            WorkDist::LogNormal { mean: 0.01, cv: 1.0 },
+            WorkDist::Pareto { x_min: 0.005, alpha: 2.0 },
+        ];
+        for d in &dists {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(mean >= 0.0);
+            assert!(
+                (mean - d.mean()).abs() / d.mean() < 0.15,
+                "{d:?}: sampled {mean} vs {}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn call_node_builder_chains() {
+        let node = CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001))
+            .with_post_work(WorkDist::Constant(0.002))
+            .with_mode(CallMode::Parallel)
+            .with_child(
+                EdgeKind::Mq,
+                CallNode::leaf(ServiceId(0), WorkDist::Constant(0.003)),
+            );
+        assert_eq!(node.mode, CallMode::Parallel);
+        assert_eq!(node.children.len(), 1);
+        assert_eq!(node.node_count(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Arrival-rate patterns for open-loop load generation.
+//!
+//! The paper evaluates under three kinds of user load (§VII-E): *constant*
+//! (Poisson with fixed RPS), *dynamic* (diurnal ramps and sharp bursts of
+//! +50 % to +125 %), and *skewed* (a different mix of request classes than
+//! seen during exploration — expressed by giving each class its own
+//! [`RateFn`]). The simulator realizes any [`RateFn`] as a non-homogeneous
+//! Poisson process via thinning.
+
+use crate::time::{SimDur, SimTime};
+
+/// A deterministic instantaneous-arrival-rate function (requests/second).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateFn {
+    /// Fixed rate.
+    Constant(f64),
+    /// Diurnal pattern: rises smoothly from `base` to `peak` and back over
+    /// `period`, repeating. `rate(t) = base + (peak-base)·sin²(πt/period)`.
+    Diurnal {
+        /// Minimum rate (at t = 0 and t = period).
+        base: f64,
+        /// Maximum rate (at t = period/2).
+        peak: f64,
+        /// Length of one up-down cycle.
+        period: SimDur,
+    },
+    /// A flat `base` rate with a rectangular burst to `burst` between
+    /// `start` and `end`.
+    Burst {
+        /// Rate outside the burst window.
+        base: f64,
+        /// Rate inside the burst window.
+        burst: f64,
+        /// Burst start time.
+        start: SimTime,
+        /// Burst end time.
+        end: SimTime,
+    },
+    /// Piecewise-constant rate: `(from, rate)` steps, sorted by time. The
+    /// rate before the first step is 0.
+    Steps(Vec<(SimTime, f64)>),
+}
+
+impl RateFn {
+    /// The instantaneous rate at time `t`.
+    pub fn rate(&self, t: SimTime) -> f64 {
+        match self {
+            RateFn::Constant(r) => *r,
+            RateFn::Diurnal { base, peak, period } => {
+                let frac = t.as_secs_f64() / period.as_secs_f64().max(1e-9);
+                let s = (core::f64::consts::PI * frac).sin();
+                base + (peak - base) * s * s
+            }
+            RateFn::Burst { base, burst, start, end } => {
+                if t >= *start && t < *end {
+                    *burst
+                } else {
+                    *base
+                }
+            }
+            RateFn::Steps(steps) => {
+                let mut rate = 0.0;
+                for (from, r) in steps {
+                    if t >= *from {
+                        rate = *r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+        }
+    }
+
+    /// An upper bound on the rate over all time (for thinning).
+    pub fn max_rate(&self) -> f64 {
+        match self {
+            RateFn::Constant(r) => *r,
+            RateFn::Diurnal { base, peak, .. } => base.max(*peak),
+            RateFn::Burst { base, burst, .. } => base.max(*burst),
+            RateFn::Steps(steps) => steps.iter().map(|(_, r)| *r).fold(0.0, f64::max),
+        }
+    }
+
+    /// Returns this rate function scaled by a constant factor.
+    ///
+    /// Used to derive per-class rates from an application-wide pattern and a
+    /// request-mix ratio.
+    pub fn scaled(&self, k: f64) -> RateFn {
+        match self {
+            RateFn::Constant(r) => RateFn::Constant(r * k),
+            RateFn::Diurnal { base, peak, period } => RateFn::Diurnal {
+                base: base * k,
+                peak: peak * k,
+                period: *period,
+            },
+            RateFn::Burst { base, burst, start, end } => RateFn::Burst {
+                base: base * k,
+                burst: burst * k,
+                start: *start,
+                end: *end,
+            },
+            RateFn::Steps(steps) => {
+                RateFn::Steps(steps.iter().map(|(t, r)| (*t, r * k)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant() {
+        let r = RateFn::Constant(5.0);
+        assert_eq!(r.rate(SimTime::from_secs_f64(100.0)), 5.0);
+        assert_eq!(r.max_rate(), 5.0);
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        let r = RateFn::Diurnal {
+            base: 100.0,
+            peak: 300.0,
+            period: SimDur::from_secs(3600),
+        };
+        assert!((r.rate(SimTime::ZERO) - 100.0).abs() < 1e-9);
+        assert!((r.rate(SimTime::from_secs_f64(1800.0)) - 300.0).abs() < 1e-9);
+        assert!((r.rate(SimTime::from_secs_f64(3600.0)) - 100.0).abs() < 1e-6);
+        assert_eq!(r.max_rate(), 300.0);
+        // Monotone on the rising half.
+        assert!(r.rate(SimTime::from_secs_f64(600.0)) < r.rate(SimTime::from_secs_f64(1200.0)));
+    }
+
+    #[test]
+    fn burst_window() {
+        let r = RateFn::Burst {
+            base: 100.0,
+            burst: 225.0,
+            start: SimTime::from_secs_f64(60.0),
+            end: SimTime::from_secs_f64(120.0),
+        };
+        assert_eq!(r.rate(SimTime::from_secs_f64(30.0)), 100.0);
+        assert_eq!(r.rate(SimTime::from_secs_f64(90.0)), 225.0);
+        assert_eq!(r.rate(SimTime::from_secs_f64(120.0)), 100.0);
+        assert_eq!(r.max_rate(), 225.0);
+    }
+
+    #[test]
+    fn steps_lookup() {
+        let r = RateFn::Steps(vec![
+            (SimTime::from_secs_f64(10.0), 5.0),
+            (SimTime::from_secs_f64(20.0), 9.0),
+        ]);
+        assert_eq!(r.rate(SimTime::ZERO), 0.0);
+        assert_eq!(r.rate(SimTime::from_secs_f64(15.0)), 5.0);
+        assert_eq!(r.rate(SimTime::from_secs_f64(25.0)), 9.0);
+        assert_eq!(r.max_rate(), 9.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let r = RateFn::Diurnal {
+            base: 100.0,
+            peak: 200.0,
+            period: SimDur::from_secs(100),
+        }
+        .scaled(0.5);
+        assert_eq!(r.rate(SimTime::ZERO), 50.0);
+        assert_eq!(r.max_rate(), 100.0);
+    }
+}

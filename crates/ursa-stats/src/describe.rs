@@ -1,0 +1,200 @@
+//! Streaming descriptive statistics.
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable single-pass accumulation; used by the telemetry layer
+/// for CPU-utilization averages and by the ML substrate for feature
+/// normalization.
+///
+/// # Example
+///
+/// ```
+/// use ursa_stats::describe::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert_eq!(w.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`; 0 if fewer than 1 observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`; 0 if fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_benign() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let w: Welford = [5.0].into_iter().collect();
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 5.0);
+        assert_eq!(w.max(), 5.0);
+    }
+
+    #[test]
+    fn matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 97) as f64).collect();
+        let w: Welford = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.sample_variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a: Welford = xs[..200].iter().copied().collect();
+        let b: Welford = xs[200..].iter().copied().collect();
+        a.merge(&b);
+        let full: Welford = xs.iter().copied().collect();
+        assert!((a.mean() - full.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - full.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.count(), full.count());
+        assert_eq!(a.min(), full.min());
+        assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: Welford = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut w = Welford::new();
+        w.extend([1.0, 3.0]);
+        assert_eq!(w.mean(), 2.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Log-bucketed latency histogram.
+//!
+//! A compact alternative to [`crate::quantile::QuantileWindow`] for
+//! long-running counters where per-sample storage would be wasteful:
+//! buckets grow geometrically so relative quantile error is bounded by the
+//! growth factor (HdrHistogram-style, simplified).
+
+/// A histogram with geometrically sized buckets over `(0, max_value]`.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds, ascending; last is `f64::INFINITY`.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram covering `(0, max_value]` with buckets growing by
+    /// `growth` per step from `min_value`, plus an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_value <= 0`, `max_value <= min_value`, or
+    /// `growth <= 1`.
+    pub fn new(min_value: f64, max_value: f64, growth: f64) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(max_value > min_value, "max_value must exceed min_value");
+        assert!(growth > 1.0, "growth must exceed 1");
+        let mut bounds = vec![min_value];
+        while *bounds.last().expect("non-empty") < max_value {
+            let next = bounds.last().expect("non-empty") * growth;
+            bounds.push(next);
+        }
+        bounds.push(f64::INFINITY);
+        let counts = vec![0; bounds.len()];
+        LatencyHistogram {
+            bounds,
+            counts,
+            total: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// A histogram suitable for latencies in seconds, from 10 µs to 1 hour,
+    /// with ≤ 5 % relative quantile error.
+    pub fn for_latency_seconds() -> Self {
+        LatencyHistogram::new(1e-5, 3600.0, 1.05)
+    }
+
+    /// Records one observation.
+    ///
+    /// Negative and NaN values are clamped into the first bucket (they can
+    /// only arise from floating-point underflow upstream).
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_nan() { 0.0 } else { value.max(0.0) };
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+    }
+
+    fn bucket_index(&self, v: f64) -> usize {
+        match self
+            .bounds
+            .binary_search_by(|b| b.partial_cmp(&v).expect("bounds are not NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.bounds.len() - 1),
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum / self.total as f64)
+        }
+    }
+
+    /// Largest value recorded so far.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Approximate `p`-th percentile (0–100), or `None` if empty.
+    ///
+    /// Returns the upper bound of the bucket containing the target rank
+    /// (capped at the maximum observed value), so the estimate
+    /// overestimates by at most one bucket's relative width.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p));
+        if self.total == 0 {
+            return None;
+        }
+        let target = (p / 100.0 * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bounds[i].min(self.max_seen));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// Fraction of observations strictly above `threshold` (bucket-resolution).
+    pub fn fraction_above(&self, threshold: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let idx = self.bucket_index(threshold);
+        let above: u64 = self.counts[idx + 1..].iter().sum();
+        Some(above as f64 / self.total as f64)
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0.0;
+        self.max_seen = 0.0;
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bucket layouts.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bounds, other.bounds, "incompatible bucket layouts");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, LogNormal};
+    use crate::quantile::percentile_of_sorted;
+    use crate::rng::Rng;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::for_latency_seconds();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn percentile_within_bucket_error() {
+        let mut h = LatencyHistogram::for_latency_seconds();
+        let d = LogNormal::from_mean_cv(0.050, 0.8);
+        let mut rng = Rng::seed_from(1);
+        let mut raw = Vec::new();
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            h.record(x);
+            raw.push(x);
+        }
+        raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let exact = percentile_of_sorted(&raw, p);
+            let approx = h.percentile(p).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.06, "p{p}: exact {exact} approx {approx} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn mean_and_max_exact() {
+        let mut h = LatencyHistogram::new(0.001, 10.0, 2.0);
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(2.0));
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_large_values() {
+        let mut h = LatencyHistogram::new(0.001, 1.0, 2.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(100.0), Some(1e9));
+    }
+
+    #[test]
+    fn negative_and_nan_clamped() {
+        let mut h = LatencyHistogram::new(0.001, 1.0, 2.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(50.0).unwrap() <= 0.001);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new(0.001, 10.0, 2.0);
+        let mut b = LatencyHistogram::new(0.001, 10.0, 2.0);
+        a.record(0.5);
+        b.record(4.0);
+        b.record(8.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 8.0);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = LatencyHistogram::new(0.001, 100.0, 2.0);
+        for v in [1.0, 1.0, 50.0, 50.0] {
+            h.record(v);
+        }
+        // Threshold between the two populated buckets.
+        let frac = h.fraction_above(10.0).unwrap();
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new(0.001, 10.0, 2.0);
+        h.record(1.0);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic statistics substrate for the Ursa reproduction.
+//!
+//! Every stochastic component in this workspace — the discrete-event
+//! simulator, the workload generators, the ML baselines — draws randomness
+//! through this crate so that experiments are reproducible bit-for-bit from
+//! an explicit seed. The crate provides:
+//!
+//! * [`rng`] — a deterministic, splittable pseudo-random number generator
+//!   (xoshiro256\*\* seeded via SplitMix64), with no global state;
+//! * [`dist`] — sampling distributions (exponential, normal, log-normal,
+//!   Pareto, Poisson, mixtures, ...) used for service times and arrivals;
+//! * [`ttest`] — Welch's t-test, the hypothesis test Ursa uses both in the
+//!   backpressure profiling engine (§III of the paper) and in the resource
+//!   controller's threshold check (§V);
+//! * [`quantile`] — exact and windowed quantile recorders for latency
+//!   distributions;
+//! * [`histogram`] — a log-bucketed latency histogram for cheap telemetry;
+//! * [`describe`] — streaming descriptive statistics (Welford).
+//!
+//! # Example
+//!
+//! ```
+//! use ursa_stats::rng::Rng;
+//! use ursa_stats::dist::{Distribution, Exponential};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let exp = Exponential::new(1.0 / 5.0); // mean 5
+//! let x = exp.sample(&mut rng);
+//! assert!(x >= 0.0);
+//! ```
+
+pub mod describe;
+pub mod dist;
+pub mod histogram;
+pub mod quantile;
+pub mod rng;
+pub mod tdigest;
+pub mod ttest;
+
+pub use describe::Welford;
+pub use dist::Distribution;
+pub use histogram::LatencyHistogram;
+pub use quantile::{percentile_of_sorted, QuantileWindow};
+pub use rng::Rng;
+pub use tdigest::TDigest;
+pub use ttest::{welch_t_test, TTestResult};

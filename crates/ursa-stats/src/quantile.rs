@@ -1,0 +1,252 @@
+//! Quantile estimation over latency samples.
+//!
+//! Ursa's performance model is built entirely on latency *distributions*
+//! discretized at a handful of percentiles (paper §IV), so the telemetry
+//! layer needs cheap, windowed quantile queries. We keep exact samples in
+//! bounded windows: evaluation-scale runs produce at most a few hundred
+//! thousand samples per window, where exact quantiles are affordable and
+//! remove approximation error from the reproduction.
+
+/// Returns the `p`-th percentile (0–100) of an ascending-sorted slice using
+/// nearest-rank interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// use ursa_stats::quantile::percentile_of_sorted;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_of_sorted(&xs, 0.0), 1.0);
+/// assert_eq!(percentile_of_sorted(&xs, 100.0), 4.0);
+/// assert_eq!(percentile_of_sorted(&xs, 50.0), 2.5);
+/// ```
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A bounded sliding window of samples supporting exact quantile queries.
+///
+/// When the window is full, the oldest sample is evicted (ring buffer), so
+/// queries always reflect the most recent `capacity` observations — matching
+/// how Prometheus-style telemetry windows behave in the paper's setup.
+#[derive(Debug, Clone)]
+pub struct QuantileWindow {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    total_count: u64,
+}
+
+impl QuantileWindow {
+    /// Creates a window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        QuantileWindow {
+            buf: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+            total_count: 0,
+        }
+    }
+
+    /// Records a sample, evicting the oldest if full.
+    pub fn record(&mut self, value: f64) {
+        let cap = self.buf.len();
+        self.buf[(self.head + self.len) % cap] = value;
+        if self.len < cap {
+            self.len += 1;
+        } else {
+            self.head = (self.head + 1) % cap;
+        }
+        self.total_count += 1;
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no samples have been recorded (or all evicted — impossible).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total samples ever recorded (including evicted ones).
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Removes all samples but keeps the capacity and total count.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Copies the current window contents (unordered).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let cap = self.buf.len();
+        (0..self.len)
+            .map(|i| self.buf[(self.head + i) % cap])
+            .collect()
+    }
+
+    /// Returns the current window contents in ascending order.
+    pub fn sorted(&self) -> Vec<f64> {
+        let mut v = self.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        v
+    }
+
+    /// Returns the `p`-th percentile of the window, or `None` if empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(percentile_of_sorted(&self.sorted(), p))
+        }
+    }
+
+    /// Returns several percentiles at once (single sort), or `None` if empty.
+    pub fn percentiles(&self, ps: &[f64]) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let sorted = self.sorted();
+        Some(ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect())
+    }
+
+    /// Mean of the window, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.to_vec().iter().sum::<f64>() / self.len as f64)
+        }
+    }
+
+    /// Fraction of window samples strictly greater than `threshold`,
+    /// or `None` if empty. This is the SLA-violation frequency estimator.
+    pub fn fraction_above(&self, threshold: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let above = self.to_vec().iter().filter(|&&x| x > threshold).count();
+        Some(above as f64 / self.len as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_edges() {
+        let xs = [3.0];
+        assert_eq!(percentile_of_sorted(&xs, 0.0), 3.0);
+        assert_eq!(percentile_of_sorted(&xs, 99.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile_of_sorted(&xs, 50.0), 5.0);
+        assert_eq!(percentile_of_sorted(&xs, 25.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_of_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn window_eviction_keeps_latest() {
+        let mut w = QuantileWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.record(v);
+        }
+        let mut got = w.to_vec();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.total_count(), 5);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn window_percentile_exact() {
+        let mut w = QuantileWindow::new(1000);
+        for i in 0..1000 {
+            w.record(i as f64);
+        }
+        let p99 = w.percentile(99.0).unwrap();
+        assert!((p99 - 989.01).abs() < 1e-9, "p99 {p99}");
+        let p50 = w.percentile(50.0).unwrap();
+        assert!((p50 - 499.5).abs() < 1e-9, "p50 {p50}");
+    }
+
+    #[test]
+    fn window_fraction_above() {
+        let mut w = QuantileWindow::new(10);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.record(v);
+        }
+        assert_eq!(w.fraction_above(2.5), Some(0.5));
+        assert_eq!(w.fraction_above(100.0), Some(0.0));
+        assert_eq!(w.fraction_above(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn window_clear_resets_samples_not_count() {
+        let mut w = QuantileWindow::new(4);
+        w.record(1.0);
+        w.record(2.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.total_count(), 2);
+        assert_eq!(w.percentile(50.0), None);
+        w.record(7.0);
+        assert_eq!(w.percentile(50.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentiles_batch_matches_single() {
+        let mut w = QuantileWindow::new(100);
+        for i in 0..100 {
+            w.record((i * 7 % 100) as f64);
+        }
+        let batch = w.percentiles(&[50.0, 90.0, 99.0]).unwrap();
+        assert_eq!(batch[0], w.percentile(50.0).unwrap());
+        assert_eq!(batch[1], w.percentile(90.0).unwrap());
+        assert_eq!(batch[2], w.percentile(99.0).unwrap());
+    }
+
+    #[test]
+    fn mean_simple() {
+        let mut w = QuantileWindow::new(8);
+        for v in [2.0, 4.0, 6.0] {
+            w.record(v);
+        }
+        assert_eq!(w.mean(), Some(4.0));
+    }
+}

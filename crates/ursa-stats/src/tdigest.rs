@@ -1,0 +1,304 @@
+//! A t-digest for streaming quantile estimation.
+//!
+//! The exact windows in [`crate::quantile`] are right for the simulator's
+//! bounded telemetry windows; the t-digest covers the complementary case of
+//! *unbounded* streams (experiment-long latency distributions, CDFs over
+//! millions of samples) in O(δ) memory with small relative error near the
+//! tails — where p99/p99.9 SLAs live.
+//!
+//! This is the merging-buffer variant (Dunning & Ertl): incoming values
+//! accumulate in a buffer; when full, buffer and centroids are merged under
+//! the scale-function size bound `k₁(q) = δ/(2π)·asin(2q−1)`.
+
+/// A mergeable t-digest with compression parameter δ.
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    delta: f64,
+    centroids: Vec<(f64, f64)>, // (mean, weight), sorted by mean
+    buffer: Vec<f64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// Creates a digest with compression parameter `delta` (typical: 100;
+    /// larger = more accurate, more memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta < 10`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta >= 10.0, "delta too small to be useful");
+        TDigest {
+            delta,
+            centroids: Vec::new(),
+            buffer: Vec::with_capacity(512),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// NaN values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.buffer.push(x);
+        self.count += 1;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        if self.buffer.len() >= 512 {
+            self.compress();
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Current centroid count (after compressing pending values).
+    pub fn num_centroids(&mut self) -> usize {
+        self.compress();
+        self.centroids.len()
+    }
+
+    fn k_limit(&self, q: f64) -> f64 {
+        // k1 scale function: finer resolution near the tails.
+        self.delta / (2.0 * core::f64::consts::PI)
+            * (2.0 * q.clamp(0.0, 1.0) - 1.0).asin()
+    }
+
+    fn compress(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut all: Vec<(f64, f64)> = self
+            .buffer
+            .drain(..)
+            .map(|x| (x, 1.0))
+            .chain(self.centroids.drain(..))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let total: f64 = all.iter().map(|(_, w)| w).sum();
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        let mut acc = 0.0;
+        let mut k_low = self.k_limit(0.0);
+        for (mean, w) in all {
+            let q_hi = (acc + w) / total;
+            let k_hi = self.k_limit(q_hi);
+            match merged.last_mut() {
+                Some((m, mw)) if k_hi - k_low <= 1.0 => {
+                    // Merge into the open centroid.
+                    let nw = *mw + w;
+                    *m += (mean - *m) * w / nw;
+                    *mw = nw;
+                }
+                _ => {
+                    // Close the previous centroid; open a new one.
+                    k_low = self.k_limit(acc / total);
+                    merged.push((mean, w));
+                }
+            }
+            acc += w;
+        }
+        self.centroids = merged;
+    }
+
+    /// Estimates the `p`-th percentile (0–100), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.is_empty() {
+            return None;
+        }
+        self.compress();
+        let q = p / 100.0;
+        let total: f64 = self.centroids.iter().map(|(_, w)| w).sum();
+        let target = q * total;
+        if self.centroids.len() == 1 {
+            return Some(self.centroids[0].0);
+        }
+        let mut acc = 0.0;
+        for i in 0..self.centroids.len() {
+            let (mean, w) = self.centroids[i];
+            let mid = acc + w / 2.0;
+            if target <= mid {
+                if i == 0 {
+                    // Interpolate toward the minimum.
+                    let frac = (target / mid).clamp(0.0, 1.0);
+                    return Some(self.min + (mean - self.min) * frac);
+                }
+                let (pmean, pw) = self.centroids[i - 1];
+                let pmid = acc - pw / 2.0;
+                let frac = ((target - pmid) / (mid - pmid)).clamp(0.0, 1.0);
+                return Some(pmean + (mean - pmean) * frac);
+            }
+            acc += w;
+        }
+        Some(self.max)
+    }
+
+    /// Merges another digest into this one.
+    pub fn merge(&mut self, other: &TDigest) {
+        for &(mean, w) in &other.centroids {
+            // Weighted insert: approximate by repeated centroid insertion.
+            self.centroids.push((mean, w));
+        }
+        for &x in &other.buffer {
+            self.buffer.push(x);
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.compress();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, LogNormal};
+    use crate::quantile::percentile_of_sorted;
+    use crate::rng::Rng;
+
+    fn exact_vs_digest(samples: &[f64], delta: f64, p: f64) -> (f64, f64) {
+        let mut d = TDigest::new(delta);
+        for &x in samples {
+            d.record(x);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (percentile_of_sorted(&sorted, p), d.percentile(p).unwrap())
+    }
+
+    #[test]
+    fn empty_digest() {
+        let mut d = TDigest::new(100.0);
+        assert!(d.is_empty());
+        assert_eq!(d.percentile(50.0), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut d = TDigest::new(100.0);
+        d.record(7.0);
+        assert_eq!(d.percentile(0.0), Some(7.0));
+        assert_eq!(d.percentile(99.0), Some(7.0));
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn tail_accuracy_on_lognormal() {
+        let mut rng = Rng::seed_from(3);
+        let dist = LogNormal::from_mean_cv(0.05, 1.2);
+        let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let (exact, approx) = exact_vs_digest(&samples, 200.0, p);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "p{p}: exact {exact} approx {approx} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut d = TDigest::new(100.0);
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..500_000 {
+            d.record(rng.next_f64());
+        }
+        assert!(d.num_centroids() < 300, "centroids {}", d.num_centroids());
+        assert_eq!(d.count(), 500_000);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let mut d = TDigest::new(100.0);
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..50_000 {
+            d.record(rng.next_f64() * 100.0);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = d.percentile(p).unwrap();
+            assert!(v >= last - 1e-9, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut d = TDigest::new(100.0);
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..10_000 {
+            d.record(rng.next_f64());
+        }
+        d.record(-5.0);
+        d.record(42.0);
+        assert_eq!(d.min(), -5.0);
+        assert_eq!(d.max(), 42.0);
+        assert_eq!(d.percentile(100.0), Some(42.0));
+    }
+
+    #[test]
+    fn merge_approximates_union() {
+        let mut rng = Rng::seed_from(11);
+        let dist = LogNormal::from_mean_cv(1.0, 0.8);
+        let a_samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        let b_samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng) * 2.0).collect();
+        let mut a = TDigest::new(200.0);
+        let mut b = TDigest::new(200.0);
+        for &x in &a_samples {
+            a.record(x);
+        }
+        for &x in &b_samples {
+            b.record(x);
+        }
+        a.merge(&b);
+        let mut all = a_samples;
+        all.extend(b_samples);
+        all.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for p in [50.0, 99.0] {
+            let exact = percentile_of_sorted(&all, p);
+            let approx = a.percentile(p).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.08, "p{p}: exact {exact} approx {approx}");
+        }
+        assert_eq!(a.count(), 100_000);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut d = TDigest::new(100.0);
+        d.record(f64::NAN);
+        d.record(1.0);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.percentile(50.0), Some(1.0));
+    }
+}

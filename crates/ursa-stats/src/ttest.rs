@@ -1,0 +1,320 @@
+//! Welch's t-test.
+//!
+//! Ursa uses Welch's unequal-variances t-test in two places (paper §III and
+//! §V):
+//!
+//! 1. the **backpressure profiling engine** compares proxy latency samples
+//!    under consecutive CPU limits and declares convergence when the test no
+//!    longer rejects equality of means;
+//! 2. the **resource controller** compares the live per-replica load against
+//!    the recorded load-per-replica threshold and scales out when the test
+//!    rejects the hypothesis that the live mean is below the threshold.
+//!
+//! The p-value requires the Student-t CDF, which we evaluate through the
+//! regularized incomplete beta function (continued fraction, Lentz's
+//! algorithm) — implemented here so the workspace stays dependency-free.
+
+/// Outcome of a Welch's t-test comparing the means of two samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (positive when the first sample's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value for the hypothesis `mean(a) == mean(b)`.
+    pub p_two_sided: f64,
+}
+
+impl TTestResult {
+    /// One-sided p-value for the alternative `mean(a) > mean(b)`.
+    pub fn p_greater(&self) -> f64 {
+        if self.t > 0.0 {
+            0.5 * self.p_two_sided
+        } else {
+            1.0 - 0.5 * self.p_two_sided
+        }
+    }
+
+    /// True if the two-sided test rejects equality at significance `alpha`.
+    pub fn rejects_equality(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+
+    /// True if the one-sided test concludes `mean(a) > mean(b)` at
+    /// significance `alpha`.
+    pub fn concludes_greater(&self, alpha: f64) -> bool {
+        self.p_greater() < alpha
+    }
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Runs Welch's t-test on two samples.
+///
+/// Returns `None` if either sample has fewer than two observations, or if
+/// both samples have zero variance (the test is then degenerate; callers
+/// should compare means directly).
+///
+/// # Example
+///
+/// ```
+/// use ursa_stats::ttest::welch_t_test;
+///
+/// let a = [5.0, 5.1, 4.9, 5.2, 5.0];
+/// let b = [9.0, 9.2, 8.9, 9.1, 9.0];
+/// let r = welch_t_test(&b, &a).expect("valid samples");
+/// assert!(r.rejects_equality(0.01)); // clearly different means
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df_num = se2 * se2;
+    let df_den = (va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0);
+    let df = if df_den > 0.0 { df_num / df_den } else { na + nb - 2.0 };
+    let p_two_sided = 2.0 * student_t_sf(t.abs(), df);
+    Some(TTestResult { t, df, p_two_sided })
+}
+
+/// Survival function of the Student-t distribution: `P(T > t)` for `t >= 0`.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `t < 0`.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0 && t >= 0.0);
+    // P(T > t) = 0.5 * I_{df/(df+t^2)}(df/2, 1/2)
+    let x = df / (df + t * t);
+    0.5 * regularized_incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0");
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = core::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (core::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued-fraction evaluation (Numerical Recipes style) with the symmetry
+/// transform for fast convergence.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x` outside `[0, 1]`.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "a and b must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::Rng;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - core::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (10.0, 1.0, 0.9)] {
+            let lhs = regularized_incomplete_beta(a, b, x);
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "({a},{b},{x}): {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_sf_matches_tables() {
+        // Classic table values: P(T > 2.228) = 0.025 for df = 10.
+        let p = student_t_sf(2.228, 10.0);
+        assert!((p - 0.025).abs() < 5e-4, "p {p}");
+        // df = 1 (Cauchy): P(T > 1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "p {p}");
+        // Large df -> normal: P(T > 1.96) ~ 0.025.
+        let p = student_t_sf(1.96, 10_000.0);
+        assert!((p - 0.025).abs() < 1e-3, "p {p}");
+    }
+
+    #[test]
+    fn equal_means_rarely_rejected() {
+        let d = Normal::new(10.0, 2.0);
+        let mut rng = Rng::seed_from(42);
+        let mut rejections = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let a: Vec<f64> = (0..30).map(|_| d.sample(&mut rng)).collect();
+            let b: Vec<f64> = (0..30).map(|_| d.sample(&mut rng)).collect();
+            if welch_t_test(&a, &b).unwrap().rejects_equality(0.05) {
+                rejections += 1;
+            }
+        }
+        // Expected false positive rate 5%; allow generous slack.
+        let rate = rejections as f64 / trials as f64;
+        assert!(rate < 0.12, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn different_means_detected() {
+        let mut rng = Rng::seed_from(43);
+        let d1 = Normal::new(10.0, 1.0);
+        let d2 = Normal::new(12.0, 1.0);
+        let a: Vec<f64> = (0..40).map(|_| d1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..40).map(|_| d2.sample(&mut rng)).collect();
+        let r = welch_t_test(&b, &a).unwrap();
+        assert!(r.rejects_equality(0.001));
+        assert!(r.concludes_greater(0.001));
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn one_sided_direction() {
+        let mut rng = Rng::seed_from(44);
+        let d1 = Normal::new(10.0, 1.0);
+        let d2 = Normal::new(12.0, 1.0);
+        let a: Vec<f64> = (0..40).map(|_| d1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..40).map(|_| d2.sample(&mut rng)).collect();
+        // a < b, so "a greater than b" must NOT be concluded.
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(!r.concludes_greater(0.05));
+        assert!(r.p_greater() > 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none()); // zero variance both
+    }
+
+    #[test]
+    fn unequal_sizes_supported() {
+        let mut rng = Rng::seed_from(45);
+        let d = Normal::new(5.0, 1.0);
+        let a: Vec<f64> = (0..10).map(|_| d.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..200).map(|_| d.sample(&mut rng)).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.df > 0.0 && r.p_two_sided > 0.0);
+    }
+}

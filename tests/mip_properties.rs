@@ -1,0 +1,167 @@
+//! Property-based validation of the MIP solver stack.
+//!
+//! The exact branch-and-bound solver must agree with brute-force
+//! enumeration on every feasible/infeasible verdict and every objective
+//! value; the greedy solver must be feasible and never better than exact;
+//! solution percentile choices must respect the residual budgets.
+
+use proptest::prelude::*;
+use ursa::mip::{
+    solve, solve_brute_force, solve_greedy, LatencyMatrix, MipModel, ModelError, ServiceModel,
+    SlaConstraint,
+};
+
+const GRID: [f64; 3] = [99.0, 99.5, 99.9];
+const GRID_RESIDUAL_UNITS: [usize; 3] = [10, 5, 1];
+
+/// Strategy for a random small model: 1–4 services, 1–2 classes,
+/// 2–4 LPR options with monotone resource/latency structure plus noise.
+fn small_model() -> impl Strategy<Value = MipModel> {
+    let service = (2usize..5, proptest::collection::vec(0.002f64..0.08, 2), any::<u64>());
+    (
+        proptest::collection::vec(service, 1..5),
+        1usize..3,
+        proptest::collection::vec(0.01f64..0.4, 2),
+    )
+        .prop_map(|(svc_params, n_classes, targets)| {
+            let services = svc_params
+                .into_iter()
+                .enumerate()
+                .map(|(si, (n_opts, base_lat, seed))| {
+                    let mut rng = ursa::stats::rng::Rng::seed_from(seed);
+                    let resource: Vec<f64> =
+                        (0..n_opts).map(|o| (n_opts - o) as f64 * (1.0 + rng.next_f64())).collect();
+                    let latency = (0..n_classes)
+                        .map(|c| {
+                            if si == 0 || rng.chance(0.8) {
+                                let b = base_lat[c.min(base_lat.len() - 1)];
+                                let data: Vec<f64> = (0..n_opts)
+                                    .flat_map(|o| {
+                                        let row = b * (1.0 + o as f64 * (0.5 + rng.next_f64()));
+                                        vec![row, row * (1.0 + rng.next_f64()), row * (2.0 + rng.next_f64())]
+                                    })
+                                    .collect();
+                                Some(LatencyMatrix::new(n_opts, 3, data))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    ServiceModel {
+                        name: format!("s{si}"),
+                        resource,
+                        latency,
+                    }
+                })
+                .collect();
+            let constraints = (0..n_classes)
+                .map(|c| SlaConstraint {
+                    class: c,
+                    percentile: 99.0,
+                    target: targets[c],
+                })
+                .collect();
+            MipModel {
+                percentiles: GRID.to_vec(),
+                services,
+                constraints,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact solver ≡ brute force on verdict and objective.
+    #[test]
+    fn exact_agrees_with_brute_force(model in small_model()) {
+        match (solve(&model), solve_brute_force(&model)) {
+            (Ok(e), Ok(b)) => {
+                prop_assert!((e.objective - b.objective).abs() < 1e-9,
+                    "exact {} vs brute {}", e.objective, b.objective);
+                prop_assert!(e.proved_optimal);
+            }
+            (Err(ModelError::Infeasible { .. }), Err(ModelError::Infeasible { .. })) => {}
+            (e, b) => prop_assert!(false, "verdict mismatch: {e:?} vs {b:?}"),
+        }
+    }
+
+    /// Greedy is feasible and never beats exact.
+    #[test]
+    fn greedy_dominated_by_exact(model in small_model()) {
+        if let (Ok(g), Ok(e)) = (solve_greedy(&model), solve(&model)) {
+            prop_assert!(g.objective >= e.objective - 1e-9,
+                "greedy {} < exact {}", g.objective, e.objective);
+        }
+    }
+
+    /// Solutions respect the per-class residual budget and latency target.
+    #[test]
+    fn solutions_respect_constraints(model in small_model()) {
+        if let Ok(sol) = solve(&model) {
+            for (k, c) in model.constraints.iter().enumerate() {
+                let betas = &sol.percentile_choice[k];
+                let spent: usize = betas.iter().map(|&b| GRID_RESIDUAL_UNITS[b]).sum();
+                prop_assert!(spent <= 10, "class {k}: residual spend {spent} > 10 units");
+                let latency = sol.estimated_latency(&model, k);
+                prop_assert!(latency <= c.target + 1e-9,
+                    "class {k}: bound {latency} > target {}", c.target);
+            }
+        }
+    }
+
+    /// Loosening every SLA target never increases the optimal objective.
+    #[test]
+    fn objective_monotone_in_targets(model in small_model(), slack in 1.1f64..4.0) {
+        let tight = solve(&model);
+        let mut loose_model = model.clone();
+        for c in &mut loose_model.constraints {
+            c.target *= slack;
+        }
+        let loose = solve(&loose_model);
+        match (tight, loose) {
+            (Ok(t), Ok(l)) => prop_assert!(l.objective <= t.objective + 1e-9,
+                "loose {} > tight {}", l.objective, t.objective),
+            (Err(_), Ok(_)) => {} // infeasible -> feasible under looser targets: fine
+            (Ok(t), Err(e)) => prop_assert!(false, "tight feasible ({t:?}) but loose infeasible ({e:?})"),
+            (Err(_), Err(_)) => {}
+        }
+    }
+}
+
+mod lp_bound {
+    use super::*;
+    use ursa::mip::{lp_relaxation_bound, solve_with_options, SolveOptions};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The LP relaxation at the root never exceeds the integral optimum,
+        /// and never declares a feasible model infeasible.
+        #[test]
+        fn lp_bound_is_a_lower_bound(model in small_model()) {
+            let alpha = vec![None; model.services.len()];
+            let lp = lp_relaxation_bound(&model, &alpha);
+            match solve(&model) {
+                Ok(sol) => {
+                    let lb = lp.expect("LP must be feasible when the MIP is");
+                    prop_assert!(lb <= sol.objective + 1e-6,
+                        "lp bound {lb} exceeds optimum {}", sol.objective);
+                }
+                Err(_) => {} // LP may be feasible or not; no claim.
+            }
+        }
+
+        /// Enabling the LP bound changes node counts, never results.
+        #[test]
+        fn lp_bound_preserves_optimum(model in small_model()) {
+            let plain = solve(&model);
+            let strengthened = solve_with_options(&model, SolveOptions { lp_bound: true });
+            match (plain, strengthened) {
+                (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-9),
+                (Err(ModelError::Infeasible { .. }), Err(ModelError::Infeasible { .. })) => {}
+                (a, b) => prop_assert!(false, "verdict mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Cross-crate pipeline integration tests: the full Ursa workflow on real
+//! applications, plus cross-system sanity checks that the evaluation
+//! depends on.
+
+use ursa::apps::{app_by_name, media_service, video_pipeline};
+use ursa::core::exploration::ExplorationConfig;
+use ursa::core::manager::{Ursa, UrsaConfig};
+use ursa::core::profiling::ProfilingConfig;
+use ursa::sim::prelude::*;
+
+fn quick_cfg() -> UrsaConfig {
+    UrsaConfig {
+        exploration: ExplorationConfig {
+            samples_per_option: 3,
+            window: SimDur::from_secs(15),
+            max_options: 5,
+            ..Default::default()
+        },
+        profiling: ProfilingConfig {
+            windows_per_level: 4,
+            window: SimDur::from_secs(8),
+            levels: 6,
+            ..Default::default()
+        },
+    }
+}
+
+fn rates(app: &ursa::apps::App) -> Vec<f64> {
+    let sum: f64 = app.mix.iter().sum();
+    app.mix.iter().map(|w| app.default_rps * w / sum).collect()
+}
+
+fn deploy_once(app: &ursa::apps::App, manager: &mut Ursa, seed: u64) -> DeploymentReport {
+    let mut sim = app.build_sim(seed);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    manager.apply_initial_allocation(&rates(app), &mut sim);
+    run_deployment(
+        &mut sim,
+        &app.slas,
+        manager,
+        &DeployConfig {
+            duration: SimDur::from_mins(10),
+            control_interval: SimDur::from_mins(1),
+            warmup: SimDur::from_mins(2),
+            collect_samples: false,
+        },
+    )
+}
+
+/// The full pipeline holds SLAs on the media service.
+#[test]
+fn media_service_end_to_end() {
+    let app = media_service();
+    let mut ursa = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 11)
+        .expect("media exploration feasible");
+    let report = deploy_once(&app, &mut ursa, 12);
+    let viol = report.overall_violation_rate();
+    assert!(viol < 0.20, "media violation rate {viol}");
+}
+
+/// The full pipeline holds both priority SLAs on the video pipeline,
+/// including the p50 low-priority SLA (the paper's only non-p99 SLA).
+///
+/// The pipeline's 4-hop p99 SLA forces every hop to the p99.9 grid point
+/// (residual budget), so its exploration needs more samples per option
+/// than the other quick tests for stable extreme percentiles.
+#[test]
+fn video_pipeline_end_to_end() {
+    let app = video_pipeline(0.5);
+    let cfg = UrsaConfig {
+        exploration: ExplorationConfig {
+            samples_per_option: 8,
+            window: SimDur::from_secs(30),
+            max_options: 5,
+            ..Default::default()
+        },
+        ..quick_cfg()
+    };
+    let mut ursa = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), cfg, 13)
+        .expect("video exploration feasible");
+    let report = deploy_once(&app, &mut ursa, 14);
+    for sla in &app.slas {
+        let v = report.class_violation_rate(sla.class);
+        assert!(
+            v < 0.30,
+            "{}: violation rate {v}",
+            app.topology.classes()[sla.class.0].name
+        );
+    }
+}
+
+/// Offline exploration is deterministic: same seed, same thresholds and
+/// sample counts.
+#[test]
+fn exploration_deterministic() {
+    let app = app_by_name("social-vanilla").expect("app exists");
+    let a = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 99).unwrap();
+    let b = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 99).unwrap();
+    assert_eq!(a.offline_stats().exploration_samples, b.offline_stats().exploration_samples);
+    assert_eq!(a.outcome().solution.objective, b.outcome().solution.objective);
+    assert_eq!(a.outcome().solution.lpr_choice, b.outcome().solution.lpr_choice);
+    let ta: Vec<Vec<f64>> = a.outcome().thresholds.iter().map(|t| t.lpr.clone()).collect();
+    let tb: Vec<Vec<f64>> = b.outcome().thresholds.iter().map(|t| t.lpr.clone()).collect();
+    assert_eq!(ta, tb);
+}
+
+/// Doubling the SLA tightness can only cost more cores.
+#[test]
+fn tighter_slas_cost_more() {
+    let app = app_by_name("social-vanilla").expect("app exists");
+    let loose = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 21)
+        .unwrap()
+        .outcome()
+        .solution
+        .objective;
+    let tight_slas: Vec<Sla> = app
+        .slas
+        .iter()
+        .map(|s| Sla::new(s.class, s.percentile, s.target * 0.35))
+        .collect();
+    match Ursa::explore_and_prepare(&app.topology, &tight_slas, &rates(&app), quick_cfg(), 21) {
+        Ok(t) => {
+            let tight = t.outcome().solution.objective;
+            assert!(tight >= loose, "tight {tight} < loose {loose}");
+        }
+        // Infeasible under 0.35x targets is also an acceptable outcome.
+        Err(_) => {}
+    }
+}
+
+/// Ursa's anomaly path: under a strongly skewed mix the manager
+/// recalculates thresholds online.
+#[test]
+fn skewed_load_triggers_recalculation() {
+    let app = app_by_name("social-vanilla").expect("app exists");
+    let mut ursa =
+        Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 31).unwrap();
+    let mut sim = app.build_sim(32);
+    // Heavy skew: update classes at 3x their exploration share.
+    let mix = app.skewed_mix(3.0);
+    app.apply_load_with_mix(&mut sim, RateFn::Constant(app.default_rps), &mix);
+    ursa.apply_initial_allocation(&rates(&app), &mut sim);
+    let _ = run_deployment(
+        &mut sim,
+        &app.slas,
+        &mut ursa,
+        &DeployConfig {
+            duration: SimDur::from_mins(10),
+            control_interval: SimDur::from_mins(1),
+            warmup: SimDur::from_mins(1),
+            collect_samples: false,
+        },
+    );
+    assert!(ursa.recalcs() > 0, "skewed mix should trigger a recalculation");
+}
+
+/// Ursa under the paper's finite 8-machine testbed: the capacity-capped
+/// control plane clamps scale-outs, placements never exceed machine
+/// capacity, and the run still completes with sane metrics.
+#[test]
+fn capped_cluster_deployment() {
+    use ursa::sim::cluster::{CappedControlPlane, Cluster};
+    use ursa::sim::control::ResourceManager;
+
+    let app = app_by_name("social-vanilla").expect("app exists");
+    let mut ursa =
+        Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 41).unwrap();
+    let mut sim = app.build_sim(42);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    ursa.apply_initial_allocation(&rates(&app), &mut sim);
+
+    let mut cluster = Cluster::paper_testbed();
+    let total = cluster.total_cores();
+    for _ in 0..10 {
+        sim.run_for(SimDur::from_mins(1));
+        let snap = sim.harvest();
+        let mut capped = CappedControlPlane::new(&mut sim, &mut cluster);
+        ursa.on_tick(&snap, &mut capped);
+        assert!(cluster.used_cores() <= total + 1e-9);
+        // Every placed replica corresponds to a live replica and vice versa.
+        for s in 0..app.topology.num_services() {
+            assert_eq!(
+                cluster.replicas_of(ursa::sim::topology::ServiceId(s)),
+                sim.replicas(ursa::sim::topology::ServiceId(s)),
+                "placement drift for service {s}"
+            );
+        }
+    }
+    assert!(cluster.used_cores() > 0.0);
+}
+
+/// Span tracing during a managed run: spans reconstruct per-service
+/// latency consistent with telemetry.
+#[test]
+fn spans_consistent_with_telemetry() {
+    let app = app_by_name("social-vanilla").expect("app exists");
+    let mut sim = app.build_sim(43);
+    sim.enable_tracing(200_000);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    sim.run_for(SimDur::from_mins(2));
+    let snap = sim.harvest();
+    let spans = sim.take_spans();
+    assert!(!spans.is_empty());
+    // Mean tier latency from spans vs telemetry for the busiest service.
+    let ps = app.service("post-store").unwrap();
+    let upload = app.class("upload-post").unwrap();
+    let span_mean = {
+        let xs: Vec<f64> = spans
+            .iter()
+            .filter(|s| s.service == ps && s.class == upload)
+            .map(|s| s.tier_latency().as_secs_f64())
+            .collect();
+        assert!(!xs.is_empty());
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let tel_mean = snap.services[ps.0].tier_latency[upload.0].mean().unwrap();
+    let rel = (span_mean - tel_mean).abs() / tel_mean;
+    // Telemetry windows retain the most recent samples only, so allow some
+    // divergence from the all-spans mean.
+    assert!(rel < 0.25, "span mean {span_mean} vs telemetry {tel_mean}");
+}
+
+/// The §V anomaly loop end-to-end: a mid-run business-logic change that
+/// makes a service heavier produces persistent SLA violations, the anomaly
+/// detector asks for re-exploration of a service on the violating path, and
+/// answering with `re_explore` restores compliance.
+#[test]
+fn latency_anomaly_requests_reexploration() {
+    let app = app_by_name("social-vanilla").expect("app exists");
+    let mut ursa =
+        Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 51).unwrap();
+    let mut sim = app.build_sim(52);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    ursa.apply_initial_allocation(&rates(&app), &mut sim);
+
+    // Healthy phase.
+    for _ in 0..4 {
+        sim.run_for(SimDur::from_mins(1));
+        let snap = sim.harvest();
+        ursa.on_tick(&snap, &mut sim);
+    }
+    assert!(ursa.pending_reexploration().is_none());
+
+    // The timeline-update logic gets 2x heavier (a bad deploy): its old
+    // allocation saturates and its p99 breaches the 500 ms SLA, while the
+    // SLA stays attainable at the new cost under a fresh allocation.
+    let tu = app.service("timeline-update").unwrap();
+    sim.set_work_scale(tu, 2.0);
+    let mut raised = None;
+    for _ in 0..12 {
+        sim.run_for(SimDur::from_mins(1));
+        let snap = sim.harvest();
+        ursa.on_tick(&snap, &mut sim);
+        if let Some(svc) = ursa.pending_reexploration() {
+            raised = Some(svc);
+            break;
+        }
+    }
+    let svc = raised.expect("persistent violations must raise a re-exploration request");
+    // The implicated service lies on some violating class's path.
+    let classes = app.topology.classes_on_service(ursa::sim::topology::ServiceId(svc));
+    assert!(!classes.is_empty());
+
+    // Answer the request: re-explore the changed service at its new cost.
+    let stats = ursa.re_explore(tu.0, 2.0, &rates(&app)).expect("re-exploration feasible");
+    assert!(stats.samples > 0);
+    assert!(ursa.pending_reexploration().is_none());
+
+    // Compliance restored (within the detector's tolerance band) once the
+    // refreshed thresholds settle.
+    let class = app.class("update-timeline").unwrap();
+    let target = app.sla_of(class).unwrap().target;
+    let mut violating_windows = 0;
+    let mut counted = 0;
+    for i in 0..8 {
+        sim.run_for(SimDur::from_mins(1));
+        let snap = sim.harvest();
+        ursa.on_tick(&snap, &mut sim);
+        if i >= 3 {
+            if let Some(l) = snap.e2e_latency[class.0].percentile(99.0) {
+                counted += 1;
+                if l > target * 1.1 {
+                    violating_windows += 1;
+                }
+            }
+        }
+    }
+    assert!(counted > 0);
+    assert!(
+        violating_windows <= counted / 2,
+        "still violating after re-exploration: {violating_windows}/{counted}"
+    );
+}

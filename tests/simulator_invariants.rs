@@ -1,0 +1,176 @@
+//! Property-based invariants of the discrete-event simulator.
+//!
+//! Random small topologies (random edge kinds, fan-outs, priorities, work
+//! scales) are driven with random loads and control actions; the simulator
+//! must conserve requests, keep utilization in range, and stay
+//! deterministic.
+
+use proptest::prelude::*;
+use ursa::sim::prelude::*;
+
+/// Strategy for a random 1–4-tier chain topology with random edge kinds
+/// and 1–2 classes.
+#[derive(Debug, Clone)]
+struct RandomTopo {
+    tiers: usize,
+    edges: Vec<u8>,
+    classes: usize,
+    work_ms: Vec<f64>,
+    cores: f64,
+}
+
+fn random_topo() -> impl Strategy<Value = RandomTopo> {
+    (
+        1usize..5,
+        proptest::collection::vec(0u8..3, 4),
+        1usize..3,
+        proptest::collection::vec(0.5f64..8.0, 4),
+        1.0f64..6.0,
+    )
+        .prop_map(|(tiers, edges, classes, work_ms, cores)| RandomTopo {
+            tiers,
+            edges,
+            classes,
+            work_ms,
+            cores,
+        })
+}
+
+fn build(rt: &RandomTopo) -> Topology {
+    let services: Vec<ServiceCfg> = (0..rt.tiers)
+        .map(|i| ServiceCfg::new(format!("t{i}"), rt.cores).with_workers(64))
+        .collect();
+    let edge_of = |i: usize| match rt.edges[i % rt.edges.len()] {
+        0 => EdgeKind::NestedRpc,
+        1 => EdgeKind::EventDrivenRpc,
+        _ => EdgeKind::Mq,
+    };
+    fn chain(rt: &RandomTopo, i: usize, edge_of: &dyn Fn(usize) -> EdgeKind) -> CallNode {
+        let work = WorkDist::Exponential {
+            mean: rt.work_ms[i % rt.work_ms.len()] / 1000.0,
+        };
+        let node = CallNode::leaf(ServiceId(i), work);
+        if i + 1 < rt.tiers {
+            node.with_child(edge_of(i), chain(rt, i + 1, edge_of))
+        } else {
+            node
+        }
+    }
+    let classes = (0..rt.classes)
+        .map(|c| ClassCfg {
+            name: format!("c{c}"),
+            priority: Priority(c as u8),
+            root: chain(rt, 0, &edge_of),
+        })
+        .collect();
+    Topology::new(services, classes).expect("generated topology is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: after load stops and the system drains, every injected
+    /// request has completed; metrics stay in range throughout.
+    #[test]
+    fn requests_conserved_and_metrics_sane(rt in random_topo(), rps in 5.0f64..80.0, seed in any::<u64>()) {
+        let mut sim = Simulation::new(build(&rt), SimConfig::default(), seed);
+        for c in 0..rt.classes {
+            sim.set_rate(ClassId(c), RateFn::Constant(rps));
+        }
+        sim.run_for(SimDur::from_secs(30));
+        // Stop arrivals; drain generously.
+        for c in 0..rt.classes {
+            sim.set_rate(ClassId(c), RateFn::Constant(0.0));
+        }
+        sim.run_for(SimDur::from_secs(600));
+        let snap = sim.harvest();
+        prop_assert_eq!(sim.in_flight(), 0, "requests stuck in flight");
+        let injected: u64 = snap.injections.iter().sum();
+        let completed: u64 = snap.completions.iter().sum();
+        prop_assert_eq!(injected, completed, "injected {} != completed {}", injected, completed);
+        for svc in &snap.services {
+            prop_assert!((0.0..=1.0).contains(&svc.cpu_utilization), "util {}", svc.cpu_utilization);
+        }
+        for series in &snap.e2e_latency {
+            for &s in series.samples() {
+                prop_assert!(s >= 0.0 && s.is_finite());
+            }
+        }
+    }
+
+    /// Determinism: identical seeds and action sequences yield identical
+    /// telemetry even across scaling actions mid-run.
+    #[test]
+    fn deterministic_under_control_actions(rt in random_topo(), seed in any::<u64>()) {
+        let run = || {
+            let mut sim = Simulation::new(build(&rt), SimConfig::default(), seed);
+            for c in 0..rt.classes {
+                sim.set_rate(ClassId(c), RateFn::Constant(40.0));
+            }
+            sim.run_for(SimDur::from_secs(10));
+            sim.set_replicas(ServiceId(0), 3);
+            if rt.tiers > 1 {
+                sim.set_cpu_limit(ServiceId(rt.tiers - 1), 1.0);
+            }
+            sim.run_for(SimDur::from_secs(10));
+            sim.set_replicas(ServiceId(0), 1);
+            sim.run_for(SimDur::from_secs(10));
+            let snap = sim.harvest();
+            (
+                snap.injections.clone(),
+                snap.completions.clone(),
+                snap.e2e_latency.iter().map(|l| l.samples().to_vec()).collect::<Vec<_>>(),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scaling churn never loses requests: repeatedly scale out/in while
+    /// loaded, then drain.
+    #[test]
+    fn scaling_churn_conserves(rt in random_topo(), seed in any::<u64>()) {
+        let mut sim = Simulation::new(build(&rt), SimConfig::default(), seed);
+        for c in 0..rt.classes {
+            sim.set_rate(ClassId(c), RateFn::Constant(50.0));
+        }
+        for step in 0..8 {
+            sim.run_for(SimDur::from_secs(5));
+            for s in 0..rt.tiers {
+                let n = 1 + ((step + s) % 4);
+                sim.set_replicas(ServiceId(s), n);
+            }
+        }
+        for c in 0..rt.classes {
+            sim.set_rate(ClassId(c), RateFn::Constant(0.0));
+        }
+        sim.run_for(SimDur::from_secs(600));
+        let snap = sim.harvest();
+        prop_assert_eq!(sim.in_flight(), 0);
+        let injected: u64 = snap.injections.iter().sum();
+        let completed: u64 = snap.completions.iter().sum();
+        prop_assert_eq!(injected, completed);
+    }
+}
+
+/// Strict-priority discipline: under contention, high-priority e2e latency
+/// must not exceed low-priority latency.
+#[test]
+fn priority_ordering_under_contention() {
+    let services = vec![ServiceCfg::new("svc", 1.0).with_workers(2)];
+    let mk = |name: &str, p: Priority| ClassCfg {
+        name: name.into(),
+        priority: p,
+        root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.005 }),
+    };
+    let topo = Topology::new(services, vec![mk("high", Priority::HIGH), mk("low", Priority::LOW)]).unwrap();
+    let mut sim = Simulation::new(topo, SimConfig::default(), 5);
+    sim.set_rate(ClassId(0), RateFn::Constant(90.0));
+    sim.set_rate(ClassId(1), RateFn::Constant(90.0)); // rho = 0.9 total
+    sim.run_for(SimDur::from_secs(120));
+    let snap = sim.harvest();
+    let high = snap.e2e_latency[0].percentile(90.0).unwrap();
+    let low = snap.e2e_latency[1].percentile(90.0).unwrap();
+    assert!(high < low, "high p90 {high} should beat low p90 {low}");
+}

@@ -1,0 +1,120 @@
+//! Property-based validation of Theorem 1 (paper §IV).
+//!
+//! The theorem claims the percentile decomposition bound holds for *any*
+//! joint distribution of per-service latencies — independent, positively
+//! or negatively correlated, multi-modal, heavy-tailed. We generate
+//! adversarial joint samples and verify the bound never understates the
+//! end-to-end percentile.
+
+use proptest::prelude::*;
+use ursa::core::decompose::{empirical_e2e_percentile, latency_bound, PercentileSplit};
+
+/// Strategy: a joint latency table `[service][request]` built from shared
+/// and private noise so services can be arbitrarily correlated, plus
+/// occasional heavy-tail spikes.
+fn joint_latencies(
+    services: usize,
+    requests: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // Per-service: (base scale, correlation weight, spike probability).
+    let params = proptest::collection::vec(
+        (0.001f64..0.1, 0.0f64..1.0, 0.0f64..0.05),
+        services,
+    );
+    (params, proptest::collection::vec(0.0f64..1.0, requests), any::<u64>()).prop_map(
+        move |(params, shared, seed)| {
+            let mut rng = ursa::stats::rng::Rng::seed_from(seed);
+            params
+                .iter()
+                .map(|(scale, corr, spike_p)| {
+                    shared
+                        .iter()
+                        .map(|&u| {
+                            let private = rng.next_f64();
+                            let mix = corr * u + (1.0 - corr) * private;
+                            let spike = if rng.chance(*spike_p) { 20.0 } else { 1.0 };
+                            scale * (0.1 + mix) * spike
+                        })
+                        .collect::<Vec<f64>>()
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The equal split always satisfies the residual condition and bounds
+    /// the empirical end-to-end percentile.
+    #[test]
+    fn equal_split_bound_holds(
+        rows in (2usize..5).prop_flat_map(|s| joint_latencies(s, 4000)),
+        pct in 90.0f64..99.5,
+    ) {
+        let split = PercentileSplit::equal(pct, rows.len());
+        prop_assert!(split.is_valid_for(pct));
+        let bound = latency_bound(&rows, &split, pct);
+        let actual = empirical_e2e_percentile(&rows, pct);
+        prop_assert!(
+            actual <= bound + 1e-12,
+            "actual {actual} exceeds bound {bound} at p{pct}"
+        );
+    }
+
+    /// Arbitrary valid splits (not just equal) also bound the percentile.
+    #[test]
+    fn skewed_split_bound_holds(
+        rows in joint_latencies(3, 4000),
+        shares in (1u32..10, 1u32..10, 1u32..10),
+    ) {
+        let pct = 99.0;
+        let budget = 100.0 - pct;
+        let total = (shares.0 + shares.1 + shares.2) as f64;
+        let split = PercentileSplit {
+            percentiles: vec![
+                100.0 - budget * shares.0 as f64 / total,
+                100.0 - budget * shares.1 as f64 / total,
+                100.0 - budget * shares.2 as f64 / total,
+            ],
+        };
+        prop_assert!(split.is_valid_for(pct));
+        let bound = latency_bound(&rows, &split, pct);
+        let actual = empirical_e2e_percentile(&rows, pct);
+        prop_assert!(actual <= bound + 1e-12, "actual {actual} > bound {bound}");
+    }
+
+    /// Violating the residual condition is detected.
+    #[test]
+    fn invalid_splits_rejected(extra in 0.01f64..10.0) {
+        let split = PercentileSplit {
+            percentiles: vec![100.0 - (1.0 + extra) / 2.0; 2],
+        };
+        // Residuals sum to 1 + extra > 1 = the p99 budget.
+        prop_assert!(!split.is_valid_for(99.0));
+    }
+}
+
+/// Deterministic worst-case: comonotone latencies (all services slow on the
+/// same requests) with a heavy tail — the case where naively summing p99s
+/// per service *without* the residual condition would understate.
+#[test]
+fn comonotone_heavy_tail() {
+    let mut rng = ursa::stats::rng::Rng::seed_from(9);
+    let n = 50_000;
+    let base: Vec<f64> = (0..n)
+        .map(|_| {
+            let u = rng.next_f64();
+            if u > 0.995 {
+                1.0 + 10.0 * u
+            } else {
+                0.01 * u
+            }
+        })
+        .collect();
+    let rows = vec![base.clone(), base.clone(), base];
+    let split = PercentileSplit::equal(99.0, 3);
+    let bound = latency_bound(&rows, &split, 99.0);
+    let actual = empirical_e2e_percentile(&rows, 99.0);
+    assert!(actual <= bound + 1e-12, "actual {actual} > bound {bound}");
+}
