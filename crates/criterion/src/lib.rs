@@ -1,0 +1,264 @@
+//! A vendored, dependency-free subset of the `criterion` crate.
+//!
+//! The workspace must build and bench on machines with no access to
+//! crates.io (see README "Offline & reproducible builds"). This shim
+//! implements the surface the repository's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId::from_parameter`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples of an adaptively-chosen iteration batch,
+//! and reports min/median/mean per-iteration times. No plotting, no
+//! statistical regression, no baseline storage — but stable enough to detect
+//! the multi-percent regressions the CI gate cares about.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function label and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs the timed loop.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations of the collected samples, in seconds.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `samples` samples of an adaptive batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + batch sizing: aim for batches of >= 1ms or 1 iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.results.push(dt.as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.label, &mut b.results);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.label, &mut b.results);
+        self
+    }
+
+    fn report(&self, label: &str, results: &mut [f64]) {
+        if results.is_empty() {
+            println!("{}/{label}: no samples", self.name);
+            return;
+        }
+        results.sort_by(|a, b| a.total_cmp(b));
+        let min = results[0];
+        let median = results[results.len() / 2];
+        let mean = results.iter().sum::<f64>() / results.len() as f64;
+        println!(
+            "{}/{label}: min {} | median {} | mean {} ({} samples)",
+            self.name,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            results.len()
+        );
+    }
+
+    /// Ends the group (upstream emits summary artifacts here; we don't).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- bench group: {name} --");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label.clone();
+        self.benchmark_group(label).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring upstream's macro. Ignores
+/// harness CLI flags (e.g. `--bench` passed by `cargo bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; accept and ignore them.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter("social").label, "social");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(3.0e-9), "3.0 ns");
+    }
+}

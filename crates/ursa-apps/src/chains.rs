@@ -101,7 +101,9 @@ mod tests {
             let snap = sim.harvest();
             // Per-tier p99 stays near the 4 ms compute cost at rho = 0.2.
             for tier in 0..5 {
-                let p99 = snap.services[tier].tier_latency[0].percentile(99.0).unwrap();
+                let p99 = snap.services[tier].tier_latency[0]
+                    .percentile(99.0)
+                    .unwrap();
                 assert!(p99 < 0.05, "{edge:?} tier{} p99 {p99}", tier + 1);
             }
         }

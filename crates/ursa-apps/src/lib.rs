@@ -84,7 +84,11 @@ impl App {
     ///
     /// Panics if `mix.len()` differs from the class count or sums to zero.
     pub fn apply_load_with_mix(&self, sim: &mut Simulation, shape: RateFn, mix: &[f64]) {
-        assert_eq!(mix.len(), self.topology.num_classes(), "mix length mismatch");
+        assert_eq!(
+            mix.len(),
+            self.topology.num_classes(),
+            "mix length mismatch"
+        );
         let total: f64 = mix.iter().sum();
         assert!(total > 0.0, "mix must not be all zero");
         for (i, w) in mix.iter().enumerate() {
@@ -187,7 +191,9 @@ mod tests {
             for sla in &app.slas {
                 let lat = snap.e2e_latency[sla.class.0]
                     .percentile(sla.percentile)
-                    .unwrap_or_else(|| panic!("{}: class {} has no samples", app.name, sla.class.0));
+                    .unwrap_or_else(|| {
+                        panic!("{}: class {} has no samples", app.name, sla.class.0)
+                    });
                 assert!(
                     lat < sla.target,
                     "{}: class {} p{} = {:.3}s exceeds SLA {:.3}s",

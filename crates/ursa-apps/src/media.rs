@@ -23,18 +23,33 @@ const THUMBNAIL: ServiceId = ServiceId(5);
 const WORK_SCALE: f64 = 1.7;
 
 fn ln(mean: f64, cv: f64) -> WorkDist {
-    WorkDist::LogNormal { mean: mean * WORK_SCALE, cv }
+    WorkDist::LogNormal {
+        mean: mean * WORK_SCALE,
+        cv,
+    }
 }
 
 /// Builds the media service application.
 pub fn media_service() -> App {
     let services = vec![
-        ServiceCfg::new("frontend", 2.0).with_workers(8192).with_replicas(2),
-        ServiceCfg::new("video-store", 2.0).with_workers(256).with_replicas(3),
-        ServiceCfg::new("info-db", 2.0).with_workers(256).with_replicas(2),
-        ServiceCfg::new("rating", 2.0).with_workers(256).with_replicas(2),
-        ServiceCfg::new("transcode", 4.0).with_workers(8).with_replicas(8),
-        ServiceCfg::new("thumbnail", 4.0).with_workers(8).with_replicas(2),
+        ServiceCfg::new("frontend", 2.0)
+            .with_workers(8192)
+            .with_replicas(2),
+        ServiceCfg::new("video-store", 2.0)
+            .with_workers(256)
+            .with_replicas(3),
+        ServiceCfg::new("info-db", 2.0)
+            .with_workers(256)
+            .with_replicas(2),
+        ServiceCfg::new("rating", 2.0)
+            .with_workers(256)
+            .with_replicas(2),
+        ServiceCfg::new("transcode", 4.0)
+            .with_workers(8)
+            .with_replicas(8),
+        ServiceCfg::new("thumbnail", 4.0)
+            .with_workers(8)
+            .with_replicas(2),
     ];
 
     let classes = vec![
@@ -44,8 +59,10 @@ pub fn media_service() -> App {
             priority: Priority::HIGH,
             root: CallNode::leaf(FRONTEND, ln(0.0008, 0.4)).with_child(
                 EdgeKind::NestedRpc,
-                CallNode::leaf(VIDEO_STORE, ln(0.180, 0.8))
-                    .with_child(EdgeKind::NestedRpc, CallNode::leaf(INFO_DB, ln(0.0030, 0.6))),
+                CallNode::leaf(VIDEO_STORE, ln(0.180, 0.8)).with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(INFO_DB, ln(0.0030, 0.6)),
+                ),
             ),
         },
         // download-video: SLA p99 1.5 s.
@@ -72,8 +89,10 @@ pub fn media_service() -> App {
             priority: Priority::HIGH,
             root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
                 EdgeKind::NestedRpc,
-                CallNode::leaf(RATING, ln(0.0080, 0.7))
-                    .with_child(EdgeKind::NestedRpc, CallNode::leaf(INFO_DB, ln(0.0030, 0.6))),
+                CallNode::leaf(RATING, ln(0.0080, 0.7)).with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(INFO_DB, ln(0.0030, 0.6)),
+                ),
             ),
         },
         // transcode-video: FFmpeg re-encode to multiple resolutions, via MQ.
@@ -85,7 +104,13 @@ pub fn media_service() -> App {
                 EdgeKind::NestedRpc,
                 CallNode::leaf(VIDEO_STORE, ln(0.100, 0.7)).with_child(
                     EdgeKind::Mq,
-                    CallNode::leaf(TRANSCODE, WorkDist::Pareto { x_min: 2.8 * WORK_SCALE, alpha: 2.6 }),
+                    CallNode::leaf(
+                        TRANSCODE,
+                        WorkDist::Pareto {
+                            x_min: 2.8 * WORK_SCALE,
+                            alpha: 2.6,
+                        },
+                    ),
                 ),
             ),
         },
@@ -95,10 +120,8 @@ pub fn media_service() -> App {
             priority: Priority::HIGH,
             root: CallNode::leaf(FRONTEND, ln(0.0006, 0.4)).with_child(
                 EdgeKind::NestedRpc,
-                CallNode::leaf(VIDEO_STORE, ln(0.060, 0.7)).with_child(
-                    EdgeKind::Mq,
-                    CallNode::leaf(THUMBNAIL, ln(0.250, 0.6)),
-                ),
+                CallNode::leaf(VIDEO_STORE, ln(0.060, 0.7))
+                    .with_child(EdgeKind::Mq, CallNode::leaf(THUMBNAIL, ln(0.250, 0.6))),
             ),
         },
     ];

@@ -33,7 +33,10 @@ const OBJECT_DETECT: ServiceId = ServiceId(8);
 const WORK_SCALE: f64 = 1.7;
 
 fn ln(mean: f64, cv: f64) -> WorkDist {
-    WorkDist::LogNormal { mean: mean * WORK_SCALE, cv }
+    WorkDist::LogNormal {
+        mean: mean * WORK_SCALE,
+        cv,
+    }
 }
 
 /// Builds the social network application.
@@ -46,18 +49,43 @@ fn ln(mean: f64, cv: f64) -> WorkDist {
 pub fn social_network(vanilla: bool) -> App {
     let mut services = vec![
         // Client-facing nginx-style frontend: huge admission concurrency.
-        ServiceCfg::new("frontend", 2.0).with_workers(8192).with_replicas(2),
-        ServiceCfg::new("compose-post", 2.0).with_workers(512).with_replicas(2),
-        ServiceCfg::new("post-store", 2.0).with_workers(256).with_replicas(2),
-        ServiceCfg::new("timeline-read", 2.0).with_workers(256).with_replicas(2),
-        ServiceCfg::new("timeline-update", 2.0).with_workers(256).with_daemons(64, 128).with_replicas(2),
-        ServiceCfg::new("social-graph", 2.0).with_workers(256).with_replicas(2),
+        ServiceCfg::new("frontend", 2.0)
+            .with_workers(8192)
+            .with_replicas(2),
+        ServiceCfg::new("compose-post", 2.0)
+            .with_workers(512)
+            .with_replicas(2),
+        ServiceCfg::new("post-store", 2.0)
+            .with_workers(256)
+            .with_replicas(2),
+        ServiceCfg::new("timeline-read", 2.0)
+            .with_workers(256)
+            .with_replicas(2),
+        ServiceCfg::new("timeline-update", 2.0)
+            .with_workers(256)
+            .with_daemons(64, 128)
+            .with_replicas(2),
+        ServiceCfg::new("social-graph", 2.0)
+            .with_workers(256)
+            .with_replicas(2),
     ];
     if !vanilla {
-        services.push(ServiceCfg::new("image-store", 2.0).with_workers(256).with_replicas(2));
+        services.push(
+            ServiceCfg::new("image-store", 2.0)
+                .with_workers(256)
+                .with_replicas(2),
+        );
         // ML services: CPU-bound batch workers, few per replica.
-        services.push(ServiceCfg::new("sentiment", 4.0).with_workers(8).with_replicas(4));
-        services.push(ServiceCfg::new("object-detect", 4.0).with_workers(8).with_replicas(8));
+        services.push(
+            ServiceCfg::new("sentiment", 4.0)
+                .with_workers(8)
+                .with_replicas(4),
+        );
+        services.push(
+            ServiceCfg::new("object-detect", 4.0)
+                .with_workers(8)
+                .with_replicas(8),
+        );
     }
 
     // -- Interactive classes (RPC paths) ------------------------------------
@@ -70,8 +98,14 @@ pub fn social_network(vanilla: bool) -> App {
             EdgeKind::NestedRpc,
             CallNode::leaf(COMPOSE, ln(0.0025, 0.6))
                 .with_mode(CallMode::Parallel)
-                .with_child(EdgeKind::NestedRpc, CallNode::leaf(POST_STORE, ln(0.0020, 0.7)))
-                .with_child(EdgeKind::NestedRpc, CallNode::leaf(SOCIAL_GRAPH, ln(0.0015, 0.6)))
+                .with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(POST_STORE, ln(0.0020, 0.7)),
+                )
+                .with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(SOCIAL_GRAPH, ln(0.0015, 0.6)),
+                )
                 .with_post_work(ln(0.0008, 0.5)),
         ),
     };
@@ -84,8 +118,14 @@ pub fn social_network(vanilla: bool) -> App {
             EdgeKind::NestedRpc,
             CallNode::leaf(TIMELINE_READ, ln(0.0060, 0.8))
                 .with_mode(CallMode::Parallel)
-                .with_child(EdgeKind::NestedRpc, CallNode::leaf(POST_STORE, ln(0.0080, 0.8)))
-                .with_child(EdgeKind::NestedRpc, CallNode::leaf(SOCIAL_GRAPH, ln(0.0020, 0.6)))
+                .with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(POST_STORE, ln(0.0080, 0.8)),
+                )
+                .with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(SOCIAL_GRAPH, ln(0.0020, 0.6)),
+                )
                 .with_post_work(ln(0.0030, 0.6)),
         ),
     };
@@ -98,8 +138,14 @@ pub fn social_network(vanilla: bool) -> App {
         root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
             EdgeKind::EventDrivenRpc,
             CallNode::leaf(TIMELINE_UPDATE, ln(0.0250, 0.9))
-                .with_child(EdgeKind::NestedRpc, CallNode::leaf(SOCIAL_GRAPH, ln(0.0040, 0.7)))
-                .with_child(EdgeKind::NestedRpc, CallNode::leaf(POST_STORE, ln(0.0030, 0.7))),
+                .with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(SOCIAL_GRAPH, ln(0.0040, 0.7)),
+                )
+                .with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(POST_STORE, ln(0.0030, 0.7)),
+                ),
         ),
     };
 
@@ -139,10 +185,8 @@ pub fn social_network(vanilla: bool) -> App {
             priority: Priority::HIGH,
             root: CallNode::leaf(FRONTEND, ln(0.0004, 0.4)).with_child(
                 EdgeKind::NestedRpc,
-                CallNode::leaf(COMPOSE, ln(0.0020, 0.6)).with_child(
-                    EdgeKind::Mq,
-                    CallNode::leaf(SENTIMENT, ln(0.060, 0.5)),
-                ),
+                CallNode::leaf(COMPOSE, ln(0.0020, 0.6))
+                    .with_child(EdgeKind::Mq, CallNode::leaf(SENTIMENT, ln(0.060, 0.5))),
             ),
         });
         // object-detect: an uploaded image flows over MQs through the image
@@ -153,10 +197,8 @@ pub fn social_network(vanilla: bool) -> App {
             priority: Priority::HIGH,
             root: CallNode::leaf(FRONTEND, ln(0.0005, 0.4)).with_child(
                 EdgeKind::NestedRpc,
-                CallNode::leaf(IMAGE_STORE, ln(0.0080, 0.7)).with_child(
-                    EdgeKind::Mq,
-                    CallNode::leaf(OBJECT_DETECT, ln(1.400, 0.45)),
-                ),
+                CallNode::leaf(IMAGE_STORE, ln(0.0080, 0.7))
+                    .with_child(EdgeKind::Mq, CallNode::leaf(OBJECT_DETECT, ln(1.400, 0.45))),
             ),
         });
         slas.push(Sla::new(ClassId(3), 99.0, 0.200));
@@ -168,7 +210,11 @@ pub fn social_network(vanilla: bool) -> App {
 
     let topology = Topology::new(services, classes).expect("social network topology is valid");
     App {
-        name: if vanilla { "social-vanilla".into() } else { "social".into() },
+        name: if vanilla {
+            "social-vanilla".into()
+        } else {
+            "social".into()
+        },
         topology,
         slas,
         mix,

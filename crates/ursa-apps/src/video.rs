@@ -27,10 +27,8 @@ fn pipeline_root() -> CallNode {
         EdgeKind::Mq,
         CallNode::leaf(METADATA, ln(0.350, 0.6)).with_child(
             EdgeKind::Mq,
-            CallNode::leaf(SNAPSHOT, ln(0.700, 0.6)).with_child(
-                EdgeKind::Mq,
-                CallNode::leaf(FACE_REC, ln(1.100, 0.5)),
-            ),
+            CallNode::leaf(SNAPSHOT, ln(0.700, 0.6))
+                .with_child(EdgeKind::Mq, CallNode::leaf(FACE_REC, ln(1.100, 0.5))),
         ),
     )
 }
@@ -45,10 +43,18 @@ fn pipeline_root() -> CallNode {
 pub fn video_pipeline(high_fraction: f64) -> App {
     assert!(high_fraction > 0.0 && high_fraction < 1.0);
     let services = vec![
-        ServiceCfg::new("ingest", 2.0).with_workers(4096).with_replicas(1),
-        ServiceCfg::new("metadata", 4.0).with_workers(8).with_replicas(2),
-        ServiceCfg::new("snapshot", 4.0).with_workers(8).with_replicas(3),
-        ServiceCfg::new("face-rec", 4.0).with_workers(8).with_replicas(4),
+        ServiceCfg::new("ingest", 2.0)
+            .with_workers(4096)
+            .with_replicas(1),
+        ServiceCfg::new("metadata", 4.0)
+            .with_workers(8)
+            .with_replicas(2),
+        ServiceCfg::new("snapshot", 4.0)
+            .with_workers(8)
+            .with_replicas(3),
+        ServiceCfg::new("face-rec", 4.0)
+            .with_workers(8)
+            .with_replicas(4),
     ];
     let classes = vec![
         ClassCfg {

@@ -129,7 +129,13 @@ mod tests {
     fn snapshot_with_util(topology: &Topology, util: f64) -> MetricsSnapshot {
         let mut t = Telemetry::new(topology);
         t.record_cpu(ServiceId(0), util * 60.0, 60.0);
-        t.harvest(SimTime::from_secs_f64(60.0), &["svc".to_string()], &[1], &[2.0], &[0])
+        t.harvest(
+            SimTime::from_secs_f64(60.0),
+            &["svc".to_string()],
+            &[1],
+            &[2.0],
+            &[0],
+        )
     }
 
     #[test]

@@ -98,7 +98,12 @@ impl Firm {
         self.training_time
     }
 
-    fn state_of(&mut self, s: usize, snapshot: &MetricsSnapshot, control: &dyn ControlPlane) -> Vec<f64> {
+    fn state_of(
+        &mut self,
+        s: usize,
+        snapshot: &MetricsSnapshot,
+        control: &dyn ControlPlane,
+    ) -> Vec<f64> {
         let util = snapshot.services[s].cpu_utilization;
         let replicas = control.replicas(ServiceId(s)) as f64 / self.cfg.max_replicas as f64;
         let mut worst_ratio = 0.0f64;
@@ -111,7 +116,12 @@ impl Firm {
         }
         let rps = snapshot.services[s].arrival_rps(snapshot.window);
         self.rps_scale[s] = self.rps_scale[s].max(rps);
-        vec![util, replicas, worst_ratio, rps / self.rps_scale[s].max(1e-9)]
+        vec![
+            util,
+            replicas,
+            worst_ratio,
+            rps / self.rps_scale[s].max(1e-9),
+        ]
     }
 
     /// Reward after acting: resource savings minus SLA penalty (§VII-B).

@@ -190,9 +190,18 @@ impl Sinan {
         let t0 = std::time::Instant::now();
         let in_dim = dataset.samples[0].features.len();
         let out_dim = slas.len();
-        let mut latency_model = Mlp::new(&[in_dim, 64, 64, out_dim], Activation::Relu, Output::Linear, seed);
+        let mut latency_model = Mlp::new(
+            &[in_dim, 64, 64, out_dim],
+            Activation::Relu,
+            Output::Linear,
+            seed,
+        );
         let xs: Vec<Vec<f64>> = dataset.samples.iter().map(|s| s.features.clone()).collect();
-        let ys: Vec<Vec<f64>> = dataset.samples.iter().map(|s| s.latency_ratio.clone()).collect();
+        let ys: Vec<Vec<f64>> = dataset
+            .samples
+            .iter()
+            .map(|s| s.latency_ratio.clone())
+            .collect();
         let mut rng = Rng::seed_from(seed ^ 0xBEEF);
         let batch = 64.min(xs.len());
         for _ in 0..epochs {

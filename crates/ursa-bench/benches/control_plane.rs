@@ -31,7 +31,9 @@ fn bench_decisions(c: &mut Criterion) {
     group.bench_function("firm", |b| b.iter(|| firm.on_tick(&snapshot, &mut sim)));
 
     let mut auto = Autoscaler::auto_a(app.topology.num_services());
-    group.bench_function("autoscaling", |b| b.iter(|| auto.on_tick(&snapshot, &mut sim)));
+    group.bench_function("autoscaling", |b| {
+        b.iter(|| auto.on_tick(&snapshot, &mut sim))
+    });
 
     group.finish();
 }

@@ -13,9 +13,7 @@ fn synthetic_model(services: usize, options: usize, classes: usize, seed: u64) -
     let mut rng = Rng::seed_from(seed);
     let svc = (0..services)
         .map(|s| {
-            let resource: Vec<f64> = (0..options)
-                .map(|o| (options - o) as f64 * 2.0)
-                .collect();
+            let resource: Vec<f64> = (0..options).map(|o| (options - o) as f64 * 2.0).collect();
             let latency = (0..classes)
                 .map(|c| {
                     // Real request paths traverse a handful of services (a
@@ -66,9 +64,7 @@ fn synthetic_model(services: usize, options: usize, classes: usize, seed: u64) -
         let keep = 1;
         s.resource.truncate(keep);
         for m in s.latency.iter_mut().flatten() {
-            let data: Vec<f64> = (0..keep)
-                .flat_map(|r| m.row(r).to_vec())
-                .collect();
+            let data: Vec<f64> = (0..keep).flat_map(|r| m.row(r).to_vec()).collect();
             *m = LatencyMatrix::new(keep, grid.len(), data);
         }
     }

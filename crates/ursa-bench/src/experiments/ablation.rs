@@ -65,7 +65,10 @@ fn equal_split_model(model: &MipModel) -> Option<MipModel> {
         })
         .collect();
     let max_needed = forced.iter().cloned().fold(0.0, f64::max);
-    let col = model.percentiles.iter().position(|&p| p >= max_needed - 1e-9)?;
+    let col = model
+        .percentiles
+        .iter()
+        .position(|&p| p >= max_needed - 1e-9)?;
     let shared_p = model.percentiles[col];
     let services = model
         .services
@@ -99,7 +102,9 @@ pub fn split_ablation(scale: Scale, seed: u64) -> SplitAblation {
     let ursa = prepare_ursa(&app, scale, seed);
     let grid = scale.exploration().percentile_grid;
     let model = build_model(ursa.exploration(), &ursa.outcome().slas, &rates, &grid);
-    let optimized = ursa_mip::solve(&model).map(|s| s.objective).unwrap_or(f64::NAN);
+    let optimized = ursa_mip::solve(&model)
+        .map(|s| s.objective)
+        .unwrap_or(f64::NAN);
     let equal = equal_split_model(&model)
         .and_then(|m| ursa_mip::solve(&m).ok())
         .map(|s| s.objective);
@@ -155,7 +160,14 @@ pub fn ceiling_ablation(scale: Scale, seed: u64) -> CeilingAblation {
         profiling: scale.profiling(),
     };
     let lifted = vec![Some(0.95); app.topology.num_services()];
-    let report = explore_all(&app.topology, &app.slas, &rates, &lifted, &cfg.exploration, seed ^ 2);
+    let report = explore_all(
+        &app.topology,
+        &app.slas,
+        &rates,
+        &lifted,
+        &cfg.exploration,
+        seed ^ 2,
+    );
     let grid = cfg.exploration.percentile_grid.clone();
     let (viol_without, cores_without) = match optimize(&report, &app.slas, &rates, &grid) {
         Ok(outcome) => {
@@ -207,7 +219,7 @@ pub fn interval_sensitivity(scale: Scale, seed: u64) -> Vec<(f64, f64)> {
 /// Runs all ablations and prints/writes the results.
 pub fn run(scale: Scale) {
     println!("== Ablations ==");
-    let split = split_ablation(scale, 0xAB_1);
+    let split = split_ablation(scale, 0x0AB1);
     println!(
         "percentile split: optimized {:.0} cores vs equal split {} cores",
         split.optimized_cores,
@@ -216,7 +228,7 @@ pub fn run(scale: Scale) {
             .map(|c| format!("{c:.0}"))
             .unwrap_or_else(|| "infeasible".into()),
     );
-    let ceiling = ceiling_ablation(scale, 0xAB_2);
+    let ceiling = ceiling_ablation(scale, 0x0AB2);
     println!(
         "backpressure ceiling: violations {:.2}% ({:.0} cores) with, {:.2}% ({:.0} cores) without",
         100.0 * ceiling.with_ceiling,
@@ -224,11 +236,14 @@ pub fn run(scale: Scale) {
         100.0 * ceiling.without_ceiling,
         ceiling.cores_without,
     );
-    let sens = interval_sensitivity(scale, 0xAB_3);
+    let sens = interval_sensitivity(scale, 0x0AB3);
     let mut table = TsvTable::new("ablation_interval", &["interval_s", "violation_rate"]);
     for (i, v) in &sens {
         table.row(vec![format!("{i:.0}"), format!("{v:.4}")]);
-        println!("control interval {i:>4.0}s -> violation rate {:.2}%", 100.0 * v);
+        println!(
+            "control interval {i:>4.0}s -> violation rate {:.2}%",
+            100.0 * v
+        );
     }
     let _ = table.write_tsv(&results_dir().join("ablation"));
 }

@@ -57,7 +57,13 @@ pub fn run_app(app: &App, managers: &mut PreparedManagers, scale: Scale, seed: u
     let mut cells = Vec::new();
     for (li, load) in load_specs(app).iter().enumerate() {
         for (si, system) in System::ALL.iter().enumerate() {
-            let report = managers.deploy(app, *system, load, scale, seed ^ ((li as u64) << 8) ^ si as u64);
+            let report = managers.deploy(
+                app,
+                *system,
+                load,
+                scale,
+                seed ^ ((li as u64) << 8) ^ si as u64,
+            );
             cells.push(Cell {
                 app: app.name.clone(),
                 load: load.label(),
@@ -75,9 +81,9 @@ pub fn run(scale: Scale) -> Vec<Cell> {
     println!("== Figures 11 & 12: SLA violations and CPU allocation ==");
     let mut cells = Vec::new();
     for (ai, app) in all_apps().iter().enumerate() {
-        eprintln!("[fig11/12] preparing managers for {} ...", app.name);
+        crate::info!("[fig11/12] preparing managers for {} ...", app.name);
         let mut managers = PreparedManagers::prepare(app, scale, 0x11_12 + ai as u64);
-        eprintln!("[fig11/12] deploying {} ...", app.name);
+        crate::info!("[fig11/12] deploying {} ...", app.name);
         cells.extend(run_app(app, &mut managers, scale, 0xDE_9107 + ai as u64));
     }
     let mut table = TsvTable::new(
@@ -98,7 +104,10 @@ pub fn run(scale: Scale) -> Vec<Cell> {
 
     // Headline aggregates, paper-style.
     for system in System::ALL {
-        let sys_cells: Vec<&Cell> = cells.iter().filter(|c| c.system == system.label()).collect();
+        let sys_cells: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| c.system == system.label())
+            .collect();
         let mean_viol =
             sys_cells.iter().map(|c| c.violation_rate).sum::<f64>() / sys_cells.len().max(1) as f64;
         let mean_cores =

@@ -21,13 +21,18 @@ pub struct ServiceSeries {
 }
 
 /// Representative services plotted by the figure.
-pub const SERVICES: [&str; 4] = ["compose-post", "post-store", "timeline-update", "object-detect"];
+pub const SERVICES: [&str; 4] = [
+    "compose-post",
+    "post-store",
+    "timeline-update",
+    "object-detect",
+];
 
 /// Runs the diurnal deployment and extracts the series.
 pub fn run(scale: Scale) -> Vec<ServiceSeries> {
     println!("== Figure 13: per-service RPS vs CPU allocation under diurnal load ==");
     let app = social_network(false);
-    let mut ursa = prepare_ursa(&app, scale, 0xF16_13);
+    let mut ursa = prepare_ursa(&app, scale, 0x000F_1613);
     let duration = match scale {
         Scale::Quick => SimDur::from_mins(30),
         Scale::Full => SimDur::from_mins(90),
@@ -60,12 +65,19 @@ pub fn run(scale: Scale) -> Vec<ServiceSeries> {
             .collect();
         let mut table = TsvTable::new(&format!("fig13_{name}"), &["minute", "rps", "cores"]);
         for (t, rps, cores) in &points {
-            table.row(vec![format!("{t:.0}"), format!("{rps:.1}"), format!("{cores:.0}")]);
+            table.row(vec![
+                format!("{t:.0}"),
+                format!("{rps:.1}"),
+                format!("{cores:.0}"),
+            ]);
         }
         let _ = table.write_tsv(&results_dir().join("fig13"));
         let peak = points.iter().map(|p| p.2).fold(0.0, f64::max);
         let trough = points.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
-        println!("{name:<18} windows {:>3}  cores {trough:.0}..{peak:.0}", points.len());
+        println!(
+            "{name:<18} windows {:>3}  cores {trough:.0}..{peak:.0}",
+            points.len()
+        );
         out.push(ServiceSeries {
             service: name.to_string(),
             points,

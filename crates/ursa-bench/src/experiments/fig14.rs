@@ -42,7 +42,7 @@ pub fn run(scale: Scale) -> AdaptationResult {
     let detect_svc = app.service("object-detect").expect("service exists");
     let sla = app.sla_of(detect_class).expect("sla exists");
     let rates = default_rates(&app);
-    let mut ursa = prepare_ursa(&app, scale, 0xF16_14);
+    let mut ursa = prepare_ursa(&app, scale, 0x000F_1614);
 
     let duration = match scale {
         Scale::Quick => SimDur::from_mins(14),

@@ -33,10 +33,30 @@ pub const LOAD_RPS: f64 = 300.0;
 pub const THROTTLED_CORES: f64 = 1.1;
 
 /// Runs the 10-minute experiment for one edge kind.
-pub fn run_chain(edge: EdgeKind, minutes: usize, anomaly: std::ops::Range<usize>, seed: u64) -> Heatmap {
+pub fn run_chain(
+    edge: EdgeKind,
+    minutes: usize,
+    anomaly: std::ops::Range<usize>,
+    seed: u64,
+) -> Heatmap {
+    run_chain_traced(edge, minutes, anomaly, seed, 0.0).0
+}
+
+/// [`run_chain`] with span tracing at `sample_rate` (0 disables); returns
+/// the collected traces alongside the heatmap.
+pub fn run_chain_traced(
+    edge: EdgeKind,
+    minutes: usize,
+    anomaly: std::ops::Range<usize>,
+    seed: u64,
+    sample_rate: f64,
+) -> (Heatmap, Vec<ursa_sim::trace::Trace>) {
     let topo = study_chain(edge);
     let tiers = topo.num_services();
     let mut sim = Simulation::new(topo, SimConfig::default(), seed);
+    if sample_rate > 0.0 {
+        sim.enable_tracing(100_000, sample_rate);
+    }
     sim.set_rate(ClassId(0), RateFn::Constant(LOAD_RPS));
     let leaf = ServiceId(tiers - 1);
     let mut grid = Vec::with_capacity(minutes);
@@ -58,10 +78,39 @@ pub fn run_chain(edge: EdgeKind, minutes: usize, anomaly: std::ops::Range<usize>
             .collect();
         grid.push(row);
     }
-    Heatmap {
-        kind: format!("{edge:?}"),
-        grid,
-    }
+    (
+        Heatmap {
+            kind: format!("{edge:?}"),
+            grid,
+        },
+        sim.take_traces(),
+    )
+}
+
+/// Writes the trace artifacts for one chain under `dir`: a Chrome
+/// trace-event file (`chrome://tracing` / Perfetto), the raw spans as
+/// JSONL, and a per-tier blame summary.
+fn write_trace_artifacts(
+    dir: &std::path::Path,
+    kind: &str,
+    traces: &[ursa_sim::trace::Trace],
+    names: &[String],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("fig2_{}", kind.to_lowercase());
+    let mut chrome = ursa_trace::ChromeTrace::new();
+    chrome.add_traces(traces, names);
+    chrome.write(&mut std::fs::File::create(
+        dir.join(format!("{stem}.trace.json")),
+    )?)?;
+    ursa_trace::jsonl::write_traces(
+        &mut std::fs::File::create(dir.join(format!("{stem}.spans.jsonl")))?,
+        traces,
+        names,
+    )?;
+    let blame = ursa_trace::service_blame(traces, names.len());
+    std::fs::write(dir.join(format!("{stem}.blame.txt")), blame.render(names))?;
+    Ok(())
 }
 
 /// Runs all three chains and writes/prints the heatmaps.
@@ -80,11 +129,37 @@ pub fn run(scale: Scale) -> Vec<Heatmap> {
         "5-tier chains, {LOAD_RPS} rps, {TIER_WORK}s/tier, leaf throttled {TIER_CORES}->{THROTTLED_CORES} cores during minutes {}..{}",
         anomaly.start, anomaly.end
     );
+    let trace_dir = crate::logging::trace_dir();
+    // 1% head sampling is plenty for blame over a multi-minute run and
+    // keeps the Chrome trace loadable.
+    let sample_rate = if trace_dir.is_some() { 0.01 } else { 0.0 };
     for (i, edge) in [EdgeKind::NestedRpc, EdgeKind::EventDrivenRpc, EdgeKind::Mq]
         .into_iter()
         .enumerate()
     {
-        let hm = run_chain(edge, minutes, anomaly.clone(), 0xF16_2 + i as u64);
+        let (hm, traces) = run_chain_traced(
+            edge,
+            minutes,
+            anomaly.clone(),
+            0xF162 + i as u64,
+            sample_rate,
+        );
+        if let Some(dir) = &trace_dir {
+            let names: Vec<String> = study_chain(edge)
+                .services()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect();
+            match write_trace_artifacts(dir, &hm.kind, &traces, &names) {
+                Ok(()) => crate::info!(
+                    "[fig2] wrote {} traces for {} under {}",
+                    traces.len(),
+                    hm.kind,
+                    dir.display()
+                ),
+                Err(e) => eprintln!("[fig2] trace export failed: {e}"),
+            }
+        }
         let mut table = TsvTable::new(
             &format!("fig2_{}", hm.kind.to_lowercase()),
             &["minute", "tier1", "tier2", "tier3", "tier4", "tier5"],

@@ -26,7 +26,7 @@ pub fn run(scale: Scale) -> Vec<BackpressureProfile> {
     println!("== Figure 4: backpressure-free threshold profiling ==");
     let mut out = Vec::new();
     for (i, service) in ["post-store", "timeline-read"].iter().enumerate() {
-        let bp = profile_named(service, scale, 0xF16_4 + i as u64);
+        let bp = profile_named(service, scale, 0xF164 + i as u64);
         let mut table = TsvTable::new(
             &format!("fig4_{service}"),
             &[

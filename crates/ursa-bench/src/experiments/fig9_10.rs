@@ -85,6 +85,20 @@ pub fn run_app(app: &App, class_filter: &[&str], scale: Scale, seed: u64) -> Vec
             }
         }
     }
+    if let Some(dir) = crate::logging::trace_dir() {
+        let path = dir.join(format!("fig9_10_{}_decisions.jsonl", app.name));
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::File::create(&path))
+            .and_then(|mut f| ursa.decisions().write_jsonl(&mut f));
+        match write {
+            Ok(()) => crate::info!(
+                "[fig9/10] wrote {} control-plane decisions to {}",
+                ursa.decisions().len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[fig9/10] decision log export failed: {e}"),
+        }
+    }
     if class_filter.is_empty() {
         series
     } else {
@@ -102,12 +116,17 @@ pub fn run(scale: Scale) -> Vec<AccuracySeries> {
     let social = social_network(false);
     let fig9 = run_app(
         &social,
-        &["upload-post", "update-timeline", "object-detect", "sentiment-analysis"],
+        &[
+            "upload-post",
+            "update-timeline",
+            "object-detect",
+            "sentiment-analysis",
+        ],
         scale,
-        0xF16_9,
+        0xF169,
     );
     let video = video_pipeline(0.5);
-    let fig10 = run_app(&video, &[], scale, 0xF16_10);
+    let fig10 = run_app(&video, &[], scale, 0x000F_1610);
     for (fig, series) in [("fig9", fig9), ("fig10", fig10)] {
         for s in series {
             let mut table = TsvTable::new(
@@ -115,7 +134,11 @@ pub fn run(scale: Scale) -> Vec<AccuracySeries> {
                 &["minute", "measured_s", "estimated_s"],
             );
             for (t, m, e) in &s.points {
-                table.row(vec![format!("{t:.0}"), format!("{m:.4}"), format!("{e:.4}")]);
+                table.row(vec![
+                    format!("{t:.0}"),
+                    format!("{m:.4}"),
+                    format!("{e:.4}"),
+                ]);
             }
             let _ = table.write_tsv(&results_dir().join(fig));
             println!(

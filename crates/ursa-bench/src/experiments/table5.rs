@@ -61,7 +61,7 @@ pub fn run(scale: Scale) -> Vec<OverheadRow> {
     );
     let mut rows = Vec::new();
     for (i, app) in apps.iter().enumerate() {
-        let row = measure_app(app, scale, 0x7AB_5 + i as u64);
+        let row = measure_app(app, scale, 0x7AB5 + i as u64);
         table.row(vec![
             row.app.clone(),
             row.ursa_samples.to_string(),
@@ -96,7 +96,11 @@ mod tests {
             "ursa used {} samples",
             row.ursa_samples
         );
-        assert!(row.ursa_hours < ML_HOURS / 50.0, "ursa hours {}", row.ursa_hours);
+        assert!(
+            row.ursa_hours < ML_HOURS / 50.0,
+            "ursa hours {}",
+            row.ursa_hours
+        );
         assert!(row.ursa_samples > 0 && row.ursa_hours > 0.0);
     }
 }

@@ -15,7 +15,9 @@
 //! deploy; Ursa's one-shot update ≪ Firm's full adaptation; Sinan retraining
 //! is minutes.
 
-use crate::{default_rates, prepare_firm, prepare_sinan, prepare_ursa, results_dir, Scale, TsvTable};
+use crate::{
+    default_rates, prepare_firm, prepare_sinan, prepare_ursa, results_dir, Scale, TsvTable,
+};
 use ursa_apps::social_network;
 use ursa_baselines::{Autoscaler, Sinan};
 use ursa_sim::control::ResourceManager;
@@ -68,7 +70,7 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
     let mut rows = Vec::new();
 
     // Ursa.
-    let mut ursa = prepare_ursa(&app, scale, 0x7AB6_0);
+    let mut ursa = prepare_ursa(&app, scale, 0x0007_AB60);
     let deploy = time_ticks(&mut ursa, &snapshot, &mut sim, iters);
     let t0 = std::time::Instant::now();
     ursa.recalculate(&rates).expect("recalc");
@@ -80,7 +82,7 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
     });
 
     // Sinan: deploy = model sweep; update = full retraining.
-    let (mut sinan, dataset) = prepare_sinan(&app, scale, 0x7AB6_1);
+    let (mut sinan, dataset) = prepare_sinan(&app, scale, 0x0007_AB61);
     let deploy = time_ticks(&mut sinan, &snapshot, &mut sim, iters);
     let t0 = std::time::Instant::now();
     let retrained = Sinan::train(&dataset, &app.slas, 4, 99);
@@ -95,7 +97,7 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
     // Firm: deploy = greedy inference; update = one training iteration
     // (the paper reports per-iteration cost and notes full adaptation
     // needs thousands of iterations).
-    let mut firm = prepare_firm(&app, scale, 0x7AB6_2);
+    let mut firm = prepare_firm(&app, scale, 0x0007_AB62);
     let deploy = time_ticks(&mut firm, &snapshot, &mut sim, iters);
     firm.training = true;
     let t0 = std::time::Instant::now();
@@ -124,7 +126,9 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
         table.row(vec![
             r.system.clone(),
             format!("{:.4}", r.deploy_ms),
-            r.update_ms.map(|u| format!("{u:.2}")).unwrap_or_else(|| "n/a".into()),
+            r.update_ms
+                .map(|u| format!("{u:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
         ]);
     }
     print!("{}", table.render());
@@ -143,10 +147,26 @@ mod tests {
     fn latency_ordering_matches_paper() {
         let rows = run(Scale::Quick);
         let get = |name: &str| rows.iter().find(|r| r.system == name).unwrap();
-        let (ursa, sinan, firm, auto) = (get("ursa"), get("sinan"), get("firm"), get("autoscaling"));
-        assert!(auto.deploy_ms <= ursa.deploy_ms * 2.0, "auto {} vs ursa {}", auto.deploy_ms, ursa.deploy_ms);
-        assert!(ursa.deploy_ms < sinan.deploy_ms, "ursa {} vs sinan {}", ursa.deploy_ms, sinan.deploy_ms);
-        assert!(firm.deploy_ms < sinan.deploy_ms, "firm {} vs sinan {}", firm.deploy_ms, sinan.deploy_ms);
+        let (ursa, sinan, firm, auto) =
+            (get("ursa"), get("sinan"), get("firm"), get("autoscaling"));
+        assert!(
+            auto.deploy_ms <= ursa.deploy_ms * 2.0,
+            "auto {} vs ursa {}",
+            auto.deploy_ms,
+            ursa.deploy_ms
+        );
+        assert!(
+            ursa.deploy_ms < sinan.deploy_ms,
+            "ursa {} vs sinan {}",
+            ursa.deploy_ms,
+            sinan.deploy_ms
+        );
+        assert!(
+            firm.deploy_ms < sinan.deploy_ms,
+            "firm {} vs sinan {}",
+            firm.deploy_ms,
+            sinan.deploy_ms
+        );
         assert!(
             ursa.update_ms.unwrap() < sinan.update_ms.unwrap(),
             "ursa update {} vs sinan retrain {}",

@@ -13,13 +13,16 @@
 //! [`Scale::Full`] (paper-protocol durations).
 
 pub mod experiments;
+pub mod logging;
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use ursa_apps::App;
-use ursa_baselines::{collect_and_train, train_firm, Autoscaler, CollectConfig, Firm, FirmConfig, Sinan};
+use ursa_baselines::{
+    collect_and_train, train_firm, Autoscaler, CollectConfig, Firm, FirmConfig, Sinan,
+};
 use ursa_core::exploration::ExplorationConfig;
 use ursa_core::manager::{Ursa, UrsaConfig};
 use ursa_core::profiling::ProfilingConfig;
@@ -448,7 +451,11 @@ mod tests {
             load.apply(&app, &mut sim, SimDur::from_mins(10));
             sim.run_for(SimDur::from_secs(30));
             let snap = sim.harvest();
-            assert!(snap.injections.iter().sum::<u64>() > 0, "{:?}", load.label());
+            assert!(
+                snap.injections.iter().sum::<u64>() > 0,
+                "{:?}",
+                load.label()
+            );
         }
     }
 

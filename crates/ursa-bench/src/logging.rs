@@ -1,0 +1,93 @@
+//! Leveled progress logging and trace-output plumbing for the runner.
+//!
+//! Experiment *results* (tables, series) go to stdout via `println!` so
+//! they can be piped; *progress* goes to stderr through the [`info!`] and
+//! [`debug!`] macros, which honor `--quiet` / `--verbose`. `--trace-dir`
+//! registers a directory into which experiments dump span traces
+//! (Chrome trace-event JSON + JSONL) and decision logs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Verbosity of progress output on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Only results (stdout) and hard errors.
+    Quiet = 0,
+    /// Progress messages (the default).
+    Info = 1,
+    /// Extra detail.
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets the global verbosity.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// True when messages at `level` should be printed.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Registers the directory trace artifacts are written into (`None`
+/// disables trace output).
+pub fn set_trace_dir(dir: Option<PathBuf>) {
+    *TRACE_DIR.lock().expect("trace dir lock") = dir;
+}
+
+/// The registered trace output directory, if any.
+pub fn trace_dir() -> Option<PathBuf> {
+    TRACE_DIR.lock().expect("trace dir lock").clone()
+}
+
+/// Prints a progress message to stderr unless `--quiet`.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a detail message to stderr only with `--verbose`.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_gating() {
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn trace_dir_roundtrip() {
+        set_trace_dir(Some(PathBuf::from("/tmp/x")));
+        assert_eq!(trace_dir(), Some(PathBuf::from("/tmp/x")));
+        set_trace_dir(None);
+        assert_eq!(trace_dir(), None);
+    }
+}

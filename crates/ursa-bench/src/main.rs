@@ -3,10 +3,11 @@
 //! ```text
 //! cargo run --release -p ursa-bench -- --exp all [--full]
 //! cargo run --release -p ursa-bench -- --exp fig2|fig4|table5|fig9|fig11|fig13|table6|fig14
+//! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
 //! ```
 
-use ursa_bench::experiments;
-use ursa_bench::Scale;
+use ursa_bench::logging::{self, Level};
+use ursa_bench::{experiments, info, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,6 +22,13 @@ fn main() {
             }
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--quiet" | "-q" => logging::set_level(Level::Quiet),
+            "--verbose" | "-v" => logging::set_level(Level::Debug),
+            "--trace-dir" => {
+                i += 1;
+                let dir = args.get(i).cloned().unwrap_or_else(|| usage());
+                logging::set_trace_dir(Some(dir.into()));
+            }
             "--help" | "-h" => {
                 usage();
             }
@@ -75,12 +83,16 @@ fn main() {
     } else {
         run_one(&exp);
     }
-    eprintln!("\n[done in {:.1}s, results under results/]", t0.elapsed().as_secs_f64());
+    info!(
+        "\n[done in {:.1}s, results under results/]",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation] [--quick|--full]"
+        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation] \
+         [--quick|--full] [--quiet|--verbose] [--trace-dir DIR]"
     );
     std::process::exit(2)
 }

@@ -135,7 +135,9 @@ impl AnomalyDetector {
             } else {
                 self.violating_windows[c] = 0;
             }
-            let rate = snapshot.e2e_latency[c].fraction_above(sla.target).unwrap_or(0.0);
+            let rate = snapshot.e2e_latency[c]
+                .fraction_above(sla.target)
+                .unwrap_or(0.0);
             if self.violating_windows[c] >= self.latency_patience {
                 // Candidate: the most CPU-utilized service on the path.
                 let service = class_services[c]
@@ -165,7 +167,9 @@ mod tests {
     use super::*;
     use ursa_sim::telemetry::Telemetry;
     use ursa_sim::time::SimTime;
-    use ursa_sim::topology::{CallNode, ClassCfg, ClassId, Priority, ServiceCfg, ServiceId, Topology, WorkDist};
+    use ursa_sim::topology::{
+        CallNode, ClassCfg, ClassId, Priority, ServiceCfg, ServiceId, Topology, WorkDist,
+    };
 
     fn threshold(lpr: Vec<f64>) -> ScalingThreshold {
         ScalingThreshold {
@@ -212,7 +216,13 @@ mod tests {
             for _ in 0..100 {
                 t.record_e2e(ClassId(0), if violating { 0.100 } else { 0.001 });
             }
-            t.harvest(SimTime::from_secs_f64(60.0), &["svc".to_string()], &[1], &[2.0], &[0])
+            t.harvest(
+                SimTime::from_secs_f64(60.0),
+                &["svc".to_string()],
+                &[1],
+                &[2.0],
+                &[0],
+            )
         };
         for i in 0..2 {
             let a = det.check(&mk_snapshot(true), &slas, &[], &class_services);
@@ -241,7 +251,13 @@ mod tests {
             tel.record_arrival(ServiceId(0), ClassId(0));
             tel.record_arrival(ServiceId(0), ClassId(1));
         }
-        let snap = tel.harvest(SimTime::from_secs_f64(60.0), &["svc".to_string()], &[1], &[2.0], &[0]);
+        let snap = tel.harvest(
+            SimTime::from_secs_f64(60.0),
+            &["svc".to_string()],
+            &[1],
+            &[2.0],
+            &[0],
+        );
         let a = det.check(&snap, &[], &[t], &[vec![0], vec![0]]);
         assert!(matches!(a[0], Anomaly::LoadMix { service: 0, .. }));
     }

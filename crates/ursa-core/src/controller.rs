@@ -16,6 +16,18 @@ use ursa_sim::telemetry::MetricsSnapshot;
 use ursa_sim::topology::ServiceId;
 use ursa_stats::ttest::welch_t_test;
 
+/// One replica-count change actuated by [`ThresholdScaler::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleAction {
+    /// The scaled service.
+    pub service: usize,
+    /// Replicas before the action.
+    pub from: usize,
+    /// Replicas requested (the control plane may clamp, e.g. on a
+    /// capacity-capped cluster).
+    pub to: usize,
+}
+
 /// Threshold-based replica controller.
 #[derive(Debug, Clone)]
 pub struct ThresholdScaler {
@@ -65,8 +77,14 @@ impl ThresholdScaler {
     }
 
     /// Applies one control tick: reads per-service loads from the snapshot
-    /// and adjusts replica counts through the control plane.
-    pub fn tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+    /// and adjusts replica counts through the control plane. Returns the
+    /// actions it took, for the manager's decision log.
+    pub fn tick(
+        &mut self,
+        snapshot: &MetricsSnapshot,
+        control: &mut dyn ControlPlane,
+    ) -> Vec<ScaleAction> {
+        let mut actions = Vec::new();
         let window_secs = snapshot.window.as_secs_f64().max(1e-9);
         for s in 0..self.thresholds.len() {
             let Some(threshold) = &self.thresholds[s] else {
@@ -93,6 +111,11 @@ impl ThresholdScaler {
                 // Scale out immediately: the threshold was chosen so that
                 // operating above it risks the per-service SLA budget.
                 control.set_replicas(ServiceId(s), desired);
+                actions.push(ScaleAction {
+                    service: s,
+                    from: current,
+                    to: desired,
+                });
             } else if desired < current {
                 // Scale in only when recent history consistently supports
                 // the smaller allocation…
@@ -103,17 +126,28 @@ impl ThresholdScaler {
                     // smaller allocation's capacity.
                     if self.scale_in_supported(s, threshold, recent_max) {
                         control.set_replicas(ServiceId(s), recent_max);
+                        actions.push(ScaleAction {
+                            service: s,
+                            from: current,
+                            to: recent_max,
+                        });
                     }
                 }
             }
         }
+        actions
     }
 
     /// Welch-tests whether the binding class's recent loads are
     /// significantly *below* the capacity of `target_replicas`. With fewer
     /// than 4 history windows, falls back to accepting (the max-based
     /// patience already damps noise).
-    fn scale_in_supported(&self, s: usize, threshold: &ScalingThreshold, target_replicas: usize) -> bool {
+    fn scale_in_supported(
+        &self,
+        s: usize,
+        threshold: &ScalingThreshold,
+        target_replicas: usize,
+    ) -> bool {
         let hist = &self.load_history[s];
         if hist.len() < 4 {
             return true;
@@ -137,7 +171,10 @@ impl ThresholdScaler {
         let samples: Vec<f64> = hist.iter().map(|l| l[j]).collect();
         // H1: capacity > mean(load). Construct via one-sided Welch against
         // a pseudo-sample at the capacity level with matching spread.
-        let cap_samples: Vec<f64> = samples.iter().map(|x| capacity + (x - samples.iter().sum::<f64>() / samples.len() as f64)).collect();
+        let cap_samples: Vec<f64> = samples
+            .iter()
+            .map(|x| capacity + (x - samples.iter().sum::<f64>() / samples.len() as f64))
+            .collect();
         match welch_t_test(&cap_samples, &samples) {
             Some(t) => t.concludes_greater(self.alpha),
             None => samples.iter().sum::<f64>() / samples.len() as f64 <= capacity,
@@ -151,7 +188,9 @@ mod tests {
     use ursa_sim::engine::{SimConfig, Simulation};
     use ursa_sim::telemetry::Telemetry;
     use ursa_sim::time::SimTime;
-    use ursa_sim::topology::{CallNode, ClassCfg, ClassId, Priority, ServiceCfg, Topology, WorkDist};
+    use ursa_sim::topology::{
+        CallNode, ClassCfg, ClassId, Priority, ServiceCfg, Topology, WorkDist,
+    };
 
     fn threshold(lpr: f64) -> ScalingThreshold {
         ScalingThreshold {
@@ -194,8 +233,16 @@ mod tests {
         let mut sim = Simulation::new(topology.clone(), SimConfig::default(), 1);
         let mut scaler = ThresholdScaler::new(1, &[threshold(50.0)]);
         let snap = snapshot_with_load(&topology, 170.0, 60.0);
-        scaler.tick(&snap, &mut sim);
+        let actions = scaler.tick(&snap, &mut sim);
         assert_eq!(sim.replicas(ServiceId(0)), 4); // ceil(170/50)
+        assert_eq!(
+            actions,
+            vec![ScaleAction {
+                service: 0,
+                from: 1,
+                to: 4
+            }]
+        );
     }
 
     #[test]
@@ -236,7 +283,8 @@ mod tests {
         let mut sim = Simulation::new(topology.clone(), SimConfig::default(), 4);
         let mut scaler = ThresholdScaler::new(1, &[]);
         let snap = snapshot_with_load(&topology, 500.0, 60.0);
-        scaler.tick(&snap, &mut sim);
+        let actions = scaler.tick(&snap, &mut sim);
+        assert!(actions.is_empty());
         assert_eq!(sim.replicas(ServiceId(0)), 1);
         assert!(scaler.threshold(0).is_none());
     }

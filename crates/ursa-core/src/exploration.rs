@@ -132,7 +132,8 @@ pub fn explore_service(
     assert!(profile.total_rate() > 0.0, "profile carries no load");
     let num_classes = sla_of_class.len();
     let demand = profile.cpu_demand();
-    let start_replicas = ((demand / (profile.cfg.cores * cfg.start_utilization)).ceil() as usize).max(1);
+    let start_replicas =
+        ((demand / (profile.cfg.cores * cfg.start_utilization)).ceil() as usize).max(1);
     let step = (start_replicas as f64 / cfg.max_options as f64).ceil() as usize;
     let step = step.max(1);
 
@@ -142,9 +143,17 @@ pub fn explore_service(
     let mut replicas = start_replicas;
 
     loop {
-        let mut harness = IsolatedHarness::build(profile, replicas, 1.0, 1.0, seed ^ ((replicas as u64) << 16));
+        let mut harness = IsolatedHarness::build(
+            profile,
+            replicas,
+            1.0,
+            1.0,
+            seed ^ ((replicas as u64) << 16),
+        );
         // Warm-up half a window, unmeasured.
-        harness.sim_mut().run_for(SimDur::from_nanos(cfg.window.as_nanos() / 2));
+        harness
+            .sim_mut()
+            .run_for(SimDur::from_nanos(cfg.window.as_nanos() / 2));
         harness.sim_mut().harvest();
         let mut per_class_samples: Vec<Vec<f64>> = vec![Vec::new(); profile.per_class.len()];
         let mut utils = Vec::new();
@@ -323,7 +332,11 @@ pub fn explore_all(
             .collect()
     });
     let total_samples = services.iter().map(|e| e.samples).sum();
-    let wall_time = services.iter().map(|e| e.time).max().unwrap_or(SimDur::ZERO);
+    let wall_time = services
+        .iter()
+        .map(|e| e.time)
+        .max()
+        .unwrap_or(SimDur::ZERO);
     ExplorationReport {
         services,
         total_samples,

@@ -59,7 +59,11 @@ impl ServiceProfile {
     ///
     /// Panics if `class_rates.len()` differs from the topology's class count.
     pub fn extract(topology: &Topology, service: ServiceId, class_rates: &[f64]) -> Self {
-        assert_eq!(class_rates.len(), topology.num_classes(), "rate vector mismatch");
+        assert_eq!(
+            class_rates.len(),
+            topology.num_classes(),
+            "rate vector mismatch"
+        );
         let nodes = topology.nodes_on_service(service);
         let mut per_class: Vec<ClassWork> = Vec::new();
         for (class, node, via) in nodes {
@@ -146,7 +150,11 @@ impl IsolatedHarness {
             .per_class
             .iter()
             .map(|c| {
-                let edge = if c.via_mq { EdgeKind::Mq } else { EdgeKind::NestedRpc };
+                let edge = if c.via_mq {
+                    EdgeKind::Mq
+                } else {
+                    EdgeKind::NestedRpc
+                };
                 ClassCfg {
                     name: c.name.clone(),
                     priority: c.priority,
@@ -174,6 +182,20 @@ impl IsolatedHarness {
         &mut self.sim
     }
 
+    /// Enables span tracing on the harness simulation, so profiling and
+    /// exploration runs can be inspected with the same critical-path
+    /// tooling as full deployments (e.g. to see a backpressure knee as a
+    /// proxy downstream-wait blow-up rather than a single scalar).
+    pub fn enable_tracing(&mut self, capacity: usize, sample_rate: f64) {
+        self.sim.enable_tracing(capacity, sample_rate);
+    }
+
+    /// Drains traces collected since the last call (empty when tracing was
+    /// never enabled).
+    pub fn take_traces(&mut self) -> Vec<ursa_sim::trace::Trace> {
+        self.sim.take_traces()
+    }
+
     /// Number of harness classes.
     pub fn num_classes(&self) -> usize {
         self.n_classes
@@ -185,6 +207,23 @@ mod tests {
     use super::*;
     use ursa_apps::social_network;
     use ursa_sim::time::SimDur;
+
+    #[test]
+    fn harness_tracing_passthrough() {
+        let app = social_network(false);
+        let rates: Vec<f64> = app.mix.iter().map(|w| w * 50.0).collect();
+        let ps = app.service("post-store").unwrap();
+        let profile = ServiceProfile::extract(&app.topology, ps, &rates);
+        let mut h = IsolatedHarness::build(&profile, 2, 1.0, 1.0, 9);
+        h.enable_tracing(10_000, 1.0);
+        h.sim_mut().run_for(SimDur::from_secs(5));
+        let traces = h.take_traces();
+        assert!(!traces.is_empty());
+        assert!(traces.iter().all(|t| t.root().service == PROXY));
+        assert!(traces
+            .iter()
+            .any(|t| t.spans.iter().any(|s| s.service == TESTED)));
+    }
 
     #[test]
     fn extracts_profile_with_rates() {
@@ -212,7 +251,7 @@ mod tests {
     fn harness_runs_and_measures_tested_service() {
         let app = social_network(false);
         let ps = app.service("post-store").unwrap();
-        let rates: Vec<f64> = app.mix.iter().map(|w| w).cloned().collect();
+        let rates: Vec<f64> = app.mix.clone();
         let profile = ServiceProfile::extract(&app.topology, ps, &rates);
         let mut h = IsolatedHarness::build(&profile, 1, 1.0, 1.0, 3);
         h.sim_mut().run_for(SimDur::from_secs(60));

@@ -49,6 +49,7 @@
 
 pub mod anomaly;
 pub mod controller;
+pub mod decision_log;
 pub mod decompose;
 pub mod exploration;
 pub mod harness;
@@ -57,10 +58,13 @@ pub mod optimizer;
 pub mod profiling;
 
 pub use anomaly::{Anomaly, AnomalyDetector};
-pub use controller::ThresholdScaler;
+pub use controller::{ScaleAction, ThresholdScaler};
+pub use decision_log::{DecisionKind, DecisionLog, DecisionRecord, ServiceDelta};
 pub use decompose::{empirical_e2e_percentile, latency_bound, PercentileSplit};
 pub use exploration::{explore_all, explore_service, ExplorationConfig, ExplorationReport};
 pub use harness::{IsolatedHarness, ServiceProfile};
 pub use manager::{OfflineStats, ReexplorationStats, Ursa, UrsaConfig};
-pub use optimizer::{build_model, optimize, OptimizeOutcome, OverestimationTracker, ScalingThreshold};
+pub use optimizer::{
+    build_model, optimize, OptimizeOutcome, OverestimationTracker, ScalingThreshold,
+};
 pub use profiling::{profile_service, BackpressureProfile, ProfilingConfig};

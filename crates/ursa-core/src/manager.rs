@@ -8,6 +8,7 @@
 
 use crate::anomaly::{Anomaly, AnomalyDetector};
 use crate::controller::ThresholdScaler;
+use crate::decision_log::{DecisionKind, DecisionLog, DecisionRecord, ServiceDelta};
 use crate::exploration::{explore_all, explore_service, ExplorationConfig, ExplorationReport};
 use crate::harness::ServiceProfile;
 use crate::optimizer::{optimize, OptimizeOutcome, OverestimationTracker};
@@ -15,7 +16,7 @@ use crate::profiling::{profile_service, BackpressureProfile, ProfilingConfig};
 use ursa_mip::ModelError;
 use ursa_sim::control::{ControlPlane, ResourceManager, Sla};
 use ursa_sim::telemetry::MetricsSnapshot;
-use ursa_sim::time::SimDur;
+use ursa_sim::time::{SimDur, SimTime};
 use ursa_sim::topology::{ServiceId, Topology};
 
 /// Ursa configuration.
@@ -75,6 +76,15 @@ pub struct Ursa {
     recalc_cooldown: usize,
     recalcs: u64,
     last_recalc_wall_ms: f64,
+    /// Audit trail of every allocation decision (bounded ring).
+    decisions: DecisionLog,
+    /// Rates of the most recent allocation decision: the "before" basis
+    /// when logging a model update (a recalculation changes the projected
+    /// allocation through the rates as much as through the thresholds).
+    last_rates: Vec<f64>,
+    /// Simulated time of the latest control tick (timestamps decisions
+    /// taken outside a [`ControlPlane`] call, e.g. recalculations).
+    clock: SimTime,
 }
 
 impl Ursa {
@@ -154,8 +164,12 @@ impl Ursa {
                         seed ^ 0xCA11B,
                     );
                     let relaxed = relax_slas(slas, &relaxation);
-                    let outcome =
-                        optimize(&report, &relaxed, class_rates, &cfg.exploration.percentile_grid)?;
+                    let outcome = optimize(
+                        &report,
+                        &relaxed,
+                        class_rates,
+                        &cfg.exploration.percentile_grid,
+                    )?;
                     (relaxation, outcome)
                 }
                 Err(e) => return Err(e),
@@ -191,6 +205,9 @@ impl Ursa {
             recalc_cooldown: 0,
             recalcs: 0,
             last_recalc_wall_ms: 0.0,
+            decisions: DecisionLog::default(),
+            last_rates: class_rates.to_vec(),
+            clock: SimTime::ZERO,
         })
     }
 
@@ -234,6 +251,13 @@ impl Ursa {
         self.pending_reexploration
     }
 
+    /// The decision log: every allocation decision this manager has taken,
+    /// with timestamps, before/after allocations, and the model's estimated
+    /// latencies.
+    pub fn decisions(&self) -> &DecisionLog {
+        &self.decisions
+    }
+
     /// Replaces the exploration data and optimization outcome wholesale.
     ///
     /// An ablation/testing hook: lets experiments splice in exploration
@@ -262,8 +286,14 @@ impl Ursa {
         self.outcome.latency_bounds[k]
     }
 
-    /// Applies the initial allocation for the given application rates.
-    pub fn apply_initial_allocation(&self, class_rates: &[f64], control: &mut dyn ControlPlane) {
+    /// Applies the initial allocation for the given application rates and
+    /// logs the resulting per-service deltas.
+    pub fn apply_initial_allocation(
+        &mut self,
+        class_rates: &[f64],
+        control: &mut dyn ControlPlane,
+    ) {
+        let mut deltas = Vec::new();
         for t in &self.outcome.thresholds {
             let mut service_loads = vec![0.0; class_rates.len()];
             let exp = self
@@ -275,8 +305,32 @@ impl Ursa {
             for (j, rate) in class_rates.iter().enumerate() {
                 service_loads[j] = rate * exp.visits[j];
             }
-            control.set_replicas(ServiceId(t.service), t.replicas_for(&service_loads));
+            let sid = ServiceId(t.service);
+            let replicas_before = control.replicas(sid);
+            let cores_before = control.cpu_limit(sid);
+            control.set_replicas(sid, t.replicas_for(&service_loads));
+            // Read back: a capacity-capped control plane may clamp.
+            let replicas_after = control.replicas(sid);
+            if replicas_after != replicas_before {
+                deltas.push(ServiceDelta {
+                    service: t.service,
+                    replicas_before,
+                    replicas_after,
+                    cores_before,
+                    cores_after: control.cpu_limit(sid),
+                });
+            }
         }
+        self.clock = control.now();
+        let record = DecisionRecord {
+            at: self.clock,
+            kind: DecisionKind::InitialAllocation,
+            deltas,
+            estimated_latency: self.estimated_latencies(),
+            objective: Some(self.outcome.solution.objective),
+        };
+        self.decisions.push(record);
+        self.last_rates = class_rates.to_vec();
     }
 
     /// Recalculates LPR thresholds from existing exploration data at the
@@ -287,6 +341,15 @@ impl Ursa {
     /// Propagates solver errors; on error the previous thresholds stay
     /// active.
     pub fn recalculate(&mut self, class_rates: &[f64]) -> Result<(), ModelError> {
+        let before = self.projected_allocation(&self.last_rates.clone());
+        self.recalculate_inner(class_rates)?;
+        self.log_model_update(DecisionKind::Recalculate, before, class_rates);
+        Ok(())
+    }
+
+    /// [`recalculate`](Self::recalculate) without the decision-log entry
+    /// (used by `re_explore`, which logs one combined record instead).
+    fn recalculate_inner(&mut self, class_rates: &[f64]) -> Result<(), ModelError> {
         let t0 = std::time::Instant::now();
         let relaxed = relax_slas(&self.slas, &self.relaxation);
         let outcome = optimize(
@@ -300,6 +363,72 @@ impl Ursa {
         self.outcome = outcome;
         self.recalcs += 1;
         Ok(())
+    }
+
+    /// The model's estimated latency for every SLA constraint.
+    fn estimated_latencies(&self) -> Vec<f64> {
+        (0..self.slas.len())
+            .map(|k| self.estimated_latency(k))
+            .collect()
+    }
+
+    /// The replica count and per-replica cores each current threshold
+    /// projects at `class_rates` — what the scaler converges to under
+    /// steady load, and the before/after basis for model-level decisions
+    /// (which change thresholds, not live replicas).
+    fn projected_allocation(&self, class_rates: &[f64]) -> Vec<(usize, usize, f64)> {
+        self.outcome
+            .thresholds
+            .iter()
+            .filter_map(|t| {
+                let exp = self
+                    .report
+                    .services
+                    .iter()
+                    .find(|e| e.service == t.service)?;
+                let loads: Vec<f64> = class_rates
+                    .iter()
+                    .enumerate()
+                    .map(|(j, rate)| rate * exp.visits[j])
+                    .collect();
+                Some((t.service, t.replicas_for(&loads), t.cores_per_replica))
+            })
+            .collect()
+    }
+
+    /// Logs a model-level decision as the change in projected allocation.
+    fn log_model_update(
+        &mut self,
+        kind: DecisionKind,
+        before: Vec<(usize, usize, f64)>,
+        class_rates: &[f64],
+    ) {
+        let mut deltas = Vec::new();
+        for (service, replicas_after, cores_after) in self.projected_allocation(class_rates) {
+            let (replicas_before, cores_before) = before
+                .iter()
+                .find(|(s, _, _)| *s == service)
+                .map(|&(_, r, c)| (r, c))
+                .unwrap_or((0, 0.0));
+            if replicas_before != replicas_after || (cores_before - cores_after).abs() > 1e-12 {
+                deltas.push(ServiceDelta {
+                    service,
+                    replicas_before,
+                    replicas_after,
+                    cores_before,
+                    cores_after,
+                });
+            }
+        }
+        let record = DecisionRecord {
+            at: self.clock,
+            kind,
+            deltas,
+            estimated_latency: self.estimated_latencies(),
+            objective: Some(self.outcome.solution.objective),
+        };
+        self.decisions.push(record);
+        self.last_rates = class_rates.to_vec();
     }
 
     /// Partially re-explores one service (e.g. after a business-logic
@@ -316,6 +445,7 @@ impl Ursa {
         class_rates: &[f64],
     ) -> Result<ReexplorationStats, ModelError> {
         let sid = ServiceId(service);
+        let projection_before = self.projected_allocation(&self.last_rates.clone());
         let mut profile = ServiceProfile::extract(&self.topology, sid, class_rates);
         // Fold the logic change into the replayed work profile.
         for cw in &mut profile.per_class {
@@ -343,14 +473,19 @@ impl Ursa {
             samples: exp.samples,
             time: exp.time,
         };
-        if let Some(slot) = self.report.services.iter_mut().find(|e| e.service == service) {
+        if let Some(slot) = self
+            .report
+            .services
+            .iter_mut()
+            .find(|e| e.service == service)
+        {
             *slot = exp;
         } else {
             self.report.services.push(exp);
         }
         self.report.total_samples += stats.samples;
         self.work_scales[service] = work_scale;
-        match self.recalculate(class_rates) {
+        match self.recalculate_inner(class_rates) {
             Ok(()) => {}
             Err(ModelError::Infeasible { .. }) => {
                 // The refreshed latency rows over-constrain the model:
@@ -365,10 +500,15 @@ impl Ursa {
                     &self.cfg.exploration,
                     self.seed ^ 0xCA11B2,
                 );
-                self.recalculate(class_rates)?;
+                self.recalculate_inner(class_rates)?;
             }
             Err(e) => return Err(e),
         }
+        self.log_model_update(
+            DecisionKind::ReExplore { service },
+            projection_before,
+            class_rates,
+        );
         self.pending_reexploration = None;
         Ok(stats)
     }
@@ -461,7 +601,11 @@ pub fn calibrate_relaxation(
         .iter()
         .map(|sla| {
             let n = pooled[sla.class.0].len() as f64;
-            let stable = if n > 60.0 { 100.0 * (1.0 - 30.0 / n) } else { 50.0 };
+            let stable = if n > 60.0 {
+                100.0 * (1.0 - 30.0 / n)
+            } else {
+                50.0
+            };
             sla.percentile.min(stable).max(50.0)
         })
         .collect();
@@ -478,7 +622,8 @@ pub fn calibrate_relaxation(
         .zip(&stable_pct)
         .map(|(s, &p)| Sla::new(s.class, p, s.target * 1e6))
         .collect();
-    let model = crate::optimizer::build_model(&single, &generous, class_rates, &cfg.percentile_grid);
+    let model =
+        crate::optimizer::build_model(&single, &generous, class_rates, &cfg.percentile_grid);
     let Ok(solution) = solve_greedy(&model) else {
         return vec![1.0; slas.len()];
     };
@@ -492,12 +637,15 @@ pub fn calibrate_relaxation(
                 return 1.0;
             }
             samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-            let measured =
-                ursa_stats::quantile::percentile_of_sorted(samples, stable_pct[k]);
+            let measured = ursa_stats::quantile::percentile_of_sorted(samples, stable_pct[k]);
             if std::env::var("URSA_DEBUG_CALIBRATION").is_ok() {
                 eprintln!(
                     "[calibrate] class {} stable_p {:.2} bound {:.3}s measured {:.3}s n {}",
-                    sla.class.0, stable_pct[k], bound, measured, samples.len()
+                    sla.class.0,
+                    stable_pct[k],
+                    bound,
+                    measured,
+                    samples.len()
                 );
             }
             // 0.9 safety factor: the overestimation ratio shrinks as
@@ -507,7 +655,6 @@ pub fn calibrate_relaxation(
         })
         .collect()
 }
-
 
 /// Scales a work distribution's magnitude by `k` (logic-update hook).
 fn scale_work(w: &ursa_sim::topology::WorkDist, k: f64) -> ursa_sim::topology::WorkDist {
@@ -536,8 +683,35 @@ impl ResourceManager for Ursa {
     }
 
     fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+        self.clock = snapshot.at;
+
         // 1. Threshold scaling (the fast path).
-        self.scaler.tick(snapshot, control);
+        let actions = self.scaler.tick(snapshot, control);
+        if !actions.is_empty() {
+            let deltas = actions
+                .iter()
+                .map(|a| {
+                    let sid = ServiceId(a.service);
+                    let cores = control.cpu_limit(sid);
+                    ServiceDelta {
+                        service: a.service,
+                        replicas_before: a.from,
+                        // Read back: the control plane may clamp (capped cluster).
+                        replicas_after: control.replicas(sid),
+                        cores_before: cores,
+                        cores_after: cores,
+                    }
+                })
+                .collect();
+            let record = DecisionRecord {
+                at: snapshot.at,
+                kind: DecisionKind::ThresholdScale,
+                deltas,
+                estimated_latency: self.estimated_latencies(),
+                objective: None,
+            };
+            self.decisions.push(record);
+        }
 
         // 2. Track overestimation ratios for the latency estimate.
         for (k, sla) in self.slas.iter().enumerate() {
@@ -609,12 +783,16 @@ mod tests {
         let total = 250.0;
         let sum: f64 = app.mix.iter().sum();
         let rates: Vec<f64> = app.mix.iter().map(|w| total * w / sum).collect();
-        let mut ursa =
-            Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 42).expect("prepare");
+        let mut ursa = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 42)
+            .expect("prepare");
 
         let stats = ursa.offline_stats();
         assert!(stats.exploration_samples > 0);
-        assert!(stats.profiled_services >= 3, "profiled {}", stats.profiled_services);
+        assert!(
+            stats.profiled_services >= 3,
+            "profiled {}",
+            stats.profiled_services
+        );
         assert!(ursa.outcome().solution.objective > 0.0);
 
         // Deploy under the exploration mix.
@@ -629,6 +807,19 @@ mod tests {
         let report = run_deployment(&mut sim, &app.slas, &mut ursa, &cfg);
         let viol = report.overall_violation_rate();
         assert!(viol < 0.25, "violation rate {viol}");
+        // The decision log opens with the initial allocation and exports as
+        // one JSONL line per decision.
+        let log = ursa.decisions();
+        let first = log.records().next().expect("log non-empty");
+        assert_eq!(
+            first.kind,
+            crate::decision_log::DecisionKind::InitialAllocation
+        );
+        assert!(!first.deltas.is_empty());
+        assert_eq!(first.estimated_latency.len(), app.slas.len());
+        let mut out = Vec::new();
+        log.write_jsonl(&mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), log.len());
         // Latency estimate is in the right ballpark of the bound.
         for k in 0..app.slas.len() {
             let bound = ursa.latency_bound(k);
@@ -642,8 +833,8 @@ mod tests {
         let app = social_network(true);
         let sum: f64 = app.mix.iter().sum();
         let rates: Vec<f64> = app.mix.iter().map(|w| 200.0 * w / sum).collect();
-        let mut ursa =
-            Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 43).expect("prepare");
+        let mut ursa = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 43)
+            .expect("prepare");
         let obj_before = ursa.outcome().solution.objective;
         // Double the load: objective (projected cores) must grow.
         let doubled: Vec<f64> = rates.iter().map(|r| r * 2.0).collect();
@@ -651,6 +842,19 @@ mod tests {
         assert!(ursa.outcome().solution.objective > obj_before);
         assert_eq!(ursa.recalcs(), 1);
         assert!(ursa.last_recalc_wall_ms() > 0.0);
+        // Doubling the load grows the projected allocation, which the
+        // decision log must capture.
+        let last = ursa.decisions().last().expect("recalc logged");
+        assert_eq!(last.kind, crate::decision_log::DecisionKind::Recalculate);
+        assert!(!last.deltas.is_empty());
+        // Doubled load grows at least one service's projected allocation
+        // (individual services may shrink if the solver switches their LPR
+        // option, but the total allocation cannot).
+        assert!(last
+            .deltas
+            .iter()
+            .any(|d| d.replicas_after > d.replicas_before));
+        assert_eq!(last.objective, Some(ursa.outcome().solution.objective));
     }
 
     #[test]
@@ -658,8 +862,8 @@ mod tests {
         let app = social_network(true);
         let sum: f64 = app.mix.iter().sum();
         let rates: Vec<f64> = app.mix.iter().map(|w| 200.0 * w / sum).collect();
-        let mut ursa =
-            Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 44).expect("prepare");
+        let mut ursa = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates, quick_cfg(), 44)
+            .expect("prepare");
         let svc = app.service("timeline-update").unwrap().0;
         let before: f64 = ursa
             .exploration()
@@ -671,6 +875,10 @@ mod tests {
             .expect("row");
         let stats = ursa.re_explore(svc, 0.25, &rates).expect("re-explore");
         assert!(stats.samples > 0);
+        assert_eq!(
+            ursa.decisions().last().expect("re-explore logged").kind,
+            crate::decision_log::DecisionKind::ReExplore { service: svc }
+        );
         let after: f64 = ursa
             .exploration()
             .services

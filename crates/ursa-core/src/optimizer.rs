@@ -58,7 +58,12 @@ pub struct OptimizeOutcome {
 /// `class_rates[j]` is the *application-level* arrival rate of class `j`;
 /// each service's per-class load is derived from its explored LPR mix
 /// (which encodes how many times the class hits the service).
-pub fn build_model(report: &ExplorationReport, slas: &[Sla], class_rates: &[f64], grid: &[f64]) -> MipModel {
+pub fn build_model(
+    report: &ExplorationReport,
+    slas: &[Sla],
+    class_rates: &[f64],
+    grid: &[f64],
+) -> MipModel {
     let services = report
         .services
         .iter()

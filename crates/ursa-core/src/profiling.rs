@@ -115,16 +115,23 @@ pub fn profile_service(
             let mut proxy_samples: Vec<f64> = Vec::new();
             let mut svc_samples: Vec<f64> = Vec::new();
             for c in 0..harness.num_classes() {
-                proxy_samples.extend_from_slice(snap.services[PROXY.0].response_latency[c].samples());
+                proxy_samples
+                    .extend_from_slice(snap.services[PROXY.0].response_latency[c].samples());
                 svc_samples.extend_from_slice(snap.services[TESTED.0].tier_latency[c].samples());
             }
             proxy_samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             svc_samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             if !proxy_samples.is_empty() {
-                proxy_p99.push(ursa_stats::quantile::percentile_of_sorted(&proxy_samples, 99.0));
+                proxy_p99.push(ursa_stats::quantile::percentile_of_sorted(
+                    &proxy_samples,
+                    99.0,
+                ));
             }
             if !svc_samples.is_empty() {
-                svc_p99.push(ursa_stats::quantile::percentile_of_sorted(&svc_samples, 99.0));
+                svc_p99.push(ursa_stats::quantile::percentile_of_sorted(
+                    &svc_samples,
+                    99.0,
+                ));
             }
             utils.push(snap.services[TESTED.0].cpu_utilization);
         }

@@ -68,10 +68,10 @@ pub fn min_latency_allocation(
         let mut next = vec![INF; b];
         let mut pick = vec![u32::MAX; b];
         for (oi, &(lat, res)) in opts.iter().enumerate() {
-            for spent in 0..b.saturating_sub(res) {
-                if dp[spent].is_finite() {
+            for (spent, &prev) in dp.iter().enumerate().take(b.saturating_sub(res)) {
+                if prev.is_finite() {
                     let total = spent + res;
-                    let cand = dp[spent] + lat;
+                    let cand = prev + lat;
                     if cand < next[total] {
                         next[total] = cand;
                         pick[total] = oi as u32;
@@ -120,7 +120,7 @@ mod tests {
         assert_eq!(residual_units(0.5), 5); // p99.5
         assert_eq!(budget_units(1.0), 10);
         assert_eq!(budget_units(50.0), 500); // p50 SLA
-        // Rounding directions: residuals up, budgets down.
+                                             // Rounding directions: residuals up, budgets down.
         assert_eq!(residual_units(0.14), 2);
         assert_eq!(budget_units(0.14), 1);
     }
@@ -167,11 +167,7 @@ mod tests {
         for trial in 0..50 {
             let n = 1 + rng.index(4);
             let opts: Vec<Vec<(f64, usize)>> = (0..n)
-                .map(|_| {
-                    (0..3)
-                        .map(|_| (rng.next_f64(), rng.index(6)))
-                        .collect()
-                })
+                .map(|_| (0..3).map(|_| (rng.next_f64(), rng.index(6))).collect())
                 .collect();
             let budget = rng.index(12);
             let dp = min_latency_allocation(&opts, budget);
@@ -203,7 +199,11 @@ mod tests {
             }
             match (dp, best) {
                 (Some(a), Some(b)) => {
-                    assert!((a.latency_sum - b).abs() < 1e-9, "trial {trial}: {} vs {b}", a.latency_sum)
+                    assert!(
+                        (a.latency_sum - b).abs() < 1e-9,
+                        "trial {trial}: {} vs {b}",
+                        a.latency_sum
+                    )
                 }
                 (None, None) => {}
                 (a, b) => panic!("trial {trial}: dp {a:?} vs brute {b:?}"),

@@ -47,8 +47,8 @@ pub mod lp;
 pub mod model;
 pub mod solve;
 
-pub use model::{LatencyMatrix, MipModel, ModelError, ServiceModel, SlaConstraint};
 pub use lp::{solve_lp, Cmp, LpOutcome, LpProblem};
+pub use model::{LatencyMatrix, MipModel, ModelError, ServiceModel, SlaConstraint};
 pub use solve::{
     lp_relaxation_bound, solve, solve_brute_force, solve_greedy, solve_with_options, Solution,
     SolveOptions,

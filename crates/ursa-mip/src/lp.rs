@@ -153,12 +153,7 @@ pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
                     x[bj] = b[i];
                 }
             }
-            let objective = problem
-                .objective
-                .iter()
-                .zip(&x)
-                .map(|(c, v)| c * v)
-                .sum();
+            let objective = problem.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
             LpOutcome::Optimal { objective, x }
         }
     }
@@ -263,7 +258,10 @@ mod tests {
         };
         let (obj, x) = optimal(solve_lp(&p));
         assert!((obj + 36.0).abs() < 1e-7, "obj {obj}");
-        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 6.0).abs() < 1e-7, "{x:?}");
+        assert!(
+            (x[0] - 2.0).abs() < 1e-7 && (x[1] - 6.0).abs() < 1e-7,
+            "{x:?}"
+        );
     }
 
     #[test]
@@ -285,10 +283,7 @@ mod tests {
     fn infeasible_detected() {
         let p = LpProblem {
             objective: vec![1.0],
-            constraints: vec![
-                (vec![1.0], Cmp::Ge, 3.0),
-                (vec![1.0], Cmp::Le, 2.0),
-            ],
+            constraints: vec![(vec![1.0], Cmp::Ge, 3.0), (vec![1.0], Cmp::Le, 2.0)],
         };
         assert_eq!(solve_lp(&p), LpOutcome::Infeasible);
     }

@@ -117,7 +117,10 @@ impl core::fmt::Display for ModelError {
         match self {
             ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),
             ModelError::Infeasible { class } => {
-                write!(f, "no feasible allocation satisfies the SLA of class {class}")
+                write!(
+                    f,
+                    "no feasible allocation satisfies the SLA of class {class}"
+                )
             }
         }
     }
@@ -139,23 +142,29 @@ impl MipModel {
         if self.percentiles.is_empty() {
             return Err(ModelError::Invalid("empty percentile grid".into()));
         }
-        if !self
-            .percentiles
-            .windows(2)
-            .all(|w| w[0] < w[1])
-        {
-            return Err(ModelError::Invalid("percentile grid must be strictly increasing".into()));
+        if !self.percentiles.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ModelError::Invalid(
+                "percentile grid must be strictly increasing".into(),
+            ));
         }
         if self.percentiles[0] <= 0.0 || *self.percentiles.last().expect("non-empty") >= 100.0 {
-            return Err(ModelError::Invalid("percentiles must lie in (0, 100)".into()));
+            return Err(ModelError::Invalid(
+                "percentiles must lie in (0, 100)".into(),
+            ));
         }
         let h = self.percentiles.len();
         for svc in &self.services {
             if svc.resource.is_empty() {
-                return Err(ModelError::Invalid(format!("service {} has no LPR options", svc.name)));
+                return Err(ModelError::Invalid(format!(
+                    "service {} has no LPR options",
+                    svc.name
+                )));
             }
             if svc.resource.iter().any(|r| *r < 0.0 || !r.is_finite()) {
-                return Err(ModelError::Invalid(format!("service {} has invalid resource", svc.name)));
+                return Err(ModelError::Invalid(format!(
+                    "service {} has invalid resource",
+                    svc.name
+                )));
             }
             for lat in svc.latency.iter().flatten() {
                 if lat.rows() != svc.resource.len() || lat.cols() != h {
@@ -173,10 +182,16 @@ impl MipModel {
         let mut seen = std::collections::HashSet::new();
         for c in &self.constraints {
             if !seen.insert(c.class) {
-                return Err(ModelError::Invalid(format!("duplicate constraint for class {}", c.class)));
+                return Err(ModelError::Invalid(format!(
+                    "duplicate constraint for class {}",
+                    c.class
+                )));
             }
             if !(0.0..100.0).contains(&c.percentile) || c.target <= 0.0 {
-                return Err(ModelError::Invalid(format!("bad constraint for class {}", c.class)));
+                return Err(ModelError::Invalid(format!(
+                    "bad constraint for class {}",
+                    c.class
+                )));
             }
             for svc in &self.services {
                 if c.class >= svc.latency.len() {

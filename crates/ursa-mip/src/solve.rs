@@ -45,7 +45,9 @@ impl Solution {
             .iter()
             .zip(&self.percentile_choice[k])
             .map(|(&s, &beta)| {
-                let m = model.services[s].latency[c.class].as_ref().expect("participating");
+                let m = model.services[s].latency[c.class]
+                    .as_ref()
+                    .expect("participating");
                 m.at(self.lpr_choice[s], beta)
             })
             .sum()
@@ -100,9 +102,7 @@ pub fn lp_relaxation_bound(model: &MipModel, alpha: &[Option<usize>]) -> Option<
         match (alpha[s], var_of[s]) {
             (Some(a), _) => fixed_cost += svc.resource[a],
             (None, Some((off, cnt))) => {
-                for o in 0..cnt {
-                    objective[off + o] = svc.resource[o];
-                }
+                objective[off..off + cnt].copy_from_slice(&svc.resource[..cnt]);
             }
             _ => unreachable!(),
         }
@@ -122,13 +122,10 @@ pub fn lp_relaxation_bound(model: &MipModel, alpha: &[Option<usize>]) -> Option<
         let mut row = vec![0.0; n_vars];
         let mut fixed_lat = 0.0;
         for (s, svc) in model.services.iter().enumerate() {
-            let Some(m) = &svc.latency[c.class] else { continue };
-            let best = |o: usize| {
-                m.row(o)
-                    .iter()
-                    .cloned()
-                    .fold(f64::INFINITY, f64::min)
+            let Some(m) = &svc.latency[c.class] else {
+                continue;
             };
+            let best = |o: usize| m.row(o).iter().cloned().fold(f64::INFINITY, f64::min);
             match (alpha[s], var_of[s]) {
                 (Some(a), _) => fixed_lat += best(a),
                 (None, Some((off, cnt))) => {
@@ -162,8 +159,7 @@ fn class_problems(model: &MipModel) -> Vec<ClassProblem> {
     model
         .constraints
         .iter()
-        .enumerate()
-        .map(|(_k, c)| ClassProblem {
+        .map(|c| ClassProblem {
             constraint: *c,
             services: model.services_of_class(c.class),
             budget: budget_units(100.0 - c.percentile),
@@ -284,7 +280,11 @@ pub fn solve_greedy(model: &MipModel) -> Result<Solution, ModelError> {
                     .sum()
             };
             (0..s.resource.len())
-                .min_by(|&a, &b| mean_latency(a).partial_cmp(&mean_latency(b)).expect("finite"))
+                .min_by(|&a, &b| {
+                    mean_latency(a)
+                        .partial_cmp(&mean_latency(b))
+                        .expect("finite")
+                })
                 .expect("non-empty options")
         })
         .collect();
@@ -440,11 +440,7 @@ pub fn solve_with_options(model: &MipModel, options: SolveOptions) -> Result<Sol
             }
             let cost = partial_cost + model.services[s].resource[o];
             // Lower bound: assigned cost + min resource of the undecided.
-            let lb: f64 = cost
-                + order[depth + 1..]
-                    .iter()
-                    .map(|&u| min_res[u])
-                    .sum::<f64>();
+            let lb: f64 = cost + order[depth + 1..].iter().map(|&u| min_res[u]).sum::<f64>();
             if lb >= *best_cost - 1e-12 {
                 continue;
             }
@@ -533,7 +529,11 @@ pub fn solve_brute_force(model: &MipModel) -> Result<Solution, ModelError> {
                 .enumerate()
                 .map(|(s, &a)| model.services[s].resource[a])
                 .sum();
-            if best.as_ref().map(|(b, _)| cost < *b - 1e-12).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|(b, _)| cost < *b - 1e-12)
+                .unwrap_or(true)
+            {
                 best = Some((cost, idx.clone()));
             }
         }
@@ -582,7 +582,13 @@ mod tests {
         vec![99.0, 99.5, 99.9]
     }
 
-    fn svc(name: &str, resource: Vec<f64>, lat_rows: Vec<Vec<f64>>, classes: usize, class: usize) -> ServiceModel {
+    fn svc(
+        name: &str,
+        resource: Vec<f64>,
+        lat_rows: Vec<Vec<f64>>,
+        classes: usize,
+        class: usize,
+    ) -> ServiceModel {
         let rows = resource.len();
         let cols = lat_rows[0].len();
         let data: Vec<f64> = lat_rows.into_iter().flatten().collect();
@@ -704,20 +710,35 @@ mod tests {
         // Service shared by two classes: class 0 is tight (needs the
         // resourced option), class 1 is loose. The solver must keep the
         // resourced option even though class 1 alone would allow downgrade.
-        let m = |rows: Vec<Vec<f64>>| LatencyMatrix::new(2, 3, rows.into_iter().flatten().collect());
+        let m =
+            |rows: Vec<Vec<f64>>| LatencyMatrix::new(2, 3, rows.into_iter().flatten().collect());
         let model = MipModel {
             percentiles: grid(),
             services: vec![ServiceModel {
                 name: "shared".into(),
                 resource: vec![8.0, 2.0],
                 latency: vec![
-                    Some(m(vec![vec![0.010, 0.012, 0.015], vec![0.200, 0.250, 0.400]])),
-                    Some(m(vec![vec![0.010, 0.012, 0.015], vec![0.200, 0.250, 0.400]])),
+                    Some(m(vec![
+                        vec![0.010, 0.012, 0.015],
+                        vec![0.200, 0.250, 0.400],
+                    ])),
+                    Some(m(vec![
+                        vec![0.010, 0.012, 0.015],
+                        vec![0.200, 0.250, 0.400],
+                    ])),
                 ],
             }],
             constraints: vec![
-                SlaConstraint { class: 0, percentile: 99.0, target: 0.050 },
-                SlaConstraint { class: 1, percentile: 99.0, target: 1.0 },
+                SlaConstraint {
+                    class: 0,
+                    percentile: 99.0,
+                    target: 0.050,
+                },
+                SlaConstraint {
+                    class: 1,
+                    percentile: 99.0,
+                    target: 1.0,
+                },
             ],
         };
         let sol = solve(&model).unwrap();
@@ -736,7 +757,8 @@ mod tests {
                 .map(|s| {
                     let n_opts = 2 + rng.index(3);
                     // Resource decreasing, latency increasing per option.
-                    let resource: Vec<f64> = (0..n_opts).map(|o| (n_opts - o) as f64 * 2.0).collect();
+                    let resource: Vec<f64> =
+                        (0..n_opts).map(|o| (n_opts - o) as f64 * 2.0).collect();
                     let latency = (0..n_classes)
                         .map(|_| {
                             if rng.chance(0.8) {
@@ -790,7 +812,13 @@ mod tests {
     fn service_without_constrained_classes_downgrades_fully() {
         let model = MipModel {
             percentiles: grid(),
-            services: vec![svc("idle", vec![8.0, 1.0], vec![vec![0.01, 0.01, 0.01], vec![0.9, 0.9, 0.9]], 1, 0)],
+            services: vec![svc(
+                "idle",
+                vec![8.0, 1.0],
+                vec![vec![0.01, 0.01, 0.01], vec![0.9, 0.9, 0.9]],
+                1,
+                0,
+            )],
             constraints: vec![], // no SLA constraints at all
         };
         let sol = solve(&model).unwrap();

@@ -87,7 +87,11 @@ fn build_tree(
     }
     let n_features = xs[0].len();
     let parent_sse = sse_around_mean(idx, residuals);
-    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    // (gain, feature, threshold)
+    let mut best: Option<(f64, usize, f64)> = None;
+    // Column-wise scan: `f` indexes a feature across all sample rows, so
+    // iterating `xs` (the rows) is not an equivalent rewrite.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
         for _ in 0..params.candidates_per_feature {
             let pivot = xs[idx[rng.index(idx.len())]][f];
@@ -172,9 +176,7 @@ impl GbtRegressor {
 
     /// Predicts the target for one feature row.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// Number of fitted trees.
@@ -255,8 +257,24 @@ mod tests {
     #[test]
     fn more_trees_fit_better() {
         let (xs, ys) = dataset(400, 11);
-        let small = GbtRegressor::fit(&xs, &ys, &GbtParams { n_trees: 5, ..Default::default() }, 1);
-        let big = GbtRegressor::fit(&xs, &ys, &GbtParams { n_trees: 80, ..Default::default() }, 1);
+        let small = GbtRegressor::fit(
+            &xs,
+            &ys,
+            &GbtParams {
+                n_trees: 5,
+                ..Default::default()
+            },
+            1,
+        );
+        let big = GbtRegressor::fit(
+            &xs,
+            &ys,
+            &GbtParams {
+                n_trees: 80,
+                ..Default::default()
+            },
+            1,
+        );
         assert!(big.mse(&xs, &ys) < small.mse(&xs, &ys));
         assert_eq!(big.n_trees(), 80);
     }

@@ -25,7 +25,11 @@ pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
 /// Panics if the slices differ in length or are empty.
 pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
     assert!(!pred.is_empty() && pred.len() == target.len());
-    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Binary classification accuracy of scores thresholded at `threshold`

@@ -235,10 +235,10 @@ impl Mlp {
                 }
                 if li > 0 {
                     let mut prev = vec![0.0; layer.inp];
-                    for o in 0..layer.out {
+                    for (o, &d) in delta.iter().enumerate() {
                         let row = &layer.w[o * layer.inp..(o + 1) * layer.inp];
                         for (p, wi) in prev.iter_mut().zip(row) {
-                            *p += delta[o] * wi;
+                            *p += d * wi;
                         }
                     }
                     // Apply hidden activation gradient (in terms of output).
@@ -282,7 +282,11 @@ impl Mlp {
     ///
     /// Panics if architectures differ.
     pub fn copy_params_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(a.w.len(), b.w.len(), "architecture mismatch");
             a.w.copy_from_slice(&b.w);
@@ -327,9 +331,7 @@ mod tests {
     fn learns_sine_regression() {
         use ursa_stats::rng::Rng;
         let mut rng = Rng::seed_from(5);
-        let xs: Vec<Vec<f64>> = (0..256)
-            .map(|_| vec![rng.next_f64() * 2.0 - 1.0])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..256).map(|_| vec![rng.next_f64() * 2.0 - 1.0]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![(x[0] * 3.0).sin()]).collect();
         let mut net = Mlp::new(&[1, 32, 32, 1], Activation::Tanh, Output::Linear, 7);
         let mut last = f64::INFINITY;

@@ -70,7 +70,9 @@ impl ReplayBuffer {
 
     /// Samples `n` transitions uniformly with replacement.
     pub fn sample(&self, n: usize, rng: &mut Rng) -> Vec<&Transition> {
-        (0..n).map(|_| &self.buf[rng.index(self.buf.len())]).collect()
+        (0..n)
+            .map(|_| &self.buf[rng.index(self.buf.len())])
+            .collect()
     }
 }
 
@@ -126,7 +128,13 @@ pub struct DqnAgent {
 impl DqnAgent {
     /// Creates an agent with the given state dimension, action count and
     /// hidden width.
-    pub fn new(state_dim: usize, actions: usize, hidden: usize, params: DqnParams, seed: u64) -> Self {
+    pub fn new(
+        state_dim: usize,
+        actions: usize,
+        hidden: usize,
+        params: DqnParams,
+        seed: u64,
+    ) -> Self {
         let dims = [state_dim, hidden, hidden, actions];
         let q = Mlp::new(&dims, Activation::Relu, Output::Linear, seed);
         let mut target = Mlp::new(&dims, Activation::Relu, Output::Linear, seed ^ 0x5a5a);
@@ -196,7 +204,7 @@ impl DqnAgent {
         let loss = self.q.train_batch(&xs, &ys, self.params.lr);
         self.steps += 1;
         self.eps = (self.eps * self.params.eps_decay).max(self.params.eps_end);
-        if self.steps % self.params.target_sync == 0 {
+        if self.steps.is_multiple_of(self.params.target_sync) {
             self.target.copy_params_from(&self.q);
         }
         Some(loss)
@@ -287,7 +295,10 @@ mod tests {
 
     #[test]
     fn observe_returns_loss_once_batch_full() {
-        let params = DqnParams { batch: 4, ..Default::default() };
+        let params = DqnParams {
+            batch: 4,
+            ..Default::default()
+        };
         let mut agent = DqnAgent::new(1, 2, 4, params, 2);
         let t = |v: f64| Transition {
             state: vec![v],

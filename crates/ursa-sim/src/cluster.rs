@@ -82,7 +82,10 @@ impl Cluster {
     /// Panics if `machines` is empty or any capacity is non-positive.
     pub fn new(machines: Vec<MachineCfg>, policy: PlacementPolicy) -> Self {
         assert!(!machines.is_empty(), "cluster needs machines");
-        assert!(machines.iter().all(|m| m.cores > 0.0), "non-positive capacity");
+        assert!(
+            machines.iter().all(|m| m.cores > 0.0),
+            "non-positive capacity"
+        );
         let used = vec![0.0; machines.len()];
         Cluster {
             machines,
@@ -139,7 +142,10 @@ impl Cluster {
 
     /// Replica count of a service.
     pub fn replicas_of(&self, service: ServiceId) -> usize {
-        self.placements.iter().filter(|p| p.service == service).count()
+        self.placements
+            .iter()
+            .filter(|p| p.service == service)
+            .count()
     }
 
     /// Places one replica of `service` needing `cores`.
@@ -235,6 +241,9 @@ impl<'a, C: ControlPlane> CappedControlPlane<'a, C> {
 }
 
 impl<C: ControlPlane> ControlPlane for CappedControlPlane<'_, C> {
+    fn now(&self) -> crate::time::SimTime {
+        self.inner.now()
+    }
     fn num_services(&self) -> usize {
         self.inner.num_services()
     }
@@ -286,8 +295,14 @@ mod tests {
     fn small_cluster() -> Cluster {
         Cluster::new(
             vec![
-                MachineCfg { name: "a".into(), cores: 8.0 },
-                MachineCfg { name: "b".into(), cores: 4.0 },
+                MachineCfg {
+                    name: "a".into(),
+                    cores: 8.0,
+                },
+                MachineCfg {
+                    name: "b".into(),
+                    cores: 4.0,
+                },
             ],
             PlacementPolicy::BestFit,
         )
@@ -316,14 +331,20 @@ mod tests {
     fn worst_fit_spreads() {
         let mut c = Cluster::new(
             vec![
-                MachineCfg { name: "a".into(), cores: 8.0 },
-                MachineCfg { name: "b".into(), cores: 4.0 },
+                MachineCfg {
+                    name: "a".into(),
+                    cores: 8.0,
+                },
+                MachineCfg {
+                    name: "b".into(),
+                    cores: 4.0,
+                },
             ],
             PlacementPolicy::WorstFit,
         );
         assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0);
         assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0); // 6 free > 4 free
-        // 4 free == 4 free: either machine is a valid worst-fit choice.
+                                                            // 4 free == 4 free: either machine is a valid worst-fit choice.
         let third = c.place(ServiceId(0), 2.0).unwrap();
         assert!(third == 0 || third == 1);
     }

@@ -39,6 +39,8 @@ impl Sla {
 
 /// Actuation interface offered to resource managers.
 pub trait ControlPlane {
+    /// Current simulated time (timestamps the manager's decision log).
+    fn now(&self) -> SimTime;
     /// Number of services in the application.
     fn num_services(&self) -> usize;
     /// Human-readable service name.
@@ -56,6 +58,9 @@ pub trait ControlPlane {
 }
 
 impl ControlPlane for Simulation {
+    fn now(&self) -> SimTime {
+        Simulation::now(self)
+    }
     fn num_services(&self) -> usize {
         self.topology().num_services()
     }
@@ -251,7 +256,11 @@ pub fn run_deployment(
                 service_rps: (0..num_services)
                     .map(|s| snapshot.services[s].arrival_rps(snapshot.window))
                     .collect(),
-                service_cpu_util: snapshot.services.iter().map(|s| s.cpu_utilization).collect(),
+                service_cpu_util: snapshot
+                    .services
+                    .iter()
+                    .map(|s| s.cpu_utilization)
+                    .collect(),
                 total_cores: sim.total_allocated_cores(),
             });
         }
@@ -318,7 +327,7 @@ mod tests {
         };
         let report = run_deployment(&mut s, &slas, &mut StaticManager, &cfg);
         assert_eq!(report.records.len(), 8); // 10 windows - 2 warmup
-        // Comfortably provisioned: rho = 0.2, SLA should hold.
+                                             // Comfortably provisioned: rho = 0.2, SLA should hold.
         assert_eq!(report.overall_violation_rate(), 0.0);
         assert!((report.avg_cpu_allocation() - 2.0).abs() < 1e-12);
         assert!(!report.class_samples[0].is_empty());
@@ -337,7 +346,11 @@ mod tests {
             collect_samples: false,
         };
         let report = run_deployment(&mut s, &slas, &mut StaticManager, &cfg);
-        assert!(report.overall_violation_rate() > 0.9, "rate {}", report.overall_violation_rate());
+        assert!(
+            report.overall_violation_rate() > 0.9,
+            "rate {}",
+            report.overall_violation_rate()
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use ursa_stats::rng::Rng;
 use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::time::{SimDur, SimTime};
 use crate::topology::{CallMode, CallNode, ClassId, EdgeKind, ServiceId, Topology};
+use crate::trace::{Trace, Tracer};
 use crate::workload::RateFn;
 
 /// Work remainders below this many CPU-seconds count as complete.
@@ -55,7 +56,11 @@ enum EventKind {
     /// A request hop arrives at its service (after network delay).
     NodeArrive { token: Token },
     /// Possible processor-sharing completion on a replica.
-    PsCheck { service: usize, replica: usize, gen: u64 },
+    PsCheck {
+        service: usize,
+        replica: usize,
+        gen: u64,
+    },
     /// A trace-replay arrival scheduled via `schedule_arrivals`.
     TraceArrival { class: usize },
 }
@@ -151,7 +156,14 @@ struct Replica {
 }
 
 impl Replica {
-    fn new(cores: f64, workers: usize, daemons: usize, daemon_cap: usize, levels: usize, now: SimTime) -> Self {
+    fn new(
+        cores: f64,
+        workers: usize,
+        daemons: usize,
+        daemon_cap: usize,
+        levels: usize,
+        now: SimTime,
+    ) -> Self {
         Replica {
             cores,
             workers,
@@ -288,6 +300,10 @@ struct RequestRt {
     arrival: SimTime,
     nodes: Vec<NodeRt>,
     responded: u16,
+    /// True iff the request was head-sampled for tracing. Always false when
+    /// tracing is disabled, so hot-path hooks reduce to one branch on a
+    /// bool that is already in cache.
+    traced: bool,
 }
 
 #[derive(Debug)]
@@ -295,37 +311,6 @@ struct Source {
     rate: RateFn,
     gen: u64,
     rng: Rng,
-}
-
-/// One completed hop of a request, recorded when tracing is enabled —
-/// the simulator's analog of a distributed-tracing span.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Span {
-    /// Request class.
-    pub class: ClassId,
-    /// Hop index within the class's flattened call tree (0 = root).
-    pub node: u16,
-    /// Service that executed the hop.
-    pub service: ServiceId,
-    /// When the hop arrived at the service.
-    pub enqueue_at: SimTime,
-    /// When the hop responded.
-    pub respond_at: SimTime,
-    /// Time spent blocked on nested downstream responses.
-    pub nested_wait: SimDur,
-}
-
-impl Span {
-    /// Full hop latency (enqueue → respond).
-    pub fn latency(&self) -> SimDur {
-        self.respond_at - self.enqueue_at
-    }
-
-    /// Hop latency excluding nested downstream waits (the paper's per-tier
-    /// response time).
-    pub fn tier_latency(&self) -> SimDur {
-        self.latency() - self.nested_wait
-    }
 }
 
 /// Simulator configuration knobs.
@@ -392,7 +377,7 @@ pub struct Simulation {
     cfg: SimConfig,
     prio_levels: usize,
     in_flight: usize,
-    spans: Option<(VecDeque<Span>, usize)>,
+    tracer: Option<Tracer>,
 }
 
 impl Simulation {
@@ -473,28 +458,42 @@ impl Simulation {
             cfg,
             prio_levels,
             in_flight: 0,
-            spans: None,
+            tracer: None,
         }
     }
 
-    /// Enables span tracing: every completed hop is recorded (bounded ring
-    /// of `capacity` spans, oldest evicted). Disabled by default — tracing
-    /// every hop costs memory and time.
+    /// Enables per-request span tracing: each injected request is
+    /// head-sampled with probability `sample_rate`; sampled requests record
+    /// one [`TraceSpan`](crate::trace::TraceSpan) per hop, assembled into a
+    /// [`Trace`] on completion and kept in a bounded ring of `capacity`
+    /// finished traces (oldest evicted). Disabled by default; the disabled
+    /// path costs one predictable branch per hook. The sampling RNG is
+    /// independent of the simulation RNG, so enabling tracing does not
+    /// change simulated behavior.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
-    pub fn enable_tracing(&mut self, capacity: usize) {
-        assert!(capacity > 0, "capacity must be positive");
-        self.spans = Some((VecDeque::with_capacity(capacity.min(65_536)), capacity));
+    /// Panics if `capacity == 0` or `sample_rate` is outside `[0, 1]`.
+    pub fn enable_tracing(&mut self, capacity: usize, sample_rate: f64) {
+        // The sampler seed must NOT be drawn from `self.rng`: consuming the
+        // sim stream here would make traced and untraced runs diverge.
+        let seed =
+            0x712A_CE5E_ED00_0001 ^ (capacity as u64) ^ sample_rate.to_bits().rotate_left(17);
+        self.tracer = Some(Tracer::new(capacity, sample_rate, seed));
     }
 
-    /// Drains the recorded spans (empty if tracing is disabled).
-    pub fn take_spans(&mut self) -> Vec<Span> {
-        match &mut self.spans {
-            Some((buf, _)) => buf.drain(..).collect(),
+    /// Drains the finished traces (empty if tracing is disabled; sampled
+    /// requests still in flight remain pending).
+    pub fn take_traces(&mut self) -> Vec<Trace> {
+        match &mut self.tracer {
+            Some(t) => t.take(),
             None => Vec::new(),
         }
+    }
+
+    /// The tracer, if tracing is enabled — exposes sampling statistics.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Current simulated time.
@@ -547,7 +546,12 @@ impl Simulation {
     /// configured network delay).
     pub fn inject(&mut self, class: ClassId) {
         let template = &self.templates[class.0];
-        let nodes = vec![NodeRt::fresh(); template.nodes.len()];
+        let num_nodes = template.nodes.len();
+        let nodes = vec![NodeRt::fresh(); num_nodes];
+        let traced = match &mut self.tracer {
+            Some(t) => t.wants_sample(),
+            None => false,
+        };
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some(RequestRt {
@@ -555,6 +559,7 @@ impl Simulation {
                     arrival: self.now,
                     nodes,
                     responded: 0,
+                    traced,
                 });
                 s
             }
@@ -564,11 +569,18 @@ impl Simulation {
                     arrival: self.now,
                     nodes,
                     responded: 0,
+                    traced,
                 }));
                 self.gens.push(0);
                 (self.slots.len() - 1) as u32
             }
         };
+        if traced {
+            self.tracer
+                .as_mut()
+                .expect("traced implies tracer")
+                .start(slot, class, self.now, num_nodes);
+        }
         self.in_flight += 1;
         self.telemetry.record_injection(class);
         let token = Token {
@@ -588,7 +600,11 @@ impl Simulation {
     /// Panics if any time is in the past.
     pub fn schedule_arrivals(&mut self, class: ClassId, times: &[SimTime]) {
         for &at in times {
-            assert!(at >= self.now, "arrival {at} is in the past (now {})", self.now);
+            assert!(
+                at >= self.now,
+                "arrival {at} is in the past (now {})",
+                self.now
+            );
             self.schedule(at, EventKind::TraceArrival { class: class.0 });
         }
     }
@@ -635,7 +651,11 @@ impl Simulation {
                     self.node_arrive(token);
                 }
             }
-            EventKind::PsCheck { service, replica, gen } => {
+            EventKind::PsCheck {
+                service,
+                replica,
+                gen,
+            } => {
                 self.ps_check(service, replica, gen);
             }
             EventKind::TraceArrival { class } => {
@@ -651,13 +671,16 @@ impl Simulation {
     }
 
     fn req(&self, token: Token) -> &RequestRt {
-        self.slots[token.slot as usize].as_ref().expect("live request")
+        self.slots[token.slot as usize]
+            .as_ref()
+            .expect("live request")
     }
 
     fn req_mut(&mut self, token: Token) -> &mut RequestRt {
-        self.slots[token.slot as usize].as_mut().expect("live request")
+        self.slots[token.slot as usize]
+            .as_mut()
+            .expect("live request")
     }
-
 
     /// A hop arrives at its service: route to a replica queue (RPC) or the
     /// shared MQ queue, then try to start work.
@@ -665,7 +688,8 @@ impl Simulation {
         let class = self.req(token).class;
         let tmpl = &self.templates[class].nodes[token.node as usize];
         let s = tmpl.service;
-        let via_mq = matches!(tmpl.parent, Some((_, EdgeKind::Mq)));
+        let parent = tmpl.parent;
+        let via_mq = matches!(parent, Some((_, EdgeKind::Mq)));
         let prio = self.templates[class].prio;
         self.telemetry.record_arrival(ServiceId(s), ClassId(class));
         {
@@ -674,8 +698,15 @@ impl Simulation {
             node.enqueue_at = now;
             node.phase = Phase::Queued;
         }
+        if self.req(token).traced {
+            let now = self.now;
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_arrive(token.slot, token.node, ServiceId(s), parent, now);
+            }
+        }
         if via_mq {
             self.services[s].mq.push(prio, token);
+            self.note_mq_depth(s);
             self.dispatch_shared(s);
         } else {
             let r = self.pick_replica(s);
@@ -690,7 +721,11 @@ impl Simulation {
 
     fn pick_replica(&mut self, s: usize) -> usize {
         let live = self.services[s].live_indices();
-        assert!(!live.is_empty(), "service {} has no live replicas", self.names[s]);
+        assert!(
+            !live.is_empty(),
+            "service {} has no live replicas",
+            self.names[s]
+        );
         let svc = &mut self.services[s];
         svc.rr = svc.rr.wrapping_add(1);
         live[svc.rr % live.len()]
@@ -701,6 +736,7 @@ impl Simulation {
     /// in-order offering concentrates messages on low-index replicas and
     /// inflates their processor-sharing contention.
     fn dispatch_shared(&mut self, s: usize) {
+        let mut popped = false;
         while self.services[s].mq.len() > 0 {
             let target = self.services[s]
                 .replicas
@@ -713,20 +749,24 @@ impl Simulation {
                     _ => None,
                 })
                 .min_by_key(|&(_, busy)| busy);
-            let Some((r, _)) = target else { return };
+            let Some((r, _)) = target else { break };
             let token = self.services[s].mq.pop().expect("checked non-empty");
+            popped = true;
             self.services[s].replicas[r]
                 .as_mut()
                 .expect("live replica")
                 .busy_workers += 1;
             self.start_pre(token, s, r);
         }
+        if popped {
+            self.note_mq_depth(s);
+        }
     }
 
     /// Starts queued work on a replica while it has free workers.
     fn try_start(&mut self, s: usize, r: usize) {
         loop {
-            let token = {
+            let (token, from_mq) = {
                 let Some(rep) = self.services[s].replicas[r].as_mut() else {
                     return;
                 };
@@ -734,13 +774,13 @@ impl Simulation {
                     return;
                 }
                 let from_own = rep.queue.pop();
-                let token = match from_own {
-                    Some(t) => Some(t),
+                let (token, from_mq) = match from_own {
+                    Some(t) => (Some(t), false),
                     None => {
                         if rep.draining {
-                            None
+                            (None, false)
                         } else {
-                            self.services[s].mq.pop()
+                            (self.services[s].mq.pop(), true)
                         }
                     }
                 };
@@ -749,8 +789,11 @@ impl Simulation {
                     .as_mut()
                     .expect("live replica")
                     .busy_workers += 1;
-                token
+                (token, from_mq)
             };
+            if from_mq {
+                self.note_mq_depth(s);
+            }
             self.start_pre(token, s, r);
         }
     }
@@ -763,6 +806,12 @@ impl Simulation {
             let node = &mut self.req_mut(token).nodes[token.node as usize];
             node.phase = Phase::Pre;
             node.replica = r as u32;
+        }
+        if self.req(token).traced {
+            let now = self.now;
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_start(token.slot, token.node, now);
+            }
         }
         self.ps_add(s, r, token, work);
     }
@@ -814,7 +863,14 @@ impl Simulation {
             let dt_ns = ((min_rem / rate) * 1e9).ceil().max(1.0) as u64;
             (self.now + SimDur::from_nanos(dt_ns), rep.ps_gen)
         };
-        self.schedule(at, EventKind::PsCheck { service: s, replica: r, gen });
+        self.schedule(
+            at,
+            EventKind::PsCheck {
+                service: s,
+                replica: r,
+                gen,
+            },
+        );
     }
 
     fn ps_add(&mut self, s: usize, r: usize, token: Token, work: f64) {
@@ -893,7 +949,8 @@ impl Simulation {
             if i >= n_children {
                 break;
             }
-            let (child_idx, edge) = self.templates[class].nodes[token.node as usize].children[i as usize];
+            let (child_idx, edge) =
+                self.templates[class].nodes[token.node as usize].children[i as usize];
             let s = self.templates[class].nodes[token.node as usize].service;
             let child_token = Token {
                 node: child_idx,
@@ -918,6 +975,12 @@ impl Simulation {
                             .expect("live replica")
                             .blocked_submitters
                             .push_back((token, child_idx));
+                        if self.req(token).traced {
+                            let now = self.now;
+                            if let Some(t) = self.tracer.as_mut() {
+                                t.open_block(token.slot, token.node, now);
+                            }
+                        }
                         return;
                     }
                 }
@@ -933,6 +996,11 @@ impl Simulation {
                         let node = &mut self.req_mut(token).nodes[token.node as usize];
                         node.phase = Phase::Waiting;
                         node.wait_start = now;
+                        if self.req(token).traced {
+                            if let Some(t) = self.tracer.as_mut() {
+                                t.open_wait(token.slot, token.node, now);
+                            }
+                        }
                         return;
                     }
                 }
@@ -945,6 +1013,11 @@ impl Simulation {
             let node = &mut self.req_mut(token).nodes[token.node as usize];
             node.phase = Phase::Waiting;
             node.wait_start = now;
+            if self.req(token).traced {
+                if let Some(t) = self.tracer.as_mut() {
+                    t.open_wait(token.slot, token.node, now);
+                }
+            }
         } else {
             self.start_post(token);
         }
@@ -1030,6 +1103,12 @@ impl Simulation {
             let node = &mut self.req_mut(parent).nodes[parent.node as usize];
             node.phase = Phase::Issuing;
             node.next_child += 1;
+            if self.req(parent).traced {
+                let now = self.now;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.close_block(parent.slot, parent.node, now);
+                }
+            }
             self.issue_children(parent);
         }
         self.maybe_remove_drained(s, r);
@@ -1059,32 +1138,27 @@ impl Simulation {
             let t = &self.templates[class].nodes[token.node as usize];
             (t.service, t.parent)
         };
-        let (r, full, tier, daemon_of) = {
+        let (r, full, tier, daemon_of, nested_wait) = {
             let now = self.now;
             let node = &mut self.req_mut(token).nodes[token.node as usize];
             node.phase = Phase::Responded;
             let full = (now - node.enqueue_at).as_secs_f64();
             let tier = full - node.nested_wait.as_secs_f64();
-            (node.replica as usize, full, tier.max(0.0), node.daemon_of)
+            (
+                node.replica as usize,
+                full,
+                tier.max(0.0),
+                node.daemon_of,
+                node.nested_wait,
+            )
         };
         self.telemetry
             .record_response(ServiceId(s), ClassId(class), tier, full);
-        if let Some((buf, cap)) = &mut self.spans {
-            if buf.len() == *cap {
-                buf.pop_front();
+        if self.req(token).traced {
+            let now = self.now;
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_respond(token.slot, token.node, now, nested_wait);
             }
-            let node = &self.slots[token.slot as usize]
-                .as_ref()
-                .expect("live request")
-                .nodes[token.node as usize];
-            buf.push_back(Span {
-                class: ClassId(class),
-                node: token.node,
-                service: ServiceId(s),
-                enqueue_at: node.enqueue_at,
-                respond_at: self.now,
-                nested_wait: node.nested_wait,
-            });
         }
 
         // Release the worker and pull more work.
@@ -1105,7 +1179,10 @@ impl Simulation {
         // submission (parallel mode mixing edge kinds), the daemon-unblock
         // path resumes it instead and re-checks `awaiting` at loop end.
         if let Some((pidx, EdgeKind::NestedRpc)) = parent {
-            let parent_token = Token { node: pidx, ..token };
+            let parent_token = Token {
+                node: pidx,
+                ..token
+            };
             let resume = {
                 let now = self.now;
                 let node = &mut self.req_mut(parent_token).nodes[pidx as usize];
@@ -1119,6 +1196,12 @@ impl Simulation {
                 }
             };
             if resume {
+                if self.req(parent_token).traced {
+                    let now = self.now;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.close_wait(parent_token.slot, pidx, now);
+                    }
+                }
                 self.issue_children(parent_token);
             }
         }
@@ -1130,13 +1213,31 @@ impl Simulation {
             req.responded as usize == req.nodes.len()
         };
         if done {
-            let req = self.slots[token.slot as usize].take().expect("live request");
+            let req = self.slots[token.slot as usize]
+                .take()
+                .expect("live request");
             self.gens[token.slot as usize] = self.gens[token.slot as usize].wrapping_add(1);
             self.free.push(token.slot);
             self.in_flight -= 1;
             let latency = (self.now - req.arrival).as_secs_f64();
             self.telemetry.record_e2e(ClassId(req.class), latency);
+            if req.traced {
+                let now = self.now;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.finish(token.slot, now);
+                }
+            }
         }
+    }
+
+    /// Feeds the telemetry MQ-depth accumulators after a shared-queue push
+    /// or pop. Several pops at one timestamp may each call this; zero-width
+    /// intervals contribute nothing to the time-weighted mean, and the max
+    /// only ever sees depths the queue actually held.
+    fn note_mq_depth(&mut self, s: usize) {
+        let depth = self.services[s].mq.len();
+        self.telemetry
+            .record_mq_depth(ServiceId(s), self.now, depth);
     }
 
     fn maybe_remove_drained(&mut self, s: usize, r: usize) {
@@ -1267,13 +1368,7 @@ impl Simulation {
     pub fn total_allocated_cores(&self) -> f64 {
         self.services
             .iter()
-            .map(|svc| {
-                svc.replicas
-                    .iter()
-                    .flatten()
-                    .map(|r| r.cores)
-                    .sum::<f64>()
-            })
+            .map(|svc| svc.replicas.iter().flatten().map(|r| r.cores).sum::<f64>())
             .sum()
     }
 
@@ -1324,7 +1419,10 @@ mod tests {
         let injected = snap.injections[0];
         let completed = snap.completions[0];
         assert!(injected > 2500, "injected {injected}");
-        assert!(completed as f64 > injected as f64 * 0.98, "completed {completed}/{injected}");
+        assert!(
+            completed as f64 > injected as f64 * 0.98,
+            "completed {completed}/{injected}"
+        );
         // M/M-ish latency at low load ~ service time.
         let p50 = snap.e2e_latency[0].percentile(50.0).unwrap();
         assert!(p50 < 0.02, "p50 {p50}");
@@ -1363,7 +1461,12 @@ mod tests {
         }
         assert!(lats[0] < lats[1] && lats[1] < lats[2], "latencies {lats:?}");
         // Near saturation (rho = 0.94) p99 should blow up well past service time.
-        assert!(lats[2] > 5.0 * lats[0], "saturated {} vs idle {}", lats[2], lats[0]);
+        assert!(
+            lats[2] > 5.0 * lats[0],
+            "saturated {} vs idle {}",
+            lats[2],
+            lats[0]
+        );
     }
 
     #[test]
@@ -1412,7 +1515,10 @@ mod tests {
         // No requests lost across the scale-in.
         let injected: u64 = snap.injections.iter().sum();
         let completed: u64 = snap.completions.iter().sum();
-        assert!(completed as f64 > injected as f64 * 0.97, "{completed}/{injected}");
+        assert!(
+            completed as f64 > injected as f64 * 0.97,
+            "{completed}/{injected}"
+        );
     }
 
     /// A linear chain. Worker pools shrink downstream (client-facing tiers
@@ -1447,7 +1553,11 @@ mod tests {
 
     #[test]
     fn nested_chain_end_to_end_latency_sums_tiers() {
-        let mut sim = Simulation::new(chain(EdgeKind::NestedRpc, 3, 0.002, 4.0), SimConfig::default(), 11);
+        let mut sim = Simulation::new(
+            chain(EdgeKind::NestedRpc, 3, 0.002, 4.0),
+            SimConfig::default(),
+            11,
+        );
         sim.set_rate(ClassId(0), RateFn::Constant(100.0));
         sim.run_for(SimDur::from_secs(30));
         let snap = sim.harvest();
@@ -1469,17 +1579,27 @@ mod tests {
         // tier latency (excluding downstream wait) must inflate
         // (worker exhaustion -> queueing), while without throttling it
         // stays small.
-        let mut sim = Simulation::new(chain(EdgeKind::NestedRpc, 3, 0.004, 4.0), SimConfig::default(), 12);
+        let mut sim = Simulation::new(
+            chain(EdgeKind::NestedRpc, 3, 0.004, 4.0),
+            SimConfig::default(),
+            12,
+        );
         sim.set_rate(ClassId(0), RateFn::Constant(300.0));
         sim.run_for(SimDur::from_secs(30));
         let baseline = sim.harvest();
-        let parent_before = baseline.services[1].tier_latency[0].percentile(99.0).unwrap();
+        let parent_before = baseline.services[1].tier_latency[0]
+            .percentile(99.0)
+            .unwrap();
 
         sim.set_cpu_limit(ServiceId(2), 0.5); // leaf capacity 125 rps << 300 rps
         sim.run_for(SimDur::from_secs(60));
         let throttled = sim.harvest();
-        let parent_after = throttled.services[1].tier_latency[0].percentile(99.0).unwrap();
-        let root_after = throttled.services[0].tier_latency[0].percentile(99.0).unwrap();
+        let parent_after = throttled.services[1].tier_latency[0]
+            .percentile(99.0)
+            .unwrap();
+        let root_after = throttled.services[0].tier_latency[0]
+            .percentile(99.0)
+            .unwrap();
         assert!(
             parent_after > parent_before * 5.0,
             "backpressure: parent p99 {parent_before} -> {parent_after}"
@@ -1497,19 +1617,27 @@ mod tests {
         sim.set_rate(ClassId(0), RateFn::Constant(300.0));
         sim.run_for(SimDur::from_secs(30));
         let baseline = sim.harvest();
-        let parent_before = baseline.services[1].tier_latency[0].percentile(99.0).unwrap();
+        let parent_before = baseline.services[1].tier_latency[0]
+            .percentile(99.0)
+            .unwrap();
 
         sim.set_cpu_limit(ServiceId(2), 0.5);
         sim.run_for(SimDur::from_secs(30));
         let throttled = sim.harvest();
-        let parent_after = throttled.services[1].tier_latency[0].percentile(99.0).unwrap();
+        let parent_after = throttled.services[1].tier_latency[0]
+            .percentile(99.0)
+            .unwrap();
         // The MQ producer tier is unaffected by the slow consumer.
         assert!(
             parent_after < parent_before * 2.0,
             "no backpressure expected: {parent_before} -> {parent_after}"
         );
         // But the throttled tier itself suffers and its queue grows.
-        assert!(throttled.services[2].mq_depth > 1000, "depth {}", throttled.services[2].mq_depth);
+        assert!(
+            throttled.services[2].mq_depth > 1000,
+            "depth {}",
+            throttled.services[2].mq_depth
+        );
     }
 
     #[test]
@@ -1523,7 +1651,10 @@ mod tests {
         };
         let topo = Topology::new(
             vec![ServiceCfg::new("svc", 1.0).with_workers(1)],
-            vec![mk_class("high", Priority::HIGH), mk_class("low", Priority::LOW)],
+            vec![
+                mk_class("high", Priority::HIGH),
+                mk_class("low", Priority::LOW),
+            ],
         )
         .unwrap();
         let mut sim = Simulation::new(topo, SimConfig::default(), 14);
@@ -1558,7 +1689,9 @@ mod tests {
         sim.run_for(SimDur::from_secs(20));
         let snap = sim.harvest();
         // Parent's own response doesn't include the 50 ms child work.
-        let parent_p50 = snap.services[0].response_latency[0].percentile(50.0).unwrap();
+        let parent_p50 = snap.services[0].response_latency[0]
+            .percentile(50.0)
+            .unwrap();
         assert!(parent_p50 < 0.010, "parent responds fast: {parent_p50}");
         // But e2e completion includes the child.
         let e2e_p50 = snap.e2e_latency[0].percentile(50.0).unwrap();
@@ -1629,9 +1762,8 @@ mod span_tests {
     use super::*;
     use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, WorkDist};
 
-    #[test]
-    fn spans_record_hops() {
-        let topo = Topology::new(
+    fn two_tier() -> Topology {
+        Topology::new(
             vec![ServiceCfg::new("a", 2.0), ServiceCfg::new("b", 2.0)],
             vec![ClassCfg {
                 name: "req".into(),
@@ -1642,29 +1774,53 @@ mod span_tests {
                 ),
             }],
         )
-        .unwrap();
-        let mut sim = Simulation::new(topo, SimConfig::default(), 1);
-        sim.enable_tracing(1000);
+        .unwrap()
+    }
+
+    #[test]
+    fn traces_record_hops() {
+        let mut sim = Simulation::new(two_tier(), SimConfig::default(), 1);
+        sim.enable_tracing(1000, 1.0);
         for _ in 0..20 {
             sim.inject(ClassId(0));
         }
         sim.run_for(SimDur::from_secs(5));
-        let spans = sim.take_spans();
-        assert_eq!(spans.len(), 40, "two hops per request");
-        // Root spans (node 0) cover their child spans.
-        for s in &spans {
-            assert!(s.respond_at >= s.enqueue_at);
-            assert!(s.tier_latency() <= s.latency());
-            if s.node == 0 {
-                assert!(s.nested_wait > SimDur::ZERO, "root waits on the child");
+        let traces = sim.take_traces();
+        assert_eq!(traces.len(), 20, "every request sampled at rate 1.0");
+        for t in &traces {
+            assert_eq!(t.spans.len(), 2, "two hops per request");
+            let root = t.root();
+            let child = &t.spans[1];
+            assert_eq!(root.parent, None);
+            assert_eq!(child.parent, Some((0, EdgeKind::NestedRpc)));
+            assert_eq!(root.service, ServiceId(0));
+            assert_eq!(child.service, ServiceId(1));
+            // Timestamp ordering within each span.
+            for s in &t.spans {
+                assert!(s.enqueue_at >= t.arrival);
+                assert!(s.start_at >= s.enqueue_at);
+                assert!(s.respond_at >= s.start_at);
+                assert!(s.tier_latency() <= s.latency());
             }
+            // The root's recorded downstream wait covers the child's span.
+            assert!(root.nested_wait > SimDur::ZERO, "root waits on the child");
+            assert_eq!(root.waits.len(), 1);
+            let (wb, we) = root.waits[0];
+            assert!(wb <= child.enqueue_at, "wait opened before child arrived");
+            assert!(we >= child.respond_at, "wait closed after child responded");
+            let eps = 1e-12;
+            assert!(
+                (root.downstream_wait().as_secs_f64() - root.nested_wait.as_secs_f64()).abs() < eps,
+                "wait intervals sum to the engine's nested_wait"
+            );
+            assert!(t.end >= root.respond_at);
         }
         // Drained: second take is empty.
-        assert!(sim.take_spans().is_empty());
+        assert!(sim.take_traces().is_empty());
     }
 
     #[test]
-    fn span_ring_bounded() {
+    fn trace_ring_bounded() {
         let topo = Topology::new(
             vec![ServiceCfg::new("a", 4.0)],
             vec![ClassCfg {
@@ -1675,13 +1831,49 @@ mod span_tests {
         )
         .unwrap();
         let mut sim = Simulation::new(topo, SimConfig::default(), 2);
-        sim.enable_tracing(16);
+        sim.enable_tracing(16, 1.0);
         for _ in 0..100 {
             sim.inject(ClassId(0));
         }
         sim.run_for(SimDur::from_secs(5));
-        let spans = sim.take_spans();
-        assert_eq!(spans.len(), 16, "ring keeps the newest 16");
+        let traces = sim.take_traces();
+        assert_eq!(traces.len(), 16, "ring keeps the newest 16");
+        assert_eq!(sim.tracer().expect("enabled").evicted(), 84);
+    }
+
+    #[test]
+    fn sampling_thins_traces() {
+        let mut sim = Simulation::new(two_tier(), SimConfig::default(), 5);
+        sim.enable_tracing(100_000, 0.1);
+        sim.set_rate(ClassId(0), RateFn::Constant(200.0));
+        sim.run_for(SimDur::from_secs(60));
+        let snap = sim.harvest();
+        let traces = sim.take_traces();
+        let rate = traces.len() as f64 / snap.completions[0] as f64;
+        assert!(
+            (0.05..0.2).contains(&rate),
+            "sampled {} of {} completions",
+            traces.len(),
+            snap.completions[0]
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_simulation() {
+        let run = |trace: bool| {
+            let mut sim = Simulation::new(two_tier(), SimConfig::default(), 9);
+            if trace {
+                sim.enable_tracing(4096, 0.5);
+            }
+            sim.set_rate(ClassId(0), RateFn::Constant(150.0));
+            sim.run_for(SimDur::from_secs(30));
+            let snap = sim.harvest();
+            (
+                snap.completions[0],
+                snap.e2e_latency[0].percentile(99.0).unwrap(),
+            )
+        };
+        assert_eq!(run(false), run(true), "sampler must not touch the sim RNG");
     }
 
     #[test]
@@ -1698,7 +1890,8 @@ mod span_tests {
         let mut sim = Simulation::new(topo, SimConfig::default(), 3);
         sim.inject(ClassId(0));
         sim.run_for(SimDur::from_secs(1));
-        assert!(sim.take_spans().is_empty());
+        assert!(sim.take_traces().is_empty());
+        assert!(sim.tracer().is_none());
     }
 }
 
@@ -1722,7 +1915,9 @@ mod trace_tests {
     #[test]
     fn trace_replay_injects_exactly() {
         let mut sim = Simulation::new(one_service(), SimConfig::default(), 1);
-        let times: Vec<SimTime> = (0..50).map(|i| SimTime::from_secs_f64(0.1 * i as f64)).collect();
+        let times: Vec<SimTime> = (0..50)
+            .map(|i| SimTime::from_secs_f64(0.1 * i as f64))
+            .collect();
         sim.schedule_arrivals(ClassId(0), &times);
         sim.run_for(SimDur::from_secs(10));
         let snap = sim.harvest();
@@ -1787,7 +1982,13 @@ mod net_jitter_tests {
         let (mean_det, p99_det) = run(0.0);
         let (mean_jit, p99_jit) = run(1.0);
         // Three network hops of 2 ms mean in either case.
-        assert!((mean_jit - mean_det).abs() < 0.0015, "{mean_det} vs {mean_jit}");
-        assert!(p99_jit > p99_det, "jitter must widen the tail: {p99_det} vs {p99_jit}");
+        assert!(
+            (mean_jit - mean_det).abs() < 0.0015,
+            "{mean_det} vs {mean_jit}"
+        );
+        assert!(
+            p99_jit > p99_det,
+            "jitter must widen the tail: {p99_det} vs {p99_jit}"
+        );
     }
 }

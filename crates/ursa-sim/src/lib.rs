@@ -43,6 +43,7 @@ pub mod engine;
 pub mod telemetry;
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod workload;
 
 /// Convenient glob-import of the commonly used simulator types.
@@ -56,8 +57,9 @@ pub mod prelude {
     pub use crate::telemetry::{LatencySeries, MetricsSnapshot, ServiceMetrics};
     pub use crate::time::{SimDur, SimTime};
     pub use crate::topology::{
-        CallMode, CallNode, ClassCfg, ClassId, EdgeKind, Priority, ServiceCfg, ServiceId,
-        Topology, WorkDist,
+        CallMode, CallNode, ClassCfg, ClassId, EdgeKind, Priority, ServiceCfg, ServiceId, Topology,
+        WorkDist,
     };
+    pub use crate::trace::{Trace, TraceSpan, Tracer};
     pub use crate::workload::RateFn;
 }

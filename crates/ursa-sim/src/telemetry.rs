@@ -103,6 +103,12 @@ pub struct ServiceMetrics {
     pub response_latency: Vec<LatencySeries>,
     /// Length of the service's shared (MQ) queue at harvest time.
     pub mq_depth: usize,
+    /// Maximum shared-queue depth observed at any instant during the window
+    /// (catches transient spikes the point-in-time sample misses).
+    pub mq_depth_max: usize,
+    /// Time-weighted mean shared-queue depth over the window
+    /// (∫ depth · dt / window).
+    pub mq_depth_mean: f64,
 }
 
 impl ServiceMetrics {
@@ -172,6 +178,12 @@ pub struct Telemetry {
     injections: Vec<u64>,
     busy_core_secs: Vec<f64>,
     capacity_core_secs: Vec<f64>,
+    /// MQ-depth accumulators: depth after the last transition, when it last
+    /// changed, the ∫ depth · dt area so far this window, and the window max.
+    mq_last_depth: Vec<usize>,
+    mq_last_change: Vec<SimTime>,
+    mq_area: Vec<f64>,
+    mq_max: Vec<usize>,
     last_harvest: SimTime,
 }
 
@@ -200,11 +212,17 @@ impl Telemetry {
             tier_windows,
             response_windows,
             arrivals: vec![vec![0; nc]; ns],
-            e2e_windows: (0..nc).map(|_| QuantileWindow::new(E2E_WINDOW_CAP)).collect(),
+            e2e_windows: (0..nc)
+                .map(|_| QuantileWindow::new(E2E_WINDOW_CAP))
+                .collect(),
             completions: vec![0; nc],
             injections: vec![0; nc],
             busy_core_secs: vec![0.0; ns],
             capacity_core_secs: vec![0.0; ns],
+            mq_last_depth: vec![0; ns],
+            mq_last_change: vec![SimTime::ZERO; ns],
+            mq_area: vec![0.0; ns],
+            mq_max: vec![0; ns],
             last_harvest: SimTime::ZERO,
         }
     }
@@ -236,6 +254,19 @@ impl Telemetry {
         self.completions[class.0] += 1;
     }
 
+    /// Records a shared-queue (MQ) depth transition: the queue of `service`
+    /// has held `mq_last_depth` items since the previous call and holds
+    /// `depth` from `now` on. Drives the per-window max and time-weighted
+    /// mean exposed on [`ServiceMetrics`].
+    pub fn record_mq_depth(&mut self, service: ServiceId, now: SimTime, depth: usize) {
+        let s = service.0;
+        let dt = (now - self.mq_last_change[s]).as_secs_f64();
+        self.mq_area[s] += self.mq_last_depth[s] as f64 * dt;
+        self.mq_last_change[s] = now;
+        self.mq_last_depth[s] = depth;
+        self.mq_max[s] = self.mq_max[s].max(depth);
+    }
+
     /// Adds CPU accounting for a service over an elapsed span.
     pub fn record_cpu(&mut self, service: ServiceId, busy_core_secs: f64, capacity_core_secs: f64) {
         self.busy_core_secs[service.0] += busy_core_secs;
@@ -255,6 +286,14 @@ impl Telemetry {
         mq_depths: &[usize],
     ) -> MetricsSnapshot {
         let window = now - self.last_harvest;
+        let window_secs = window.as_secs_f64();
+        // Close out the MQ-depth integrals at the window boundary: the
+        // standing depth has persisted since its last transition.
+        for s in 0..self.mq_area.len() {
+            let dt = (now - self.mq_last_change[s]).as_secs_f64();
+            self.mq_area[s] += self.mq_last_depth[s] as f64 * dt;
+            self.mq_last_change[s] = now;
+        }
         let services = (0..self.tier_windows.len())
             .map(|s| {
                 let tier_latency = (0..self.num_classes)
@@ -287,6 +326,12 @@ impl Telemetry {
                     tier_latency,
                     response_latency,
                     mq_depth: mq_depths[s],
+                    mq_depth_max: self.mq_max[s],
+                    mq_depth_mean: if window_secs > 0.0 {
+                        self.mq_area[s] / window_secs
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect();
@@ -316,6 +361,10 @@ impl Telemetry {
             }
             self.busy_core_secs[s] = 0.0;
             self.capacity_core_secs[s] = 0.0;
+            self.mq_area[s] = 0.0;
+            // A queue that enters the next window non-empty has already
+            // "observed" its standing depth.
+            self.mq_max[s] = self.mq_last_depth[s];
         }
         for c in 0..self.num_classes {
             self.e2e_windows[c].clear();
@@ -346,7 +395,10 @@ mod tests {
     fn windows_allocated_sparsely() {
         let t = Telemetry::new(&topo());
         assert!(t.tier_windows[0][0].is_some());
-        assert!(t.tier_windows[1][0].is_none(), "class never touches service b");
+        assert!(
+            t.tier_windows[1][0].is_none(),
+            "class never touches service b"
+        );
     }
 
     #[test]
@@ -387,6 +439,67 @@ mod tests {
     }
 
     #[test]
+    fn mq_depth_accumulators_track_and_reset() {
+        let topo = topo();
+        let mut t = Telemetry::new(&topo);
+        let names = vec!["a".to_string(), "b".to_string()];
+        // Depth 4 during [10, 40), depth 1 during [40, 60):
+        // area = 4*30 + 1*20 = 140 depth-seconds over a 60 s window.
+        t.record_mq_depth(ServiceId(0), SimTime::from_secs_f64(10.0), 4);
+        t.record_mq_depth(ServiceId(0), SimTime::from_secs_f64(40.0), 1);
+        let snap = t.harvest(
+            SimTime::from_secs_f64(60.0),
+            &names,
+            &[1, 1],
+            &[1.0, 1.0],
+            &[1, 0],
+        );
+        assert_eq!(snap.services[0].mq_depth_max, 4);
+        assert!((snap.services[0].mq_depth_mean - 140.0 / 60.0).abs() < 1e-9);
+        assert_eq!(snap.services[1].mq_depth_max, 0);
+        assert_eq!(snap.services[1].mq_depth_mean, 0.0);
+
+        // Harvest resets the window accumulators; the standing depth of 1
+        // carries into the next window as both its max-so-far and its mean.
+        let snap2 = t.harvest(
+            SimTime::from_secs_f64(120.0),
+            &names,
+            &[1, 1],
+            &[1.0, 1.0],
+            &[1, 0],
+        );
+        assert_eq!(
+            snap2.services[0].mq_depth_max, 1,
+            "max reset to standing depth"
+        );
+        assert!(
+            (snap2.services[0].mq_depth_mean - 1.0).abs() < 1e-9,
+            "standing depth persists across the whole second window"
+        );
+
+        // Drain the queue; a further window reports an empty queue again.
+        t.record_mq_depth(ServiceId(0), SimTime::from_secs_f64(121.0), 0);
+        let snap3 = t.harvest(
+            SimTime::from_secs_f64(181.0),
+            &names,
+            &[1, 1],
+            &[1.0, 1.0],
+            &[0, 0],
+        );
+        assert_eq!(snap3.services[0].mq_depth_max, 1, "depth 1 held briefly");
+        assert!(snap3.services[0].mq_depth_mean < 0.1);
+        let snap4 = t.harvest(
+            SimTime::from_secs_f64(241.0),
+            &names,
+            &[1, 1],
+            &[1.0, 1.0],
+            &[0, 0],
+        );
+        assert_eq!(snap4.services[0].mq_depth_max, 0);
+        assert_eq!(snap4.services[0].mq_depth_mean, 0.0);
+    }
+
+    #[test]
     fn latency_series_stats() {
         let mut w = QuantileWindow::new(16);
         for v in [1.0, 2.0, 3.0, 4.0] {
@@ -409,7 +522,13 @@ mod tests {
             t.record_arrival(ServiceId(0), ClassId(0));
         }
         let names = vec!["a".to_string(), "b".to_string()];
-        let snap = t.harvest(SimTime::from_secs_f64(60.0), &names, &[2, 1], &[1.5, 1.0], &[0, 0]);
+        let snap = t.harvest(
+            SimTime::from_secs_f64(60.0),
+            &names,
+            &[2, 1],
+            &[1.5, 1.0],
+            &[0, 0],
+        );
         assert!((snap.services[0].arrival_rps(snap.window) - 2.0).abs() < 1e-9);
         let lpr = snap.services[0].load_per_replica(snap.window);
         assert!((lpr[0] - 1.0).abs() < 1e-9);

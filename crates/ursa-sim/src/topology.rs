@@ -169,7 +169,11 @@ impl CallNode {
 
     /// Number of hops in the subtree rooted here.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(|(_, c)| c.node_count()).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(|(_, c)| c.node_count())
+            .sum::<usize>()
     }
 
     fn visit<'a>(&'a self, f: &mut impl FnMut(&'a CallNode)) {
@@ -282,13 +286,22 @@ impl Topology {
         let mut names = std::collections::HashSet::new();
         for s in &services {
             if !(s.cores > 0.0 && s.cores.is_finite()) {
-                return Err(TopologyError(format!("service {} has invalid cores", s.name)));
+                return Err(TopologyError(format!(
+                    "service {} has invalid cores",
+                    s.name
+                )));
             }
             if s.workers == 0 {
-                return Err(TopologyError(format!("service {} has zero workers", s.name)));
+                return Err(TopologyError(format!(
+                    "service {} has zero workers",
+                    s.name
+                )));
             }
             if s.initial_replicas == 0 {
-                return Err(TopologyError(format!("service {} has zero replicas", s.name)));
+                return Err(TopologyError(format!(
+                    "service {} has zero replicas",
+                    s.name
+                )));
             }
             if !names.insert(s.name.clone()) {
                 return Err(TopologyError(format!("duplicate service name {}", s.name)));
@@ -343,19 +356,28 @@ impl Topology {
 
     /// Finds a service by name.
     pub fn service_by_name(&self, name: &str) -> Option<ServiceId> {
-        self.services.iter().position(|s| s.name == name).map(ServiceId)
+        self.services
+            .iter()
+            .position(|s| s.name == name)
+            .map(ServiceId)
     }
 
     /// Finds a request class by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
-        self.classes.iter().position(|c| c.name == name).map(ClassId)
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId)
     }
 
     /// All `(class, node)` pairs whose node runs on `service`, with the
     /// edge kind through which the node is reached (`None` for roots).
     ///
     /// Used by the profiling engine to synthesize per-service workloads.
-    pub fn nodes_on_service(&self, service: ServiceId) -> Vec<(ClassId, &CallNode, Option<EdgeKind>)> {
+    pub fn nodes_on_service(
+        &self,
+        service: ServiceId,
+    ) -> Vec<(ClassId, &CallNode, Option<EdgeKind>)> {
         let mut out = Vec::new();
         for (ci, class) in self.classes.iter().enumerate() {
             fn walk<'a>(
@@ -382,7 +404,10 @@ impl Topology {
     /// backpressure on an upstream caller.
     pub fn is_rpc_connected(&self, service: ServiceId) -> bool {
         self.nodes_on_service(service).iter().any(|(_, _, via)| {
-            matches!(via, Some(EdgeKind::NestedRpc) | Some(EdgeKind::EventDrivenRpc))
+            matches!(
+                via,
+                Some(EdgeKind::NestedRpc) | Some(EdgeKind::EventDrivenRpc)
+            )
         })
     }
 
@@ -459,7 +484,10 @@ mod tests {
     #[test]
     fn services_and_classes_cross_index() {
         let t = two_tier();
-        assert_eq!(t.services_of_class(ClassId(0)), vec![ServiceId(0), ServiceId(1)]);
+        assert_eq!(
+            t.services_of_class(ClassId(0)),
+            vec![ServiceId(0), ServiceId(1)]
+        );
         assert_eq!(t.classes_on_service(ServiceId(1)), vec![ClassId(0)]);
     }
 
@@ -502,10 +530,19 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let dists = [
             WorkDist::Constant(0.01),
-            WorkDist::Uniform { low: 0.0, high: 0.02 },
+            WorkDist::Uniform {
+                low: 0.0,
+                high: 0.02,
+            },
             WorkDist::Exponential { mean: 0.01 },
-            WorkDist::LogNormal { mean: 0.01, cv: 1.0 },
-            WorkDist::Pareto { x_min: 0.005, alpha: 2.0 },
+            WorkDist::LogNormal {
+                mean: 0.01,
+                cv: 1.0,
+            },
+            WorkDist::Pareto {
+                x_min: 0.005,
+                alpha: 2.0,
+            },
         ];
         for d in &dists {
             let n = 20_000;

@@ -51,7 +51,12 @@ impl RateFn {
                 let s = (core::f64::consts::PI * frac).sin();
                 base + (peak - base) * s * s
             }
-            RateFn::Burst { base, burst, start, end } => {
+            RateFn::Burst {
+                base,
+                burst,
+                start,
+                end,
+            } => {
                 if t >= *start && t < *end {
                     *burst
                 } else {
@@ -94,15 +99,18 @@ impl RateFn {
                 peak: peak * k,
                 period: *period,
             },
-            RateFn::Burst { base, burst, start, end } => RateFn::Burst {
+            RateFn::Burst {
+                base,
+                burst,
+                start,
+                end,
+            } => RateFn::Burst {
                 base: base * k,
                 burst: burst * k,
                 start: *start,
                 end: *end,
             },
-            RateFn::Steps(steps) => {
-                RateFn::Steps(steps.iter().map(|(t, r)| (*t, r * k)).collect())
-            }
+            RateFn::Steps(steps) => RateFn::Steps(steps.iter().map(|(t, r)| (*t, r * k)).collect()),
         }
     }
 }

@@ -384,7 +384,10 @@ mod tests {
         for mean in [0.5, 5.0, 80.0] {
             let n = 50_000;
             let m = (0..n).map(|_| poisson_count(mean, &mut rng)).sum::<u64>() as f64 / n as f64;
-            assert!((m - mean).abs() < mean.max(1.0) * 0.05, "mean {mean} got {m}");
+            assert!(
+                (m - mean).abs() < mean.max(1.0) * 0.05,
+                "mean {mean} got {m}"
+            );
         }
     }
 

@@ -133,7 +133,11 @@ impl QuantileWindow {
             return None;
         }
         let sorted = self.sorted();
-        Some(ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect())
+        Some(
+            ps.iter()
+                .map(|&p| percentile_of_sorted(&sorted, p))
+                .collect(),
+        )
     }
 
     /// Mean of the window, or `None` if empty.

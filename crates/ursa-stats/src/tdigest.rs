@@ -88,8 +88,7 @@ impl TDigest {
 
     fn k_limit(&self, q: f64) -> f64 {
         // k1 scale function: finer resolution near the tails.
-        self.delta / (2.0 * core::f64::consts::PI)
-            * (2.0 * q.clamp(0.0, 1.0) - 1.0).asin()
+        self.delta / (2.0 * core::f64::consts::PI) * (2.0 * q.clamp(0.0, 1.0) - 1.0).asin()
     }
 
     fn compress(&mut self) {

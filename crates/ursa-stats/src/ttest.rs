@@ -85,7 +85,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     let t = (ma - mb) / se2.sqrt();
     let df_num = se2 * se2;
     let df_den = (va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0);
-    let df = if df_den > 0.0 { df_num / df_den } else { na + nb - 2.0 };
+    let df = if df_den > 0.0 {
+        df_num / df_den
+    } else {
+        na + nb - 2.0
+    };
     let p_two_sided = 2.0 * student_t_sf(t.abs(), df);
     Some(TTestResult { t, df, p_two_sided })
 }

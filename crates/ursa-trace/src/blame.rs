@@ -1,0 +1,234 @@
+//! Per-tier blame decomposition: aggregates a set of traces into, for each
+//! service, how much of its hop latency went to queueing, compute,
+//! downstream waits, and blocked submissions — the queryable form of the
+//! paper's Fig. 2 backpressure diagnosis ("the parent tier's p99 latency is
+//! 72% downstream wait").
+
+use ursa_sim::topology::ServiceId;
+use ursa_sim::trace::Trace;
+
+/// Accumulated latency decomposition for one service, in seconds summed
+/// over every analyzed span that ran on it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceBlame {
+    /// Seconds queued awaiting a worker.
+    pub queue_wait: f64,
+    /// Seconds of on-worker compute (incl. processor-sharing contention).
+    pub service_time: f64,
+    /// Seconds parked awaiting nested downstream responses.
+    pub downstream_wait: f64,
+    /// Seconds blocked submitting event-driven continuations.
+    pub blocked: f64,
+    /// Spans that contributed.
+    pub spans: usize,
+}
+
+impl ServiceBlame {
+    /// Total hop latency attributed to this service's spans.
+    pub fn total(&self) -> f64 {
+        self.queue_wait + self.service_time + self.downstream_wait + self.blocked
+    }
+
+    /// Fraction of the total spent awaiting downstream responses, or 0 if
+    /// the service saw no time at all.
+    pub fn downstream_fraction(&self) -> f64 {
+        let total = self.total();
+        if total > 0.0 {
+            self.downstream_wait / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Seconds these spans held a worker: everything except queue wait.
+    pub fn worker_time(&self) -> f64 {
+        self.service_time + self.downstream_wait + self.blocked
+    }
+
+    /// Fraction of held-worker time spent under backpressure — parked on
+    /// nested downstream responses or blocked submitting event-driven
+    /// continuations — rather than computing. This is the §III signature:
+    /// a throttled downstream holds the parent's workers hostage, which in
+    /// turn inflates the parent's queue wait.
+    pub fn backpressure_fraction(&self) -> f64 {
+        let w = self.worker_time();
+        if w > 0.0 {
+            (self.downstream_wait + self.blocked) / w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Blame decomposition over a set of traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameReport {
+    /// Traces analyzed.
+    pub traces: usize,
+    /// Per-service decomposition, indexed by [`ServiceId`].
+    pub per_service: Vec<ServiceBlame>,
+}
+
+impl BlameReport {
+    /// The service whose spans spent the largest total time, if any span
+    /// was recorded at all.
+    pub fn heaviest(&self) -> Option<ServiceId> {
+        self.per_service
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.spans > 0)
+            .max_by(|(_, a), (_, b)| a.total().total_cmp(&b.total()))
+            .map(|(s, _)| ServiceId(s))
+    }
+
+    /// A human-readable multi-line summary: one row per service that saw
+    /// traffic, with its latency decomposition in percent.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = String::from(
+            "service              total_s   queue%  service%  downstream%  blocked%\n",
+        );
+        for (s, b) in self.per_service.iter().enumerate() {
+            if b.spans == 0 {
+                continue;
+            }
+            let total = b.total().max(1e-12);
+            let name = names.get(s).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "{name:<20} {:>8.3} {:>7.1} {:>9.1} {:>12.1} {:>9.1}\n",
+                b.total(),
+                100.0 * b.queue_wait / total,
+                100.0 * b.service_time / total,
+                100.0 * b.downstream_wait / total,
+                100.0 * b.blocked / total,
+            ));
+        }
+        out
+    }
+}
+
+/// Decomposes every span of `traces` into its service's blame bucket.
+/// `num_services` sizes the report (use `topology.num_services()`).
+pub fn service_blame<'a, I>(traces: I, num_services: usize) -> BlameReport
+where
+    I: IntoIterator<Item = &'a Trace>,
+{
+    let mut per_service = vec![ServiceBlame::default(); num_services];
+    let mut n = 0;
+    for t in traces {
+        n += 1;
+        for span in &t.spans {
+            let b = &mut per_service[span.service.0];
+            b.queue_wait += span.queue_wait().as_secs_f64();
+            b.service_time += span.service_time().as_secs_f64();
+            b.downstream_wait += span.downstream_wait().as_secs_f64();
+            b.blocked += span.blocked_time().as_secs_f64();
+            b.spans += 1;
+        }
+    }
+    BlameReport {
+        traces: n,
+        per_service,
+    }
+}
+
+/// The traces whose end-to-end latency is at or above the `p`-th percentile
+/// (0–100) of the set — e.g. `p = 99.0` isolates the tail the SLA cares
+/// about. Returns all traces when fewer than two exist.
+pub fn top_percentile(traces: &[Trace], p: f64) -> Vec<&Trace> {
+    if traces.len() < 2 {
+        return traces.iter().collect();
+    }
+    let mut lat: Vec<f64> = traces.iter().map(|t| t.e2e().as_secs_f64()).collect();
+    lat.sort_by(f64::total_cmp);
+    let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+    let cut = lat[idx.min(lat.len() - 1)];
+    traces
+        .iter()
+        .filter(|t| t.e2e().as_secs_f64() >= cut)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_sim::time::{SimDur, SimTime};
+    use ursa_sim::topology::{ClassId, EdgeKind};
+    use ursa_sim::trace::TraceSpan;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn mk_trace(id: u64, e2e: f64) -> Trace {
+        let root = TraceSpan {
+            node: 0,
+            parent: None,
+            service: ServiceId(0),
+            enqueue_at: t(0.1),
+            start_at: t(0.2),
+            respond_at: t(e2e),
+            nested_wait: SimDur::from_secs_f64(0.5),
+            waits: vec![(t(0.3), t(0.8))],
+            blocked: vec![],
+        };
+        let child = TraceSpan {
+            node: 1,
+            parent: Some((0, EdgeKind::NestedRpc)),
+            service: ServiceId(1),
+            enqueue_at: t(0.35),
+            start_at: t(0.4),
+            respond_at: t(0.8),
+            nested_wait: SimDur::ZERO,
+            waits: vec![],
+            blocked: vec![],
+        };
+        Trace {
+            id,
+            class: ClassId(0),
+            arrival: t(0.0),
+            end: t(e2e),
+            spans: vec![root, child],
+        }
+    }
+
+    #[test]
+    fn blame_buckets_sum_to_span_latency() {
+        let tr = mk_trace(0, 1.0);
+        let report = service_blame([&tr], 2);
+        assert_eq!(report.traces, 1);
+        let eps = 1e-9;
+        let b0 = &report.per_service[0];
+        assert!((b0.queue_wait - 0.1).abs() < eps);
+        assert!((b0.downstream_wait - 0.5).abs() < eps);
+        assert!((b0.total() - 0.9).abs() < eps, "root span latency 0.9 s");
+        assert!((b0.downstream_fraction() - 0.5 / 0.9).abs() < eps);
+        // Worker time excludes queue wait; the root's 0.8 s on-worker span
+        // split 0.3 s compute / 0.5 s downstream.
+        assert!((b0.worker_time() - 0.8).abs() < eps);
+        assert!((b0.backpressure_fraction() - 0.5 / 0.8).abs() < eps);
+        assert_eq!(ServiceBlame::default().backpressure_fraction(), 0.0);
+        let b1 = &report.per_service[1];
+        assert!((b1.queue_wait - 0.05).abs() < eps);
+        assert!((b1.total() - 0.45).abs() < eps);
+        assert_eq!(report.heaviest(), Some(ServiceId(0)));
+        let names = vec!["front".to_string(), "leaf".to_string()];
+        let rendered = report.render(&names);
+        assert!(rendered.contains("front"));
+        assert!(rendered.contains("leaf"));
+    }
+
+    #[test]
+    fn top_percentile_selects_tail() {
+        let traces: Vec<Trace> = (0..100)
+            .map(|i| mk_trace(i, 1.0 + i as f64 * 0.01))
+            .collect();
+        let tail = top_percentile(&traces, 90.0);
+        assert!(tail.len() >= 10 && tail.len() <= 11, "got {}", tail.len());
+        // cut = lat[round(0.9 * 99)] = 1.0 + 0.89
+        assert!(tail
+            .iter()
+            .all(|t| t.e2e().as_secs_f64() >= 1.0 + 0.89 - 1e-9));
+        let all = top_percentile(&traces[..1], 99.0);
+        assert_eq!(all.len(), 1);
+    }
+}

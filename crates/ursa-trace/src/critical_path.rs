@@ -1,0 +1,291 @@
+//! Critical-path extraction: tiles a finished trace's end-to-end interval
+//! `[arrival, end]` with non-overlapping, causally-ordered segments, each
+//! attributed to a category and (usually) a service. The segment durations
+//! sum exactly to the end-to-end latency, which is what makes the
+//! decomposition trustworthy: nothing is double-counted and nothing is
+//! dropped.
+//!
+//! The walk follows the synchronous chain: network delay to the root,
+//! queue wait, on-worker service time, and — for every downstream-wait
+//! interval — a recursion into the nested child whose response closed the
+//! wait (the *critical* child; siblings that responded earlier were off the
+//! path). Time after the root responded while event-driven/MQ descendants
+//! still ran is reported as one `AsyncTail` segment attributed to the
+//! last-responding span's service.
+
+use ursa_sim::time::SimTime;
+use ursa_sim::topology::{EdgeKind, ServiceId};
+use ursa_sim::trace::{Trace, TraceSpan};
+
+/// What a critical-path segment's time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathCategory {
+    /// In flight between services (or injection → root arrival).
+    Network,
+    /// Queued at a service awaiting a free worker.
+    QueueWait,
+    /// On a worker: compute (includes processor-sharing contention).
+    Service,
+    /// Blocked submitting an event-driven continuation (daemon pool full).
+    Blocked,
+    /// Awaiting a nested downstream response that could not be decomposed
+    /// further (fallback when the critical child cannot be identified).
+    DownstreamWait,
+    /// After the root responded: event-driven/MQ descendants still running.
+    AsyncTail,
+}
+
+impl PathCategory {
+    /// Short lowercase label (used by exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            PathCategory::Network => "network",
+            PathCategory::QueueWait => "queue",
+            PathCategory::Service => "service",
+            PathCategory::Blocked => "blocked",
+            PathCategory::DownstreamWait => "downstream",
+            PathCategory::AsyncTail => "async-tail",
+        }
+    }
+}
+
+/// One tile of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSegment {
+    /// What the time was spent on.
+    pub category: PathCategory,
+    /// The service charged for the segment (`None` for network/injection).
+    pub service: Option<ServiceId>,
+    /// The call-tree node the segment belongs to, where applicable.
+    pub node: Option<u16>,
+    /// Segment start.
+    pub begin: SimTime,
+    /// Segment end.
+    pub end: SimTime,
+}
+
+impl PathSegment {
+    /// Segment duration in seconds.
+    pub fn secs(&self) -> f64 {
+        (self.end - self.begin).as_secs_f64()
+    }
+}
+
+/// Extracts the critical path of `trace`. The returned segments are in
+/// causal order, non-overlapping, and tile `[trace.arrival, trace.end]`
+/// exactly — their durations sum to the end-to-end latency.
+pub fn critical_path(trace: &Trace) -> Vec<PathSegment> {
+    let mut out = Vec::new();
+    let root = trace.root();
+    push(
+        &mut out,
+        PathCategory::Network,
+        None,
+        None,
+        trace.arrival,
+        root.enqueue_at,
+    );
+    cover_span(trace, root, &mut out);
+    if trace.end > root.respond_at {
+        // Event-driven/MQ descendants outlived the root's response; charge
+        // the tail to whichever span finished last.
+        let last = trace
+            .spans
+            .iter()
+            .max_by_key(|s| s.respond_at)
+            .expect("trace has spans");
+        push(
+            &mut out,
+            PathCategory::AsyncTail,
+            Some(last.service),
+            Some(last.node),
+            root.respond_at,
+            trace.end,
+        );
+    }
+    out
+}
+
+fn push(
+    out: &mut Vec<PathSegment>,
+    category: PathCategory,
+    service: Option<ServiceId>,
+    node: Option<u16>,
+    begin: SimTime,
+    end: SimTime,
+) {
+    if end > begin {
+        out.push(PathSegment {
+            category,
+            service,
+            node,
+            begin,
+            end,
+        });
+    }
+}
+
+/// Tiles `[span.enqueue_at, span.respond_at]`: queue wait, then service
+/// time interleaved with downstream-wait recursions and blocked intervals.
+fn cover_span(trace: &Trace, span: &TraceSpan, out: &mut Vec<PathSegment>) {
+    let svc = Some(span.service);
+    let node = Some(span.node);
+    push(
+        out,
+        PathCategory::QueueWait,
+        svc,
+        node,
+        span.enqueue_at,
+        span.start_at,
+    );
+    // Waits and blocked intervals are disjoint (a node is parked in exactly
+    // one of those states at a time); merge them in time order.
+    let mut intervals: Vec<(SimTime, SimTime, bool)> = span
+        .waits
+        .iter()
+        .map(|&(b, e)| (b, e, true))
+        .chain(span.blocked.iter().map(|&(b, e)| (b, e, false)))
+        .collect();
+    intervals.sort_by_key(|&(b, _, _)| b);
+    let mut cursor = span.start_at;
+    for (b, e, is_wait) in intervals {
+        let b = b.max(cursor);
+        let e = e.max(b);
+        push(out, PathCategory::Service, svc, node, cursor, b);
+        if is_wait {
+            cover_wait(trace, span, b, e, out);
+        } else {
+            push(out, PathCategory::Blocked, svc, node, b, e);
+        }
+        cursor = e;
+    }
+    push(
+        out,
+        PathCategory::Service,
+        svc,
+        node,
+        cursor,
+        span.respond_at,
+    );
+}
+
+/// Tiles one downstream-wait interval `[wb, we]` of `parent` by recursing
+/// into the nested child whose response closed the wait.
+fn cover_wait(
+    trace: &Trace,
+    parent: &TraceSpan,
+    wb: SimTime,
+    we: SimTime,
+    out: &mut Vec<PathSegment>,
+) {
+    // The critical child: a nested-RPC child of this node whose response
+    // falls latest inside the wait window (the one that resumed the
+    // parent). Children launched before a blocked stretch can enqueue
+    // before `wb`; those can't be tiled into this window, so fall back to
+    // an opaque DownstreamWait segment.
+    let child = trace
+        .spans
+        .iter()
+        .filter(|c| {
+            matches!(c.parent, Some((p, EdgeKind::NestedRpc)) if p == parent.node)
+                && c.respond_at <= we
+                && c.respond_at >= wb
+        })
+        .max_by_key(|c| c.respond_at);
+    match child {
+        Some(c) if c.enqueue_at >= wb => {
+            push(out, PathCategory::Network, None, None, wb, c.enqueue_at);
+            cover_span(trace, c, out);
+            push(out, PathCategory::Network, None, None, c.respond_at, we);
+        }
+        Some(c) => push(
+            out,
+            PathCategory::DownstreamWait,
+            Some(c.service),
+            Some(c.node),
+            wb,
+            we,
+        ),
+        None => push(
+            out,
+            PathCategory::DownstreamWait,
+            None,
+            Some(parent.node),
+            wb,
+            we,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_sim::prelude::*;
+
+    fn sim_chain(edge: EdgeKind) -> Simulation {
+        let leaf = CallNode::leaf(ServiceId(2), WorkDist::Constant(0.004));
+        let mid = CallNode::leaf(ServiceId(1), WorkDist::Constant(0.002)).with_child(edge, leaf);
+        let root = CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)).with_child(edge, mid);
+        let topo = Topology::new(
+            vec![
+                ServiceCfg::new("front", 2.0),
+                ServiceCfg::new("mid", 2.0),
+                ServiceCfg::new("leaf", 2.0),
+            ],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root,
+            }],
+        )
+        .unwrap();
+        Simulation::new(topo, SimConfig::default(), 11)
+    }
+
+    fn collect_traces(edge: EdgeKind) -> Vec<Trace> {
+        let mut sim = sim_chain(edge);
+        sim.enable_tracing(10_000, 1.0);
+        sim.set_rate(ClassId(0), RateFn::Constant(50.0));
+        sim.run_for(SimDur::from_secs(20));
+        sim.take_traces()
+    }
+
+    #[test]
+    fn path_tiles_e2e_exactly_nested() {
+        let traces = collect_traces(EdgeKind::NestedRpc);
+        assert!(traces.len() > 100);
+        for t in &traces {
+            let path = critical_path(t);
+            let sum: f64 = path.iter().map(|s| s.secs()).sum();
+            let e2e = t.e2e().as_secs_f64();
+            assert!((sum - e2e).abs() < 1e-9, "segments sum {sum} != e2e {e2e}");
+            // Causally ordered and non-overlapping.
+            for w in path.windows(2) {
+                assert!(w[1].begin >= w[0].end);
+            }
+            // The nested chain has no async tail: the root responds last.
+            assert!(path.iter().all(|s| s.category != PathCategory::AsyncTail));
+            // The leaf's service time must appear on the path.
+            assert!(path.iter().any(|s| {
+                s.category == PathCategory::Service && s.service == Some(ServiceId(2))
+            }));
+        }
+    }
+
+    #[test]
+    fn mq_chain_reports_async_tail() {
+        let traces = collect_traces(EdgeKind::Mq);
+        assert!(traces.len() > 100);
+        let mut saw_tail = false;
+        for t in &traces {
+            let path = critical_path(t);
+            let sum: f64 = path.iter().map(|s| s.secs()).sum();
+            assert!((sum - t.e2e().as_secs_f64()).abs() < 1e-9);
+            saw_tail |= path.iter().any(|s| s.category == PathCategory::AsyncTail);
+        }
+        assert!(
+            saw_tail,
+            "MQ descendants outlive the root response, producing async tails"
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Trace exporters. Two formats:
+//!
+//! * [`jsonl`] — one JSON object per span, one per line; greppable and
+//!   trivially parsed by any tool.
+//! * [`chrome`] — the Chrome trace-event format (a single JSON object with
+//!   a `traceEvents` array), loadable in Perfetto (`ui.perfetto.dev`) or
+//!   `chrome://tracing`. Each request becomes a process (pid = trace id),
+//!   each hop a named thread, so the call tree reads as a swimlane diagram
+//!   with queue/wait/blocked sub-slices nested inside each hop's slice.
+//!
+//! Both are hand-rolled: the workspace builds offline with no serde, and
+//! the needed subset of JSON is tiny.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+pub mod jsonl {
+    use super::json_escape;
+    use std::io::{self, Write};
+    use ursa_sim::trace::Trace;
+
+    fn intervals_json(intervals: &[(ursa_sim::time::SimTime, ursa_sim::time::SimTime)]) -> String {
+        let parts: Vec<String> = intervals
+            .iter()
+            .map(|(b, e)| format!("[{:.9},{:.9}]", b.as_secs_f64(), e.as_secs_f64()))
+            .collect();
+        format!("[{}]", parts.join(","))
+    }
+
+    /// Writes one JSON line per span of every trace. Times are f64 seconds
+    /// of simulated time; `service` is resolved through `service_names`.
+    pub fn write_traces<W: Write>(
+        mut w: W,
+        traces: &[Trace],
+        service_names: &[String],
+    ) -> io::Result<()> {
+        for t in traces {
+            for s in &t.spans {
+                let parent = match s.parent {
+                    Some((p, edge)) => format!("{p},\"edge\":\"{edge:?}\""),
+                    None => "null".to_string(),
+                };
+                let name = service_names
+                    .get(s.service.0)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                writeln!(
+                    w,
+                    "{{\"trace\":{},\"class\":{},\"node\":{},\"parent\":{},\
+                     \"service\":\"{}\",\"enqueue\":{:.9},\"start\":{:.9},\
+                     \"respond\":{:.9},\"nested_wait\":{:.9},\"waits\":{},\
+                     \"blocked\":{}}}",
+                    t.id,
+                    t.class.0,
+                    s.node,
+                    parent,
+                    json_escape(name),
+                    s.enqueue_at.as_secs_f64(),
+                    s.start_at.as_secs_f64(),
+                    s.respond_at.as_secs_f64(),
+                    s.nested_wait.as_secs_f64(),
+                    intervals_json(&s.waits),
+                    intervals_json(&s.blocked),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+pub mod chrome {
+    use super::json_escape;
+    use std::io::{self, Write};
+    use ursa_sim::time::SimTime;
+    use ursa_sim::trace::Trace;
+
+    /// Builder for a Chrome trace-event file.
+    #[derive(Debug, Default)]
+    pub struct ChromeTrace {
+        events: Vec<String>,
+    }
+
+    fn us(t: SimTime) -> f64 {
+        t.as_secs_f64() * 1e6
+    }
+
+    impl ChromeTrace {
+        /// An empty trace file.
+        pub fn new() -> Self {
+            ChromeTrace::default()
+        }
+
+        /// Events added so far.
+        pub fn len(&self) -> usize {
+            self.events.len()
+        }
+
+        /// True if no events were added.
+        pub fn is_empty(&self) -> bool {
+            self.events.is_empty()
+        }
+
+        /// Adds one request as a process: one thread per hop (named after
+        /// its service), a complete slice for the hop's enqueue→respond
+        /// interval, and nested sub-slices for queue wait, downstream
+        /// waits, and blocked-submit intervals.
+        pub fn add_trace(&mut self, t: &Trace, service_names: &[String]) {
+            let pid = t.id;
+            self.events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"request {pid} (class {})\"}}}}",
+                t.class.0
+            ));
+            for s in &t.spans {
+                let tid = s.node;
+                let svc = service_names
+                    .get(s.service.0)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let svc = json_escape(svc);
+                self.events.push(format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{svc} #{tid}\"}}}}"
+                ));
+                let edge = match s.parent {
+                    Some((_, e)) => format!("{e:?}"),
+                    None => "Root".to_string(),
+                };
+                self.events.push(format!(
+                    "{{\"ph\":\"X\",\"name\":\"{svc}\",\"cat\":\"{edge}\",\
+                     \"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+                     \"args\":{{\"node\":{tid},\"nested_wait_us\":{:.3}}}}}",
+                    us(s.enqueue_at),
+                    us(s.respond_at) - us(s.enqueue_at),
+                    s.nested_wait.as_secs_f64() * 1e6,
+                ));
+                if s.start_at > s.enqueue_at {
+                    self.events.push(format!(
+                        "{{\"ph\":\"X\",\"name\":\"queue\",\"cat\":\"wait\",\
+                         \"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3}}}",
+                        us(s.enqueue_at),
+                        us(s.start_at) - us(s.enqueue_at),
+                    ));
+                }
+                for &(b, e) in &s.waits {
+                    self.events.push(format!(
+                        "{{\"ph\":\"X\",\"name\":\"downstream-wait\",\"cat\":\"wait\",\
+                         \"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3}}}",
+                        us(b),
+                        us(e) - us(b),
+                    ));
+                }
+                for &(b, e) in &s.blocked {
+                    self.events.push(format!(
+                        "{{\"ph\":\"X\",\"name\":\"blocked-submit\",\"cat\":\"wait\",\
+                         \"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3}}}",
+                        us(b),
+                        us(e) - us(b),
+                    ));
+                }
+            }
+        }
+
+        /// Adds every trace in `traces`.
+        pub fn add_traces(&mut self, traces: &[Trace], service_names: &[String]) {
+            for t in traces {
+                self.add_trace(t, service_names);
+            }
+        }
+
+        /// Adds a global instant event (rendered as a vertical marker) —
+        /// used for control-plane decisions. `args_json` must be a JSON
+        /// object literal (pass `"{}"` for none).
+        pub fn add_instant(&mut self, name: &str, at: SimTime, args_json: &str) {
+            self.events.push(format!(
+                "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"{}\",\"pid\":0,\"tid\":0,\
+                 \"ts\":{:.3},\"args\":{}}}",
+                json_escape(name),
+                us(at),
+                args_json,
+            ));
+        }
+
+        /// Writes the complete trace-event JSON object.
+        pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
+            w.write_all(b"{\"traceEvents\":[\n")?;
+            for (i, e) in self.events.iter().enumerate() {
+                let sep = if i + 1 < self.events.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                };
+                w.write_all(e.as_bytes())?;
+                w.write_all(sep.as_bytes())?;
+            }
+            w.write_all(b"],\"displayTimeUnit\":\"ms\"}\n")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::chrome::ChromeTrace;
+    use super::*;
+    use ursa_sim::prelude::*;
+    use ursa_sim::trace::Trace;
+
+    /// Minimal recursive-descent JSON validator: checks the bytes form one
+    /// syntactically-valid JSON value. Returns the remaining input.
+    fn skip_ws(s: &[u8]) -> &[u8] {
+        let mut i = 0;
+        while i < s.len() && (s[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        &s[i..]
+    }
+
+    fn parse_value(s: &[u8]) -> Result<&[u8], String> {
+        let s = skip_ws(s);
+        match s.first() {
+            Some(b'{') => parse_delimited(&s[1..], b'}', true),
+            Some(b'[') => parse_delimited(&s[1..], b']', false),
+            Some(b'"') => parse_string(&s[1..]),
+            Some(b't') => strip(s, "true"),
+            Some(b'f') => strip(s, "false"),
+            Some(b'n') => strip(s, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut i = 1;
+                while i < s.len()
+                    && (s[i].is_ascii_digit() || matches!(s[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                Ok(&s[i..])
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    fn strip<'a>(s: &'a [u8], lit: &str) -> Result<&'a [u8], String> {
+        s.strip_prefix(lit.as_bytes())
+            .ok_or_else(|| format!("expected {lit}"))
+    }
+
+    fn parse_string(mut s: &[u8]) -> Result<&[u8], String> {
+        loop {
+            match s.first() {
+                Some(b'"') => return Ok(&s[1..]),
+                Some(b'\\') => {
+                    s = s.get(2..).ok_or("dangling escape")?;
+                }
+                Some(_) => s = &s[1..],
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_delimited(mut s: &[u8], close: u8, keyed: bool) -> Result<&[u8], String> {
+        s = skip_ws(s);
+        if s.first() == Some(&close) {
+            return Ok(&s[1..]);
+        }
+        loop {
+            if keyed {
+                s = skip_ws(s);
+                s = strip(s, "\"")?;
+                s = parse_string(s)?;
+                s = skip_ws(s);
+                s = strip(s, ":")?;
+            }
+            s = parse_value(s)?;
+            s = skip_ws(s);
+            match s.first() {
+                Some(b',') => s = &s[1..],
+                Some(c) if *c == close => return Ok(&s[1..]),
+                other => return Err(format!("expected , or close, got {other:?}")),
+            }
+        }
+    }
+
+    fn assert_valid_json(text: &str) {
+        let rest = parse_value(text.as_bytes()).expect("valid JSON");
+        assert!(
+            skip_ws(rest).is_empty(),
+            "trailing garbage after JSON value"
+        );
+    }
+
+    fn sample_traces() -> (Vec<Trace>, Vec<String>) {
+        let topo = Topology::new(
+            vec![
+                ServiceCfg::new("front\"end", 2.0),
+                ServiceCfg::new("leaf", 2.0),
+            ],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Constant(0.001)).with_child(
+                    EdgeKind::NestedRpc,
+                    CallNode::leaf(ServiceId(1), WorkDist::Constant(0.002)),
+                ),
+            }],
+        )
+        .unwrap();
+        let names: Vec<String> = topo.services().iter().map(|s| s.name.clone()).collect();
+        let mut sim = Simulation::new(topo, SimConfig::default(), 21);
+        sim.enable_tracing(1000, 1.0);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(5));
+        (sim.take_traces(), names)
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let (traces, names) = sample_traces();
+        assert!(!traces.is_empty());
+        let mut ct = ChromeTrace::new();
+        ct.add_traces(&traces, &names);
+        ct.add_instant(
+            "recalculate",
+            SimTime::from_secs_f64(1.0),
+            "{\"cost\":12.5}",
+        );
+        let mut buf = Vec::new();
+        ct.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_valid_json(&text);
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("front\\\"end"), "service names are escaped");
+        assert!(text.contains("downstream-wait"));
+        assert!(text.contains("recalculate"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json() {
+        let (traces, names) = sample_traces();
+        let mut buf = Vec::new();
+        jsonl::write_traces(&mut buf, &traces, &names).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            traces.iter().map(|t| t.spans.len()).sum::<usize>(),
+            "one line per span"
+        );
+        for line in lines {
+            assert_valid_json(line);
+        }
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,10 @@
+//! Critical-path analysis and exporters for per-request traces produced by
+//! the `ursa-sim` tracing layer (see `ursa_sim::trace`).
+
+pub mod blame;
+pub mod critical_path;
+pub mod export;
+
+pub use blame::{service_blame, top_percentile, BlameReport, ServiceBlame};
+pub use critical_path::{critical_path, PathCategory, PathSegment};
+pub use export::{chrome::ChromeTrace, jsonl};

@@ -20,7 +20,11 @@ fn main() {
         let mut sim = Simulation::new(study_chain(edge), SimConfig::default(), 11);
         sim.set_rate(ClassId(0), RateFn::Constant(300.0));
         println!("== {edge:?} ==");
-        println!("{:<8} {}", "minute", (1..=5).map(|t| format!("tier{t:<9}")).collect::<String>());
+        println!(
+            "{:<8} {}",
+            "minute",
+            (1..=5).map(|t| format!("tier{t:<9}")).collect::<String>()
+        );
         for minute in 0..minutes {
             if minute == anomaly.start {
                 sim.set_cpu_limit(ServiceId(4), 0.8);
@@ -32,7 +36,9 @@ fn main() {
             let snap = sim.harvest();
             let cells: String = (0..5)
                 .map(|t| {
-                    let p99 = snap.services[t].tier_latency[0].percentile(99.0).unwrap_or(0.0);
+                    let p99 = snap.services[t].tier_latency[0]
+                        .percentile(99.0)
+                        .unwrap_or(0.0);
                     // Shade the cell like the paper's heatmap.
                     let shade = match p99 {
                         x if x < 0.020 => ".",
@@ -43,7 +49,11 @@ fn main() {
                     format!("{:>7.3}s {shade} ", p99)
                 })
                 .collect();
-            let marker = if anomaly.contains(&minute) { "  <- throttled" } else { "" };
+            let marker = if anomaly.contains(&minute) {
+                "  <- throttled"
+            } else {
+                ""
+            };
             println!("{:<8} {cells}{marker}", minute + 1);
         }
         println!();

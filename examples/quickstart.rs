@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warmup: SimDur::from_mins(2),
         collect_samples: false,
     };
-    println!("\ndeploying for 20 simulated minutes at {} rps...", app.default_rps);
+    println!(
+        "\ndeploying for 20 simulated minutes at {} rps...",
+        app.default_rps
+    );
     let report = run_deployment(&mut sim, &app.slas, &mut manager, &cfg);
     for sla in &app.slas {
         println!(

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     app.apply_load(&mut sim, diurnal);
     let auto_report = run_deployment(&mut sim, &app.slas, &mut auto, &deploy_cfg);
 
-    println!("\n{:<10} {:>12} {:>12}", "system", "violations", "avg cores");
+    println!(
+        "\n{:<10} {:>12} {:>12}",
+        "system", "violations", "avg cores"
+    );
     for (name, report) in [("ursa", &ursa_report), ("auto-b", &auto_report)] {
         println!(
             "{:<10} {:>11.2}% {:>12.1}",

@@ -17,6 +17,7 @@
 //! | [`ml`] | `ursa-ml` | MLP / boosted trees / DQN for the baselines |
 //! | [`core`] | `ursa-core` | Ursa itself: profiling, exploration, optimizer, controller |
 //! | [`baselines`] | `ursa-baselines` | Sinan-style, Firm-style, Auto-a/b managers |
+//! | [`trace`] | `ursa-trace` | critical-path analysis, blame, Chrome/JSONL trace exporters |
 //!
 //! # Quickstart
 //!
@@ -54,3 +55,4 @@ pub use ursa_mip as mip;
 pub use ursa_ml as ml;
 pub use ursa_sim as sim;
 pub use ursa_stats as stats;
+pub use ursa_trace as trace;

@@ -17,7 +17,11 @@ const GRID_RESIDUAL_UNITS: [usize; 3] = [10, 5, 1];
 /// Strategy for a random small model: 1–4 services, 1–2 classes,
 /// 2–4 LPR options with monotone resource/latency structure plus noise.
 fn small_model() -> impl Strategy<Value = MipModel> {
-    let service = (2usize..5, proptest::collection::vec(0.002f64..0.08, 2), any::<u64>());
+    let service = (
+        2usize..5,
+        proptest::collection::vec(0.002f64..0.08, 2),
+        any::<u64>(),
+    );
     (
         proptest::collection::vec(service, 1..5),
         1usize..3,
@@ -29,8 +33,9 @@ fn small_model() -> impl Strategy<Value = MipModel> {
                 .enumerate()
                 .map(|(si, (n_opts, base_lat, seed))| {
                     let mut rng = ursa::stats::rng::Rng::seed_from(seed);
-                    let resource: Vec<f64> =
-                        (0..n_opts).map(|o| (n_opts - o) as f64 * (1.0 + rng.next_f64())).collect();
+                    let resource: Vec<f64> = (0..n_opts)
+                        .map(|o| (n_opts - o) as f64 * (1.0 + rng.next_f64()))
+                        .collect();
                     let latency = (0..n_classes)
                         .map(|c| {
                             if si == 0 || rng.chance(0.8) {
@@ -38,7 +43,11 @@ fn small_model() -> impl Strategy<Value = MipModel> {
                                 let data: Vec<f64> = (0..n_opts)
                                     .flat_map(|o| {
                                         let row = b * (1.0 + o as f64 * (0.5 + rng.next_f64()));
-                                        vec![row, row * (1.0 + rng.next_f64()), row * (2.0 + rng.next_f64())]
+                                        vec![
+                                            row,
+                                            row * (1.0 + rng.next_f64()),
+                                            row * (2.0 + rng.next_f64()),
+                                        ]
                                     })
                                     .collect();
                                 Some(LatencyMatrix::new(n_opts, 3, data))
@@ -142,13 +151,11 @@ mod lp_bound {
         fn lp_bound_is_a_lower_bound(model in small_model()) {
             let alpha = vec![None; model.services.len()];
             let lp = lp_relaxation_bound(&model, &alpha);
-            match solve(&model) {
-                Ok(sol) => {
-                    let lb = lp.expect("LP must be feasible when the MIP is");
-                    prop_assert!(lb <= sol.objective + 1e-6,
-                        "lp bound {lb} exceeds optimum {}", sol.objective);
-                }
-                Err(_) => {} // LP may be feasible or not; no claim.
+            // When the MIP is infeasible the LP may be feasible or not; no claim.
+            if let Ok(sol) = solve(&model) {
+                let lb = lp.expect("LP must be feasible when the MIP is");
+                prop_assert!(lb <= sol.objective + 1e-6,
+                    "lp bound {lb} exceeds optimum {}", sol.objective);
             }
         }
 

@@ -51,8 +51,9 @@ fn deploy_once(app: &ursa::apps::App, manager: &mut Ursa, seed: u64) -> Deployme
 #[test]
 fn media_service_end_to_end() {
     let app = media_service();
-    let mut ursa = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 11)
-        .expect("media exploration feasible");
+    let mut ursa =
+        Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 11)
+            .expect("media exploration feasible");
     let report = deploy_once(&app, &mut ursa, 12);
     let viol = report.overall_violation_rate();
     assert!(viol < 0.20, "media violation rate {viol}");
@@ -94,13 +95,34 @@ fn video_pipeline_end_to_end() {
 #[test]
 fn exploration_deterministic() {
     let app = app_by_name("social-vanilla").expect("app exists");
-    let a = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 99).unwrap();
-    let b = Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 99).unwrap();
-    assert_eq!(a.offline_stats().exploration_samples, b.offline_stats().exploration_samples);
-    assert_eq!(a.outcome().solution.objective, b.outcome().solution.objective);
-    assert_eq!(a.outcome().solution.lpr_choice, b.outcome().solution.lpr_choice);
-    let ta: Vec<Vec<f64>> = a.outcome().thresholds.iter().map(|t| t.lpr.clone()).collect();
-    let tb: Vec<Vec<f64>> = b.outcome().thresholds.iter().map(|t| t.lpr.clone()).collect();
+    let a =
+        Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 99).unwrap();
+    let b =
+        Ursa::explore_and_prepare(&app.topology, &app.slas, &rates(&app), quick_cfg(), 99).unwrap();
+    assert_eq!(
+        a.offline_stats().exploration_samples,
+        b.offline_stats().exploration_samples
+    );
+    assert_eq!(
+        a.outcome().solution.objective,
+        b.outcome().solution.objective
+    );
+    assert_eq!(
+        a.outcome().solution.lpr_choice,
+        b.outcome().solution.lpr_choice
+    );
+    let ta: Vec<Vec<f64>> = a
+        .outcome()
+        .thresholds
+        .iter()
+        .map(|t| t.lpr.clone())
+        .collect();
+    let tb: Vec<Vec<f64>> = b
+        .outcome()
+        .thresholds
+        .iter()
+        .map(|t| t.lpr.clone())
+        .collect();
     assert_eq!(ta, tb);
 }
 
@@ -118,13 +140,12 @@ fn tighter_slas_cost_more() {
         .iter()
         .map(|s| Sla::new(s.class, s.percentile, s.target * 0.35))
         .collect();
-    match Ursa::explore_and_prepare(&app.topology, &tight_slas, &rates(&app), quick_cfg(), 21) {
-        Ok(t) => {
-            let tight = t.outcome().solution.objective;
-            assert!(tight >= loose, "tight {tight} < loose {loose}");
-        }
-        // Infeasible under 0.35x targets is also an acceptable outcome.
-        Err(_) => {}
+    // Infeasible under 0.35x targets is also an acceptable outcome.
+    if let Ok(t) =
+        Ursa::explore_and_prepare(&app.topology, &tight_slas, &rates(&app), quick_cfg(), 21)
+    {
+        let tight = t.outcome().solution.objective;
+        assert!(tight >= loose, "tight {tight} < loose {loose}");
     }
 }
 
@@ -151,7 +172,10 @@ fn skewed_load_triggers_recalculation() {
             collect_samples: false,
         },
     );
-    assert!(ursa.recalcs() > 0, "skewed mix should trigger a recalculation");
+    assert!(
+        ursa.recalcs() > 0,
+        "skewed mix should trigger a recalculation"
+    );
 }
 
 /// Ursa under the paper's finite 8-machine testbed: the capacity-capped
@@ -189,25 +213,28 @@ fn capped_cluster_deployment() {
     assert!(cluster.used_cores() > 0.0);
 }
 
-/// Span tracing during a managed run: spans reconstruct per-service
+/// Span tracing during a managed run: trace spans reconstruct per-service
 /// latency consistent with telemetry.
 #[test]
 fn spans_consistent_with_telemetry() {
     let app = app_by_name("social-vanilla").expect("app exists");
     let mut sim = app.build_sim(43);
-    sim.enable_tracing(200_000);
+    sim.enable_tracing(200_000, 1.0);
     app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
     sim.run_for(SimDur::from_mins(2));
     let snap = sim.harvest();
-    let spans = sim.take_spans();
-    assert!(!spans.is_empty());
-    // Mean tier latency from spans vs telemetry for the busiest service.
+    let traces = sim.take_traces();
+    assert!(!traces.is_empty());
+    // Mean tier latency from trace spans vs telemetry for the busiest
+    // service.
     let ps = app.service("post-store").unwrap();
     let upload = app.class("upload-post").unwrap();
     let span_mean = {
-        let xs: Vec<f64> = spans
+        let xs: Vec<f64> = traces
             .iter()
-            .filter(|s| s.service == ps && s.class == upload)
+            .filter(|t| t.class == upload)
+            .flat_map(|t| t.spans.iter())
+            .filter(|s| s.service == ps)
             .map(|s| s.tier_latency().as_secs_f64())
             .collect();
         assert!(!xs.is_empty());
@@ -215,8 +242,8 @@ fn spans_consistent_with_telemetry() {
     };
     let tel_mean = snap.services[ps.0].tier_latency[upload.0].mean().unwrap();
     let rel = (span_mean - tel_mean).abs() / tel_mean;
-    // Telemetry windows retain the most recent samples only, so allow some
-    // divergence from the all-spans mean.
+    // Telemetry windows retain the most recent samples only and traces are
+    // assembled per completed request, so allow some divergence.
     assert!(rel < 0.25, "span mean {span_mean} vs telemetry {tel_mean}");
 }
 
@@ -258,11 +285,15 @@ fn latency_anomaly_requests_reexploration() {
     }
     let svc = raised.expect("persistent violations must raise a re-exploration request");
     // The implicated service lies on some violating class's path.
-    let classes = app.topology.classes_on_service(ursa::sim::topology::ServiceId(svc));
+    let classes = app
+        .topology
+        .classes_on_service(ursa::sim::topology::ServiceId(svc));
     assert!(!classes.is_empty());
 
     // Answer the request: re-explore the changed service at its new cost.
-    let stats = ursa.re_explore(tu.0, 2.0, &rates(&app)).expect("re-exploration feasible");
+    let stats = ursa
+        .re_explore(tu.0, 2.0, &rates(&app))
+        .expect("re-exploration feasible");
     assert!(stats.samples > 0);
     assert!(ursa.pending_reexploration().is_none());
 

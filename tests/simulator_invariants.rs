@@ -164,7 +164,11 @@ fn priority_ordering_under_contention() {
         priority: p,
         root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.005 }),
     };
-    let topo = Topology::new(services, vec![mk("high", Priority::HIGH), mk("low", Priority::LOW)]).unwrap();
+    let topo = Topology::new(
+        services,
+        vec![mk("high", Priority::HIGH), mk("low", Priority::LOW)],
+    )
+    .unwrap();
     let mut sim = Simulation::new(topo, SimConfig::default(), 5);
     sim.set_rate(ClassId(0), RateFn::Constant(90.0));
     sim.set_rate(ClassId(1), RateFn::Constant(90.0)); // rho = 0.9 total

@@ -12,17 +12,15 @@ use ursa::core::decompose::{empirical_e2e_percentile, latency_bound, PercentileS
 /// Strategy: a joint latency table `[service][request]` built from shared
 /// and private noise so services can be arbitrarily correlated, plus
 /// occasional heavy-tail spikes.
-fn joint_latencies(
-    services: usize,
-    requests: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn joint_latencies(services: usize, requests: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     // Per-service: (base scale, correlation weight, spike probability).
-    let params = proptest::collection::vec(
-        (0.001f64..0.1, 0.0f64..1.0, 0.0f64..0.05),
-        services,
-    );
-    (params, proptest::collection::vec(0.0f64..1.0, requests), any::<u64>()).prop_map(
-        move |(params, shared, seed)| {
+    let params = proptest::collection::vec((0.001f64..0.1, 0.0f64..1.0, 0.0f64..0.05), services);
+    (
+        params,
+        proptest::collection::vec(0.0f64..1.0, requests),
+        any::<u64>(),
+    )
+        .prop_map(move |(params, shared, seed)| {
             let mut rng = ursa::stats::rng::Rng::seed_from(seed);
             params
                 .iter()
@@ -38,8 +36,7 @@ fn joint_latencies(
                         .collect::<Vec<f64>>()
                 })
                 .collect()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,162 @@
+//! Property-based invariants of the span tracer and critical-path
+//! analyzer.
+//!
+//! Random small chain topologies (random edge kinds, work scales, classes)
+//! are traced at 100% sampling; every finished trace must form a
+//! well-formed span tree, and its critical path must tile the end-to-end
+//! interval without exceeding it.
+
+use proptest::prelude::*;
+use ursa::sim::prelude::*;
+use ursa::sim::trace::Trace;
+use ursa::trace::critical_path;
+
+/// Random 1–4-tier chain with random edge kinds and 1–2 classes (same
+/// shape as `tests/simulator_invariants.rs`).
+#[derive(Debug, Clone)]
+struct RandomTopo {
+    tiers: usize,
+    edges: Vec<u8>,
+    classes: usize,
+    work_ms: Vec<f64>,
+    cores: f64,
+}
+
+fn random_topo() -> impl Strategy<Value = RandomTopo> {
+    (
+        1usize..5,
+        proptest::collection::vec(0u8..3, 4),
+        1usize..3,
+        proptest::collection::vec(0.5f64..8.0, 4),
+        1.0f64..6.0,
+    )
+        .prop_map(|(tiers, edges, classes, work_ms, cores)| RandomTopo {
+            tiers,
+            edges,
+            classes,
+            work_ms,
+            cores,
+        })
+}
+
+fn build(rt: &RandomTopo) -> Topology {
+    let services: Vec<ServiceCfg> = (0..rt.tiers)
+        .map(|i| ServiceCfg::new(format!("t{i}"), rt.cores).with_workers(64))
+        .collect();
+    let edge_of = |i: usize| match rt.edges[i % rt.edges.len()] {
+        0 => EdgeKind::NestedRpc,
+        1 => EdgeKind::EventDrivenRpc,
+        _ => EdgeKind::Mq,
+    };
+    fn chain(rt: &RandomTopo, i: usize, edge_of: &dyn Fn(usize) -> EdgeKind) -> CallNode {
+        let work = WorkDist::Exponential {
+            mean: rt.work_ms[i % rt.work_ms.len()] / 1000.0,
+        };
+        let node = CallNode::leaf(ServiceId(i), work);
+        if i + 1 < rt.tiers {
+            node.with_child(edge_of(i), chain(rt, i + 1, edge_of))
+        } else {
+            node
+        }
+    }
+    let classes = (0..rt.classes)
+        .map(|c| ClassCfg {
+            name: format!("c{c}"),
+            priority: Priority(c as u8),
+            root: chain(rt, 0, &edge_of),
+        })
+        .collect();
+    Topology::new(services, classes).expect("generated topology is valid")
+}
+
+/// Runs the topology under load with 100% sampling and drains it, so every
+/// injected request's trace is finished (none pending).
+fn collect(rt: &RandomTopo, rps: f64, seed: u64) -> Vec<Trace> {
+    let mut sim = Simulation::new(build(rt), SimConfig::default(), seed);
+    sim.enable_tracing(100_000, 1.0);
+    for c in 0..rt.classes {
+        sim.set_rate(ClassId(c), RateFn::Constant(rps));
+    }
+    sim.run_for(SimDur::from_secs(15));
+    for c in 0..rt.classes {
+        sim.set_rate(ClassId(c), RateFn::Constant(0.0));
+    }
+    sim.run_for(SimDur::from_secs(300));
+    sim.take_traces()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every finished trace is a well-formed span tree: spans indexed by
+    /// node id, exactly one root, valid parent links, ordered timestamps,
+    /// wait/blocked intervals inside the on-worker window, and nested-RPC
+    /// children nested within their parent's on-worker interval.
+    #[test]
+    fn span_trees_are_well_formed(rt in random_topo(), rps in 5.0f64..60.0, seed in any::<u64>()) {
+        let traces = collect(&rt, rps, seed);
+        prop_assert!(!traces.is_empty(), "15 s under load must trace something");
+        for t in &traces {
+            prop_assert!(!t.spans.is_empty());
+            for (i, s) in t.spans.iter().enumerate() {
+                prop_assert_eq!(s.node as usize, i, "spans indexed by node id");
+                // Timestamps are causally ordered and inside the trace.
+                prop_assert!(s.enqueue_at >= t.arrival);
+                prop_assert!(s.start_at >= s.enqueue_at);
+                prop_assert!(s.respond_at >= s.start_at);
+                prop_assert!(s.respond_at <= t.end);
+                // Parked intervals sit inside the on-worker window.
+                for &(b, e) in s.waits.iter().chain(&s.blocked) {
+                    prop_assert!(e >= b);
+                    prop_assert!(b >= s.start_at && e <= s.respond_at);
+                }
+                match s.parent {
+                    None => prop_assert_eq!(i, 0, "only the root lacks a parent"),
+                    Some((p, kind)) => {
+                        prop_assert!((p as usize) < t.spans.len(), "dangling parent {}", p);
+                        prop_assert!((p as usize) != i, "self-parent");
+                        let parent = &t.spans[p as usize];
+                        // Children launch while the parent holds a worker.
+                        prop_assert!(s.enqueue_at >= parent.start_at);
+                        if kind == EdgeKind::NestedRpc {
+                            // Synchronous call: the child's whole interval
+                            // nests inside the parent's on-worker window.
+                            prop_assert!(s.respond_at <= parent.respond_at);
+                        }
+                    }
+                }
+            }
+            // The trace ends when its last span responds.
+            let last = t.spans.iter().map(|s| s.respond_at).max().unwrap();
+            prop_assert_eq!(last, t.end);
+            // The nested-wait accumulator matches the recorded intervals.
+            for s in &t.spans {
+                let sum = s.downstream_wait().as_secs_f64();
+                let acc = s.nested_wait.as_secs_f64();
+                prop_assert!((sum - acc).abs() < 1e-9, "nested_wait {} != interval sum {}", acc, sum);
+            }
+        }
+    }
+
+    /// The critical path never exceeds the end-to-end latency — in fact it
+    /// tiles `[arrival, end]` exactly, in causal order without overlap.
+    #[test]
+    fn critical_path_bounded_by_e2e(rt in random_topo(), rps in 5.0f64..60.0, seed in any::<u64>()) {
+        let traces = collect(&rt, rps, seed);
+        prop_assert!(!traces.is_empty());
+        for t in &traces {
+            let path = critical_path(t);
+            let sum: f64 = path.iter().map(|s| s.secs()).sum();
+            let e2e = t.e2e().as_secs_f64();
+            prop_assert!(sum <= e2e + 1e-9, "path {} exceeds e2e {}", sum, e2e);
+            prop_assert!((sum - e2e).abs() < 1e-9, "path {} != e2e {} (tiling gap)", sum, e2e);
+            for w in path.windows(2) {
+                prop_assert!(w[1].begin >= w[0].end, "overlapping segments");
+            }
+            for seg in &path {
+                prop_assert!(seg.end >= seg.begin);
+                prop_assert!(seg.begin >= t.arrival && seg.end <= t.end);
+            }
+        }
+    }
+}
