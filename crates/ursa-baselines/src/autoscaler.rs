@@ -38,6 +38,8 @@ pub struct Autoscaler {
     /// Consecutive below-threshold windows required before scaling in.
     pub down_patience: usize,
     below: Vec<usize>,
+    scale_outs: u64,
+    scale_ins: u64,
 }
 
 impl Autoscaler {
@@ -51,6 +53,8 @@ impl Autoscaler {
             policy: ScalePolicy::Step,
             down_patience: 2,
             below: vec![0; num_services],
+            scale_outs: 0,
+            scale_ins: 0,
         }
     }
 
@@ -65,6 +69,8 @@ impl Autoscaler {
             policy: ScalePolicy::Proportional { target: 0.25 },
             down_patience: 4,
             below: vec![0; num_services],
+            scale_outs: 0,
+            scale_ins: 0,
         }
     }
 }
@@ -86,6 +92,7 @@ impl ResourceManager for Autoscaler {
                         ((current as f64 * util / target).ceil() as usize).max(current + 1)
                     }
                 };
+                self.scale_outs += 1;
                 control.set_replicas(ServiceId(s), desired);
             } else if util < self.down_threshold && current > 1 {
                 self.below[s] += 1;
@@ -96,6 +103,7 @@ impl ResourceManager for Autoscaler {
                             ((current as f64 * util / target).ceil() as usize).clamp(1, current - 1)
                         }
                     };
+                    self.scale_ins += 1;
                     control.set_replicas(ServiceId(s), desired.max(1));
                     self.below[s] = 0;
                 }
@@ -103,6 +111,13 @@ impl ResourceManager for Autoscaler {
                 self.below[s] = 0;
             }
         }
+    }
+
+    fn self_profile(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("ctrl_scale_outs_total", self.scale_outs as f64),
+            ("ctrl_scale_ins_total", self.scale_ins as f64),
+        ]
     }
 }
 

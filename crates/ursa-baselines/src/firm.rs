@@ -61,6 +61,7 @@ pub struct Firm {
     last_state_action: Vec<Option<(Vec<f64>, usize)>>,
     samples_consumed: usize,
     training_time: SimDur,
+    scale_actions: u64,
 }
 
 impl Firm {
@@ -85,6 +86,7 @@ impl Firm {
             last_state_action: vec![None; num_services],
             samples_consumed: 0,
             training_time: SimDur::ZERO,
+            scale_actions: 0,
         }
     }
 
@@ -176,6 +178,7 @@ impl ResourceManager for Firm {
                 _ => current,
             };
             if next != current {
+                self.scale_actions += 1;
                 control.set_replicas(ServiceId(s), next);
             }
             if self.training {
@@ -185,6 +188,14 @@ impl ResourceManager for Firm {
         if self.training {
             self.training_time += snapshot.window;
         }
+    }
+
+    fn self_profile(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("ctrl_training_samples_total", self.samples_consumed as f64),
+            ("ctrl_scale_actions_total", self.scale_actions as f64),
+            ("ctrl_training_active", self.training as u8 as f64),
+        ]
     }
 }
 

@@ -177,6 +177,8 @@ pub struct Sinan {
     max_replicas: usize,
     rng: Rng,
     training_wall: std::time::Duration,
+    candidates_evaluated: u64,
+    fallback_scaleouts: u64,
 }
 
 impl Sinan {
@@ -232,6 +234,8 @@ impl Sinan {
             max_replicas: dataset.replica_scale[0] as usize,
             rng: Rng::seed_from(seed ^ 0xD00D),
             training_wall: t0.elapsed(),
+            candidates_evaluated: 0,
+            fallback_scaleouts: 0,
         }
     }
 
@@ -305,6 +309,7 @@ impl ResourceManager for Sinan {
                     })
                     .collect()
             };
+            self.candidates_evaluated += 1;
             let (ratio, viol) = self.predict(&candidate, &rps);
             if ratio < self.safety_ratio && viol < self.safety_violation_prob {
                 let cores: f64 = candidate
@@ -327,11 +332,29 @@ impl ResourceManager for Sinan {
             }
             None => {
                 // No candidate predicted safe: scale everything out.
+                self.fallback_scaleouts += 1;
                 for (s, &r) in current.iter().enumerate() {
                     control.set_replicas(ServiceId(s), (r + 1).min(self.max_replicas));
                 }
             }
         }
+    }
+
+    fn self_profile(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (
+                "ctrl_candidates_evaluated_total",
+                self.candidates_evaluated as f64,
+            ),
+            (
+                "ctrl_fallback_scaleouts_total",
+                self.fallback_scaleouts as f64,
+            ),
+            (
+                "ctrl_model_train_ms",
+                self.training_wall.as_secs_f64() * 1e3,
+            ),
+        ]
     }
 }
 

@@ -14,6 +14,7 @@
 
 use crate::{results_dir, LoadSpec, PreparedManagers, Scale, System, TsvTable};
 use ursa_apps::{all_apps, App};
+use ursa_sim::metrics::SimMetrics;
 
 /// One grid cell's outcome.
 #[derive(Debug, Clone)]
@@ -53,27 +54,72 @@ pub fn load_specs(app: &App) -> Vec<LoadSpec> {
 }
 
 /// Runs the grid for one app with pre-trained managers.
+///
+/// With `--metrics-dir` set, the constant-load row additionally exports
+/// metrics artifacts per system (`fig11_12_<app>_<system>.{prom,csv,html}`),
+/// including each controller's self-profiling series — one directly
+/// comparable dashboard per competing system.
 pub fn run_app(app: &App, managers: &mut PreparedManagers, scale: Scale, seed: u64) -> Vec<Cell> {
+    let metrics_dir = crate::logging::metrics_dir();
     let mut cells = Vec::new();
     for (li, load) in load_specs(app).iter().enumerate() {
         for (si, system) in System::ALL.iter().enumerate() {
-            let report = managers.deploy(
+            cells.push(run_cell(
                 app,
-                *system,
+                managers,
                 load,
+                *system,
                 scale,
                 seed ^ ((li as u64) << 8) ^ si as u64,
-            );
-            cells.push(Cell {
-                app: app.name.clone(),
-                load: load.label(),
-                system: system.label().to_string(),
-                violation_rate: report.overall_violation_rate(),
-                avg_cores: report.avg_cpu_allocation(),
-            });
+                metrics_dir.as_deref(),
+            ));
         }
     }
     cells
+}
+
+/// Runs one grid cell. With `metrics_dir` set, constant-load cells export
+/// their metrics artifacts.
+fn run_cell(
+    app: &App,
+    managers: &mut PreparedManagers,
+    load: &LoadSpec,
+    system: System,
+    scale: Scale,
+    seed: u64,
+    metrics_dir: Option<&std::path::Path>,
+) -> Cell {
+    let mut metrics = match (metrics_dir, load) {
+        (Some(_), LoadSpec::Constant) => Some(SimMetrics::for_topology(
+            system.label(),
+            &app.topology,
+            &app.slas,
+        )),
+        _ => None,
+    };
+    let report = managers.deploy_metered(app, system, load, scale, seed, metrics.as_mut());
+    if let (Some(dir), Some(m)) = (metrics_dir, metrics.as_mut()) {
+        let stem = format!("fig11_12_{}_{}", app.name, system.label());
+        let title = format!(
+            "Fig. 11/12 — {} on {} (constant load)",
+            system.label(),
+            app.name
+        );
+        match m.write_artifacts(dir, &stem, &title) {
+            Ok(_) => crate::info!(
+                "[fig11/12] wrote metrics artifacts {stem}.{{prom,csv,html}} under {}",
+                dir.display()
+            ),
+            Err(e) => crate::warn!("[fig11/12] metrics export failed: {e}"),
+        }
+    }
+    Cell {
+        app: app.name.clone(),
+        load: load.label(),
+        system: system.label().to_string(),
+        violation_rate: report.overall_violation_rate(),
+        avg_cores: report.avg_cpu_allocation(),
+    }
 }
 
 /// Runs the full grid over all four applications.
@@ -159,5 +205,47 @@ mod tests {
             auto_b.avg_cpu_allocation(),
             ursa.avg_cpu_allocation()
         );
+    }
+
+    /// Every system's constant-load cell exports metrics artifacts whose
+    /// Prometheus dump carries that controller's self-profiling series —
+    /// the control planes stay comparable side by side.
+    #[test]
+    fn constant_cells_export_self_profiles_per_system() {
+        let app = social_network(true);
+        let mut managers = PreparedManagers::prepare(&app, Scale::Quick, 0x11FE);
+        let dir = std::env::temp_dir().join(format!("ursa-fig1112-metrics-{}", std::process::id()));
+        for (i, system) in System::ALL.iter().enumerate() {
+            let cell = run_cell(
+                &app,
+                &mut managers,
+                &LoadSpec::Constant,
+                *system,
+                Scale::Quick,
+                0x51 + i as u64,
+                Some(&dir),
+            );
+            assert_eq!(cell.system, system.label());
+            let stem = format!("fig11_12_{}_{}", app.name, system.label());
+            let prom = std::fs::read_to_string(dir.join(format!("{stem}.prom"))).unwrap();
+            assert!(
+                prom.contains(&format!("system=\"{}\"", system.label())),
+                "{stem}: missing system label"
+            );
+            assert!(prom.contains("ctrl_ticks_total"), "{stem}: no tick counter");
+            let profile_series = match system {
+                System::Ursa => "ctrl_recalcs_total",
+                System::Sinan => "ctrl_candidates_evaluated_total",
+                System::Firm => "ctrl_training_samples_total",
+                System::AutoA | System::AutoB => "ctrl_scale_outs_total",
+            };
+            assert!(
+                prom.contains(profile_series),
+                "{stem}: missing self-profile series {profile_series}"
+            );
+            let html = std::fs::read_to_string(dir.join(format!("{stem}.html"))).unwrap();
+            assert!(html.contains("<svg") && !html.contains("<script"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

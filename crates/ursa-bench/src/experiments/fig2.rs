@@ -11,7 +11,8 @@
 use crate::{results_dir, Scale, TsvTable};
 use ursa_apps::chains::{study_chain, TIER_CORES, TIER_WORK};
 use ursa_sim::engine::{SimConfig, Simulation};
-use ursa_sim::time::SimDur;
+use ursa_sim::metrics::SimMetrics;
+use ursa_sim::time::{SimDur, SimTime};
 use ursa_sim::topology::{ClassId, EdgeKind, ServiceId};
 use ursa_sim::workload::RateFn;
 
@@ -51,6 +52,19 @@ pub fn run_chain_traced(
     seed: u64,
     sample_rate: f64,
 ) -> (Heatmap, Vec<ursa_sim::trace::Trace>) {
+    run_chain_instrumented(edge, minutes, anomaly, seed, sample_rate, None)
+}
+
+/// [`run_chain_traced`] with an optional metrics collector scraped once per
+/// minute; the throttle transitions become dashboard annotations.
+pub fn run_chain_instrumented(
+    edge: EdgeKind,
+    minutes: usize,
+    anomaly: std::ops::Range<usize>,
+    seed: u64,
+    sample_rate: f64,
+    mut metrics: Option<&mut SimMetrics>,
+) -> (Heatmap, Vec<ursa_sim::trace::Trace>) {
     let topo = study_chain(edge);
     let tiers = topo.num_services();
     let mut sim = Simulation::new(topo, SimConfig::default(), seed);
@@ -61,14 +75,33 @@ pub fn run_chain_traced(
     let leaf = ServiceId(tiers - 1);
     let mut grid = Vec::with_capacity(minutes);
     for minute in 0..minutes {
+        let minute_start = SimTime::from_secs_f64(minute as f64 * 60.0);
         if minute == anomaly.start {
             sim.set_cpu_limit(leaf, THROTTLED_CORES);
+            if let Some(m) = metrics.as_mut() {
+                m.annotate(
+                    minute_start,
+                    "anomaly",
+                    &format!("leaf throttled {TIER_CORES} -> {THROTTLED_CORES} cores"),
+                );
+            }
         }
         if minute == anomaly.end {
             sim.set_cpu_limit(leaf, TIER_CORES);
+            if let Some(m) = metrics.as_mut() {
+                m.annotate(
+                    minute_start,
+                    "anomaly",
+                    &format!("leaf restored to {TIER_CORES} cores"),
+                );
+            }
         }
         sim.run_for(SimDur::from_mins(1));
         let snap = sim.harvest();
+        if let Some(m) = metrics.as_mut() {
+            m.observe_snapshot(&sim, &snap);
+            m.scrape(snap.at);
+        }
         let row: Vec<f64> = (0..tiers)
             .map(|t| {
                 snap.services[t].tier_latency[0]
@@ -130,6 +163,7 @@ pub fn run(scale: Scale) -> Vec<Heatmap> {
         anomaly.start, anomaly.end
     );
     let trace_dir = crate::logging::trace_dir();
+    let metrics_dir = crate::logging::metrics_dir();
     // 1% head sampling is plenty for blame over a multi-minute run and
     // keeps the Chrome trace loadable.
     let sample_rate = if trace_dir.is_some() { 0.01 } else { 0.0 };
@@ -137,12 +171,18 @@ pub fn run(scale: Scale) -> Vec<Heatmap> {
         .into_iter()
         .enumerate()
     {
-        let (hm, traces) = run_chain_traced(
+        // The chains run unmanaged (fixed allocation), so the collector is
+        // labeled "static" and carries no SLAs.
+        let mut metrics = metrics_dir
+            .as_ref()
+            .map(|_| SimMetrics::for_topology("static", &study_chain(edge), &[]));
+        let (hm, traces) = run_chain_instrumented(
             edge,
             minutes,
             anomaly.clone(),
             0xF162 + i as u64,
             sample_rate,
+            metrics.as_mut(),
         );
         if let Some(dir) = &trace_dir {
             let names: Vec<String> = study_chain(edge)
@@ -157,7 +197,18 @@ pub fn run(scale: Scale) -> Vec<Heatmap> {
                     hm.kind,
                     dir.display()
                 ),
-                Err(e) => eprintln!("[fig2] trace export failed: {e}"),
+                Err(e) => crate::warn!("[fig2] trace export failed: {e}"),
+            }
+        }
+        if let (Some(dir), Some(m)) = (&metrics_dir, metrics.as_mut()) {
+            let stem = format!("fig2_{}", hm.kind.to_lowercase());
+            let title = format!("Fig. 2 — {} chain backpressure", hm.kind);
+            match m.write_artifacts(dir, &stem, &title) {
+                Ok(_) => crate::info!(
+                    "[fig2] wrote metrics artifacts {stem}.{{prom,csv,html}} under {}",
+                    dir.display()
+                ),
+                Err(e) => crate::warn!("[fig2] metrics export failed: {e}"),
             }
         }
         let mut table = TsvTable::new(

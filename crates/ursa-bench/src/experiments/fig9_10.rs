@@ -13,7 +13,9 @@
 use crate::{default_rates, prepare_ursa, results_dir, Scale, TsvTable};
 use ursa_apps::{social_network, video_pipeline, App};
 use ursa_sim::control::ResourceManager;
+use ursa_sim::metrics::SimMetrics;
 use ursa_sim::time::SimDur;
+use ursa_sim::topology::ServiceId;
 use ursa_sim::workload::RateFn;
 
 /// Series of (measured, estimated) per window for one class.
@@ -71,13 +73,43 @@ pub fn run_app(app: &App, class_filter: &[&str], scale: Scale, seed: u64) -> Vec
             points: Vec::new(),
         })
         .collect();
+    let metrics_dir = crate::logging::metrics_dir();
+    let mut metrics = metrics_dir
+        .as_ref()
+        .map(|_| SimMetrics::for_topology("ursa", &app.topology, &app.slas));
     for _ in 0..windows {
         sim.run_for(window);
         let snap = sim.harvest();
         let t = snap.at.as_secs_f64() / 60.0;
+        if let Some(m) = metrics.as_mut() {
+            m.observe_snapshot(&sim, &snap);
+        }
+        let before: Option<Vec<usize>> = metrics.as_ref().map(|_| {
+            (0..app.topology.num_services())
+                .map(|s| sim.replicas(ServiceId(s)))
+                .collect()
+        });
+        let wall = std::time::Instant::now();
         // Tick first so the tracker sees the newest window, then read the
         // estimate the controller would report for it.
         ursa.on_tick(&snap, &mut sim);
+        if let Some(m) = metrics.as_mut() {
+            let before = before.expect("captured before the tick");
+            let changes: Vec<(String, usize, usize)> = (0..app.topology.num_services())
+                .filter_map(|s| {
+                    let after = sim.replicas(ServiceId(s));
+                    (after != before[s])
+                        .then(|| (app.topology.services()[s].name.clone(), before[s], after))
+                })
+                .collect();
+            m.observe_decision(
+                snap.at,
+                wall.elapsed().as_secs_f64() * 1e3,
+                &ursa.self_profile(),
+                &changes,
+            );
+            m.scrape(snap.at);
+        }
         for (k, sla) in app.slas.iter().enumerate() {
             if let Some(measured) = snap.e2e_latency[sla.class.0].percentile(sla.percentile) {
                 let estimated = ursa.estimated_latency(k);
@@ -96,7 +128,18 @@ pub fn run_app(app: &App, class_filter: &[&str], scale: Scale, seed: u64) -> Vec
                 ursa.decisions().len(),
                 path.display()
             ),
-            Err(e) => eprintln!("[fig9/10] decision log export failed: {e}"),
+            Err(e) => crate::warn!("[fig9/10] decision log export failed: {e}"),
+        }
+    }
+    if let (Some(dir), Some(m)) = (&metrics_dir, metrics.as_mut()) {
+        let stem = format!("fig9_10_{}", app.name);
+        let title = format!("Fig. 9/10 — Ursa on {} (diurnal load)", app.name);
+        match m.write_artifacts(dir, &stem, &title) {
+            Ok(_) => crate::info!(
+                "[fig9/10] wrote metrics artifacts {stem}.{{prom,csv,html}} under {}",
+                dir.display()
+            ),
+            Err(e) => crate::warn!("[fig9/10] metrics export failed: {e}"),
         }
     }
     if class_filter.is_empty() {

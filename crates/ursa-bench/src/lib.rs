@@ -26,8 +26,9 @@ use ursa_baselines::{
 use ursa_core::exploration::ExplorationConfig;
 use ursa_core::manager::{Ursa, UrsaConfig};
 use ursa_core::profiling::ProfilingConfig;
-use ursa_sim::control::{run_deployment, DeployConfig, DeploymentReport};
+use ursa_sim::control::{run_deployment_metered, DeployConfig, DeploymentReport};
 use ursa_sim::engine::Simulation;
+use ursa_sim::metrics::SimMetrics;
 use ursa_sim::time::{SimDur, SimTime};
 use ursa_sim::topology::ServiceId;
 use ursa_sim::workload::RateFn;
@@ -294,6 +295,21 @@ impl PreparedManagers {
         scale: Scale,
         seed: u64,
     ) -> DeploymentReport {
+        self.deploy_metered(app, system, load, scale, seed, None)
+    }
+
+    /// [`deploy`](Self::deploy) with an optional metrics collector scraped
+    /// once per control window (pass one built with
+    /// [`SimMetrics::for_topology`] on `app.topology`).
+    pub fn deploy_metered(
+        &mut self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        metrics: Option<&mut SimMetrics>,
+    ) -> DeploymentReport {
         let duration = scale.deploy_duration();
         let mut sim = app.build_sim(seed);
         load.apply(app, &mut sim, duration);
@@ -307,17 +323,21 @@ impl PreparedManagers {
             System::Ursa => {
                 let rates = default_rates(app);
                 self.ursa.apply_initial_allocation(&rates, &mut sim);
-                run_deployment(&mut sim, &app.slas, &mut self.ursa, &cfg)
+                run_deployment_metered(&mut sim, &app.slas, &mut self.ursa, &cfg, metrics)
             }
-            System::Sinan => run_deployment(&mut sim, &app.slas, &mut self.sinan, &cfg),
-            System::Firm => run_deployment(&mut sim, &app.slas, &mut self.firm, &cfg),
+            System::Sinan => {
+                run_deployment_metered(&mut sim, &app.slas, &mut self.sinan, &cfg, metrics)
+            }
+            System::Firm => {
+                run_deployment_metered(&mut sim, &app.slas, &mut self.firm, &cfg, metrics)
+            }
             System::AutoA => {
                 let mut auto = Autoscaler::auto_a(self.num_services);
-                run_deployment(&mut sim, &app.slas, &mut auto, &cfg)
+                run_deployment_metered(&mut sim, &app.slas, &mut auto, &cfg, metrics)
             }
             System::AutoB => {
                 let mut auto = Autoscaler::auto_b(self.num_services);
-                run_deployment(&mut sim, &app.slas, &mut auto, &cfg)
+                run_deployment_metered(&mut sim, &app.slas, &mut auto, &cfg, metrics)
             }
         }
     }

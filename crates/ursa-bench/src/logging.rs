@@ -1,39 +1,24 @@
-//! Leveled progress logging and trace-output plumbing for the runner.
+//! Leveled progress logging and artifact-output plumbing for the runner.
 //!
 //! Experiment *results* (tables, series) go to stdout via `println!` so
-//! they can be piped; *progress* goes to stderr through the [`info!`] and
-//! [`debug!`] macros, which honor `--quiet` / `--verbose`. `--trace-dir`
-//! registers a directory into which experiments dump span traces
-//! (Chrome trace-event JSON + JSONL) and decision logs.
+//! they can be piped; *progress* goes to stderr through the [`info!`],
+//! [`warn!`], and [`debug!`] macros, which honor `--quiet` / `--verbose`.
+//! The level machinery itself lives in [`ursa_metrics::logging`] (shared
+//! with the library crates, so `--verbose` also surfaces e.g. `ursa-core`
+//! calibration diagnostics) and is re-exported here.
+//!
+//! `--trace-dir` registers a directory into which experiments dump span
+//! traces (Chrome trace-event JSON + JSONL) and decision logs;
+//! `--metrics-dir` does the same for metrics artifacts (Prometheus text,
+//! CSV, HTML dashboards).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 
-/// Verbosity of progress output on stderr.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-#[repr(u8)]
-pub enum Level {
-    /// Only results (stdout) and hard errors.
-    Quiet = 0,
-    /// Progress messages (the default).
-    Info = 1,
-    /// Extra detail.
-    Debug = 2,
-}
+pub use ursa_metrics::logging::{enabled, set_level, Level};
 
-static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
 static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
-
-/// Sets the global verbosity.
-pub fn set_level(level: Level) {
-    LEVEL.store(level as u8, Ordering::Relaxed);
-}
-
-/// True when messages at `level` should be printed.
-pub fn enabled(level: Level) -> bool {
-    level as u8 <= LEVEL.load(Ordering::Relaxed)
-}
+static METRICS_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 
 /// Registers the directory trace artifacts are written into (`None`
 /// disables trace output).
@@ -46,12 +31,33 @@ pub fn trace_dir() -> Option<PathBuf> {
     TRACE_DIR.lock().expect("trace dir lock").clone()
 }
 
+/// Registers the directory metrics artifacts are written into (`None`
+/// disables metrics output).
+pub fn set_metrics_dir(dir: Option<PathBuf>) {
+    *METRICS_DIR.lock().expect("metrics dir lock") = dir;
+}
+
+/// The registered metrics output directory, if any.
+pub fn metrics_dir() -> Option<PathBuf> {
+    METRICS_DIR.lock().expect("metrics dir lock").clone()
+}
+
 /// Prints a progress message to stderr unless `--quiet`.
 #[macro_export]
 macro_rules! info {
     ($($arg:tt)*) => {
         if $crate::logging::enabled($crate::logging::Level::Info) {
             eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a warning (prefixed `warning:`) to stderr unless `--quiet`.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Info) {
+            eprintln!("warning: {}", format_args!($($arg)*));
         }
     };
 }
@@ -89,5 +95,20 @@ mod tests {
         assert_eq!(trace_dir(), Some(PathBuf::from("/tmp/x")));
         set_trace_dir(None);
         assert_eq!(trace_dir(), None);
+    }
+
+    #[test]
+    fn metrics_dir_roundtrip() {
+        set_metrics_dir(Some(PathBuf::from("/tmp/m")));
+        assert_eq!(metrics_dir(), Some(PathBuf::from("/tmp/m")));
+        set_metrics_dir(None);
+        assert_eq!(metrics_dir(), None);
+    }
+
+    #[test]
+    fn macros_compile_at_all_levels() {
+        crate::info!("info {}", 1);
+        crate::warn!("warn {}", 2);
+        crate::debug!("debug {}", 3);
     }
 }

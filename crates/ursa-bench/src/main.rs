@@ -4,10 +4,11 @@
 //! cargo run --release -p ursa-bench -- --exp all [--full]
 //! cargo run --release -p ursa-bench -- --exp fig2|fig4|table5|fig9|fig11|fig13|table6|fig14
 //! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
+//! cargo run --release -p ursa-bench -- --exp fig9 --metrics-dir metrics/
 //! ```
 
 use ursa_bench::logging::{self, Level};
-use ursa_bench::{experiments, info, Scale};
+use ursa_bench::{experiments, info, warn, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,11 +30,16 @@ fn main() {
                 let dir = args.get(i).cloned().unwrap_or_else(|| usage());
                 logging::set_trace_dir(Some(dir.into()));
             }
+            "--metrics-dir" => {
+                i += 1;
+                let dir = args.get(i).cloned().unwrap_or_else(|| usage());
+                logging::set_metrics_dir(Some(dir.into()));
+            }
             "--help" | "-h" => {
                 usage();
             }
             other => {
-                eprintln!("unknown argument: {other}");
+                warn!("unknown argument: {other}");
                 usage();
             }
         }
@@ -69,7 +75,7 @@ fn main() {
             experiments::ablation::run(scale);
         }
         other => {
-            eprintln!("unknown experiment: {other}");
+            warn!("unknown experiment: {other}");
             usage();
         }
     };
@@ -92,7 +98,7 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation] \
-         [--quick|--full] [--quiet|--verbose] [--trace-dir DIR]"
+         [--quick|--full] [--quiet|--verbose] [--trace-dir DIR] [--metrics-dir DIR]"
     );
     std::process::exit(2)
 }

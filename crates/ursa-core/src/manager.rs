@@ -638,16 +638,14 @@ pub fn calibrate_relaxation(
             }
             samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             let measured = ursa_stats::quantile::percentile_of_sorted(samples, stable_pct[k]);
-            if std::env::var("URSA_DEBUG_CALIBRATION").is_ok() {
-                eprintln!(
-                    "[calibrate] class {} stable_p {:.2} bound {:.3}s measured {:.3}s n {}",
-                    sla.class.0,
-                    stable_pct[k],
-                    bound,
-                    measured,
-                    samples.len()
-                );
-            }
+            ursa_metrics::log_debug!(
+                "[calibrate] class {} stable_p {:.2} bound {:.3}s measured {:.3}s n {}",
+                sla.class.0,
+                stable_pct[k],
+                bound,
+                measured,
+                samples.len()
+            );
             // 0.9 safety factor: the overestimation ratio shrinks as
             // allocations tighten (queueing correlates the hops), so
             // relaxing by the full-provisioning ratio would be optimistic.
@@ -750,6 +748,22 @@ impl ResourceManager for Ursa {
                 }
             }
         }
+    }
+
+    fn self_profile(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("ctrl_recalcs_total", self.recalcs as f64),
+            ("ctrl_decisions_total", self.decisions.len() as f64),
+            (
+                "ctrl_exploration_samples_total",
+                self.report.total_samples as f64,
+            ),
+            ("ctrl_mip_solve_ms_last", self.last_recalc_wall_ms),
+            (
+                "ctrl_reexploration_pending",
+                self.pending_reexploration.is_some() as u8 as f64,
+            ),
+        ]
     }
 }
 

@@ -1,0 +1,65 @@
+//! CSV export of the time-series store.
+//!
+//! Wide format: one row per scrape, one column per series (header
+//! `t_seconds` followed by `name{labels}` in key order). NaN cells (rows
+//! before a series existed) render empty, which spreadsheets and pandas
+//! both read as missing.
+
+use crate::store::TimeSeriesStore;
+use std::io::{self, Write};
+
+/// Writes `store` as wide-format CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_csv<W: Write>(w: &mut W, store: &TimeSeriesStore) -> io::Result<()> {
+    let mut header = vec!["t_seconds".to_string()];
+    header.extend(store.keys().map(|k| csv_quote(&k.render())));
+    writeln!(w, "{}", header.join(","))?;
+    let columns: Vec<&[f64]> = store.iter().map(|(_, col)| col).collect();
+    for (i, t) in store.times().iter().enumerate() {
+        let mut row = vec![format!("{t}")];
+        for col in &columns {
+            let v = col[i];
+            row.push(if v.is_nan() {
+                String::new()
+            } else {
+                format!("{v}")
+            });
+        }
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Quotes a CSV field if it contains a comma, quote, or newline.
+fn csv_quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Labels, SeriesKey};
+
+    #[test]
+    fn wide_csv_with_missing_cells() {
+        let mut store = TimeSeriesStore::new();
+        let a = SeriesKey::new("a", Labels::empty());
+        let b = SeriesKey::new("b", Labels::new(&[("service", "api")]));
+        store.append_row(60.0, [(a.clone(), 1.0)]);
+        store.append_row(120.0, [(a.clone(), 2.0), (b.clone(), 3.0)]);
+        let mut out = Vec::new();
+        write_csv(&mut out, &store).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t_seconds,a,\"b{service=\"\"api\"\"}\"");
+        assert_eq!(lines[1], "60,1,");
+        assert_eq!(lines[2], "120,2,3");
+    }
+}

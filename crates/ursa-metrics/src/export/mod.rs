@@ -1,0 +1,6 @@
+//! Exporters: Prometheus text format, CSV, and the self-contained HTML
+//! dashboard.
+
+pub mod csv;
+pub mod dashboard;
+pub mod prometheus;

@@ -1,0 +1,85 @@
+//! Prometheus text exposition format (version 0.0.4).
+//!
+//! Renders the *current* state of a [`Registry`] — what a `/metrics`
+//! endpoint would serve at scrape time. Counters and gauges export
+//! directly; histograms export as summaries (`quantile` labels plus
+//! `_count`), matching how the paper's Prometheus deployment exposes
+//! latency distributions.
+
+use crate::registry::{Instrument, Labels, Registry, HISTOGRAM_PERCENTILES};
+use std::io::{self, Write};
+
+/// Writes `registry` in Prometheus text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_prometheus<W: Write>(w: &mut W, registry: &mut Registry) -> io::Result<()> {
+    // TYPE lines must precede the first sample of each metric name; series
+    // iterate in key order, so equal names are adjacent.
+    let mut last_name: Option<String> = None;
+    for (key, inst) in registry.iter_mut() {
+        if last_name.as_deref() != Some(&key.name) {
+            let kind = match inst {
+                Instrument::Counter(_) => "counter",
+                Instrument::Gauge(_) => "gauge",
+                Instrument::Histogram(_) => "summary",
+            };
+            writeln!(w, "# TYPE {} {kind}", key.name)?;
+            last_name = Some(key.name.clone());
+        }
+        match inst {
+            Instrument::Counter(v) | Instrument::Gauge(v) => {
+                writeln!(w, "{}{} {v}", key.name, key.labels.render())?;
+            }
+            Instrument::Histogram(h) => {
+                for p in HISTOGRAM_PERCENTILES {
+                    if let Some(v) = h.percentile(p) {
+                        let mut pairs: Vec<(String, String)> = key
+                            .labels
+                            .pairs()
+                            .iter()
+                            .map(|(k, s)| (k.clone(), s.clone()))
+                            .collect();
+                        pairs.push(("quantile".to_string(), format!("{}", p / 100.0)));
+                        let refs: Vec<(&str, &str)> = pairs
+                            .iter()
+                            .map(|(k, s)| (k.as_str(), s.as_str()))
+                            .collect();
+                        writeln!(w, "{}{} {v}", key.name, Labels::new(&refs).render())?;
+                    }
+                }
+                writeln!(w, "{}_count{} {}", key.name, key.labels.render(), h.count())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Labels;
+
+    #[test]
+    fn renders_types_and_samples() {
+        let mut r = Registry::new();
+        r.counter_add("requests_total", Labels::new(&[("class", "get")]), 42.0);
+        r.gauge_set("mq_depth", Labels::new(&[("service", "api")]), 3.0);
+        for i in 0..10 {
+            r.histogram_record("tick_ms", Labels::empty(), i as f64);
+        }
+        let mut out = Vec::new();
+        write_prometheus(&mut out, &mut r).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{class=\"get\"} 42"));
+        assert!(text.contains("# TYPE mq_depth gauge"));
+        assert!(text.contains("mq_depth{service=\"api\"} 3"));
+        assert!(text.contains("# TYPE tick_ms summary"));
+        assert!(text.contains("tick_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("tick_ms_count 10"));
+        // One TYPE line per metric name.
+        assert_eq!(text.matches("# TYPE requests_total").count(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Metrics pipeline: the continuous-observation layer of the reproduction.
+//!
+//! The paper's Ursa deployment harvests per-tier latency distributions, CPU
+//! usage, and request counts from a Prometheus stack every interval (§V,
+//! component 1); this crate is the simulator-side analog. It provides:
+//!
+//! * [`registry`] — a low-overhead registry of labeled counters, gauges, and
+//!   t-digest histograms ([`ursa_stats::tdigest`]).
+//! * [`store`] — an in-memory columnar time-series store the registry is
+//!   scraped into once per harvest interval.
+//! * [`slo`] — windowed SLO violation fractions and multi-window burn-rate
+//!   alerts per SLA class.
+//! * [`export`] — Prometheus text format, CSV, and a zero-dependency
+//!   self-contained HTML dashboard (inline SVG).
+//! * [`logging`] — the leveled progress-logging layer shared by the
+//!   workspace (`--quiet`/`--verbose` in `ursa-bench`).
+//!
+//! Everything here is *pull*-based: the simulator and control plane are
+//! never instrumented inline — callers scrape already-produced
+//! [`MetricsSnapshot`]s (see `ursa_sim::metrics`) — so collection cannot
+//! perturb simulation results (no RNG draws, no simulated-time effects),
+//! and a run with metrics disabled skips the pipeline entirely.
+//!
+//! Scrapes are deterministic: series are keyed by a totally ordered
+//! [`registry::SeriesKey`] (metric name + sorted label pairs), so the
+//! export order is independent of label-insertion order (property-tested).
+
+pub mod export;
+pub mod logging;
+pub mod registry;
+pub mod slo;
+pub mod store;
+
+pub use export::csv::write_csv;
+pub use export::dashboard::{render_dashboard, Annotation, PanelSpec};
+pub use export::prometheus::write_prometheus;
+pub use registry::{Labels, Registry, SeriesKey};
+pub use slo::{BurnRule, SloAlert, SloMonitor, SloSpec};
+pub use store::TimeSeriesStore;

@@ -1,0 +1,89 @@
+//! Workspace-wide leveled progress logging.
+//!
+//! Grown out of `ursa-bench`'s logging layer (PR 1) and moved down the
+//! dependency graph so library crates (e.g. `ursa-core`'s calibration
+//! diagnostics) can honor the same `--quiet`/`--verbose` switches as the
+//! experiment runner. Results still go to stdout via `println!`; everything
+//! routed through these macros is *progress/diagnostic* output on stderr.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of progress output on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Only results (stdout) and hard errors.
+    Quiet = 0,
+    /// Progress and warning messages (the default).
+    Info = 1,
+    /// Extra detail (includes `ursa-core` calibration diagnostics).
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global verbosity.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// True when messages at `level` should be printed.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Prints a progress message to stderr unless the level is `Quiet`.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a warning (prefixed `warning:`) to stderr unless `Quiet`.
+#[macro_export]
+macro_rules! log_warn {
+    ($fmt:literal $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Info) {
+            eprintln!(concat!("warning: ", $fmt) $($arg)*);
+        }
+    };
+}
+
+/// Prints a detail message to stderr only at `Debug` level.
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_gating() {
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn macros_compile_at_all_levels() {
+        // Output goes to stderr; this only checks the macros expand.
+        crate::log_info!("info {}", 1);
+        crate::log_warn!("warn {}", 2);
+        crate::log_debug!("debug {}", 3);
+    }
+}

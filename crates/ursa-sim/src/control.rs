@@ -90,6 +90,14 @@ pub trait ResourceManager {
     fn name(&self) -> &str;
     /// Reacts to the latest metrics window by actuating the control plane.
     fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane);
+    /// Self-profiling series exported after each tick when the run is
+    /// metered (see [`crate::metrics::SimMetrics::observe_decision`]):
+    /// `(metric name, value)` pairs labeled with the manager's name. Names
+    /// ending in `_total` are treated as cumulative counters, everything
+    /// else as gauges. The default exports nothing.
+    fn self_profile(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 /// A manager that never changes anything (static allocation baseline).
@@ -214,6 +222,25 @@ pub fn run_deployment(
     manager: &mut dyn ResourceManager,
     cfg: &DeployConfig,
 ) -> DeploymentReport {
+    run_deployment_metered(sim, slas, manager, cfg, None)
+}
+
+/// [`run_deployment`] with an optional metrics collector.
+///
+/// When `metrics` is given, every harvest window is scraped into it
+/// (utilization, latency percentiles, SLO burn rates), each manager tick is
+/// wall-clock timed and its [`self_profile`](ResourceManager::self_profile)
+/// exported, and replica changes become `scale` annotations. The collector
+/// observes the simulation only through pure accessors *after* each window
+/// has run, so the simulated outcome is bit-identical with `None` (see
+/// `metered_and_unmetered_runs_are_identical` in `crate::metrics`).
+pub fn run_deployment_metered(
+    sim: &mut Simulation,
+    slas: &[Sla],
+    manager: &mut dyn ResourceManager,
+    cfg: &DeployConfig,
+    mut metrics: Option<&mut crate::metrics::SimMetrics>,
+) -> DeploymentReport {
     let num_classes = sim.topology().num_classes();
     let num_services = sim.topology().num_services();
     let mut sla_of_class: Vec<Option<Sla>> = vec![None; num_classes];
@@ -230,6 +257,9 @@ pub fn run_deployment(
     while sim.now() < end {
         sim.run_for(cfg.control_interval);
         let snapshot = sim.harvest();
+        if let Some(m) = metrics.as_mut() {
+            m.observe_snapshot(sim, &snapshot);
+        }
         let in_warmup = snapshot.at <= warm_until;
         if !in_warmup {
             let mut class_latency = vec![None; num_classes];
@@ -264,10 +294,35 @@ pub fn run_deployment(
                 total_cores: sim.total_allocated_cores(),
             });
         }
+        // Replica counts before the tick, for scale-event detection. Only
+        // read when metered; wall-clock time never feeds back into the sim.
+        let before: Option<Vec<usize>> = metrics.as_ref().map(|_| {
+            (0..num_services)
+                .map(|s| Simulation::replicas(sim, ServiceId(s)))
+                .collect()
+        });
         let t0 = std::time::Instant::now();
         manager.on_tick(&snapshot, sim);
-        decision_nanos += t0.elapsed().as_nanos();
+        let wall = t0.elapsed();
+        decision_nanos += wall.as_nanos();
         decisions += 1;
+        if let Some(m) = metrics.as_mut() {
+            let before = before.expect("captured when metered");
+            let changes: Vec<(String, usize, usize)> = (0..num_services)
+                .filter_map(|s| {
+                    let after = Simulation::replicas(sim, ServiceId(s));
+                    (after != before[s])
+                        .then(|| (sim.topology().services()[s].name.clone(), before[s], after))
+                })
+                .collect();
+            m.observe_decision(
+                snapshot.at,
+                wall.as_secs_f64() * 1e3,
+                &manager.self_profile(),
+                &changes,
+            );
+            m.scrape(snapshot.at);
+        }
     }
     DeploymentReport {
         slas: slas.to_vec(),

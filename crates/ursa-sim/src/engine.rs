@@ -1372,6 +1372,29 @@ impl Simulation {
             .sum()
     }
 
+    /// Instantaneous worker occupancy of a service: busy worker slots over
+    /// total worker slots, summed across live (non-draining) replicas, in
+    /// `[0, 1]`. Returns `0.0` when the service has no live workers. This is
+    /// the saturation signal the metrics pipeline exports alongside CPU
+    /// utilization: occupancy near 1 with low CPU points at blocking on
+    /// downstream calls rather than compute.
+    pub fn worker_occupancy(&self, service: ServiceId) -> f64 {
+        let svc = &self.services[service.0];
+        let (busy, total) = svc
+            .replicas
+            .iter()
+            .flatten()
+            .filter(|rep| !rep.draining)
+            .fold((0usize, 0usize), |(b, t), rep| {
+                (b + rep.busy_workers, t + rep.workers)
+            });
+        if total == 0 {
+            0.0
+        } else {
+            busy as f64 / total as f64
+        }
+    }
+
     /// Takes a metrics snapshot covering the window since the previous
     /// harvest, and resets the telemetry accumulators.
     pub fn harvest(&mut self) -> MetricsSnapshot {

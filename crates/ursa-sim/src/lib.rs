@@ -40,6 +40,7 @@
 pub mod cluster;
 pub mod control;
 pub mod engine;
+pub mod metrics;
 pub mod telemetry;
 pub mod time;
 pub mod topology;
@@ -50,10 +51,11 @@ pub mod workload;
 pub mod prelude {
     pub use crate::cluster::{CappedControlPlane, Cluster, MachineCfg, PlacementPolicy};
     pub use crate::control::{
-        run_deployment, ControlPlane, DeployConfig, DeploymentReport, ResourceManager, Sla,
-        StaticManager, WindowRecord,
+        run_deployment, run_deployment_metered, ControlPlane, DeployConfig, DeploymentReport,
+        ResourceManager, Sla, StaticManager, WindowRecord,
     };
     pub use crate::engine::{SimConfig, Simulation};
+    pub use crate::metrics::SimMetrics;
     pub use crate::telemetry::{LatencySeries, MetricsSnapshot, ServiceMetrics};
     pub use crate::time::{SimDur, SimTime};
     pub use crate::topology::{

@@ -1,0 +1,576 @@
+//! The simulator-side metrics pipeline: scrapes [`MetricsSnapshot`]s into
+//! an [`ursa_metrics`] registry/time-series store once per harvest
+//! interval.
+//!
+//! Collection is strictly *pull*-based and sits outside the simulation:
+//! [`SimMetrics`] only reads snapshots the simulator already produced (plus
+//! pure accessors like [`Simulation::worker_occupancy`]), draws no random
+//! numbers, and advances no simulated time. A run with metrics disabled
+//! (`None` passed to
+//! [`run_deployment_metered`](crate::control::run_deployment_metered))
+//! therefore produces bit-identical results to a metered run — the registry
+//! is zero-cost when absent and invisible when present. Wall-clock
+//! measurements (control-tick timing) flow *into* the metrics only; they
+//! never feed back into simulation state.
+//!
+//! Exported series (scraped at each harvest time, in seconds):
+//!
+//! | series | labels | meaning |
+//! |---|---|---|
+//! | `service_cpu_utilization` | `service` | busy/capacity core-seconds in the window |
+//! | `service_replicas` | `service` | live replica count |
+//! | `service_cores_per_replica` | `service` | CPU limit |
+//! | `service_worker_occupancy` | `service` | busy worker slots / total (instantaneous) |
+//! | `service_mq_depth_mean`, `service_mq_depth_max` | `service` | shared-queue depth over the window |
+//! | `service_arrival_rps` | `service` | per-service arrival rate |
+//! | `class_offered_rps` | `class` | injected load |
+//! | `class_latency_p50/p95/p99` | `class` | end-to-end latency percentiles (gap when idle) |
+//! | `class_completions_total`, `class_injections_total` | `class` | cumulative counters |
+//! | `total_allocated_cores` | — | all replicas, live and draining |
+//! | `slo_violation_fraction`, `slo_burn_rate_short/long` | `class` | SLO monitor (when SLAs given) |
+//! | `slo_alerts_active` | — | burn-rate alerts currently firing |
+//! | `ctrl_tick_wall_ms_*` | `system` | control-tick wall time (t-digest fan-out) |
+//! | `ctrl_ticks_total`, `ctrl_scale_events_total` | `system` (+`service`) | decision activity |
+//! | manager [`self_profile`](crate::control::ResourceManager::self_profile) series | `system` | controller internals |
+//!
+//! Scale decisions and newly firing SLO alerts also become dashboard
+//! [`Annotation`]s, so the HTML export overlays control actions on every
+//! panel.
+
+use crate::control::Sla;
+use crate::engine::Simulation;
+use crate::telemetry::MetricsSnapshot;
+use crate::time::SimTime;
+use crate::topology::{ServiceId, Topology};
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use ursa_metrics::{
+    render_dashboard, write_csv, write_prometheus, Annotation, Labels, PanelSpec, Registry,
+    SloMonitor, SloSpec, TimeSeriesStore,
+};
+
+/// End-to-end latency percentiles exported per class.
+pub const LATENCY_PERCENTILES: [f64; 3] = [50.0, 95.0, 99.0];
+
+/// Harvest intervals in the short / long SLO burn-rate gauges (the page
+/// rule's short window and the ticket rule's short window, respectively).
+const BURN_SHORT_WINDOWS: usize = 5;
+const BURN_LONG_WINDOWS: usize = 30;
+
+/// Metrics collector for one deployment run.
+///
+/// Create one per run (scrape times must be strictly increasing), hand it
+/// to [`run_deployment_metered`](crate::control::run_deployment_metered),
+/// then export with [`write_artifacts`](Self::write_artifacts) or inspect
+/// via [`store`](Self::store).
+#[derive(Debug, Clone)]
+pub struct SimMetrics {
+    system: String,
+    service_names: Vec<String>,
+    class_names: Vec<String>,
+    registry: Registry,
+    store: TimeSeriesStore,
+    slo: Option<SloMonitor>,
+    /// SLAs aligned 1:1 with the monitor's specs.
+    slo_slas: Vec<Sla>,
+    annotations: Vec<Annotation>,
+    /// `(spec index, severity)` pairs firing at the previous harvest; used
+    /// to annotate only alert *onsets*, not every interval of an incident.
+    active_alerts: BTreeSet<(usize, &'static str)>,
+}
+
+impl SimMetrics {
+    /// Creates a collector for `sim` labeled with the managing `system`
+    /// ("ursa", "sinan", ...). `slas` (possibly empty) seed the SLO
+    /// monitor; SLAs at percentile 0 or 100 have no error budget and are
+    /// skipped.
+    pub fn new(system: &str, sim: &Simulation, slas: &[Sla]) -> Self {
+        Self::for_topology(system, sim.topology(), slas)
+    }
+
+    /// Like [`new`](Self::new), but from a bare topology — for callers that
+    /// build the simulation later (or internally) yet need the collector
+    /// up front.
+    pub fn for_topology(system: &str, topo: &Topology, slas: &[Sla]) -> Self {
+        let service_names: Vec<String> = topo.services().iter().map(|s| s.name.clone()).collect();
+        let class_names: Vec<String> = topo.classes().iter().map(|c| c.name.clone()).collect();
+        let slo_slas: Vec<Sla> = slas
+            .iter()
+            .filter(|s| s.percentile > 0.0 && s.percentile < 100.0)
+            .copied()
+            .collect();
+        let slo = if slo_slas.is_empty() {
+            None
+        } else {
+            Some(SloMonitor::new(
+                slo_slas
+                    .iter()
+                    .map(|s| SloSpec::new(&class_names[s.class.0], s.percentile, s.target))
+                    .collect(),
+            ))
+        };
+        SimMetrics {
+            system: system.to_string(),
+            service_names,
+            class_names,
+            registry: Registry::new(),
+            store: TimeSeriesStore::new(),
+            slo,
+            slo_slas,
+            annotations: Vec::new(),
+            active_alerts: BTreeSet::new(),
+        }
+    }
+
+    /// The system label this collector was created with.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// The scraped time-series store.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// Dashboard annotations accumulated so far (scale events, alert
+    /// onsets).
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// The underlying registry, for callers exporting extra series.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The SLO monitor, when SLAs were given.
+    pub fn slo(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
+    }
+
+    /// Updates per-service, per-class, and SLO instruments from one harvest
+    /// window. Reads `sim` only through pure accessors.
+    pub fn observe_snapshot(&mut self, sim: &Simulation, snap: &MetricsSnapshot) {
+        let window = snap.window;
+        for (i, svc) in snap.services.iter().enumerate() {
+            let labels = Labels::new(&[("service", &self.service_names[i])]);
+            let r = &mut self.registry;
+            r.gauge_set(
+                "service_cpu_utilization",
+                labels.clone(),
+                svc.cpu_utilization,
+            );
+            r.gauge_set("service_replicas", labels.clone(), svc.replicas as f64);
+            r.gauge_set(
+                "service_cores_per_replica",
+                labels.clone(),
+                svc.cores_per_replica,
+            );
+            r.gauge_set(
+                "service_worker_occupancy",
+                labels.clone(),
+                sim.worker_occupancy(ServiceId(i)),
+            );
+            r.gauge_set("service_mq_depth_mean", labels.clone(), svc.mq_depth_mean);
+            r.gauge_set(
+                "service_mq_depth_max",
+                labels.clone(),
+                svc.mq_depth_max as f64,
+            );
+            r.gauge_set("service_arrival_rps", labels, svc.arrival_rps(window));
+        }
+        for c in 0..self.class_names.len() {
+            let labels = Labels::new(&[("class", &self.class_names[c])]);
+            let r = &mut self.registry;
+            r.gauge_set(
+                "class_offered_rps",
+                labels.clone(),
+                snap.injections[c] as f64 / window.as_secs_f64().max(1e-9),
+            );
+            r.counter_add(
+                "class_completions_total",
+                labels.clone(),
+                snap.completions[c] as f64,
+            );
+            r.counter_add(
+                "class_injections_total",
+                labels.clone(),
+                snap.injections[c] as f64,
+            );
+            // NaN when the window had no completions: the store keeps a gap
+            // instead of forward-filling a stale percentile.
+            for p in LATENCY_PERCENTILES {
+                let v = snap.e2e_latency[c].percentile(p).unwrap_or(f64::NAN);
+                r.gauge_set(&format!("class_latency_p{p:.0}"), labels.clone(), v);
+            }
+        }
+        self.registry.gauge_set(
+            "total_allocated_cores",
+            Labels::empty(),
+            sim.total_allocated_cores(),
+        );
+        self.observe_slo(snap);
+    }
+
+    /// Feeds one harvest window into the SLO monitor and refreshes the
+    /// burn-rate gauges and alert annotations.
+    fn observe_slo(&mut self, snap: &MetricsSnapshot) {
+        let Some(slo) = self.slo.as_mut() else {
+            return;
+        };
+        for (idx, sla) in self.slo_slas.iter().enumerate() {
+            let c = sla.class.0;
+            let total = snap.completions[c];
+            // fraction_above is measured over the retained window samples;
+            // scale it to the window's completion count (see the retained
+            // vs. total discussion on `LatencySeries`).
+            let bad = match snap.e2e_latency[c].fraction_above(sla.target) {
+                Some(frac) => ((frac * total as f64).round() as u64).min(total),
+                None => 0,
+            };
+            slo.observe(idx, total, bad);
+            let labels = Labels::new(&[("class", &self.class_names[c])]);
+            let frac = slo.violation_fraction(idx, BURN_SHORT_WINDOWS);
+            let short = slo.burn_rate(idx, BURN_SHORT_WINDOWS);
+            let long = slo.burn_rate(idx, BURN_LONG_WINDOWS);
+            let r = &mut self.registry;
+            r.gauge_set(
+                "slo_violation_fraction",
+                labels.clone(),
+                frac.unwrap_or(f64::NAN),
+            );
+            r.gauge_set(
+                "slo_burn_rate_short",
+                labels.clone(),
+                short.unwrap_or(f64::NAN),
+            );
+            r.gauge_set("slo_burn_rate_long", labels, long.unwrap_or(f64::NAN));
+        }
+        let alerts = self.slo.as_ref().expect("slo set above").check();
+        let now_active: BTreeSet<(usize, &'static str)> =
+            alerts.iter().map(|a| (a.spec, a.severity)).collect();
+        for a in &alerts {
+            if !self.active_alerts.contains(&(a.spec, a.severity)) {
+                self.annotations.push(Annotation::new(
+                    snap.at.as_secs_f64(),
+                    "alert",
+                    &format!(
+                        "{} alert: {} burning {:.1}x budget",
+                        a.severity, a.class, a.short_burn
+                    ),
+                ));
+            }
+        }
+        self.active_alerts = now_active;
+        let active = self.active_alerts.len() as f64;
+        self.registry
+            .gauge_set("slo_alerts_active", Labels::empty(), active);
+    }
+
+    /// Records one control-plane decision: tick wall time, the manager's
+    /// [`self_profile`](crate::control::ResourceManager::self_profile)
+    /// series, and replica changes (each becomes a `scale` annotation).
+    ///
+    /// `scale_changes` entries are `(service name, replicas before,
+    /// replicas after)` for services the tick actually changed.
+    pub fn observe_decision(
+        &mut self,
+        at: SimTime,
+        wall_ms: f64,
+        profile: &[(&'static str, f64)],
+        scale_changes: &[(String, usize, usize)],
+    ) {
+        let sys = Labels::new(&[("system", &self.system)]);
+        let r = &mut self.registry;
+        r.histogram_record("ctrl_tick_wall_ms", sys.clone(), wall_ms);
+        r.counter_add("ctrl_ticks_total", sys.clone(), 1.0);
+        for (name, v) in profile {
+            // Managers report cumulative totals under `*_total`; everything
+            // else is a point-in-time gauge.
+            if name.ends_with("_total") {
+                r.counter_set(name, sys.clone(), *v);
+            } else {
+                r.gauge_set(name, sys.clone(), *v);
+            }
+        }
+        for (service, before, after) in scale_changes {
+            r.counter_add(
+                "ctrl_scale_events_total",
+                Labels::new(&[("system", &self.system), ("service", service)]),
+                1.0,
+            );
+            self.annotations.push(Annotation::new(
+                at.as_secs_f64(),
+                "scale",
+                &format!("{service}: {before} -> {after} replicas"),
+            ));
+        }
+    }
+
+    /// Adds a free-form dashboard annotation (e.g. an injected anomaly or
+    /// experiment phase boundary). `kind` selects the marker style:
+    /// `"scale"` and `"alert"` have dedicated colors, anything else is
+    /// neutral.
+    pub fn annotate(&mut self, at: SimTime, kind: &str, label: &str) {
+        self.annotations
+            .push(Annotation::new(at.as_secs_f64(), kind, label));
+    }
+
+    /// Scrapes every instrument into the store as one row at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` does not advance past the previous scrape (one
+    /// collector serves one run).
+    pub fn scrape(&mut self, at: SimTime) {
+        self.registry.scrape_into(at.as_secs_f64(), &mut self.store);
+    }
+
+    /// The default dashboard layout for a deployment run.
+    pub fn standard_panels(&self) -> Vec<PanelSpec> {
+        let mut panels = vec![
+            PanelSpec::new(
+                "End-to-end latency",
+                "s",
+                &["class_latency_p50", "class_latency_p99"],
+            )
+            .log_y(),
+            PanelSpec::new("Offered load", "req/s", &["class_offered_rps"]),
+            PanelSpec::new("Replicas", "", &["service_replicas"]),
+            PanelSpec::new("CPU utilization", "", &["service_cpu_utilization"]),
+            PanelSpec::new("Worker occupancy", "", &["service_worker_occupancy"]),
+            PanelSpec::new(
+                "Shared-queue depth (window mean)",
+                "",
+                &["service_mq_depth_mean"],
+            ),
+            PanelSpec::new("Total allocated cores", "cores", &["total_allocated_cores"]),
+        ];
+        if self.slo.is_some() {
+            panels.push(PanelSpec::new(
+                "SLO burn rate (5-interval window)",
+                "x budget",
+                &["slo_burn_rate_short"],
+            ));
+        }
+        panels.push(
+            PanelSpec::new(
+                "Control tick wall time",
+                "ms",
+                &["ctrl_tick_wall_ms_p50", "ctrl_tick_wall_ms_p99"],
+            )
+            .log_y(),
+        );
+        panels
+    }
+
+    /// Writes `<stem>.prom`, `<stem>.csv`, and `<stem>.html` under `dir`
+    /// (created if missing) and returns the paths in that order. The HTML
+    /// dashboard uses [`standard_panels`](Self::standard_panels) with all
+    /// accumulated annotations overlaid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_artifacts(
+        &mut self,
+        dir: &Path,
+        stem: &str,
+        title: &str,
+    ) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let prom = dir.join(format!("{stem}.prom"));
+        let mut f = std::fs::File::create(&prom)?;
+        write_prometheus(&mut f, &mut self.registry)?;
+        f.flush()?;
+
+        let csv = dir.join(format!("{stem}.csv"));
+        let mut f = std::fs::File::create(&csv)?;
+        write_csv(&mut f, &self.store)?;
+        f.flush()?;
+
+        let html = dir.join(format!("{stem}.html"));
+        let subtitle = format!(
+            "system: {} — {} scrapes, {} series",
+            self.system,
+            self.store.len(),
+            self.store.num_series()
+        );
+        let page = render_dashboard(
+            title,
+            &subtitle,
+            &self.store,
+            &self.standard_panels(),
+            &self.annotations,
+        );
+        std::fs::write(&html, page)?;
+        Ok(vec![prom, csv, html])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{
+        run_deployment, run_deployment_metered, ControlPlane, DeployConfig, ResourceManager,
+        StaticManager,
+    };
+    use crate::engine::SimConfig;
+    use crate::time::SimDur;
+    use crate::topology::{CallNode, ClassCfg, ClassId, Priority, ServiceCfg, Topology, WorkDist};
+    use crate::workload::RateFn;
+    use ursa_metrics::SeriesKey;
+
+    fn sim(seed: u64) -> Simulation {
+        let topo = Topology::new(
+            vec![ServiceCfg::new("api", 2.0)],
+            vec![ClassCfg {
+                name: "get".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.002 }),
+            }],
+        )
+        .unwrap();
+        let mut s = Simulation::new(topo, SimConfig::default(), seed);
+        s.set_rate(ClassId(0), RateFn::Constant(300.0));
+        s
+    }
+
+    /// Scales to 3 replicas on its second tick, reporting a profile.
+    struct ScaleOnce {
+        ticks: u64,
+    }
+
+    impl ResourceManager for ScaleOnce {
+        fn name(&self) -> &str {
+            "scale-once"
+        }
+        fn on_tick(&mut self, _snap: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+            self.ticks += 1;
+            if self.ticks == 2 {
+                control.set_replicas(ServiceId(0), 3);
+            }
+        }
+        fn self_profile(&self) -> Vec<(&'static str, f64)> {
+            vec![("ctrl_demo_ticks_total", self.ticks as f64)]
+        }
+    }
+
+    fn cfg() -> DeployConfig {
+        DeployConfig {
+            duration: SimDur::from_mins(6),
+            control_interval: SimDur::from_mins(1),
+            warmup: SimDur::from_mins(1),
+            collect_samples: false,
+        }
+    }
+
+    #[test]
+    fn metered_run_collects_series_and_annotations() {
+        let mut s = sim(11);
+        let slas = [Sla::new(ClassId(0), 99.0, 0.100)];
+        let mut metrics = SimMetrics::new("scale-once", &s, &slas);
+        run_deployment_metered(
+            &mut s,
+            &slas,
+            &mut ScaleOnce { ticks: 0 },
+            &cfg(),
+            Some(&mut metrics),
+        );
+        // One scrape per control window.
+        assert_eq!(metrics.store().len(), 6);
+        let store = metrics.store();
+        for name in [
+            "service_cpu_utilization",
+            "service_replicas",
+            "service_worker_occupancy",
+            "class_latency_p99",
+            "slo_burn_rate_short",
+        ] {
+            assert!(
+                store.series_named(name).next().is_some(),
+                "missing series {name}"
+            );
+        }
+        // The self-profile counter came through under the system label.
+        let key = SeriesKey::new(
+            "ctrl_demo_ticks_total",
+            Labels::new(&[("system", "scale-once")]),
+        );
+        let col = store.values(&key).expect("profile series");
+        assert_eq!(col.last().copied(), Some(6.0));
+        // The scale decision produced an annotation and bumped the gauge.
+        assert!(metrics
+            .annotations()
+            .iter()
+            .any(|a| a.kind == "scale" && a.label.contains("1 -> 3")));
+        let replicas = store
+            .values(&SeriesKey::new(
+                "service_replicas",
+                Labels::new(&[("service", "api")]),
+            ))
+            .unwrap();
+        assert_eq!(replicas.last().copied(), Some(3.0));
+    }
+
+    #[test]
+    fn metered_and_unmetered_runs_are_identical() {
+        // The acceptance criterion: collecting metrics must not perturb the
+        // simulation. Identical seeds with and without a collector must
+        // yield identical reports.
+        let slas = [Sla::new(ClassId(0), 99.0, 0.050)];
+        let mut a = sim(7);
+        let plain = run_deployment(&mut a, &slas, &mut ScaleOnce { ticks: 0 }, &cfg());
+        let mut b = sim(7);
+        let mut metrics = SimMetrics::new("scale-once", &b, &slas);
+        let metered = run_deployment_metered(
+            &mut b,
+            &slas,
+            &mut ScaleOnce { ticks: 0 },
+            &cfg(),
+            Some(&mut metrics),
+        );
+        assert_eq!(plain.records.len(), metered.records.len());
+        for (x, y) in plain.records.iter().zip(&metered.records) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.class_latency, y.class_latency);
+            assert_eq!(x.class_violation, y.class_violation);
+            assert_eq!(x.service_replicas, y.service_replicas);
+            assert_eq!(x.total_cores, y.total_cores);
+        }
+    }
+
+    #[test]
+    fn artifacts_written_and_self_contained() {
+        let mut s = sim(5);
+        let slas = [Sla::new(ClassId(0), 99.0, 0.100)];
+        let mut metrics = SimMetrics::new("static", &s, &slas);
+        run_deployment_metered(
+            &mut s,
+            &slas,
+            &mut StaticManager,
+            &cfg(),
+            Some(&mut metrics),
+        );
+        let dir = std::env::temp_dir().join(format!("ursa-metrics-test-{}", std::process::id()));
+        let paths = metrics.write_artifacts(&dir, "run", "Test run").unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            let data = std::fs::read_to_string(p).unwrap();
+            assert!(!data.is_empty(), "{} is empty", p.display());
+        }
+        let html = std::fs::read_to_string(&paths[2]).unwrap();
+        assert!(html.contains("<svg"));
+        assert!(!html.contains("<script"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slo_skips_budgetless_percentiles() {
+        let s = sim(1);
+        let slas = [Sla::new(ClassId(0), 100.0, 0.1)];
+        let metrics = SimMetrics::new("x", &s, &slas);
+        assert!(metrics.slo().is_none());
+    }
+}

@@ -17,6 +17,19 @@ const SERVICE_WINDOW_CAP: usize = 16_384;
 const E2E_WINDOW_CAP: usize = 65_536;
 
 /// Latency statistics for one stream of samples within a harvest window.
+///
+/// # Window semantics
+///
+/// The underlying telemetry windows are bounded rings: when more samples
+/// arrive in one harvest interval than the retention capacity, the oldest
+/// are evicted. Consequently [`total_count`](Self::total_count) counts
+/// *every* sample observed during the window, while all distribution
+/// statistics ([`percentile`](Self::percentile), [`mean`](Self::mean),
+/// [`fraction_above`](Self::fraction_above), [`samples`](Self::samples),
+/// [`len`](Self::len)) describe only the most recent
+/// `len() <= total_count()` retained samples. At evaluation scale the
+/// capacities are sized so eviction is rare; compare `len() as u64` with
+/// `total_count()` to detect when it happened.
 #[derive(Debug, Clone, Default)]
 pub struct LatencySeries {
     sorted: Vec<f64>,
@@ -31,7 +44,8 @@ impl LatencySeries {
         }
     }
 
-    /// Number of samples retained in the window.
+    /// Number of samples *retained* in the window (at most the retention
+    /// capacity; see the type-level window-semantics note).
     pub fn len(&self) -> usize {
         self.sorted.len()
     }
@@ -41,13 +55,15 @@ impl LatencySeries {
         self.sorted.is_empty()
     }
 
-    /// Total samples observed during the window (including any beyond the
-    /// retention capacity).
+    /// Total samples *observed* during the window, including any evicted
+    /// beyond the retention capacity. May exceed [`len`](Self::len); see
+    /// the type-level window-semantics note.
     pub fn total_count(&self) -> u64 {
         self.count
     }
 
-    /// The `p`-th percentile (0–100) in seconds, or `None` if empty.
+    /// The `p`-th percentile (0–100) in seconds over the *retained*
+    /// samples, or `None` if empty.
     pub fn percentile(&self, p: f64) -> Option<f64> {
         if self.sorted.is_empty() {
             None
@@ -56,7 +72,9 @@ impl LatencySeries {
         }
     }
 
-    /// Mean latency in seconds, or `None` if empty.
+    /// Mean latency in seconds over the *retained* samples (evicted
+    /// samples are excluded — this is not `sum / total_count`), or `None`
+    /// if empty.
     pub fn mean(&self) -> Option<f64> {
         if self.sorted.is_empty() {
             None
@@ -65,7 +83,9 @@ impl LatencySeries {
         }
     }
 
-    /// Fraction of samples strictly above `threshold` seconds.
+    /// Fraction of *retained* samples strictly above `threshold` seconds
+    /// (denominator is [`len`](Self::len), not
+    /// [`total_count`](Self::total_count)), or `None` if empty.
     pub fn fraction_above(&self, threshold: f64) -> Option<f64> {
         if self.sorted.is_empty() {
             return None;
@@ -512,6 +532,31 @@ mod tests {
         assert_eq!(s.fraction_above(4.0), Some(0.0));
         assert_eq!(s.percentile(0.0), Some(1.0));
         assert_eq!(s.percentile(100.0), Some(4.0));
+    }
+
+    #[test]
+    fn latency_series_overflow_keeps_retained_semantics() {
+        // Regression: when the source window overflows, the distribution
+        // statistics must be over the retained (most recent) samples with
+        // a matching denominator, while total_count still reports every
+        // observation. Window of 4, 8 samples recorded: 1..=8 arrive, the
+        // ring retains [5, 6, 7, 8].
+        let mut w = QuantileWindow::new(4);
+        for v in 1..=8 {
+            w.record(v as f64);
+        }
+        let s = LatencySeries::from_window(&w);
+        assert_eq!(s.len(), 4, "retained samples");
+        assert_eq!(s.total_count(), 8, "observed samples");
+        assert!(s.len() as u64 != s.total_count(), "overflow happened");
+        // Mean over retained [5,6,7,8], not over all 8 (which would be 4.5)
+        // and not sum-of-retained / total_count (which would be 3.25).
+        assert_eq!(s.mean(), Some(6.5));
+        // fraction_above uses len() as the denominator: 2 of 4 above 6.
+        assert_eq!(s.fraction_above(6.0), Some(0.5));
+        // Percentiles span the retained range only.
+        assert_eq!(s.percentile(0.0), Some(5.0));
+        assert_eq!(s.percentile(100.0), Some(8.0));
     }
 
     #[test]

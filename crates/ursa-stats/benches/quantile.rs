@@ -1,0 +1,66 @@
+//! Microbenchmark for the windowed quantile query path.
+//!
+//! The metrics scraper reads several percentiles from every latency window
+//! once per harvest interval. Before the sorted-view cache, each query
+//! cloned and re-sorted the whole ring (`O(n log n)` per query); with the
+//! cache, the first query after a mutation sorts once and the rest are
+//! `O(1)` lookups. `percentile_cached` vs `percentile_resort` shows the
+//! win on a full window.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ursa_stats::quantile::{percentile_of_sorted, QuantileWindow};
+use ursa_stats::rng::Rng;
+
+const WINDOW: usize = 65_536;
+
+fn full_window() -> QuantileWindow {
+    let mut rng = Rng::seed_from(7);
+    let mut w = QuantileWindow::new(WINDOW);
+    for _ in 0..WINDOW {
+        w.record(rng.next_f64() * 100.0);
+    }
+    w
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_window");
+    let w = full_window();
+
+    // The old cost model: clone + sort the ring on every query.
+    group.bench_function("percentile_resort", |b| {
+        b.iter(|| {
+            let mut v = w.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            black_box(percentile_of_sorted(&v, 99.0))
+        })
+    });
+
+    // The new cost model: cached sorted view between mutations.
+    let _ = w.percentile(99.0); // warm the cache once
+    group.bench_function("percentile_cached", |b| {
+        b.iter(|| black_box(w.percentile(99.0)))
+    });
+
+    // A full scrape reads several percentiles per window; all of them share
+    // one cached sort.
+    group.bench_function("scrape_p50_p90_p99", |b| {
+        b.iter(|| black_box(w.percentiles(&[50.0, 90.0, 99.0])))
+    });
+
+    // Worst case for the cache: a mutation between every query (one sort
+    // per query, same as the old model plus bookkeeping).
+    let mut wm = full_window();
+    let mut i = 0u64;
+    group.bench_function("percentile_after_record", |b| {
+        b.iter(|| {
+            i += 1;
+            wm.record((i % 100) as f64);
+            black_box(wm.percentile(99.0))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantile);
+criterion_main!(benches);

@@ -46,12 +46,22 @@ pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
 /// When the window is full, the oldest sample is evicted (ring buffer), so
 /// queries always reflect the most recent `capacity` observations — matching
 /// how Prometheus-style telemetry windows behave in the paper's setup.
+///
+/// Quantile queries sort lazily: the first query after a mutation sorts the
+/// window once into an internal cache; further queries (and snapshot reads
+/// like [`sorted`](Self::sorted)) reuse it until the next `record`/`clear`.
+/// A metrics scrape that reads several percentiles per window therefore
+/// pays one sort per harvest interval, not one per query. The cache uses
+/// interior mutability, so queries keep their `&self` signatures; the type
+/// remains `Send` (simulations are owned per thread) but is not `Sync`.
 #[derive(Debug, Clone)]
 pub struct QuantileWindow {
     buf: Vec<f64>,
     head: usize,
     len: usize,
     total_count: u64,
+    sorted_cache: std::cell::RefCell<Vec<f64>>,
+    cache_dirty: std::cell::Cell<bool>,
 }
 
 impl QuantileWindow {
@@ -67,6 +77,8 @@ impl QuantileWindow {
             head: 0,
             len: 0,
             total_count: 0,
+            sorted_cache: std::cell::RefCell::new(Vec::new()),
+            cache_dirty: std::cell::Cell::new(true),
         }
     }
 
@@ -80,6 +92,20 @@ impl QuantileWindow {
             self.head = (self.head + 1) % cap;
         }
         self.total_count += 1;
+        self.cache_dirty.set(true);
+    }
+
+    /// Rebuilds the sorted cache if a mutation invalidated it.
+    fn ensure_sorted(&self) {
+        if !self.cache_dirty.get() {
+            return;
+        }
+        let mut cache = self.sorted_cache.borrow_mut();
+        cache.clear();
+        let cap = self.buf.len();
+        cache.extend((0..self.len).map(|i| self.buf[(self.head + i) % cap]));
+        cache.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        self.cache_dirty.set(false);
     }
 
     /// Number of samples currently in the window.
@@ -101,6 +127,7 @@ impl QuantileWindow {
     pub fn clear(&mut self) {
         self.head = 0;
         self.len = 0;
+        self.cache_dirty.set(true);
     }
 
     /// Copies the current window contents (unordered).
@@ -111,28 +138,32 @@ impl QuantileWindow {
             .collect()
     }
 
-    /// Returns the current window contents in ascending order.
+    /// Returns the current window contents in ascending order (a copy of
+    /// the sorted cache; at most one sort since the last mutation).
     pub fn sorted(&self) -> Vec<f64> {
-        let mut v = self.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        v
+        self.ensure_sorted();
+        self.sorted_cache.borrow().clone()
     }
 
     /// Returns the `p`-th percentile of the window, or `None` if empty.
+    /// Amortized O(1) between mutations (the sort is cached).
     pub fn percentile(&self, p: f64) -> Option<f64> {
         if self.is_empty() {
             None
         } else {
-            Some(percentile_of_sorted(&self.sorted(), p))
+            self.ensure_sorted();
+            Some(percentile_of_sorted(&self.sorted_cache.borrow(), p))
         }
     }
 
-    /// Returns several percentiles at once (single sort), or `None` if empty.
+    /// Returns several percentiles at once, or `None` if empty. Shares the
+    /// same cached sort as [`percentile`](Self::percentile).
     pub fn percentiles(&self, ps: &[f64]) -> Option<Vec<f64>> {
         if self.is_empty() {
             return None;
         }
-        let sorted = self.sorted();
+        self.ensure_sorted();
+        let sorted = self.sorted_cache.borrow();
         Some(
             ps.iter()
                 .map(|&p| percentile_of_sorted(&sorted, p))
@@ -140,22 +171,28 @@ impl QuantileWindow {
         )
     }
 
-    /// Mean of the window, or `None` if empty.
+    /// Mean of the window, or `None` if empty. Streams the ring directly —
+    /// no allocation, no sort.
     pub fn mean(&self) -> Option<f64> {
         if self.is_empty() {
-            None
-        } else {
-            Some(self.to_vec().iter().sum::<f64>() / self.len as f64)
+            return None;
         }
+        let cap = self.buf.len();
+        let sum: f64 = (0..self.len).map(|i| self.buf[(self.head + i) % cap]).sum();
+        Some(sum / self.len as f64)
     }
 
     /// Fraction of window samples strictly greater than `threshold`,
     /// or `None` if empty. This is the SLA-violation frequency estimator.
+    /// Streams the ring directly — no allocation, no sort.
     pub fn fraction_above(&self, threshold: f64) -> Option<f64> {
         if self.is_empty() {
             return None;
         }
-        let above = self.to_vec().iter().filter(|&&x| x > threshold).count();
+        let cap = self.buf.len();
+        let above = (0..self.len)
+            .filter(|&i| self.buf[(self.head + i) % cap] > threshold)
+            .count();
         Some(above as f64 / self.len as f64)
     }
 }
@@ -252,5 +289,62 @@ mod tests {
             w.record(v);
         }
         assert_eq!(w.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn cache_invalidated_by_record_and_clear() {
+        let mut w = QuantileWindow::new(8);
+        w.record(1.0);
+        w.record(3.0);
+        assert_eq!(w.percentile(100.0), Some(3.0)); // warms the cache
+        w.record(9.0);
+        assert_eq!(w.percentile(100.0), Some(9.0)); // must see the new max
+        assert_eq!(w.sorted(), vec![1.0, 3.0, 9.0]);
+        w.clear();
+        assert_eq!(w.percentile(50.0), None);
+        w.record(5.0);
+        assert_eq!(w.percentile(50.0), Some(5.0));
+    }
+
+    #[test]
+    fn cache_invalidated_across_eviction() {
+        let mut w = QuantileWindow::new(3);
+        for v in [10.0, 20.0, 30.0] {
+            w.record(v);
+        }
+        assert_eq!(w.percentile(0.0), Some(10.0));
+        w.record(40.0); // evicts 10.0
+        assert_eq!(w.percentile(0.0), Some(20.0));
+        assert_eq!(w.sorted(), vec![20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn clone_preserves_window_state() {
+        let mut w = QuantileWindow::new(4);
+        for v in [4.0, 1.0, 3.0] {
+            w.record(v);
+        }
+        let _ = w.percentile(50.0); // warm cache in the original
+        let mut c = w.clone();
+        assert_eq!(c.sorted(), vec![1.0, 3.0, 4.0]);
+        c.record(2.0);
+        assert_eq!(c.percentile(0.0), Some(1.0));
+        // The original is unaffected by the clone's mutation.
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sorted(), vec![1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn repeated_queries_match_fresh_sort() {
+        let mut w = QuantileWindow::new(64);
+        for i in 0..200 {
+            w.record(((i * 37) % 64) as f64);
+        }
+        let mut fresh = w.to_vec();
+        fresh.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &[0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let cached = w.percentile(p).unwrap();
+            assert_eq!(cached, percentile_of_sorted(&fresh, p), "p{p}");
+        }
     }
 }

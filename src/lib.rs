@@ -11,6 +11,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`stats`] | `ursa-stats` | deterministic RNG, distributions, Welch's t-test, quantiles |
+//! | [`metrics`] | `ursa-metrics` | time-series registry, SLO burn-rate monitor, Prometheus/CSV/HTML exporters |
 //! | [`sim`] | `ursa-sim` | discrete-event microservice simulator + control-plane traits |
 //! | [`apps`] | `ursa-apps` | the §VI benchmark applications and §III study chains |
 //! | [`mip`] | `ursa-mip` | the exact multiple-choice MIP solver (Gurobi stand-in) |
@@ -51,6 +52,7 @@
 pub use ursa_apps as apps;
 pub use ursa_baselines as baselines;
 pub use ursa_core as core;
+pub use ursa_metrics as metrics;
 pub use ursa_mip as mip;
 pub use ursa_ml as ml;
 pub use ursa_sim as sim;
