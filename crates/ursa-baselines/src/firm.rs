@@ -48,7 +48,7 @@ impl Default for FirmConfig {
 }
 
 /// The Firm-style manager: one DQN agent per service.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Firm {
     agents: Vec<DqnAgent>,
     cfg: FirmConfig,

@@ -161,7 +161,7 @@ pub fn collect(sim: &mut Simulation, slas: &[Sla], cfg: &CollectConfig, seed: u6
 }
 
 /// The trained Sinan-style manager.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sinan {
     latency_model: Mlp,
     violation_model: GbtRegressor,

@@ -1,0 +1,51 @@
+//! End-to-end engine-throughput benchmark: events per wall second on the
+//! canonical perf cell (vanilla social network, constant load), plus the
+//! cell-runner's batch scaling. This is the criterion companion of
+//! `ursa-bench perf` — the subcommand emits trackable JSON, this gives
+//! statistically tight per-change numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ursa_apps::social_network;
+use ursa_bench::runner;
+use ursa_sim::time::SimDur;
+use ursa_sim::workload::RateFn;
+
+fn run_cell(seed: u64, secs: u64) -> u64 {
+    let app = social_network(true);
+    let mut sim = app.build_sim(seed);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    sim.run_for(SimDur::from_secs(secs));
+    sim.events_processed()
+}
+
+/// Single-thread engine throughput on the canonical cell. The measured
+/// quantity is wall time per 10 simulated seconds; divide the printed
+/// event count by it for events/sec.
+fn bench_engine_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.bench_function("social_vanilla_10s", |b| b.iter(|| run_cell(7, 10)));
+    group.finish();
+}
+
+/// Batch of independent cells through the runner at 1..=N workers — the
+/// harness-level speedup the `--jobs` flag buys on this machine.
+fn bench_runner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner_batch4x5s");
+    group.sample_size(10);
+    let max_jobs = runner::jobs();
+    for jobs in [1, 2, max_jobs] {
+        if jobs == 0 {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                runner::run_cells_with(jobs, vec![1u64, 2, 3, 4], |_, seed| run_cell(seed, 5))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_events, bench_runner_scaling);
+criterion_main!(benches);

@@ -190,12 +190,13 @@ pub fn ceiling_ablation(scale: Scale, seed: u64) -> CeilingAblation {
     }
 }
 
-/// Control-interval sensitivity under burst load.
+/// Control-interval sensitivity under burst load. Each interval is an
+/// independent cell (fresh manager, fresh simulation) and runs on the
+/// configured workers.
 pub fn interval_sensitivity(scale: Scale, seed: u64) -> Vec<(f64, f64)> {
     let app = social_network(true);
     let rates = default_rates(&app);
-    let mut out = Vec::new();
-    for interval_s in [30u64, 60, 120, 300] {
+    crate::runner::run_cells(vec![30u64, 60, 120, 300], |_, interval_s| {
         let mut ursa = prepare_ursa(&app, scale, seed);
         let mut sim = app.build_sim(seed ^ interval_s);
         LoadSpec::Burst.apply(&app, &mut sim, scale.deploy_duration());
@@ -211,15 +212,35 @@ pub fn interval_sensitivity(scale: Scale, seed: u64) -> Vec<(f64, f64)> {
                 collect_samples: false,
             },
         );
-        out.push((interval_s as f64, report.overall_violation_rate()));
-    }
-    out
+        (interval_s as f64, report.overall_violation_rate())
+    })
+}
+
+/// The three ablation families are mutually independent — fan them out as
+/// cells and print in the fixed order.
+enum AblationOut {
+    Split(SplitAblation),
+    Ceiling(CeilingAblation),
+    Intervals(Vec<(f64, f64)>),
 }
 
 /// Runs all ablations and prints/writes the results.
 pub fn run(scale: Scale) {
     println!("== Ablations ==");
-    let split = split_ablation(scale, 0x0AB1);
+    let mut outs = crate::runner::run_cells(vec![0u8, 1, 2], |_, which| match which {
+        0 => AblationOut::Split(split_ablation(scale, 0x0AB1)),
+        1 => AblationOut::Ceiling(ceiling_ablation(scale, 0x0AB2)),
+        _ => AblationOut::Intervals(interval_sensitivity(scale, 0x0AB3)),
+    })
+    .into_iter();
+    let (
+        Some(AblationOut::Split(split)),
+        Some(AblationOut::Ceiling(ceiling)),
+        Some(AblationOut::Intervals(sens)),
+    ) = (outs.next(), outs.next(), outs.next())
+    else {
+        unreachable!("ablation cells return in input order");
+    };
     println!(
         "percentile split: optimized {:.0} cores vs equal split {} cores",
         split.optimized_cores,
@@ -228,7 +249,6 @@ pub fn run(scale: Scale) {
             .map(|c| format!("{c:.0}"))
             .unwrap_or_else(|| "infeasible".into()),
     );
-    let ceiling = ceiling_ablation(scale, 0x0AB2);
     println!(
         "backpressure ceiling: violations {:.2}% ({:.0} cores) with, {:.2}% ({:.0} cores) without",
         100.0 * ceiling.with_ceiling,
@@ -236,7 +256,6 @@ pub fn run(scale: Scale) {
         100.0 * ceiling.without_ceiling,
         ceiling.cores_without,
     );
-    let sens = interval_sensitivity(scale, 0x0AB3);
     let mut table = TsvTable::new("ablation_interval", &["interval_s", "violation_rate"]);
     for (i, v) in &sens {
         table.row(vec![format!("{i:.0}"), format!("{v:.4}")]);

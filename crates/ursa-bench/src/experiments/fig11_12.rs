@@ -53,36 +53,46 @@ pub fn load_specs(app: &App) -> Vec<LoadSpec> {
     }
 }
 
-/// Runs the grid for one app with pre-trained managers.
+/// Enumerates one app's grid cells in paper order:
+/// `(load index, load, system index)`.
+pub fn cell_inputs(app: &App) -> Vec<(usize, LoadSpec, usize)> {
+    let mut inputs = Vec::new();
+    for (li, load) in load_specs(app).iter().enumerate() {
+        for si in 0..System::ALL.len() {
+            inputs.push((li, load.clone(), si));
+        }
+    }
+    inputs
+}
+
+/// Runs the grid for one app with pre-trained managers, fanning cells
+/// across the configured workers ([`crate::runner`]) and collecting them
+/// back in paper order.
 ///
 /// With `--metrics-dir` set, the constant-load row additionally exports
 /// metrics artifacts per system (`fig11_12_<app>_<system>.{prom,csv,html}`),
 /// including each controller's self-profiling series — one directly
 /// comparable dashboard per competing system.
-pub fn run_app(app: &App, managers: &mut PreparedManagers, scale: Scale, seed: u64) -> Vec<Cell> {
+pub fn run_app(app: &App, managers: &PreparedManagers, scale: Scale, seed: u64) -> Vec<Cell> {
     let metrics_dir = crate::logging::metrics_dir();
-    let mut cells = Vec::new();
-    for (li, load) in load_specs(app).iter().enumerate() {
-        for (si, system) in System::ALL.iter().enumerate() {
-            cells.push(run_cell(
-                app,
-                managers,
-                load,
-                *system,
-                scale,
-                seed ^ ((li as u64) << 8) ^ si as u64,
-                metrics_dir.as_deref(),
-            ));
-        }
-    }
-    cells
+    crate::runner::run_cells(cell_inputs(app), |_, (li, load, si)| {
+        run_cell(
+            app,
+            managers,
+            &load,
+            System::ALL[si],
+            scale,
+            seed ^ ((li as u64) << 8) ^ si as u64,
+            metrics_dir.as_deref(),
+        )
+    })
 }
 
-/// Runs one grid cell. With `metrics_dir` set, constant-load cells export
-/// their metrics artifacts.
+/// Runs one grid cell on a pristine clone of the trained managers. With
+/// `metrics_dir` set, constant-load cells export their metrics artifacts.
 fn run_cell(
     app: &App,
-    managers: &mut PreparedManagers,
+    managers: &PreparedManagers,
     load: &LoadSpec,
     system: System,
     scale: Scale,
@@ -97,7 +107,7 @@ fn run_cell(
         )),
         _ => None,
     };
-    let report = managers.deploy_metered(app, system, load, scale, seed, metrics.as_mut());
+    let report = managers.deploy_cell(app, system, load, scale, seed, metrics.as_mut());
     if let (Some(dir), Some(m)) = (metrics_dir, metrics.as_mut()) {
         let stem = format!("fig11_12_{}_{}", app.name, system.label());
         let title = format!(
@@ -123,15 +133,41 @@ fn run_cell(
 }
 
 /// Runs the full grid over all four applications.
+///
+/// Phase 1 trains every app's managers in parallel; phase 2 flattens the
+/// whole grid (app × load × system) into one cell list and fans it across
+/// the workers, so a wide machine saturates even within a single app.
 pub fn run(scale: Scale) -> Vec<Cell> {
     println!("== Figures 11 & 12: SLA violations and CPU allocation ==");
-    let mut cells = Vec::new();
-    for (ai, app) in all_apps().iter().enumerate() {
-        crate::info!("[fig11/12] preparing managers for {} ...", app.name);
-        let mut managers = PreparedManagers::prepare(app, scale, 0x11_12 + ai as u64);
-        crate::info!("[fig11/12] deploying {} ...", app.name);
-        cells.extend(run_app(app, &mut managers, scale, 0xDE_9107 + ai as u64));
+    let apps = all_apps();
+    crate::info!(
+        "[fig11/12] preparing managers for {} apps ({} workers) ...",
+        apps.len(),
+        crate::runner::jobs()
+    );
+    let managers: Vec<PreparedManagers> =
+        crate::runner::run_cells((0..apps.len()).collect(), |_, ai| {
+            PreparedManagers::prepare(&apps[ai], scale, 0x11_12 + ai as u64)
+        });
+    let metrics_dir = crate::logging::metrics_dir();
+    let mut inputs: Vec<(usize, usize, LoadSpec, usize)> = Vec::new();
+    for (ai, app) in apps.iter().enumerate() {
+        for (li, load, si) in cell_inputs(app) {
+            inputs.push((ai, li, load, si));
+        }
     }
+    crate::info!("[fig11/12] deploying {} cells ...", inputs.len());
+    let cells: Vec<Cell> = crate::runner::run_cells(inputs, |_, (ai, li, load, si)| {
+        run_cell(
+            &apps[ai],
+            &managers[ai],
+            &load,
+            System::ALL[si],
+            scale,
+            (0xDE_9107 + ai as u64) ^ ((li as u64) << 8) ^ si as u64,
+            metrics_dir.as_deref(),
+        )
+    });
     let mut table = TsvTable::new(
         "fig11_12",
         &["app", "load", "system", "violation_rate", "avg_cores"],
@@ -213,12 +249,12 @@ mod tests {
     #[test]
     fn constant_cells_export_self_profiles_per_system() {
         let app = social_network(true);
-        let mut managers = PreparedManagers::prepare(&app, Scale::Quick, 0x11FE);
+        let managers = PreparedManagers::prepare(&app, Scale::Quick, 0x11FE);
         let dir = std::env::temp_dir().join(format!("ursa-fig1112-metrics-{}", std::process::id()));
         for (i, system) in System::ALL.iter().enumerate() {
             let cell = run_cell(
                 &app,
-                &mut managers,
+                &managers,
                 &LoadSpec::Constant,
                 *system,
                 Scale::Quick,

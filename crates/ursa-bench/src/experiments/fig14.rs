@@ -42,7 +42,7 @@ pub fn run(scale: Scale) -> AdaptationResult {
     let detect_svc = app.service("object-detect").expect("service exists");
     let sla = app.sla_of(detect_class).expect("sla exists");
     let rates = default_rates(&app);
-    let mut ursa = prepare_ursa(&app, scale, 0x000F_1614);
+    let ursa = prepare_ursa(&app, scale, 0x000F_1614);
 
     let duration = match scale {
         Scale::Quick => SimDur::from_mins(14),
@@ -64,26 +64,36 @@ pub fn run(scale: Scale) -> AdaptationResult {
         v
     };
 
-    // Phase 1: deploy with the original DETR-scale model.
-    let mut sim = app.build_sim(0xBEF0E);
-    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
-    ursa.apply_initial_allocation(&rates, &mut sim);
-    let before = run_deployment(&mut sim, &app.slas, &mut ursa, &deploy_cfg);
+    // The three phases depend on each other (the re-exploration consumes
+    // phase 1's manager, phase 3 deploys the refreshed one), so the whole
+    // experiment is a single cell of the runner — sequential under any
+    // `--jobs`.
+    let (before, stats, after) = crate::runner::run_cells(vec![ursa], |_, mut ursa| {
+        // Phase 1: deploy with the original DETR-scale model.
+        let mut sim = app.build_sim(0xBEF0E);
+        app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+        ursa.apply_initial_allocation(&rates, &mut sim);
+        let before = run_deployment(&mut sim, &app.slas, &mut ursa, &deploy_cfg);
+
+        // Phase 2: the operators deploy MobileNet — the service gets ~4x
+        // lighter. Ursa partially re-explores only that service and
+        // re-solves.
+        let stats = ursa
+            .re_explore(detect_svc.0, MOBILENET_SCALE, &rates)
+            .expect("re-exploration feasible");
+
+        // Phase 3: deploy the updated application with the refreshed model.
+        let mut sim = app.build_sim(0xAF7E5);
+        sim.set_work_scale(detect_svc, MOBILENET_SCALE);
+        app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+        ursa.apply_initial_allocation(&rates, &mut sim);
+        let after = run_deployment(&mut sim, &app.slas, &mut ursa, &deploy_cfg);
+        (before, stats, after)
+    })
+    .pop()
+    .expect("single cell");
     let violation_before = before.class_violation_rate(detect_class);
     let p99_before = windows_p99(&before);
-
-    // Phase 2: the operators deploy MobileNet — the service gets ~4x
-    // lighter. Ursa partially re-explores only that service and re-solves.
-    let stats = ursa
-        .re_explore(detect_svc.0, MOBILENET_SCALE, &rates)
-        .expect("re-exploration feasible");
-
-    // Phase 3: deploy the updated application with the refreshed model.
-    let mut sim = app.build_sim(0xAF7E5);
-    sim.set_work_scale(detect_svc, MOBILENET_SCALE);
-    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
-    ursa.apply_initial_allocation(&rates, &mut sim);
-    let after = run_deployment(&mut sim, &app.slas, &mut ursa, &deploy_cfg);
     let violation_after = after.class_violation_rate(detect_class);
     let p99_after = windows_p99(&after);
 

@@ -167,23 +167,28 @@ pub fn run(scale: Scale) -> Vec<Heatmap> {
     // 1% head sampling is plenty for blame over a multi-minute run and
     // keeps the Chrome trace loadable.
     let sample_rate = if trace_dir.is_some() { 0.01 } else { 0.0 };
-    for (i, edge) in [EdgeKind::NestedRpc, EdgeKind::EventDrivenRpc, EdgeKind::Mq]
-        .into_iter()
-        .enumerate()
-    {
-        // The chains run unmanaged (fixed allocation), so the collector is
-        // labeled "static" and carries no SLAs.
-        let mut metrics = metrics_dir
-            .as_ref()
-            .map(|_| SimMetrics::for_topology("static", &study_chain(edge), &[]));
-        let (hm, traces) = run_chain_instrumented(
-            edge,
-            minutes,
-            anomaly.clone(),
-            0xF162 + i as u64,
-            sample_rate,
-            metrics.as_mut(),
-        );
+    // The three chains are independent cells: simulate in parallel, then
+    // write artifacts and print in chain order.
+    let chains = crate::runner::run_cells(
+        vec![EdgeKind::NestedRpc, EdgeKind::EventDrivenRpc, EdgeKind::Mq],
+        |i, edge| {
+            // The chains run unmanaged (fixed allocation), so the collector
+            // is labeled "static" and carries no SLAs.
+            let mut metrics = metrics_dir
+                .as_ref()
+                .map(|_| SimMetrics::for_topology("static", &study_chain(edge), &[]));
+            let (hm, traces) = run_chain_instrumented(
+                edge,
+                minutes,
+                anomaly.clone(),
+                0xF162 + i as u64,
+                sample_rate,
+                metrics.as_mut(),
+            );
+            (edge, hm, traces, metrics)
+        },
+    );
+    for (edge, hm, traces, mut metrics) in chains {
         if let Some(dir) = &trace_dir {
             let names: Vec<String> = study_chain(edge)
                 .services()

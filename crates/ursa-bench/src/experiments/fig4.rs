@@ -21,12 +21,17 @@ pub fn profile_named(service: &str, scale: Scale, seed: u64) -> BackpressureProf
     profile_service(&profile, &scale.profiling(), seed)
 }
 
-/// Runs the experiment for the two paper services.
+/// Runs the experiment for the two paper services. The two profiling
+/// sweeps are independent cells and run in parallel; printing and TSV
+/// output stay in paper order.
 pub fn run(scale: Scale) -> Vec<BackpressureProfile> {
     println!("== Figure 4: backpressure-free threshold profiling ==");
+    let services = ["post-store", "timeline-read"];
+    let profiles = crate::runner::run_cells(services.to_vec(), |i, service| {
+        profile_named(service, scale, 0xF164 + i as u64)
+    });
     let mut out = Vec::new();
-    for (i, service) in ["post-store", "timeline-read"].iter().enumerate() {
-        let bp = profile_named(service, scale, 0xF164 + i as u64);
+    for (service, bp) in services.iter().zip(profiles) {
         let mut table = TsvTable::new(
             &format!("fig4_{service}"),
             &[

@@ -152,24 +152,27 @@ pub fn run_app(app: &App, class_filter: &[&str], scale: Scale, seed: u64) -> Vec
     }
 }
 
-/// Runs both figures and writes the series.
+/// Runs both figures and writes the series. The two apps are independent
+/// cells (each writes only its own per-app artifacts), so they run in
+/// parallel; output stays in figure order.
 pub fn run(scale: Scale) -> Vec<AccuracySeries> {
     println!("== Figures 9 & 10: estimated vs measured latency ==");
     let mut all = Vec::new();
-    let social = social_network(false);
-    let fig9 = run_app(
-        &social,
-        &[
-            "upload-post",
-            "update-timeline",
-            "object-detect",
-            "sentiment-analysis",
-        ],
-        scale,
-        0xF169,
-    );
-    let video = video_pipeline(0.5);
-    let fig10 = run_app(&video, &[], scale, 0x000F_1610);
+    let fig9_filter = [
+        "upload-post",
+        "update-timeline",
+        "object-detect",
+        "sentiment-analysis",
+    ];
+    let cells: Vec<(App, Vec<&str>, u64)> = vec![
+        (social_network(false), fig9_filter.to_vec(), 0xF169),
+        (video_pipeline(0.5), Vec::new(), 0x000F_1610),
+    ];
+    let mut results = crate::runner::run_cells(cells, |_, (app, filter, seed)| {
+        run_app(&app, &filter, scale, seed)
+    });
+    let fig10 = results.pop().expect("video series");
+    let fig9 = results.pop().expect("social series");
     for (fig, series) in [("fig9", fig9), ("fig10", fig10)] {
         for s in series {
             let mut table = TsvTable::new(

@@ -59,9 +59,11 @@ pub fn run(scale: Scale) -> Vec<OverheadRow> {
             "time_reduction",
         ],
     );
-    let mut rows = Vec::new();
-    for (i, app) in apps.iter().enumerate() {
-        let row = measure_app(app, scale, 0x7AB5 + i as u64);
+    // One independent cell per application.
+    let rows = crate::runner::run_cells(apps.to_vec(), |i, app| {
+        measure_app(&app, scale, 0x7AB5 + i as u64)
+    });
+    for row in &rows {
         table.row(vec![
             row.app.clone(),
             row.ursa_samples.to_string(),
@@ -71,7 +73,6 @@ pub fn run(scale: Scale) -> Vec<OverheadRow> {
             format!("{:.1}x", row.ml_samples as f64 / row.ursa_samples as f64),
             format!("{:.1}x", row.ml_hours / row.ursa_hours),
         ]);
-        rows.push(row);
     }
     print!("{}", table.render());
     println!("(ML protocol: 10 000 samples at 1/min per Sinan's recipe; Ursa measured on this substrate.)");

@@ -14,12 +14,22 @@
 //! The paper's ordering to reproduce: autoscaling < Ursa ≪ Firm ≪ Sinan on
 //! deploy; Ursa's one-shot update ≪ Firm's full adaptation; Sinan retraining
 //! is minutes.
+//!
+//! ## Artifacts
+//!
+//! Wall-clock timings vary run to run (machine, load, thermal state), so
+//! committing them produced permanent git drift — every `cargo test`
+//! rewrote `table6.tsv` with new numbers. The artifacts are therefore
+//! split: the committed `table6.tsv` holds *deterministic decision/update
+//! work counts* per system (exactly reproducible, diffed by a test), and
+//! the measured milliseconds go to `table6_wall.tsv`, which is gitignored.
 
 use crate::{
     default_rates, prepare_firm, prepare_sinan, prepare_ursa, results_dir, Scale, TsvTable,
 };
-use ursa_apps::social_network;
-use ursa_baselines::{Autoscaler, Sinan};
+use ursa_apps::{social_network, App};
+use ursa_baselines::{Autoscaler, Dataset, Firm, Sinan};
+use ursa_core::manager::Ursa;
 use ursa_sim::control::ResourceManager;
 use ursa_sim::time::SimDur;
 use ursa_sim::workload::RateFn;
@@ -36,6 +46,11 @@ pub struct ControlPlaneLatency {
     pub update_ms: Option<f64>,
 }
 
+/// Sinan retraining epochs used for the update measurement.
+const SINAN_RETRAIN_EPOCHS: usize = 4;
+/// Firm training iterations averaged for the update measurement.
+const FIRM_TRAIN_ITERS: usize = 5;
+
 /// Times `iters` on_tick calls against a fixed snapshot.
 fn time_ticks(
     manager: &mut dyn ResourceManager,
@@ -48,6 +63,37 @@ fn time_ticks(
         manager.on_tick(snapshot, sim);
     }
     t0.elapsed().as_nanos() as f64 / 1e6 / iters as f64
+}
+
+/// The deterministic work counts behind each Table VI row: how many unit
+/// operations one scaling decision and one model update cost per system.
+/// These depend only on the topology and the training configuration, so
+/// the committed `table6.tsv` built from them reproduces byte-identically.
+pub fn ops_table(app: &App, sinan: &Sinan, dataset: &Dataset) -> TsvTable {
+    let n = app.topology.num_services();
+    let mut table = TsvTable::new("table6", &["system", "deploy_ops", "update_ops"]);
+    // Ursa: one threshold check per service; update = one MIP solve.
+    table.row(vec!["ursa".into(), n.to_string(), "1".into()]);
+    // Sinan: a model sweep over candidate allocations; update = full
+    // retraining over the dataset.
+    table.row(vec![
+        "sinan".into(),
+        sinan.candidates_per_tick.to_string(),
+        (dataset.samples.len() * SINAN_RETRAIN_EPOCHS).to_string(),
+    ]);
+    // Firm: one per-service inference; update = one training step per
+    // service per iteration.
+    table.row(vec!["firm".into(), n.to_string(), n.to_string()]);
+    // Autoscaling: one threshold comparison per service; nothing to update.
+    table.row(vec!["autoscaling".into(), n.to_string(), "n/a".into()]);
+    table
+}
+
+/// The trained managers (phase 1, parallel).
+enum Prepared {
+    Ursa(Box<Ursa>),
+    Sinan(Box<Sinan>, Dataset),
+    Firm(Box<Firm>),
 }
 
 /// Runs the measurement on the social network.
@@ -67,11 +113,31 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
         Scale::Full => 100,
     };
 
+    // Phase 1: train the three learned managers in parallel (independent
+    // cells). Phase 2 below stays sequential — interleaving wall-clock
+    // timing runs across threads would contaminate the measurements.
+    let mut prepared = crate::runner::run_cells(vec![0u8, 1, 2], |_, which| match which {
+        0 => Prepared::Ursa(Box::new(prepare_ursa(&app, scale, 0x0007_AB60))),
+        1 => {
+            let (sinan, dataset) = prepare_sinan(&app, scale, 0x0007_AB61);
+            Prepared::Sinan(Box::new(sinan), dataset)
+        }
+        _ => Prepared::Firm(Box::new(prepare_firm(&app, scale, 0x0007_AB62))),
+    })
+    .into_iter();
+    let (
+        Some(Prepared::Ursa(mut ursa)),
+        Some(Prepared::Sinan(mut sinan, dataset)),
+        Some(Prepared::Firm(mut firm)),
+    ) = (prepared.next(), prepared.next(), prepared.next())
+    else {
+        unreachable!("cells return in input order");
+    };
+
     let mut rows = Vec::new();
 
     // Ursa.
-    let mut ursa = prepare_ursa(&app, scale, 0x0007_AB60);
-    let deploy = time_ticks(&mut ursa, &snapshot, &mut sim, iters);
+    let deploy = time_ticks(ursa.as_mut(), &snapshot, &mut sim, iters);
     let t0 = std::time::Instant::now();
     ursa.recalculate(&rates).expect("recalc");
     let update = t0.elapsed().as_nanos() as f64 / 1e6;
@@ -82,10 +148,9 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
     });
 
     // Sinan: deploy = model sweep; update = full retraining.
-    let (mut sinan, dataset) = prepare_sinan(&app, scale, 0x0007_AB61);
-    let deploy = time_ticks(&mut sinan, &snapshot, &mut sim, iters);
+    let deploy = time_ticks(sinan.as_mut(), &snapshot, &mut sim, iters);
     let t0 = std::time::Instant::now();
-    let retrained = Sinan::train(&dataset, &app.slas, 4, 99);
+    let retrained = Sinan::train(&dataset, &app.slas, SINAN_RETRAIN_EPOCHS, 99);
     let update = t0.elapsed().as_nanos() as f64 / 1e6;
     let _ = retrained;
     rows.push(ControlPlaneLatency {
@@ -97,15 +162,13 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
     // Firm: deploy = greedy inference; update = one training iteration
     // (the paper reports per-iteration cost and notes full adaptation
     // needs thousands of iterations).
-    let mut firm = prepare_firm(&app, scale, 0x0007_AB62);
-    let deploy = time_ticks(&mut firm, &snapshot, &mut sim, iters);
+    let deploy = time_ticks(firm.as_mut(), &snapshot, &mut sim, iters);
     firm.training = true;
     let t0 = std::time::Instant::now();
-    let train_iters = 5;
-    for _ in 0..train_iters {
+    for _ in 0..FIRM_TRAIN_ITERS {
         firm.on_tick(&snapshot, &mut sim);
     }
-    let update = t0.elapsed().as_nanos() as f64 / 1e6 / train_iters as f64;
+    let update = t0.elapsed().as_nanos() as f64 / 1e6 / FIRM_TRAIN_ITERS as f64;
     rows.push(ControlPlaneLatency {
         system: "firm".into(),
         deploy_ms: deploy,
@@ -121,9 +184,15 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
         update_ms: None,
     });
 
-    let mut table = TsvTable::new("table6", &["system", "deploy_ms", "update_ms"]);
+    // Committed artifact: deterministic work counts only.
+    let ops = ops_table(&app, &sinan, &dataset);
+    let _ = ops.write_tsv(&results_dir().join("table6"));
+
+    // Measured wall-clock: printed, and written to the gitignored
+    // `table6_wall.tsv`.
+    let mut wall = TsvTable::new("table6_wall", &["system", "deploy_ms", "update_ms"]);
     for r in &rows {
-        table.row(vec![
+        wall.row(vec![
             r.system.clone(),
             format!("{:.4}", r.deploy_ms),
             r.update_ms
@@ -131,8 +200,8 @@ pub fn run(scale: Scale) -> Vec<ControlPlaneLatency> {
                 .unwrap_or_else(|| "n/a".into()),
         ]);
     }
-    print!("{}", table.render());
-    let _ = table.write_tsv(&results_dir().join("table6"));
+    print!("{}", wall.render());
+    let _ = wall.write_tsv(&results_dir().join("table6"));
     rows
 }
 
@@ -172,6 +241,23 @@ mod tests {
             "ursa update {} vs sinan retrain {}",
             ursa.update_ms.unwrap(),
             sinan.update_ms.unwrap()
+        );
+    }
+
+    /// Regenerating the committed `table6.tsv` must be byte-identical —
+    /// the drift fix. Rebuilds the deterministic rows from a fresh Quick
+    /// preparation (same seed as `run`) and diffs against the artifact.
+    #[test]
+    fn committed_table6_artifact_is_reproducible() {
+        let app = social_network(false);
+        let (sinan, dataset) = prepare_sinan(&app, Scale::Quick, 0x0007_AB61);
+        let regenerated = ops_table(&app, &sinan, &dataset).to_tsv();
+        let path = results_dir().join("table6").join("table6.tsv");
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        assert_eq!(
+            regenerated, committed,
+            "table6.tsv drifted — regeneration is no longer deterministic"
         );
     }
 }

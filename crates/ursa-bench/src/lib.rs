@@ -14,6 +14,8 @@
 
 pub mod experiments;
 pub mod logging;
+pub mod perf;
+pub mod runner;
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -262,6 +264,11 @@ impl System {
 }
 
 /// Pre-trained managers for one application, reused across load scenarios.
+///
+/// Cloning is cheap relative to a deployment and gives each grid cell its
+/// own pristine copy of the trained state — the mechanism that makes cells
+/// independent of execution order under `--jobs N`.
+#[derive(Debug, Clone)]
 pub struct PreparedManagers {
     /// Ursa after the offline phase.
     pub ursa: Ursa,
@@ -296,6 +303,24 @@ impl PreparedManagers {
         seed: u64,
     ) -> DeploymentReport {
         self.deploy_metered(app, system, load, scale, seed, None)
+    }
+
+    /// Deploys on a pristine clone of the trained managers, leaving `self`
+    /// untouched. Every cell sees identical manager state regardless of
+    /// which thread runs it or in what order — the deployment then depends
+    /// only on `(app, system, load, scale, seed)`, which is what makes
+    /// `--jobs N` byte-identical to `--jobs 1`.
+    pub fn deploy_cell(
+        &self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        metrics: Option<&mut SimMetrics>,
+    ) -> DeploymentReport {
+        self.clone()
+            .deploy_metered(app, system, load, scale, seed, metrics)
     }
 
     /// [`deploy`](Self::deploy) with an optional metrics collector scraped
@@ -400,6 +425,17 @@ impl TsvTable {
         out
     }
 
+    /// Renders the TSV file content (exactly what [`write_tsv`](Self::write_tsv)
+    /// writes) — handy for diffing against a committed artifact.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+
     /// Writes the table as TSV under `dir`, returning the path.
     ///
     /// # Errors
@@ -409,10 +445,7 @@ impl TsvTable {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.tsv", self.name));
         let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "{}", self.header.join("\t"))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join("\t"))?;
-        }
+        f.write_all(self.to_tsv().as_bytes())?;
         Ok(path)
     }
 }

@@ -1,17 +1,23 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p ursa-bench -- --exp all [--full]
+//! cargo run --release -p ursa-bench -- --exp all [--full] [--jobs N]
 //! cargo run --release -p ursa-bench -- --exp fig2|fig4|table5|fig9|fig11|fig13|table6|fig14
 //! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
 //! cargo run --release -p ursa-bench -- --exp fig9 --metrics-dir metrics/
+//! cargo run --release -p ursa-bench -- perf [--out BENCH_sim.json] [--check baseline.json]
 //! ```
 
+use std::path::PathBuf;
+
 use ursa_bench::logging::{self, Level};
-use ursa_bench::{experiments, info, warn, Scale};
+use ursa_bench::{experiments, info, perf, runner, warn, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("perf") {
+        std::process::exit(perf_main(&args[2..]));
+    }
     let mut exp = "all".to_string();
     let mut scale = Scale::Quick;
     let mut i = 1;
@@ -25,6 +31,14 @@ fn main() {
             "--quick" => scale = Scale::Quick,
             "--quiet" | "-q" => logging::set_level(Level::Quiet),
             "--verbose" | "-v" => logging::set_level(Level::Debug),
+            "--jobs" | "-j" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                runner::set_jobs(n.max(1));
+            }
             "--trace-dir" => {
                 i += 1;
                 let dir = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -46,6 +60,7 @@ fn main() {
         i += 1;
     }
     let t0 = std::time::Instant::now();
+    info!("[runner] {} worker(s)", runner::jobs());
     let run_one = |name: &str| match name {
         "fig2" => {
             experiments::fig2::run(scale);
@@ -95,10 +110,44 @@ fn main() {
     );
 }
 
+/// `ursa-bench perf [--out PATH] [--check BASELINE] [--jobs N]`
+fn perf_main(args: &[String]) -> i32 {
+    let mut out = PathBuf::from("BENCH_sim.json");
+    let mut check: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).map(PathBuf::from).unwrap_or_else(|| usage());
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                runner::set_jobs(n.max(1));
+            }
+            other => {
+                warn!("unknown perf argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    perf::run(&out, check.as_deref())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation] \
-         [--quick|--full] [--quiet|--verbose] [--trace-dir DIR] [--metrics-dir DIR]"
+         [--quick|--full] [--jobs N] [--quiet|--verbose] [--trace-dir DIR] [--metrics-dir DIR]\n\
+         \x20      ursa-bench perf [--out BENCH_sim.json] [--check baseline.json] [--jobs N]"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,194 @@
+//! `perf` subcommand — engine-throughput measurement with a tracked
+//! baseline.
+//!
+//! Runs one canonical cell (the vanilla social network under constant
+//! load, a fixed stretch of simulated time) to measure single-thread
+//! events/sec, then times an 8-cell batch under 1 worker and under the
+//! configured `--jobs` to report the harness speedup. Results go to
+//! `BENCH_sim.json`; `--check <baseline.json>` compares events/sec
+//! against a committed baseline and fails on a >25 % regression, which
+//! is what CI runs.
+
+use std::path::Path;
+use std::time::Instant;
+
+use ursa_apps::social_network;
+use ursa_sim::time::SimDur;
+use ursa_sim::workload::RateFn;
+
+use crate::runner;
+
+/// Simulated seconds per canonical cell.
+const SIM_SECS: u64 = 30;
+/// Cells in the speedup batch.
+const BATCH_CELLS: u64 = 8;
+/// Allowed events/sec regression vs the baseline before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Runs the canonical cell and returns the number of engine events.
+fn canonical_cell(seed: u64) -> u64 {
+    let app = social_network(true);
+    let mut sim = app.build_sim(seed);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    sim.run_for(SimDur::from_secs(SIM_SECS));
+    sim.events_processed()
+}
+
+/// One perf measurement.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Engine events in the canonical cell.
+    pub events: u64,
+    /// Single-thread engine throughput.
+    pub events_per_sec: f64,
+    /// Wall-clock of the canonical cell, milliseconds.
+    pub cell_wall_ms: f64,
+    /// Workers used for the parallel batch.
+    pub jobs: usize,
+    /// Wall-clock of the batch with 1 worker, milliseconds.
+    pub batch_wall_jobs1_ms: f64,
+    /// Wall-clock of the batch with `jobs` workers, milliseconds.
+    pub batch_wall_jobsn_ms: f64,
+    /// Harness speedup: batch wall-clock ratio (1 worker / N workers).
+    pub speedup: f64,
+}
+
+impl PerfReport {
+    /// Renders the report as JSON (stable key order, no dependencies).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"ursa-bench-perf/v1\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+            self.events,
+            self.events_per_sec,
+            self.cell_wall_ms,
+            self.jobs,
+            self.batch_wall_jobs1_ms,
+            self.batch_wall_jobsn_ms,
+            self.speedup,
+        )
+    }
+}
+
+/// Measures engine throughput and harness speedup.
+pub fn measure() -> PerfReport {
+    // Warm-up (page in code and allocator state).
+    canonical_cell(1);
+
+    let t = Instant::now();
+    let events = canonical_cell(0xBE7C);
+    let cell_wall = t.elapsed();
+    let events_per_sec = events as f64 / cell_wall.as_secs_f64().max(1e-9);
+
+    let seeds: Vec<u64> = (0..BATCH_CELLS).map(|i| 0xBE7C ^ (i << 16)).collect();
+    let t = Instant::now();
+    let seq = runner::run_cells_with(1, seeds.clone(), |_, s| canonical_cell(s));
+    let wall1 = t.elapsed();
+    let jobs = runner::jobs();
+    let t = Instant::now();
+    let par = runner::run_cells_with(jobs, seeds, |_, s| canonical_cell(s));
+    let walln = t.elapsed();
+    assert_eq!(seq, par, "parallel batch must reproduce the sequential one");
+
+    PerfReport {
+        events,
+        events_per_sec,
+        cell_wall_ms: cell_wall.as_secs_f64() * 1e3,
+        jobs,
+        batch_wall_jobs1_ms: wall1.as_secs_f64() * 1e3,
+        batch_wall_jobsn_ms: walln.as_secs_f64() * 1e3,
+        speedup: wall1.as_secs_f64() / walln.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Extracts a numeric field from the hand-rolled JSON format above.
+pub fn json_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Runs the measurement, writes `BENCH_sim.json`, optionally checks it
+/// against a baseline. Returns the process exit code (0 = ok, 1 =
+/// regression, 2 = bad baseline).
+pub fn run(out: &Path, check: Option<&Path>) -> i32 {
+    let report = measure();
+    let json = report.to_json();
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", out.display());
+            return 2;
+        }
+    }
+    print!("{json}");
+    let Some(baseline_path) = check else { return 0 };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return 2;
+        }
+    };
+    let Some(base_eps) = json_field(&baseline, "events_per_sec") else {
+        eprintln!(
+            "error: baseline {} has no events_per_sec",
+            baseline_path.display()
+        );
+        return 2;
+    };
+    let floor = base_eps * (1.0 - REGRESSION_TOLERANCE);
+    if report.events_per_sec < floor {
+        eprintln!(
+            "PERF REGRESSION: events/sec {:.0} is below {:.0} ({}% under baseline {:.0})",
+            report.events_per_sec,
+            floor,
+            (100.0 * (1.0 - report.events_per_sec / base_eps)).round(),
+            base_eps,
+        );
+        return 1;
+    }
+    println!(
+        "perf check ok: events/sec {:.0} vs baseline {:.0} (floor {:.0})",
+        report.events_per_sec, base_eps, floor
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_cell_is_deterministic() {
+        assert_eq!(canonical_cell(42), canonical_cell(42));
+        assert!(canonical_cell(42) > 0);
+    }
+
+    #[test]
+    fn json_roundtrip_fields() {
+        let r = PerfReport {
+            events: 1234,
+            events_per_sec: 56789.5,
+            cell_wall_ms: 21.7,
+            jobs: 4,
+            batch_wall_jobs1_ms: 180.0,
+            batch_wall_jobsn_ms: 60.0,
+            speedup: 3.0,
+        };
+        let j = r.to_json();
+        assert_eq!(json_field(&j, "events_per_sec"), Some(56789.5));
+        assert_eq!(json_field(&j, "speedup"), Some(3.0));
+        assert_eq!(json_field(&j, "events"), Some(1234.0));
+        assert_eq!(json_field(&j, "missing"), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Parallel cell runner.
+//!
+//! Every experiment in the harness is a sweep over independent *cells*
+//! (app × system × load × seed). Each cell owns its seeded RNG and its
+//! own metrics/trace sinks, so cells can run on any thread in any order —
+//! as long as results are collected back in cell order, every TSV, trace,
+//! and metrics artifact is byte-identical to a sequential run.
+//!
+//! [`run_cells`] is that contract: it maps a closure over a list of cell
+//! inputs on a scoped thread pool and returns the outputs in input order.
+//! The pool size comes from the global jobs setting (`--jobs N` on the
+//! CLI; defaults to the number of available cores). With one job the
+//! items are mapped inline with no thread machinery at all, so `--jobs 1`
+//! is exactly the historical sequential harness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global worker count. 0 = unset (use available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the global worker count (`--jobs N`). 0 resets to the default.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// Effective worker count: the `--jobs` setting, or the number of
+/// available cores when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Runs `f` over `items` on the globally configured number of workers and
+/// returns the results in input order.
+pub fn run_cells<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    run_cells_with(jobs(), items, f)
+}
+
+/// Runs `f` over `items` on `jobs` workers and returns the results in
+/// input order. `jobs <= 1` maps sequentially on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the cell closure panicking fails
+/// the whole sweep, exactly as it would sequentially).
+pub fn run_cells_with<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item claimed once");
+                let out = f(i, item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("cell completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let seq = run_cells_with(1, items.clone(), |i, x| (i, x * x));
+        let par = run_cells_with(8, items, |i, x| (i, x * x));
+        assert_eq!(seq, par);
+        assert_eq!(par[10], (10, 100));
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_cells_with(4, empty, |_, x| x).is_empty());
+        assert_eq!(run_cells_with(4, vec![7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = run_cells_with(64, vec![1u64, 2, 3], |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn jobs_default_is_positive() {
+        assert!(jobs() >= 1);
+    }
+}

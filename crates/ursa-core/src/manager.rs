@@ -51,7 +51,7 @@ pub struct ReexplorationStats {
 }
 
 /// The Ursa resource manager.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ursa {
     topology: Topology,
     slas: Vec<Sla>,

@@ -23,13 +23,14 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use ursa_stats::dist::{Distribution, Exponential};
 use ursa_stats::rng::Rng;
 
 use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::time::{SimDur, SimTime};
-use crate::topology::{CallMode, CallNode, ClassId, EdgeKind, ServiceId, Topology};
+use crate::topology::{CallMode, ClassId, EdgeKind, FlatClass, ServiceId, Topology};
 use crate::trace::{Trace, Tracer};
 use crate::workload::RateFn;
 
@@ -198,61 +199,27 @@ struct ServiceRt {
     daemons: usize,
     daemon_cap: usize,
     replicas: Vec<Option<Replica>>,
+    /// Indices of live (non-draining) replicas, ascending — maintained on
+    /// every liveness change so the per-arrival routing never re-scans (or
+    /// re-allocates) the replica array.
+    live: Vec<u32>,
     rr: usize,
     mq: PrioQueue,
 }
 
 impl ServiceRt {
-    fn live_indices(&self) -> Vec<usize> {
-        self.replicas
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| match r {
-                Some(rep) if !rep.draining => Some(i),
-                _ => None,
-            })
-            .collect()
+    /// Recomputes the cached live list (cold path: scaling operations).
+    fn rebuild_live(&mut self) {
+        self.live.clear();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if matches!(r, Some(rep) if !rep.draining) {
+                self.live.push(i as u32);
+            }
+        }
     }
     fn live_count(&self) -> usize {
-        self.replicas
-            .iter()
-            .filter(|r| matches!(r, Some(rep) if !rep.draining))
-            .count()
+        self.live.len()
     }
-}
-
-/// Flattened call-tree node.
-#[derive(Debug, Clone)]
-struct NodeT {
-    service: usize,
-    parent: Option<(u16, EdgeKind)>,
-    children: Vec<(u16, EdgeKind)>,
-    mode: CallMode,
-    pre: crate::topology::WorkDist,
-    post: crate::topology::WorkDist,
-}
-
-#[derive(Debug, Clone)]
-struct ClassT {
-    nodes: Vec<NodeT>,
-    prio: usize,
-}
-
-fn flatten(root: &CallNode, out: &mut Vec<NodeT>, parent: Option<(u16, EdgeKind)>) -> u16 {
-    let idx = out.len() as u16;
-    out.push(NodeT {
-        service: root.service.0,
-        parent,
-        children: Vec::new(),
-        mode: root.mode,
-        pre: root.pre_work.clone(),
-        post: root.post_work.clone(),
-    });
-    for (edge, child) in &root.children {
-        let cidx = flatten(child, out, Some((idx, *edge)));
-        out[idx as usize].children.push((cidx, *edge));
-    }
-    idx
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -361,15 +328,25 @@ impl Default for SimConfig {
 #[derive(Debug)]
 pub struct Simulation {
     topology: Topology,
-    templates: Vec<ClassT>,
+    /// Flattened call trees, shared with the topology (and every other
+    /// simulation of it) — never cloned per request or per simulation.
+    templates: Arc<Vec<FlatClass>>,
     services: Vec<ServiceRt>,
     names: Vec<String>,
     slots: Vec<Option<RequestRt>>,
     gens: Vec<u32>,
     free: Vec<u32>,
+    /// Recycled per-request hop-state buffers: completed requests return
+    /// their `Vec<NodeRt>` here instead of freeing it, so steady-state
+    /// injection allocates nothing.
+    node_pool: Vec<Vec<NodeRt>>,
+    /// Scratch buffer for processor-sharing completions (reused across
+    /// `ps_check` calls).
+    ps_scratch: Vec<Token>,
     telemetry: Telemetry,
     events: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
+    events_processed: u64,
     now: SimTime,
     rng: Rng,
     sources: Vec<Source>,
@@ -391,18 +368,7 @@ impl Simulation {
             .map(|c| c.priority.0 as usize + 1)
             .max()
             .unwrap_or(1);
-        let templates: Vec<ClassT> = topology
-            .classes()
-            .iter()
-            .map(|c| {
-                let mut nodes = Vec::new();
-                flatten(&c.root, &mut nodes, None);
-                ClassT {
-                    nodes,
-                    prio: c.priority.0 as usize,
-                }
-            })
-            .collect();
+        let templates = topology.flat_classes();
         let services: Vec<ServiceRt> = topology
             .services()
             .iter()
@@ -425,6 +391,7 @@ impl Simulation {
                     daemons: s.daemon_workers,
                     daemon_cap: s.daemon_queue_cap,
                     replicas,
+                    live: (0..s.initial_replicas as u32).collect(),
                     rr: 0,
                     mq: PrioQueue::new(prio_levels),
                 }
@@ -448,9 +415,12 @@ impl Simulation {
             slots: Vec::new(),
             gens: Vec::new(),
             free: Vec::new(),
+            node_pool: Vec::new(),
+            ps_scratch: Vec::new(),
             telemetry,
             events: BinaryHeap::new(),
             seq: 0,
+            events_processed: 0,
             now: SimTime::ZERO,
             rng,
             sources,
@@ -511,6 +481,13 @@ impl Simulation {
         self.in_flight
     }
 
+    /// Total discrete events dispatched since construction — the engine's
+    /// throughput denominator (`events_processed() / wall_seconds` =
+    /// events/sec for a run).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Sets (or replaces) the arrival process of a request class.
     ///
     /// Arrivals follow a Poisson process whose instantaneous rate is
@@ -545,9 +522,10 @@ impl Simulation {
     /// Injects one request of `class` right now (root hop arrives after the
     /// configured network delay).
     pub fn inject(&mut self, class: ClassId) {
-        let template = &self.templates[class.0];
-        let num_nodes = template.nodes.len();
-        let nodes = vec![NodeRt::fresh(); num_nodes];
+        let num_nodes = self.templates[class.0].nodes.len();
+        let mut nodes = self.node_pool.pop().unwrap_or_default();
+        nodes.clear();
+        nodes.resize(num_nodes, NodeRt::fresh());
         let traced = match &mut self.tracer {
             Some(t) => t.wants_sample(),
             None => false,
@@ -617,6 +595,7 @@ impl Simulation {
             }
             let Reverse(entry) = self.events.pop().expect("peeked");
             self.now = entry.at;
+            self.events_processed += 1;
             self.dispatch(entry.kind);
         }
         if t > self.now {
@@ -720,15 +699,14 @@ impl Simulation {
     }
 
     fn pick_replica(&mut self, s: usize) -> usize {
-        let live = self.services[s].live_indices();
+        let svc = &mut self.services[s];
         assert!(
-            !live.is_empty(),
+            !svc.live.is_empty(),
             "service {} has no live replicas",
             self.names[s]
         );
-        let svc = &mut self.services[s];
         svc.rr = svc.rr.wrapping_add(1);
-        live[svc.rr % live.len()]
+        svc.live[svc.rr % svc.live.len()] as usize
     }
 
     /// Assigns shared-queue (MQ) messages to consumers, least-busy replica
@@ -738,13 +716,13 @@ impl Simulation {
     fn dispatch_shared(&mut self, s: usize) {
         let mut popped = false;
         while self.services[s].mq.len() > 0 {
-            let target = self.services[s]
-                .replicas
+            let svc = &self.services[s];
+            let target = svc
+                .live
                 .iter()
-                .enumerate()
-                .filter_map(|(i, rep)| match rep {
-                    Some(rep) if !rep.draining && rep.busy_workers < rep.workers => {
-                        Some((i, rep.busy_workers))
+                .filter_map(|&i| match &svc.replicas[i as usize] {
+                    Some(rep) if rep.busy_workers < rep.workers => {
+                        Some((i as usize, rep.busy_workers))
                     }
                     _ => None,
                 })
@@ -896,21 +874,23 @@ impl Simulation {
             }
         }
         self.ps_advance(s, r);
-        let finished: Vec<Token> = {
+        // Collect completions into the reusable scratch buffer (taken out of
+        // `self` for the duration — nothing below re-enters `ps_check`).
+        let mut finished = std::mem::take(&mut self.ps_scratch);
+        finished.clear();
+        {
             let rep = self.services[s].replicas[r].as_mut().expect("live replica");
-            let mut done = Vec::new();
             rep.active.retain(|j| {
                 if j.remaining <= WORK_EPS {
-                    done.push(j.token);
+                    finished.push(j.token);
                     false
                 } else {
                     true
                 }
             });
-            done
-        };
+        }
         self.ps_reschedule(s, r);
-        for token in finished {
+        for &token in &finished {
             let phase = self.req(token).nodes[token.node as usize].phase;
             match phase {
                 Phase::Pre => self.on_pre_done(token),
@@ -918,6 +898,8 @@ impl Simulation {
                 other => unreachable!("PS completion in phase {other:?}"),
             }
         }
+        finished.clear();
+        self.ps_scratch = finished;
     }
 
     // ---- Request state machine -------------------------------------------
@@ -1213,9 +1195,10 @@ impl Simulation {
             req.responded as usize == req.nodes.len()
         };
         if done {
-            let req = self.slots[token.slot as usize]
+            let mut req = self.slots[token.slot as usize]
                 .take()
                 .expect("live request");
+            self.node_pool.push(std::mem::take(&mut req.nodes));
             self.gens[token.slot as usize] = self.gens[token.slot as usize].wrapping_add(1);
             self.free.push(token.slot);
             self.in_flight -= 1;
@@ -1295,6 +1278,7 @@ impl Simulation {
                     svc.replicas.push(Some(rep));
                 }
             }
+            self.services[s].rebuild_live();
             live += 1;
         }
         // Scale in: drain highest-index live replicas.
@@ -1309,6 +1293,7 @@ impl Simulation {
                 rep.draining = true;
                 rep.queue.drain_all()
             };
+            self.services[s].rebuild_live();
             for (prio, token) in moved {
                 let dst = self.pick_replica(s);
                 self.services[s].replicas[dst]
@@ -1322,7 +1307,7 @@ impl Simulation {
             live -= 1;
         }
         // New capacity may be able to pull shared-queue work.
-        let live_idx = self.services[s].live_indices();
+        let live_idx: Vec<usize> = self.services[s].live.iter().map(|&i| i as usize).collect();
         for r in live_idx {
             self.try_start(s, r);
         }

@@ -8,6 +8,8 @@
 //! message queue — the three communication styles whose backpressure
 //! behaviour §III of the paper characterizes.
 
+use std::sync::Arc;
+
 use ursa_stats::dist::{Constant, Distribution, Exponential, LogNormal, Pareto, Uniform};
 use ursa_stats::rng::Rng;
 
@@ -263,11 +265,64 @@ impl core::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// One call-tree hop flattened into dense per-class indices — the engine's
+/// hot-path view of a [`CallNode`]. Children/parent are indices into the
+/// owning [`FlatClass::nodes`] array.
+#[derive(Debug)]
+pub struct FlatNode {
+    /// Service executing this hop (dense index into the services array).
+    pub service: usize,
+    /// Parent hop and the edge kind through which this hop is reached
+    /// (`None` for the root).
+    pub parent: Option<(u16, EdgeKind)>,
+    /// Child hops with their edge kinds, in issue order.
+    pub children: Vec<(u16, EdgeKind)>,
+    /// Sequential or parallel child issuance.
+    pub mode: CallMode,
+    /// Compute before issuing children.
+    pub pre: WorkDist,
+    /// Compute after all nested children respond.
+    pub post: WorkDist,
+}
+
+/// A request class flattened for the engine: hops in preorder plus the
+/// class priority as a dense level.
+#[derive(Debug)]
+pub struct FlatClass {
+    /// Hops in preorder (root first).
+    pub nodes: Vec<FlatNode>,
+    /// Priority level (0 = highest).
+    pub prio: usize,
+}
+
+fn flatten(root: &CallNode, out: &mut Vec<FlatNode>, parent: Option<(u16, EdgeKind)>) -> u16 {
+    let idx = out.len() as u16;
+    out.push(FlatNode {
+        service: root.service.0,
+        parent,
+        children: Vec::new(),
+        mode: root.mode,
+        pre: root.pre_work.clone(),
+        post: root.post_work.clone(),
+    });
+    for (edge, child) in &root.children {
+        let cidx = flatten(child, out, Some((idx, *edge)));
+        out[idx as usize].children.push((cidx, *edge));
+    }
+    idx
+}
+
 /// A validated microservice application: services plus request classes.
+///
+/// The flattened per-class call trees ([`FlatClass`]) are built once at
+/// construction and shared via `Arc`: cloning a topology — or building many
+/// [`Simulation`](crate::engine::Simulation)s of it — never re-clones the
+/// work distributions.
 #[derive(Debug, Clone)]
 pub struct Topology {
     services: Vec<ServiceCfg>,
     classes: Vec<ClassCfg>,
+    flat: Arc<Vec<FlatClass>>,
 }
 
 impl Topology {
@@ -331,12 +386,36 @@ impl Topology {
                 return Err(TopologyError(e));
             }
         }
-        Ok(Topology { services, classes })
+        let flat = Arc::new(
+            classes
+                .iter()
+                .map(|c| {
+                    let mut nodes = Vec::with_capacity(c.root.node_count());
+                    flatten(&c.root, &mut nodes, None);
+                    FlatClass {
+                        nodes,
+                        prio: c.priority.0 as usize,
+                    }
+                })
+                .collect(),
+        );
+        Ok(Topology {
+            services,
+            classes,
+            flat,
+        })
     }
 
     /// The services of this application.
     pub fn services(&self) -> &[ServiceCfg] {
         &self.services
+    }
+
+    /// The flattened per-class call trees, shared by reference count —
+    /// the engine indexes these on every hop instead of cloning work
+    /// distributions per simulation.
+    pub fn flat_classes(&self) -> Arc<Vec<FlatClass>> {
+        Arc::clone(&self.flat)
     }
 
     /// The request classes of this application.
