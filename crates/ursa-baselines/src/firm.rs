@@ -62,6 +62,7 @@ pub struct Firm {
     samples_consumed: usize,
     training_time: SimDur,
     scale_actions: u64,
+    faults_seen: u64,
 }
 
 impl Firm {
@@ -87,6 +88,7 @@ impl Firm {
             samples_consumed: 0,
             training_time: SimDur::ZERO,
             scale_actions: 0,
+            faults_seen: 0,
         }
     }
 
@@ -150,6 +152,7 @@ impl ResourceManager for Firm {
     }
 
     fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+        self.faults_seen += snapshot.faults.len() as u64;
         let n = self.agents.len();
         for s in 0..n {
             let state = self.state_of(s, snapshot, control);
@@ -195,6 +198,7 @@ impl ResourceManager for Firm {
             ("ctrl_training_samples_total", self.samples_consumed as f64),
             ("ctrl_scale_actions_total", self.scale_actions as f64),
             ("ctrl_training_active", self.training as u8 as f64),
+            ("ctrl_fault_events_seen_total", self.faults_seen as f64),
         ]
     }
 }

@@ -179,6 +179,7 @@ pub struct Sinan {
     training_wall: std::time::Duration,
     candidates_evaluated: u64,
     fallback_scaleouts: u64,
+    faults_seen: u64,
 }
 
 impl Sinan {
@@ -236,6 +237,7 @@ impl Sinan {
             training_wall: t0.elapsed(),
             candidates_evaluated: 0,
             fallback_scaleouts: 0,
+            faults_seen: 0,
         }
     }
 
@@ -290,6 +292,7 @@ impl ResourceManager for Sinan {
     /// The centralized decision loop: evaluate candidate allocations with
     /// the models, pick the cheapest predicted-safe one.
     fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
+        self.faults_seen += snapshot.faults.len() as u64;
         let n = control.num_services();
         let current: Vec<usize> = (0..n).map(|s| control.replicas(ServiceId(s))).collect();
         let rps: Vec<f64> = (0..snapshot.injections.len())
@@ -354,6 +357,7 @@ impl ResourceManager for Sinan {
                 "ctrl_model_train_ms",
                 self.training_wall.as_secs_f64() * 1e3,
             ),
+            ("ctrl_fault_events_seen_total", self.faults_seen as f64),
         ]
     }
 }

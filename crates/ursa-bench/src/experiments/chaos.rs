@@ -1,0 +1,392 @@
+//! **`--exp chaos`** — the resilience experiment: every system of §VII-B
+//! versus every fault kind of the `ursa-chaos` plane, on the full social
+//! network.
+//!
+//! Each cell deploys one system under constant load with one fault
+//! scenario installed (a mid-run window for the one-shot kinds, a Poisson
+//! MTBF/MTTR process for the `flaky-crash` row) and reports SLA violation
+//! rates before/during/after the fault, the time from recovery-edge to the
+//! first sustained violation-free window, the steady-state allocation
+//! overshoot versus the pre-fault baseline, and — for Ursa — how many
+//! latency-anomaly re-explorations the fault provoked (visible in the
+//! `DecisionLog` as `anomaly-reexplore` records).
+//!
+//! The whole grid runs on the shared cell runner: rows are byte-identical
+//! for any `--jobs` value at a fixed `--seed` (enforced by
+//! `tests/chaos_determinism.rs`).
+
+use crate::runner::run_cells;
+use crate::{f3, pct, results_dir, LoadSpec, PreparedManagers, Scale, System, TsvTable};
+use ursa_apps::{social_network, App};
+use ursa_chaos::Scenario;
+use ursa_core::decision_log::DecisionKind;
+use ursa_sim::chaos::{FaultKind, FaultPlan};
+use ursa_sim::control::DeploymentReport;
+use ursa_sim::time::{SimDur, SimTime};
+
+/// Seed base for the chaos grid (mixed with the global `--seed`).
+const CHAOS_SEED: u64 = 0xC4A0_5C11;
+
+/// Experiment outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// The rendered resilience table (TSV content, also written to
+    /// `results/chaos/chaos_resilience.tsv`).
+    pub tsv: String,
+    /// Total `anomaly-reexplore` decisions across Ursa's rows.
+    pub ursa_reexplorations: usize,
+}
+
+/// The fault scenarios of the grid, compiled into concrete plans for one
+/// scale. Kinds cover all five fault primitives plus one stochastic
+/// (Poisson MTBF/MTTR) row exercising the renewal-process path.
+pub fn fault_plans(app: &App, scale: Scale) -> Vec<(String, FaultPlan)> {
+    let svc = |name: &str| app.service(name).unwrap_or_else(|| panic!("{name}")).0;
+    let post_store = svc("post-store");
+    let social_graph = svc("social-graph");
+    let sentiment = svc("sentiment");
+    let object_detect = svc("object-detect");
+    // A mid-run window, long enough to outlast the anomaly detector's
+    // patience (3 one-minute control windows), with room to recover.
+    let (start, dur) = match scale {
+        Scale::Quick => (SimDur::from_mins(5), SimDur::from_mins(4)),
+        Scale::Full => (SimDur::from_mins(12), SimDur::from_mins(12)),
+    };
+    let horizon = scale.deploy_duration();
+    let scenarios = vec![
+        // Noisy neighbor on a service every interactive class traverses.
+        Scenario::new("slowdown").one_shot(
+            start,
+            dur,
+            FaultKind::Slowdown {
+                service: post_store,
+                factor: 6.0,
+            },
+        ),
+        // The heavy ML tier loses all but one replica.
+        Scenario::new("replica-crash").one_shot(
+            start,
+            dur,
+            FaultKind::ReplicaCrash {
+                service: object_detect,
+                count: 99,
+            },
+        ),
+        // A whole machine dies, taking co-located replicas across services.
+        Scenario::new("node-failure").one_shot(start, dur, FaultKind::NodeFailure { node: 0 }),
+        // Degraded RPC edge toward a fan-out dependency: latency spike,
+        // 30 % drops, 100 ms timeout, up to 3 retries with backoff.
+        Scenario::new("rpc-fault").one_shot(
+            start,
+            dur,
+            FaultKind::RpcFault {
+                service: social_graph,
+                extra_delay: SimDur::from_millis(30),
+                drop_prob: 0.3,
+                timeout: SimDur::from_millis(100),
+                max_retries: 3,
+            },
+        ),
+        // Broker stall on the MQ feeding the sentiment model.
+        Scenario::new("mq-stall").one_shot(start, dur, FaultKind::MqStall { service: sentiment }),
+        // Crash-looping replica: Poisson failures, exponential repair.
+        Scenario::new("flaky-crash").stochastic(
+            SimDur::from_mins(3),
+            SimDur::from_secs(30),
+            FaultKind::ReplicaCrash {
+                service: post_store,
+                count: 1,
+            },
+        ),
+    ];
+    scenarios
+        .into_iter()
+        .map(|s| {
+            let plan = s.compile(crate::mix_seed(CHAOS_SEED), horizon);
+            (s.name().to_string(), plan)
+        })
+        .collect()
+}
+
+/// Per-cell resilience metrics derived from a deployment report and the
+/// fault span it ran under.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceMetrics {
+    /// SLA violation fraction over pre-fault windows.
+    pub viol_pre: f64,
+    /// Violation fraction over windows overlapping the fault span.
+    pub viol_fault: f64,
+    /// Violation fraction over post-fault windows.
+    pub viol_after: f64,
+    /// Seconds from the recovery edge to the first of two consecutive
+    /// violation-free windows; `None` when the run never settles.
+    pub recovery_s: Option<f64>,
+    /// Post-recovery mean allocated cores relative to the pre-fault mean,
+    /// minus one (steady-state overshoot).
+    pub overshoot: f64,
+}
+
+/// Computes [`ResilienceMetrics`] for one report against a fault span.
+pub fn resilience_metrics(
+    report: &DeploymentReport,
+    span: (SimTime, SimTime),
+    interval: SimDur,
+) -> ResilienceMetrics {
+    let (start, end) = span;
+    let viol_frac = |recs: &[&ursa_sim::control::WindowRecord]| -> f64 {
+        let mut pairs = 0usize;
+        let mut bad = 0usize;
+        for r in recs {
+            for v in r.class_violation.iter().flatten() {
+                pairs += 1;
+                bad += *v as usize;
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            bad as f64 / pairs as f64
+        }
+    };
+    let clear = |r: &ursa_sim::control::WindowRecord| -> bool {
+        r.class_violation.iter().flatten().all(|v| !v)
+    };
+    // A window harvested at `at` covers `(at - interval, at]`; it overlaps
+    // the fault span when it ends after the injection and starts before
+    // the recovery edge.
+    let pre: Vec<_> = report.records.iter().filter(|r| r.at <= start).collect();
+    let during: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.at > start && r.at < end + interval)
+        .collect();
+    let after: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.at >= end + interval)
+        .collect();
+    let mut recovery_s = None;
+    let mut recovered_from = after.len();
+    for i in 0..after.len() {
+        let settled = clear(after[i]) && (i + 1 >= after.len() || clear(after[i + 1]));
+        if settled {
+            recovery_s = Some((after[i].at.as_secs_f64() - end.as_secs_f64()).max(0.0));
+            recovered_from = i;
+            break;
+        }
+    }
+    let mean_cores = |recs: &[&ursa_sim::control::WindowRecord]| -> f64 {
+        if recs.is_empty() {
+            return 0.0;
+        }
+        recs.iter().map(|r| r.total_cores).sum::<f64>() / recs.len() as f64
+    };
+    let pre_cores = mean_cores(&pre);
+    let post_cores = mean_cores(&after[recovered_from.min(after.len())..]);
+    let overshoot = if pre_cores > 0.0 && post_cores > 0.0 {
+        post_cores / pre_cores - 1.0
+    } else {
+        0.0
+    };
+    ResilienceMetrics {
+        viol_pre: viol_frac(&pre),
+        viol_fault: viol_frac(&during),
+        viol_after: viol_frac(&after),
+        recovery_s,
+        overshoot,
+    }
+}
+
+/// Runs one grid cell, returning the rendered table row.
+pub fn run_cell(
+    app: &App,
+    managers: &PreparedManagers,
+    plans: &[(String, FaultPlan)],
+    fi: usize,
+    si: usize,
+    scale: Scale,
+) -> Vec<String> {
+    let (label, plan) = &plans[fi];
+    let system = System::ALL[si];
+    let seed = CHAOS_SEED ^ ((fi as u64) << 8) ^ si as u64;
+    let mut mgrs = managers.clone();
+    let report = mgrs.deploy_metered_with_faults(
+        app,
+        system,
+        &LoadSpec::Constant,
+        scale,
+        seed,
+        Some(plan),
+        None,
+    );
+    let span = (
+        plan.first_at().expect("non-empty plan"),
+        plan.last_until().expect("non-empty plan"),
+    );
+    let m = resilience_metrics(&report, span, SimDur::from_mins(1));
+    let reexplores = if system == System::Ursa {
+        mgrs.ursa
+            .decisions()
+            .records()
+            .filter(|r| matches!(r.kind, DecisionKind::AnomalyReExplore { .. }))
+            .count()
+            .to_string()
+    } else {
+        "-".into()
+    };
+    vec![
+        label.clone(),
+        system.label().into(),
+        pct(m.viol_pre),
+        pct(m.viol_fault),
+        pct(m.viol_after),
+        m.recovery_s.map(f3).unwrap_or_else(|| "never".into()),
+        pct(m.overshoot),
+        reexplores,
+    ]
+}
+
+/// Runs the resilience grid.
+pub fn run(scale: Scale) -> ChaosResult {
+    println!("== chaos: fault-injection resilience, every system x every fault kind ==");
+    let app = social_network(false);
+    let managers = PreparedManagers::prepare(&app, scale, CHAOS_SEED);
+    let plans = fault_plans(&app, scale);
+    let inputs: Vec<(usize, usize)> = (0..plans.len())
+        .flat_map(|fi| (0..System::ALL.len()).map(move |si| (fi, si)))
+        .collect();
+    let rows = run_cells(inputs, |_, (fi, si)| {
+        run_cell(&app, &managers, &plans, fi, si, scale)
+    });
+    let mut table = TsvTable::new(
+        "chaos_resilience",
+        &[
+            "fault",
+            "system",
+            "viol_pre",
+            "viol_fault",
+            "viol_after",
+            "recovery_s",
+            "overshoot",
+            "reexplores",
+        ],
+    );
+    let mut ursa_reexplorations = 0usize;
+    for row in rows {
+        if row[1] == "ursa" {
+            ursa_reexplorations += row[7].parse::<usize>().unwrap_or(0);
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    let _ = table.write_tsv(&results_dir().join("chaos"));
+    println!(
+        "ursa latency-anomaly re-explorations across faults: {ursa_reexplorations} \
+         (see anomaly-reexplore records in the decision log)"
+    );
+    ChaosResult {
+        tsv: table.to_tsv(),
+        ursa_reexplorations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{default_rates, prepare_ursa};
+    use ursa_sim::control::{run_deployment, DeployConfig};
+    use ursa_sim::workload::RateFn;
+
+    /// The acceptance-criterion path: a slowdown fault drives p99 past the
+    /// SLA long enough that the latency-anomaly detector fires and the
+    /// re-exploration request lands in the decision log.
+    #[test]
+    fn slowdown_triggers_anomaly_reexploration() {
+        let app = social_network(false);
+        let mut ursa = prepare_ursa(&app, Scale::Quick, CHAOS_SEED);
+        let plans = fault_plans(&app, Scale::Quick);
+        let (label, plan) = &plans[0];
+        assert_eq!(label, "slowdown");
+        let mut sim = app.build_sim(CHAOS_SEED);
+        sim.install_faults(plan, CHAOS_SEED);
+        app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+        ursa.apply_initial_allocation(&default_rates(&app), &mut sim);
+        let cfg = DeployConfig {
+            duration: Scale::Quick.deploy_duration(),
+            control_interval: SimDur::from_mins(1),
+            warmup: SimDur::from_mins(2),
+            collect_samples: false,
+        };
+        run_deployment(&mut sim, &app.slas, &mut ursa, &cfg);
+        let reexplores = ursa
+            .decisions()
+            .records()
+            .filter(|r| matches!(r.kind, DecisionKind::AnomalyReExplore { .. }))
+            .count();
+        assert!(reexplores > 0, "slowdown must provoke a re-exploration");
+        let witnessed = ursa
+            .decisions()
+            .records()
+            .filter(|r| matches!(r.kind, DecisionKind::FaultWitnessed { .. }))
+            .count();
+        assert_eq!(witnessed, 2, "injection + recovery land in the log");
+    }
+
+    /// The stochastic row actually generates windows within the horizon.
+    #[test]
+    fn fault_plans_cover_all_kinds() {
+        let app = social_network(false);
+        let plans = fault_plans(&app, Scale::Quick);
+        assert_eq!(plans.len(), 6);
+        let kinds: std::collections::BTreeSet<&str> = plans
+            .iter()
+            .flat_map(|(_, p)| p.faults.iter().map(|f| f.kind.label()))
+            .collect();
+        assert!(kinds.len() >= 4, "kinds {kinds:?}");
+        for (name, plan) in &plans {
+            assert!(!plan.is_empty(), "{name} compiled empty");
+            assert!(
+                plan.last_until().unwrap() <= SimTime::ZERO + Scale::Quick.deploy_duration(),
+                "{name} exceeds the horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn resilience_metrics_partition_windows() {
+        use ursa_sim::control::WindowRecord;
+        let mk = |at_s: f64, viol: bool, cores: f64| WindowRecord {
+            at: SimTime::from_secs_f64(at_s),
+            class_latency: vec![Some(0.1)],
+            class_violation: vec![Some(viol)],
+            class_rps: vec![10.0],
+            service_replicas: vec![1],
+            service_rps: vec![10.0],
+            service_cpu_util: vec![0.5],
+            total_cores: cores,
+        };
+        let report = DeploymentReport {
+            slas: vec![],
+            records: vec![
+                mk(60.0, false, 10.0),
+                mk(120.0, false, 10.0),
+                mk(180.0, true, 14.0), // fault active
+                mk(240.0, true, 16.0),
+                mk(300.0, true, 16.0), // still overlaps the recovery edge
+                mk(360.0, true, 14.0), // lingering post-fault impact
+                mk(420.0, false, 12.0),
+            ],
+            class_samples: vec![],
+            decision_wall_ms: 0.0,
+        };
+        let span = (SimTime::from_secs_f64(130.0), SimTime::from_secs_f64(250.0));
+        let m = resilience_metrics(&report, span, SimDur::from_secs(60));
+        assert_eq!(m.viol_pre, 0.0);
+        assert_eq!(m.viol_fault, 1.0);
+        assert!((m.viol_after - 0.5).abs() < 1e-12);
+        // First sustained-clear window is at t=420: 170 s after the edge.
+        assert_eq!(m.recovery_s, Some(170.0));
+        // Post-recovery cores 12 vs pre 10.
+        assert!((m.overshoot - 0.2).abs() < 1e-12);
+    }
+}

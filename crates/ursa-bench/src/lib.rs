@@ -20,6 +20,7 @@ pub mod runner;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ursa_apps::App;
 use ursa_baselines::{
@@ -34,6 +35,27 @@ use ursa_sim::metrics::SimMetrics;
 use ursa_sim::time::{SimDur, SimTime};
 use ursa_sim::topology::ServiceId;
 use ursa_sim::workload::RateFn;
+
+/// The global experiment seed set by `--seed` (0 by default).
+static GLOBAL_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the global experiment seed (the `--seed` flag). It is XOR-mixed
+/// into every workload and chaos RNG seed via [`mix_seed`], so the default
+/// of 0 reproduces the committed artifacts exactly and any other value
+/// yields an independent, equally deterministic replicate of the suite.
+pub fn set_seed(seed: u64) {
+    GLOBAL_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current global experiment seed.
+pub fn global_seed() -> u64 {
+    GLOBAL_SEED.load(Ordering::Relaxed)
+}
+
+/// Mixes an experiment-local seed with the global `--seed` value.
+pub fn mix_seed(seed: u64) -> u64 {
+    seed ^ global_seed()
+}
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +195,7 @@ pub fn default_rates(app: &App) -> Vec<f64> {
 
 /// Runs Ursa's full offline phase for an app.
 pub fn prepare_ursa(app: &App, scale: Scale, seed: u64) -> Ursa {
+    let seed = mix_seed(seed);
     let rates = default_rates(app);
     let cfg = UrsaConfig {
         exploration: scale.exploration(),
@@ -184,6 +207,7 @@ pub fn prepare_ursa(app: &App, scale: Scale, seed: u64) -> Ursa {
 
 /// Runs Sinan's data collection + training for an app.
 pub fn prepare_sinan(app: &App, scale: Scale, seed: u64) -> (Sinan, ursa_baselines::Dataset) {
+    let seed = mix_seed(seed);
     let mut sim = app.build_sim(seed ^ 0x51A4);
     app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
     let cfg = scale.sinan_collect();
@@ -196,6 +220,7 @@ pub fn prepare_sinan(app: &App, scale: Scale, seed: u64) -> (Sinan, ursa_baselin
 
 /// Trains Firm's per-service agents for an app.
 pub fn prepare_firm(app: &App, scale: Scale, seed: u64) -> Firm {
+    let seed = mix_seed(seed);
     let service_classes: Vec<Vec<usize>> = (0..app.topology.num_services())
         .map(|s| {
             app.topology
@@ -323,6 +348,23 @@ impl PreparedManagers {
             .deploy_metered(app, system, load, scale, seed, metrics)
     }
 
+    /// [`deploy_cell`](Self::deploy_cell) with a fault plan installed on
+    /// the deployment simulation (the `--exp chaos` cell path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_cell_with_faults(
+        &self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        faults: Option<&ursa_sim::chaos::FaultPlan>,
+        metrics: Option<&mut SimMetrics>,
+    ) -> DeploymentReport {
+        self.clone()
+            .deploy_metered_with_faults(app, system, load, scale, seed, faults, metrics)
+    }
+
     /// [`deploy`](Self::deploy) with an optional metrics collector scraped
     /// once per control window (pass one built with
     /// [`SimMetrics::for_topology`] on `app.topology`).
@@ -335,8 +377,32 @@ impl PreparedManagers {
         seed: u64,
         metrics: Option<&mut SimMetrics>,
     ) -> DeploymentReport {
+        self.deploy_metered_with_faults(app, system, load, scale, seed, None, metrics)
+    }
+
+    /// [`deploy_metered`](Self::deploy_metered) with an optional fault
+    /// plan: the plan is installed on the fresh simulation before the
+    /// deployment starts, seeded from the cell seed (mixed with the global
+    /// `--seed`) so resilience runs are exactly as deterministic as
+    /// fault-free ones. Passing `None` is bit-identical to
+    /// [`deploy_metered`](Self::deploy_metered).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_metered_with_faults(
+        &mut self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        faults: Option<&ursa_sim::chaos::FaultPlan>,
+        metrics: Option<&mut SimMetrics>,
+    ) -> DeploymentReport {
+        let seed = mix_seed(seed);
         let duration = scale.deploy_duration();
         let mut sim = app.build_sim(seed);
+        if let Some(plan) = faults {
+            sim.install_faults(plan, seed);
+        }
         load.apply(app, &mut sim, duration);
         let cfg = DeployConfig {
             duration,

@@ -1,8 +1,9 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p ursa-bench -- --exp all [--full] [--jobs N]
+//! cargo run --release -p ursa-bench -- --exp all [--full] [--jobs N] [--seed N]
 //! cargo run --release -p ursa-bench -- --exp fig2|fig4|table5|fig9|fig11|fig13|table6|fig14
+//! cargo run --release -p ursa-bench -- --exp chaos [--seed N]
 //! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
 //! cargo run --release -p ursa-bench -- --exp fig9 --metrics-dir metrics/
 //! cargo run --release -p ursa-bench -- perf [--out BENCH_sim.json] [--check baseline.json]
@@ -38,6 +39,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
                 runner::set_jobs(n.max(1));
+            }
+            "--seed" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                ursa_bench::set_seed(n);
             }
             "--trace-dir" => {
                 i += 1;
@@ -88,6 +97,9 @@ fn main() {
         }
         "ablation" => {
             experiments::ablation::run(scale);
+        }
+        "chaos" => {
+            experiments::chaos::run(scale);
         }
         other => {
             warn!("unknown experiment: {other}");
@@ -145,8 +157,9 @@ fn perf_main(args: &[String]) -> i32 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation] \
-         [--quick|--full] [--jobs N] [--quiet|--verbose] [--trace-dir DIR] [--metrics-dir DIR]\n\
+        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation|chaos] \
+         [--quick|--full] [--jobs N] [--seed N] [--quiet|--verbose] [--trace-dir DIR] \
+         [--metrics-dir DIR]\n\
          \x20      ursa-bench perf [--out BENCH_sim.json] [--check baseline.json] [--jobs N]"
     );
     std::process::exit(2)

@@ -25,6 +25,26 @@ pub enum DecisionKind {
         /// The re-explored service.
         service: usize,
     },
+    /// A fault-plane event (injection or recovery) observed through
+    /// telemetry — logged so chaos recovery timelines are attributable to
+    /// what was actually injected.
+    FaultWitnessed {
+        /// The directly-targeted service, when the fault has one (node
+        /// failures hit many services at once and carry `None`).
+        service: Option<usize>,
+        /// `false` on injection, `true` on recovery.
+        recovered: bool,
+    },
+    /// The latency anomaly detector fired and queued a re-exploration of
+    /// the implicated service (§V component 5, Fig. 14).
+    AnomalyReExplore {
+        /// The implicated service (highest CPU utilization on the
+        /// violating class's path).
+        service: usize,
+        /// Observed SLA violation rate in basis points (rate × 10 000,
+        /// rounded), kept integral so the kind stays `Copy + Eq`.
+        violation_bps: u32,
+    },
 }
 
 impl DecisionKind {
@@ -35,6 +55,8 @@ impl DecisionKind {
             DecisionKind::ThresholdScale => "threshold-scale",
             DecisionKind::Recalculate => "recalculate",
             DecisionKind::ReExplore { .. } => "re-explore",
+            DecisionKind::FaultWitnessed { .. } => "fault-witnessed",
+            DecisionKind::AnomalyReExplore { .. } => "anomaly-reexplore",
         }
     }
 }
@@ -155,8 +177,26 @@ impl DecisionLog {
                 r.at.as_secs_f64(),
                 r.kind.label()
             )?;
-            if let DecisionKind::ReExplore { service } = r.kind {
-                write!(w, ",\"service\":{service}")?;
+            match r.kind {
+                DecisionKind::ReExplore { service } => {
+                    write!(w, ",\"service\":{service}")?;
+                }
+                DecisionKind::FaultWitnessed { service, recovered } => {
+                    if let Some(s) = service {
+                        write!(w, ",\"service\":{s}")?;
+                    }
+                    write!(w, ",\"recovered\":{recovered}")?;
+                }
+                DecisionKind::AnomalyReExplore {
+                    service,
+                    violation_bps,
+                } => {
+                    write!(
+                        w,
+                        ",\"service\":{service},\"violation_bps\":{violation_bps}"
+                    )?;
+                }
+                _ => {}
             }
             write!(w, ",\"deltas\":[")?;
             for (i, d) in r.deltas.iter().enumerate() {
@@ -235,6 +275,46 @@ mod tests {
         assert!(line.contains("\"service\":7"));
         assert!(line.contains("\"replicas\":[3,5]"));
         assert!(line.contains("\"objective\":14.000000"));
+    }
+
+    #[test]
+    fn jsonl_serializes_chaos_kinds() {
+        let mut log = DecisionLog::new(8);
+        log.push(rec(
+            10.0,
+            DecisionKind::FaultWitnessed {
+                service: Some(3),
+                recovered: false,
+            },
+        ));
+        log.push(rec(
+            11.0,
+            DecisionKind::FaultWitnessed {
+                service: None,
+                recovered: true,
+            },
+        ));
+        log.push(rec(
+            12.0,
+            DecisionKind::AnomalyReExplore {
+                service: 4,
+                violation_bps: 2150,
+            },
+        ));
+        let mut out = Vec::new();
+        log.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"fault-witnessed\""));
+        assert!(lines[0].contains("\"service\":3"));
+        assert!(lines[0].contains("\"recovered\":false"));
+        let head = lines[1].split("\"deltas\"").next().unwrap();
+        assert!(!head.contains("\"service\""), "node failure has no service");
+        assert!(lines[1].contains("\"recovered\":true"));
+        assert!(lines[2].contains("\"kind\":\"anomaly-reexplore\""));
+        assert!(lines[2].contains("\"service\":4"));
+        assert!(lines[2].contains("\"violation_bps\":2150"));
     }
 
     #[test]

@@ -76,6 +76,8 @@ pub struct Ursa {
     recalc_cooldown: usize,
     recalcs: u64,
     last_recalc_wall_ms: f64,
+    /// Fault-plane events witnessed through telemetry (chaos experiments).
+    faults_seen: u64,
     /// Audit trail of every allocation decision (bounded ring).
     decisions: DecisionLog,
     /// Rates of the most recent allocation decision: the "before" basis
@@ -205,6 +207,7 @@ impl Ursa {
             recalc_cooldown: 0,
             recalcs: 0,
             last_recalc_wall_ms: 0.0,
+            faults_seen: 0,
             decisions: DecisionLog::default(),
             last_rates: class_rates.to_vec(),
             clock: SimTime::ZERO,
@@ -683,6 +686,22 @@ impl ResourceManager for Ursa {
     fn on_tick(&mut self, snapshot: &MetricsSnapshot, control: &mut dyn ControlPlane) {
         self.clock = snapshot.at;
 
+        // 0. Witness fault-plane events so chaos recovery timelines are
+        // attributable in the decision log.
+        for fault in &snapshot.faults {
+            self.faults_seen += 1;
+            self.decisions.push(DecisionRecord {
+                at: fault.at,
+                kind: DecisionKind::FaultWitnessed {
+                    service: fault.service,
+                    recovered: fault.phase == ursa_sim::chaos::FaultPhase::Recovered,
+                },
+                deltas: Vec::new(),
+                estimated_latency: Vec::new(),
+                objective: None,
+            });
+        }
+
         // 1. Threshold scaling (the fast path).
         let actions = self.scaler.tick(snapshot, control);
         if !actions.is_empty() {
@@ -743,7 +762,26 @@ impl ResourceManager for Ursa {
                     self.recalc_cooldown = 5;
                 }
                 Anomaly::LoadMix { .. } => {}
-                Anomaly::Latency { service, .. } => {
+                Anomaly::Latency {
+                    service,
+                    violation_rate,
+                    ..
+                } => {
+                    // Log the implicated service and observed violation
+                    // rate before queueing, so chaos recovery timelines
+                    // are attributable even if the operator never answers.
+                    if self.pending_reexploration != Some(service) {
+                        self.decisions.push(DecisionRecord {
+                            at: snapshot.at,
+                            kind: DecisionKind::AnomalyReExplore {
+                                service,
+                                violation_bps: (violation_rate * 10_000.0).round() as u32,
+                            },
+                            deltas: Vec::new(),
+                            estimated_latency: self.estimated_latencies(),
+                            objective: None,
+                        });
+                    }
                     self.pending_reexploration = Some(service);
                 }
             }
@@ -763,6 +801,7 @@ impl ResourceManager for Ursa {
                 "ctrl_reexploration_pending",
                 self.pending_reexploration.is_some() as u8 as f64,
             ),
+            ("ctrl_fault_events_seen_total", self.faults_seen as f64),
         ]
     }
 }

@@ -276,6 +276,7 @@ fn render_panel(
         let class = match a.kind.as_str() {
             "scale" => "ann-scale",
             "alert" => "ann-alert",
+            "fault" => "ann-fault",
             _ => "ann-other",
         };
         let _ = writeln!(
@@ -640,9 +641,11 @@ circle.s7 { fill: var(--s7); } circle.sx { fill: var(--sx); }
 .swatch.sx { background: var(--sx); }
 line.ann-scale { stroke: var(--s6); stroke-width: 1; stroke-dasharray: 3 3; }
 line.ann-alert { stroke: var(--alert); stroke-width: 1; stroke-dasharray: 3 3; }
+line.ann-fault { stroke: var(--s3); stroke-width: 1.5; stroke-dasharray: 6 2; }
 line.ann-other { stroke: var(--muted); stroke-width: 1; stroke-dasharray: 3 3; }
 circle.ann-scale { fill: var(--s6); }
 circle.ann-alert { fill: var(--alert); }
+circle.ann-fault { fill: var(--s3); }
 circle.ann-other { fill: var(--muted); }
 .ann:hover line { stroke-width: 2; }
 details { margin-top: 8px; }

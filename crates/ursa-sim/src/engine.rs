@@ -28,6 +28,7 @@ use std::sync::Arc;
 use ursa_stats::dist::{Distribution, Exponential};
 use ursa_stats::rng::Rng;
 
+use crate::chaos::{ChaosState, FaultEvent, FaultKind, FaultPhase, FaultPlan};
 use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::time::{SimDur, SimTime};
 use crate::topology::{CallMode, ClassId, EdgeKind, FlatClass, ServiceId, Topology};
@@ -64,6 +65,10 @@ enum EventKind {
     },
     /// A trace-replay arrival scheduled via `schedule_arrivals`.
     TraceArrival { class: usize },
+    /// An installed fault window begins (index into the fault plan).
+    ChaosStart { fault: u32 },
+    /// An installed fault window ends.
+    ChaosEnd { fault: u32 },
 }
 
 #[derive(Debug)]
@@ -355,6 +360,10 @@ pub struct Simulation {
     prio_levels: usize,
     in_flight: usize,
     tracer: Option<Tracer>,
+    /// Fault plane, installed via [`install_faults`](Self::install_faults).
+    /// `None` (the default) costs one predictable branch per hook and
+    /// leaves output bit-identical to a chaos-free engine.
+    chaos: Option<Box<ChaosState>>,
 }
 
 impl Simulation {
@@ -429,6 +438,7 @@ impl Simulation {
             prio_levels,
             in_flight: 0,
             tracer: None,
+            chaos: None,
         }
     }
 
@@ -464,6 +474,47 @@ impl Simulation {
     /// The tracer, if tracing is enabled — exposes sampling statistics.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Installs a fault plan (see [`crate::chaos`]): each window's start
+    /// and end become ordinary discrete events in the loop. `seed` drives
+    /// the chaos RNG (RPC drop sampling) and is independent of the
+    /// simulation seed, so identical workloads stay identical across
+    /// chaos-enabled runs with the same plan. An empty plan schedules no
+    /// events and draws no random numbers — output stays bit-identical to
+    /// a chaos-free run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already installed, or if a fault references a
+    /// service outside the topology.
+    pub fn install_faults(&mut self, plan: &FaultPlan, seed: u64) {
+        assert!(self.chaos.is_none(), "fault plan already installed");
+        for f in &plan.faults {
+            if let Some(s) = f.kind.service() {
+                assert!(
+                    s < self.services.len(),
+                    "fault targets service {s}, topology has {}",
+                    self.services.len()
+                );
+            }
+        }
+        // The chaos seed must NOT be drawn from `self.rng`: consuming the
+        // sim stream here would make faulted and fault-free runs diverge
+        // even with an empty plan.
+        let chaos_seed = 0xC4A0_5FA0_17ED_0001u64 ^ seed.rotate_left(11);
+        let state = ChaosState::new(plan, self.services.len(), chaos_seed);
+        for (i, f) in plan.faults.iter().enumerate() {
+            let fault = i as u32;
+            self.schedule(f.at, EventKind::ChaosStart { fault });
+            self.schedule(f.until, EventKind::ChaosEnd { fault });
+        }
+        self.chaos = Some(Box::new(state));
+    }
+
+    /// Number of fault windows installed (0 when the chaos plane is off).
+    pub fn faults_installed(&self) -> usize {
+        self.chaos.as_ref().map_or(0, |c| c.faults.len())
     }
 
     /// Current simulated time.
@@ -640,6 +691,173 @@ impl Simulation {
             EventKind::TraceArrival { class } => {
                 self.inject(ClassId(class));
             }
+            EventKind::ChaosStart { fault } => {
+                self.chaos_start(fault as usize);
+            }
+            EventKind::ChaosEnd { fault } => {
+                self.chaos_end(fault as usize);
+            }
+        }
+    }
+
+    // ---- Fault plane ------------------------------------------------------
+
+    /// Injects fault window `i`: actuate its kind and record the event.
+    fn chaos_start(&mut self, i: usize) {
+        let Some(chaos) = self.chaos.as_deref() else {
+            return;
+        };
+        let fault = chaos.faults[i];
+        let detail = match fault.kind {
+            FaultKind::Slowdown { service, factor } => {
+                self.chaos_mut().slow_on(service, factor);
+                format!("svc {service}, x{factor}")
+            }
+            FaultKind::ReplicaCrash { service, count } => {
+                let killed = self.chaos_kill(service, count);
+                if killed > 0 {
+                    self.chaos_mut().killed[i].push((service, killed));
+                }
+                format!("svc {service}, -{killed} replicas")
+            }
+            FaultKind::NodeFailure { node } => {
+                let nodes = self.chaos_ref().nodes;
+                for s in 0..self.services.len() {
+                    // Synthetic deterministic placement: replica slot `r`
+                    // of service `s` lives on node `(s + r) % nodes`.
+                    let colocated = self.services[s]
+                        .live
+                        .iter()
+                        .filter(|&&r| (s + r as usize) % nodes == node)
+                        .count();
+                    let killed = self.chaos_kill(s, colocated);
+                    if killed > 0 {
+                        self.chaos_mut().killed[i].push((s, killed));
+                    }
+                }
+                let total: usize = self.chaos_ref().killed[i].iter().map(|&(_, k)| k).sum();
+                format!("node {node}, -{total} replicas")
+            }
+            FaultKind::RpcFault {
+                service, drop_prob, ..
+            } => {
+                self.chaos_mut().rpc_on(service, i as u32);
+                format!("svc {service}, drop p={drop_prob}")
+            }
+            FaultKind::MqStall { service } => {
+                self.chaos_mut().mq_stalled[service] += 1;
+                format!("svc {service}")
+            }
+        };
+        let event = FaultEvent {
+            at: self.now,
+            fault: i as u32,
+            phase: FaultPhase::Injected,
+            kind: fault.kind.label(),
+            service: fault.kind.service(),
+            detail,
+        };
+        self.chaos_mut().record(event);
+    }
+
+    /// Clears fault window `i`: undo its effect and record the recovery.
+    fn chaos_end(&mut self, i: usize) {
+        let Some(chaos) = self.chaos.as_deref() else {
+            return;
+        };
+        let fault = chaos.faults[i];
+        let detail = match fault.kind {
+            FaultKind::Slowdown { service, factor } => {
+                self.chaos_mut().slow_off(service, factor);
+                format!("svc {service}")
+            }
+            FaultKind::ReplicaCrash { .. } | FaultKind::NodeFailure { .. } => {
+                // Restart what this window killed, on top of whatever the
+                // manager did meanwhile (restarted replicas rejoin; the
+                // manager scales back in if over-provisioned).
+                let restore = std::mem::take(&mut self.chaos_mut().killed[i]);
+                let total: usize = restore.iter().map(|&(_, k)| k).sum();
+                for (s, k) in restore {
+                    let live = self.services[s].live_count();
+                    self.set_replicas(ServiceId(s), live + k);
+                }
+                format!("+{total} replicas")
+            }
+            FaultKind::RpcFault { service, .. } => {
+                self.chaos_mut().rpc_off(service, i as u32);
+                format!("svc {service}")
+            }
+            FaultKind::MqStall { service } => {
+                let stalled = {
+                    let c = self.chaos_mut();
+                    c.mq_stalled[service] -= 1;
+                    c.mq_stalled[service]
+                };
+                if stalled == 0 {
+                    // Broker back: drain the accumulated backlog through
+                    // the normal consumer-group path.
+                    self.dispatch_shared(service);
+                }
+                format!("svc {service}")
+            }
+        };
+        let event = FaultEvent {
+            at: self.now,
+            fault: i as u32,
+            phase: FaultPhase::Recovered,
+            kind: fault.kind.label(),
+            service: fault.kind.service(),
+            detail,
+        };
+        self.chaos_mut().record(event);
+    }
+
+    /// Crashes up to `want` replicas of service `s`, always keeping one
+    /// alive (`pick_replica` requires a non-empty live set — total
+    /// blackout of a service is out of scope). Reuses the graceful-drain
+    /// machinery: the replica leaves load balancing at once and its queue
+    /// is re-dispatched, but in-PS work completes (fail-stop with
+    /// connection draining; losing requests would break conservation).
+    fn chaos_kill(&mut self, s: usize, want: usize) -> usize {
+        let live = self.services[s].live_count();
+        let kill = want.min(live.saturating_sub(1));
+        if kill > 0 {
+            self.set_replicas(ServiceId(s), live - kill);
+        }
+        kill
+    }
+
+    fn chaos_ref(&self) -> &ChaosState {
+        self.chaos.as_deref().expect("chaos plane installed")
+    }
+
+    fn chaos_mut(&mut self) -> &mut ChaosState {
+        self.chaos.as_deref_mut().expect("chaos plane installed")
+    }
+
+    /// Active slowdown multiplier of a service (1.0 when chaos is off).
+    #[inline]
+    fn chaos_slow(&self, s: usize) -> f64 {
+        match &self.chaos {
+            Some(c) => c.slow[s],
+            None => 1.0,
+        }
+    }
+
+    /// True while an MQ-stall fault is active on service `s`.
+    #[inline]
+    fn chaos_mq_stalled(&self, s: usize) -> bool {
+        matches!(&self.chaos, Some(c) if c.mq_stalled[s] > 0)
+    }
+
+    /// Extra delivery delay for a message toward its callee under an
+    /// active RPC fault (zero, with no RNG draw, otherwise).
+    fn chaos_rpc_penalty(&mut self, token: Token) -> SimDur {
+        let class = self.req(token).class;
+        let callee = self.templates[class].nodes[token.node as usize].service;
+        match self.chaos.as_deref_mut() {
+            Some(c) => c.rpc_penalty(callee),
+            None => SimDur::ZERO,
         }
     }
 
@@ -714,6 +932,10 @@ impl Simulation {
     /// in-order offering concentrates messages on low-index replicas and
     /// inflates their processor-sharing contention.
     fn dispatch_shared(&mut self, s: usize) {
+        if self.chaos_mq_stalled(s) {
+            // Broker stalled: messages pile up, consumers get nothing.
+            return;
+        }
         let mut popped = false;
         while self.services[s].mq.len() > 0 {
             let svc = &self.services[s];
@@ -743,6 +965,7 @@ impl Simulation {
 
     /// Starts queued work on a replica while it has free workers.
     fn try_start(&mut self, s: usize, r: usize) {
+        let mq_stalled = self.chaos_mq_stalled(s);
         loop {
             let (token, from_mq) = {
                 let Some(rep) = self.services[s].replicas[r].as_mut() else {
@@ -755,7 +978,7 @@ impl Simulation {
                 let (token, from_mq) = match from_own {
                     Some(t) => (Some(t), false),
                     None => {
-                        if rep.draining {
+                        if rep.draining || mq_stalled {
                             (None, false)
                         } else {
                             (self.services[s].mq.pop(), true)
@@ -778,8 +1001,9 @@ impl Simulation {
 
     fn start_pre(&mut self, token: Token, s: usize, r: usize) {
         let class = self.req(token).class;
+        let scale = self.work_scale[s] * self.chaos_slow(s);
         let tmpl = &self.templates[class].nodes[token.node as usize];
-        let work = (tmpl.pre.sample(&mut self.rng) * self.work_scale[s]).max(MIN_WORK);
+        let work = (tmpl.pre.sample(&mut self.rng) * scale).max(MIN_WORK);
         {
             let node = &mut self.req_mut(token).nodes[token.node as usize];
             node.phase = Phase::Pre;
@@ -1005,9 +1229,13 @@ impl Simulation {
         }
     }
 
-    /// Sends a child hop toward its service (network delay applies).
+    /// Sends a child hop toward its service (network delay applies; an
+    /// active RPC fault on the callee adds its timeout/retry penalty).
     fn launch_child(&mut self, child_token: Token) {
-        let at = self.now + self.sample_net_delay();
+        let mut at = self.now + self.sample_net_delay();
+        if self.chaos.is_some() {
+            at += self.chaos_rpc_penalty(child_token);
+        }
         self.schedule(at, EventKind::NodeArrive { token: child_token });
     }
 
@@ -1099,8 +1327,10 @@ impl Simulation {
     fn start_post(&mut self, token: Token) {
         let class = self.req(token).class;
         let (s, work) = {
+            let svc = self.templates[class].nodes[token.node as usize].service;
+            let scale = self.work_scale[svc] * self.chaos_slow(svc);
             let t = &self.templates[class].nodes[token.node as usize];
-            let w = t.post.sample(&mut self.rng) * self.work_scale[t.service];
+            let w = t.post.sample(&mut self.rng) * scale;
             (t.service, w)
         };
         let r = self.req(token).nodes[token.node as usize].replica as usize;
@@ -1395,8 +1625,13 @@ impl Simulation {
             .collect();
         let cores: Vec<f64> = self.services.iter().map(|s| s.cores).collect();
         let mq_depths: Vec<usize> = self.services.iter().map(|s| s.mq.len()).collect();
-        self.telemetry
-            .harvest(self.now, &self.names, &replicas, &cores, &mq_depths)
+        let mut snapshot =
+            self.telemetry
+                .harvest(self.now, &self.names, &replicas, &cores, &mq_depths);
+        if let Some(c) = self.chaos.as_deref_mut() {
+            snapshot.faults = std::mem::take(&mut c.events);
+        }
+        snapshot
     }
 }
 
@@ -1998,5 +2233,301 @@ mod net_jitter_tests {
             p99_jit > p99_det,
             "jitter must widen the tail: {p99_det} vs {p99_jit}"
         );
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::chaos::{Fault, FaultKind, FaultPhase, FaultPlan};
+    use crate::topology::{CallNode, ClassCfg, Priority, ServiceCfg, WorkDist};
+
+    fn two_tier(edge: EdgeKind, replicas: usize) -> Simulation {
+        let topo = Topology::new(
+            vec![
+                ServiceCfg::new("front", 2.0).with_replicas(replicas),
+                ServiceCfg::new("back", 2.0).with_replicas(replicas),
+            ],
+            vec![ClassCfg {
+                name: "req".into(),
+                priority: Priority::HIGH,
+                root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.002 })
+                    .with_child(
+                        edge,
+                        CallNode::leaf(ServiceId(1), WorkDist::Exponential { mean: 0.002 }),
+                    ),
+            }],
+        )
+        .unwrap();
+        Simulation::new(topo, SimConfig::default(), 21)
+    }
+
+    fn window(from_s: f64, to_s: f64, kind: FaultKind) -> Fault {
+        Fault {
+            at: SimTime::from_secs_f64(from_s),
+            until: SimTime::from_secs_f64(to_s),
+            kind,
+        }
+    }
+
+    /// Everything downstream artifacts are built from, for bit-identity.
+    fn digest(sim: &mut Simulation) -> String {
+        let snap = sim.harvest();
+        format!(
+            "events {} inj {:?} comp {:?} p99 {:?} util {:?}",
+            sim.events_processed(),
+            snap.injections,
+            snap.completions,
+            snap.e2e_latency[0].percentile(99.0),
+            snap.services
+                .iter()
+                .map(|s| s.cpu_utilization)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The zero-cost guarantee: no plan, an empty plan, and a plan whose
+    /// windows all lie past the horizon produce bit-identical output.
+    #[test]
+    fn chaos_disabled_is_bit_identical() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sim = two_tier(EdgeKind::Mq, 2);
+            if let Some(p) = plan {
+                sim.install_faults(&p, 99);
+            }
+            sim.set_rate(ClassId(0), RateFn::Constant(200.0));
+            sim.run_for(SimDur::from_secs(20));
+            digest(&mut sim)
+        };
+        let baseline = run(None);
+        assert_eq!(baseline, run(Some(FaultPlan::new())), "empty plan");
+        let mut late = FaultPlan::new();
+        late.push(window(
+            1000.0,
+            1001.0,
+            FaultKind::Slowdown {
+                service: 1,
+                factor: 8.0,
+            },
+        ));
+        assert_eq!(baseline, run(Some(late)), "plan past the horizon");
+    }
+
+    #[test]
+    fn slowdown_inflates_latency_then_recovers() {
+        let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(window(
+            20.0,
+            40.0,
+            FaultKind::Slowdown {
+                service: 1,
+                factor: 6.0,
+            },
+        ));
+        sim.install_faults(&plan, 1);
+        sim.set_rate(ClassId(0), RateFn::Constant(150.0));
+        sim.run_for(SimDur::from_secs(20));
+        let before = sim.harvest().e2e_latency[0].percentile(50.0).unwrap();
+        sim.run_for(SimDur::from_secs(20));
+        let during = sim.harvest().e2e_latency[0].percentile(50.0).unwrap();
+        sim.run_for(SimDur::from_secs(20));
+        let after = sim.harvest().e2e_latency[0].percentile(50.0).unwrap();
+        assert!(during > before * 2.0, "before {before}, during {during}");
+        assert!(after < during * 0.5, "during {during}, after {after}");
+    }
+
+    #[test]
+    fn replica_crash_restores_replicas() {
+        let mut sim = two_tier(EdgeKind::NestedRpc, 4);
+        let mut plan = FaultPlan::new();
+        plan.push(window(
+            5.0,
+            10.0,
+            FaultKind::ReplicaCrash {
+                service: 1,
+                count: 2,
+            },
+        ));
+        sim.install_faults(&plan, 2);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(7));
+        assert_eq!(sim.replicas(ServiceId(1)), 2, "2 of 4 crashed");
+        sim.run_for(SimDur::from_secs(7));
+        assert_eq!(sim.replicas(ServiceId(1)), 4, "restarted at window end");
+        let snap = sim.harvest();
+        assert!(
+            snap.completions[0] as f64 > snap.injections[0] as f64 * 0.95,
+            "drain preserves requests: {}/{}",
+            snap.completions[0],
+            snap.injections[0]
+        );
+    }
+
+    #[test]
+    fn crash_always_keeps_one_replica() {
+        let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(window(
+            5.0,
+            10.0,
+            FaultKind::ReplicaCrash {
+                service: 0,
+                count: 99,
+            },
+        ));
+        sim.install_faults(&plan, 3);
+        sim.set_rate(ClassId(0), RateFn::Constant(50.0));
+        sim.run_for(SimDur::from_secs(7));
+        assert_eq!(sim.replicas(ServiceId(0)), 1, "all but one crash");
+        sim.run_for(SimDur::from_secs(7));
+        assert_eq!(sim.replicas(ServiceId(0)), 2);
+    }
+
+    #[test]
+    fn node_failure_kills_colocated_replicas() {
+        // Slot r of service s is on node (s + r) % 8: with 9 replicas,
+        // service 0 has slots {0, 8} on node 0 and service 1 has slot 7.
+        let mut sim = two_tier(EdgeKind::NestedRpc, 9);
+        let mut plan = FaultPlan::new();
+        plan.push(window(5.0, 10.0, FaultKind::NodeFailure { node: 0 }));
+        sim.install_faults(&plan, 4);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(7));
+        assert_eq!(sim.replicas(ServiceId(0)), 7, "slots 0 and 8 lost");
+        assert_eq!(sim.replicas(ServiceId(1)), 8, "slot 7 lost");
+        sim.run_for(SimDur::from_secs(7));
+        assert_eq!(sim.replicas(ServiceId(0)), 9);
+        assert_eq!(sim.replicas(ServiceId(1)), 9);
+    }
+
+    #[test]
+    fn mq_stall_builds_backlog_then_drains() {
+        let mut sim = two_tier(EdgeKind::Mq, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(window(10.0, 20.0, FaultKind::MqStall { service: 1 }));
+        sim.install_faults(&plan, 5);
+        sim.set_rate(ClassId(0), RateFn::Constant(200.0));
+        sim.run_for(SimDur::from_secs(20));
+        let stalled = sim.harvest();
+        // ~10 s of 200 rps piled up behind the stalled broker.
+        assert!(
+            stalled.services[1].mq_depth_max > 1500,
+            "backlog {}",
+            stalled.services[1].mq_depth_max
+        );
+        sim.run_for(SimDur::from_secs(20));
+        let drained = sim.harvest();
+        assert!(
+            drained.services[1].mq_depth < 10,
+            "backlog drains on recovery"
+        );
+        let inj: u64 = stalled.injections[0] + drained.injections[0];
+        let comp: u64 = stalled.completions[0] + drained.completions[0];
+        assert!(
+            comp as f64 > inj as f64 * 0.97,
+            "no message lost: {comp}/{inj}"
+        );
+    }
+
+    #[test]
+    fn rpc_fault_delays_but_conserves() {
+        let run = |faulty: bool| {
+            let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+            if faulty {
+                let mut plan = FaultPlan::new();
+                plan.push(window(
+                    5.0,
+                    25.0,
+                    FaultKind::RpcFault {
+                        service: 1,
+                        extra_delay: SimDur::from_millis(20),
+                        drop_prob: 0.5,
+                        timeout: SimDur::from_millis(50),
+                        max_retries: 3,
+                    },
+                ));
+                sim.install_faults(&plan, 6);
+            }
+            sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+            sim.run_for(SimDur::from_secs(25));
+            sim.run_for(SimDur::from_secs(10)); // drain past the window
+            let snap = sim.harvest();
+            assert_eq!(sim.in_flight(), 0, "final attempt always delivers");
+            (
+                snap.completions[0],
+                snap.injections[0],
+                snap.e2e_latency[0].percentile(50.0).unwrap(),
+            )
+        };
+        let (_, _, p50_clean) = run(false);
+        let (comp, inj, _) = run(true);
+        assert!(comp as f64 > inj as f64 * 0.97, "{comp}/{inj}");
+        // During-window latency: re-run and look at the fault window only.
+        let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(window(
+            0.0,
+            20.0,
+            FaultKind::RpcFault {
+                service: 1,
+                extra_delay: SimDur::from_millis(20),
+                drop_prob: 0.5,
+                timeout: SimDur::from_millis(50),
+                max_retries: 3,
+            },
+        ));
+        sim.install_faults(&plan, 6);
+        sim.set_rate(ClassId(0), RateFn::Constant(100.0));
+        sim.run_for(SimDur::from_secs(20));
+        let p50_faulty = sim.harvest().e2e_latency[0].percentile(50.0).unwrap();
+        assert!(
+            p50_faulty > p50_clean + 0.015,
+            "timeouts visible: {p50_clean} -> {p50_faulty}"
+        );
+    }
+
+    #[test]
+    fn fault_events_surface_in_harvest() {
+        let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(window(
+            2.0,
+            4.0,
+            FaultKind::Slowdown {
+                service: 1,
+                factor: 3.0,
+            },
+        ));
+        sim.install_faults(&plan, 7);
+        sim.set_rate(ClassId(0), RateFn::Constant(50.0));
+        sim.run_for(SimDur::from_secs(10));
+        let snap = sim.harvest();
+        assert_eq!(snap.faults.len(), 2);
+        assert_eq!(snap.faults[0].phase, FaultPhase::Injected);
+        assert_eq!(snap.faults[0].kind, "slowdown");
+        assert_eq!(snap.faults[0].service, Some(1));
+        assert_eq!(snap.faults[1].phase, FaultPhase::Recovered);
+        assert_eq!(snap.faults[0].label(), "slowdown injected (svc 1, x3)");
+        // Drained: the next harvest reports nothing.
+        sim.run_for(SimDur::from_secs(1));
+        assert!(sim.harvest().faults.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_install_rejected() {
+        let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+        sim.install_faults(&FaultPlan::new(), 1);
+        sim.install_faults(&FaultPlan::new(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets service")]
+    fn out_of_range_service_rejected() {
+        let mut sim = two_tier(EdgeKind::NestedRpc, 2);
+        let mut plan = FaultPlan::new();
+        plan.push(window(1.0, 2.0, FaultKind::MqStall { service: 9 }));
+        sim.install_faults(&plan, 1);
     }
 }

@@ -37,6 +37,7 @@
 //! # Ok::<(), ursa_sim::topology::TopologyError>(())
 //! ```
 
+pub mod chaos;
 pub mod cluster;
 pub mod control;
 pub mod engine;
@@ -49,6 +50,7 @@ pub mod workload;
 
 /// Convenient glob-import of the commonly used simulator types.
 pub mod prelude {
+    pub use crate::chaos::{Fault, FaultEvent, FaultKind, FaultPhase, FaultPlan};
     pub use crate::cluster::{CappedControlPlane, Cluster, MachineCfg, PlacementPolicy};
     pub use crate::control::{
         run_deployment, run_deployment_metered, ControlPlane, DeployConfig, DeploymentReport,

@@ -1,0 +1,117 @@
+//! Property test: the chaos plane is zero-cost when disabled.
+//!
+//! For random chain topologies, replica counts, and loads, a simulation
+//! with no fault plan, one with an *empty* plan, and one whose plan lies
+//! entirely past the simulated horizon must all be bit-identical to the
+//! plain simulator — same event count and byte-identical telemetry.
+
+use proptest::prelude::*;
+use ursa_sim::chaos::{FaultKind, FaultPlan};
+use ursa_sim::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    services: usize,
+    replicas: usize,
+    cores: f64,
+    work_ms: f64,
+    rps: f64,
+    seed: u64,
+}
+
+fn chain_spec() -> impl Strategy<Value = ChainSpec> {
+    (
+        1usize..5,
+        1usize..5,
+        (0usize..3).prop_map(|i| [1.0, 2.0, 4.0][i]),
+        0.5f64..5.0,
+        5.0f64..80.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(services, replicas, cores, work_ms, rps, seed)| ChainSpec {
+                services,
+                replicas,
+                cores,
+                work_ms,
+                rps,
+                seed,
+            },
+        )
+}
+
+/// Builds an N-deep RPC chain and drives it with Poisson arrivals.
+fn build(spec: &ChainSpec) -> Simulation {
+    let svcs: Vec<ServiceCfg> = (0..spec.services)
+        .map(|i| ServiceCfg::new(format!("s{i}"), spec.cores).with_replicas(spec.replicas))
+        .collect();
+    let mut root = CallNode::leaf(
+        ServiceId(spec.services - 1),
+        WorkDist::Exponential {
+            mean: spec.work_ms / 1000.0,
+        },
+    );
+    for i in (0..spec.services - 1).rev() {
+        root = CallNode::leaf(
+            ServiceId(i),
+            WorkDist::Exponential {
+                mean: spec.work_ms / 1000.0,
+            },
+        )
+        .with_child(EdgeKind::NestedRpc, root);
+    }
+    let topo = Topology::new(
+        svcs,
+        vec![ClassCfg {
+            name: "chain".into(),
+            priority: Priority::HIGH,
+            root,
+        }],
+    )
+    .unwrap();
+    let mut sim = Simulation::new(topo, SimConfig::default(), spec.seed);
+    sim.set_rate(ClassId(0), RateFn::Constant(spec.rps));
+    sim
+}
+
+/// Runs for a few windows and returns a byte-exact digest of everything
+/// observable: event count plus the debug rendering of every snapshot.
+fn digest(mut sim: Simulation) -> String {
+    let mut out = String::new();
+    for _ in 0..3 {
+        sim.run_for(SimDur::from_secs(40));
+        let snap = sim.harvest();
+        out.push_str(&format!("{snap:?}\n"));
+    }
+    out.push_str(&format!("events={}", sim.events_processed()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chaos_disabled_is_bit_identical(spec in chain_spec()) {
+        let base = digest(build(&spec));
+
+        // Empty plan: installation is a no-op.
+        let mut empty = build(&spec);
+        empty.install_faults(&FaultPlan::new(), spec.seed);
+        prop_assert_eq!(&digest(empty), &base, "empty plan diverged");
+
+        // Plan entirely past the horizon: events are scheduled but never
+        // actuate before the digest window ends.
+        let mut plan = FaultPlan::new();
+        plan.push(Fault {
+            at: SimTime::ZERO + SimDur::from_secs(3_600),
+            until: SimTime::ZERO + SimDur::from_secs(3_700),
+            kind: FaultKind::Slowdown {
+                service: 0,
+                factor: 8.0,
+            },
+        });
+        let mut late = build(&spec);
+        late.install_faults(&plan, spec.seed);
+        prop_assert_eq!(&digest(late), &base, "post-horizon plan diverged");
+    }
+}
