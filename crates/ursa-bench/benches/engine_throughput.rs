@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ursa_apps::social_network;
 use ursa_bench::runner;
+use ursa_sim::prelude::*;
 use ursa_sim::time::SimDur;
 use ursa_sim::workload::RateFn;
 
@@ -18,6 +19,26 @@ fn run_cell(seed: u64, secs: u64) -> u64 {
     sim.events_processed()
 }
 
+/// A single replica driven deep into overload: hundreds of jobs share
+/// 8 cores, so every arrival and completion reshapes the PS queue. The
+/// regime where the virtual-time queue earns its keep — per-job
+/// countdown PS goes quadratic here.
+fn run_ps_heavy(seed: u64, secs: u64) -> u64 {
+    let topo = Topology::new(
+        vec![ServiceCfg::new("svc", 8.0).with_workers(512)],
+        vec![ClassCfg {
+            name: "req".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.004 }),
+        }],
+    )
+    .expect("static topology");
+    let mut sim = Simulation::new(topo, SimConfig::default(), seed);
+    sim.set_rate(ClassId(0), RateFn::Constant(4000.0));
+    sim.run_for(SimDur::from_secs(secs));
+    sim.events_processed()
+}
+
 /// Single-thread engine throughput on the canonical cell. The measured
 /// quantity is wall time per 10 simulated seconds; divide the printed
 /// event count by it for events/sec.
@@ -25,6 +46,7 @@ fn bench_engine_events(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
     group.sample_size(10);
     group.bench_function("social_vanilla_10s", |b| b.iter(|| run_cell(7, 10)));
+    group.bench_function("ps_heavy_5s", |b| b.iter(|| run_ps_heavy(7, 5)));
     group.finish();
 }
 

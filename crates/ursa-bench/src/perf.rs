@@ -1,18 +1,31 @@
 //! `perf` subcommand — engine-throughput measurement with a tracked
 //! baseline.
 //!
-//! Runs one canonical cell (the vanilla social network under constant
-//! load, a fixed stretch of simulated time) to measure single-thread
-//! events/sec, then times an 8-cell batch under 1 worker and under the
-//! configured `--jobs` to report the harness speedup. Results go to
-//! `BENCH_sim.json`; `--check <baseline.json>` compares events/sec
-//! against a committed baseline and fails on a >25 % regression, which
-//! is what CI runs.
+//! Two canonical cells are timed best-of-N (single-core CI runners are
+//! noisy; the minimum wall over a few repetitions is far more stable
+//! than a single shot):
+//!
+//! * **canonical** — the vanilla social network under constant load for
+//!   a fixed stretch of simulated time; the general-purpose figure.
+//! * **ps_heavy** — one 8-core replica with 512 worker slots driven into
+//!   deep overload (hundreds of concurrent jobs sharing the CPU). This
+//!   is the regime where the old per-job-countdown PS loop went
+//!   quadratic; the virtual-time queue keeps it near-linear, and this
+//!   cell exists so a regression back to O(n²) fails `--check` loudly.
+//!
+//! Each cell also reports the stale-event split (live events drive
+//! state; stale pops are lazily-invalidated PS checks) plus event-heap
+//! depth/compaction counters. After the cells, an 8-cell batch runs
+//! under 1 worker and under the configured `--jobs` to report the
+//! harness speedup. Results go to `BENCH_sim.json`; `--check
+//! <baseline.json>` compares both cells' events/sec against a committed
+//! baseline, which is what CI runs.
 
 use std::path::Path;
 use std::time::Instant;
 
 use ursa_apps::social_network;
+use ursa_sim::prelude::*;
 use ursa_sim::time::SimDur;
 use ursa_sim::workload::RateFn;
 
@@ -20,29 +33,116 @@ use crate::runner;
 
 /// Simulated seconds per canonical cell.
 const SIM_SECS: u64 = 30;
+/// Simulated seconds for the ps_heavy cell (overloaded, so event-dense).
+const PS_HEAVY_SECS: u64 = 10;
+/// Concurrent worker slots on the ps_heavy replica.
+const PS_HEAVY_WORKERS: usize = 512;
 /// Cells in the speedup batch.
 const BATCH_CELLS: u64 = 8;
-/// Allowed events/sec regression vs the baseline before `--check` fails.
-const REGRESSION_TOLERANCE: f64 = 0.25;
+/// Wall-clock repetitions per cell; the minimum is reported.
+const MEASURE_REPS: usize = 5;
+/// Allowed events/sec regression vs the baseline before `--check`
+/// fails. Generous because the reference numbers come from shared,
+/// single-core runners where even best-of-N walls wander by tens of
+/// percent between machine windows; the check exists to catch
+/// complexity-class regressions (the ps_heavy cell slows ~3x if PS goes
+/// quadratic again), not single-digit codegen drift.
+const REGRESSION_TOLERANCE: f64 = 0.35;
 
-/// Runs the canonical cell and returns the number of engine events.
-fn canonical_cell(seed: u64) -> u64 {
+/// Counters harvested from one cell run (deterministic per seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CellStats {
+    /// Events that drove simulation state.
+    live: u64,
+    /// Stale pops: lazily-invalidated PS checks and source timers.
+    stale: u64,
+    /// High-water mark of the event heap.
+    heap_max_depth: usize,
+    /// Lazy-compaction sweeps of the event heap.
+    compactions: u64,
+}
+
+fn stats_of(sim: &Simulation) -> CellStats {
+    CellStats {
+        live: sim.events_processed(),
+        stale: sim.events_stale(),
+        heap_max_depth: sim.event_heap_max_depth(),
+        compactions: sim.heap_compactions(),
+    }
+}
+
+/// Runs the canonical cell and returns its counters.
+fn canonical_cell(seed: u64) -> CellStats {
     let app = social_network(true);
     let mut sim = app.build_sim(seed);
     app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
     sim.run_for(SimDur::from_secs(SIM_SECS));
-    sim.events_processed()
+    stats_of(&sim)
+}
+
+/// Runs the ps_heavy cell: a single replica pushed far past saturation
+/// so hundreds of jobs share its cores, exercising the virtual-time PS
+/// queue and the stale-check machinery at depth.
+fn ps_heavy_cell(seed: u64) -> CellStats {
+    let topo = Topology::new(
+        vec![ServiceCfg::new("svc", 8.0).with_workers(PS_HEAVY_WORKERS)],
+        vec![ClassCfg {
+            name: "req".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.004 }),
+        }],
+    )
+    .expect("static ps_heavy topology");
+    let mut sim = Simulation::new(topo, SimConfig::default(), seed);
+    sim.set_rate(ClassId(0), RateFn::Constant(4000.0));
+    sim.run_for(SimDur::from_secs(PS_HEAVY_SECS));
+    stats_of(&sim)
+}
+
+/// Best-of-N wall-clock for `cell`, asserting the counters are
+/// identical across repetitions (they are a pure function of the seed).
+fn time_cell(cell: impl Fn() -> CellStats) -> (CellStats, f64) {
+    let mut best = f64::MAX;
+    let mut stats: Option<CellStats> = None;
+    for _ in 0..MEASURE_REPS {
+        let t = Instant::now();
+        let s = cell();
+        best = best.min(t.elapsed().as_secs_f64());
+        if let Some(prev) = stats {
+            assert_eq!(prev, s, "cell counters must be deterministic");
+        }
+        stats = Some(s);
+    }
+    (stats.expect("MEASURE_REPS > 0"), best)
 }
 
 /// One perf measurement.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
-    /// Engine events in the canonical cell.
+    /// Live engine events in the canonical cell.
     pub events: u64,
-    /// Single-thread engine throughput.
+    /// Stale event pops in the canonical cell.
+    pub events_stale: u64,
+    /// stale / (live + stale) for the canonical cell.
+    pub stale_ratio: f64,
+    /// Event-heap high-water mark in the canonical cell.
+    pub heap_max_depth: usize,
+    /// Event-heap lazy compactions in the canonical cell.
+    pub heap_compactions: u64,
+    /// Single-thread engine throughput (live events / best wall).
     pub events_per_sec: f64,
-    /// Wall-clock of the canonical cell, milliseconds.
+    /// Best-of-N wall-clock of the canonical cell, milliseconds.
     pub cell_wall_ms: f64,
+    /// Live engine events in the ps_heavy cell.
+    pub ps_heavy_events: u64,
+    /// Stale event pops in the ps_heavy cell.
+    pub ps_heavy_events_stale: u64,
+    /// Event-heap high-water mark in the ps_heavy cell.
+    pub ps_heavy_heap_max_depth: usize,
+    /// ps_heavy throughput (live events / best wall).
+    pub ps_heavy_events_per_sec: f64,
+    /// Best-of-N wall-clock of the ps_heavy cell, milliseconds.
+    pub ps_heavy_wall_ms: f64,
     /// Workers used for the parallel batch.
     pub jobs: usize,
     /// Wall-clock of the batch with 1 worker, milliseconds.
@@ -57,10 +157,19 @@ impl PerfReport {
     /// Renders the report as JSON (stable key order, no dependencies).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"ursa-bench-perf/v1\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"schema\": \"ursa-bench-perf/v2\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
             self.events,
+            self.events_stale,
+            self.stale_ratio,
+            self.heap_max_depth,
+            self.heap_compactions,
             self.events_per_sec,
             self.cell_wall_ms,
+            self.ps_heavy_events,
+            self.ps_heavy_events_stale,
+            self.ps_heavy_heap_max_depth,
+            self.ps_heavy_events_per_sec,
+            self.ps_heavy_wall_ms,
             self.jobs,
             self.batch_wall_jobs1_ms,
             self.batch_wall_jobsn_ms,
@@ -74,25 +183,32 @@ pub fn measure() -> PerfReport {
     // Warm-up (page in code and allocator state).
     canonical_cell(1);
 
-    let t = Instant::now();
-    let events = canonical_cell(0xBE7C);
-    let cell_wall = t.elapsed();
-    let events_per_sec = events as f64 / cell_wall.as_secs_f64().max(1e-9);
+    let (canon, canon_wall) = time_cell(|| canonical_cell(0xBE7C));
+    let (heavy, heavy_wall) = time_cell(|| ps_heavy_cell(0x9527));
 
     let seeds: Vec<u64> = (0..BATCH_CELLS).map(|i| 0xBE7C ^ (i << 16)).collect();
     let t = Instant::now();
-    let seq = runner::run_cells_with(1, seeds.clone(), |_, s| canonical_cell(s));
+    let seq = runner::run_cells_with(1, seeds.clone(), |_, s| canonical_cell(s).live);
     let wall1 = t.elapsed();
     let jobs = runner::jobs();
     let t = Instant::now();
-    let par = runner::run_cells_with(jobs, seeds, |_, s| canonical_cell(s));
+    let par = runner::run_cells_with(jobs, seeds, |_, s| canonical_cell(s).live);
     let walln = t.elapsed();
     assert_eq!(seq, par, "parallel batch must reproduce the sequential one");
 
     PerfReport {
-        events,
-        events_per_sec,
-        cell_wall_ms: cell_wall.as_secs_f64() * 1e3,
+        events: canon.live,
+        events_stale: canon.stale,
+        stale_ratio: canon.stale as f64 / (canon.live + canon.stale).max(1) as f64,
+        heap_max_depth: canon.heap_max_depth,
+        heap_compactions: canon.compactions,
+        events_per_sec: canon.live as f64 / canon_wall.max(1e-9),
+        cell_wall_ms: canon_wall * 1e3,
+        ps_heavy_events: heavy.live,
+        ps_heavy_events_stale: heavy.stale,
+        ps_heavy_heap_max_depth: heavy.heap_max_depth,
+        ps_heavy_events_per_sec: heavy.live as f64 / heavy_wall.max(1e-9),
+        ps_heavy_wall_ms: heavy_wall * 1e3,
         jobs,
         batch_wall_jobs1_ms: wall1.as_secs_f64() * 1e3,
         batch_wall_jobsn_ms: walln.as_secs_f64() * 1e3,
@@ -109,6 +225,29 @@ pub fn json_field(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Checks one throughput field of `report` against `baseline`; returns
+/// an exit code (0 ok, 1 regression, 2 missing field).
+fn check_field(report: &str, baseline: &str, key: &str) -> i32 {
+    let Some(base) = json_field(baseline, key) else {
+        eprintln!("error: baseline has no {key}");
+        return 2;
+    };
+    let Some(cur) = json_field(report, key) else {
+        eprintln!("error: report has no {key}");
+        return 2;
+    };
+    let floor = base * (1.0 - REGRESSION_TOLERANCE);
+    if cur < floor {
+        eprintln!(
+            "PERF REGRESSION: {key} {cur:.0} is below {floor:.0} ({}% under baseline {base:.0})",
+            (100.0 * (1.0 - cur / base)).round(),
+        );
+        return 1;
+    }
+    println!("perf check ok: {key} {cur:.0} vs baseline {base:.0} (floor {floor:.0})");
+    0
 }
 
 /// Runs the measurement, writes `BENCH_sim.json`, optionally checks it
@@ -139,29 +278,9 @@ pub fn run(out: &Path, check: Option<&Path>) -> i32 {
             return 2;
         }
     };
-    let Some(base_eps) = json_field(&baseline, "events_per_sec") else {
-        eprintln!(
-            "error: baseline {} has no events_per_sec",
-            baseline_path.display()
-        );
-        return 2;
-    };
-    let floor = base_eps * (1.0 - REGRESSION_TOLERANCE);
-    if report.events_per_sec < floor {
-        eprintln!(
-            "PERF REGRESSION: events/sec {:.0} is below {:.0} ({}% under baseline {:.0})",
-            report.events_per_sec,
-            floor,
-            (100.0 * (1.0 - report.events_per_sec / base_eps)).round(),
-            base_eps,
-        );
-        return 1;
-    }
-    println!(
-        "perf check ok: events/sec {:.0} vs baseline {:.0} (floor {:.0})",
-        report.events_per_sec, base_eps, floor
-    );
-    0
+    let canon = check_field(&json, &baseline, "events_per_sec");
+    let heavy = check_field(&json, &baseline, "ps_heavy_events_per_sec");
+    canon.max(heavy)
 }
 
 #[cfg(test)]
@@ -171,24 +290,73 @@ mod tests {
     #[test]
     fn canonical_cell_is_deterministic() {
         assert_eq!(canonical_cell(42), canonical_cell(42));
-        assert!(canonical_cell(42) > 0);
+        assert!(canonical_cell(42).live > 0);
     }
 
     #[test]
-    fn json_roundtrip_fields() {
-        let r = PerfReport {
+    fn ps_heavy_cell_is_deterministic_and_deep() {
+        let a = ps_heavy_cell(7);
+        assert_eq!(a, ps_heavy_cell(7));
+        assert!(a.live > 0);
+        // Despite hundreds of concurrent jobs sharing the replica, the
+        // event heap must stay shallow: the scheduler keeps at most one
+        // pending completion check per replica (plus source timers),
+        // never one timer per job. Deep heaps here mean the lazy
+        // invalidation machinery broke.
+        assert!(
+            a.heap_max_depth < 64,
+            "ps_heavy event heap blew up: {}",
+            a.heap_max_depth
+        );
+    }
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
             events: 1234,
+            events_stale: 56,
+            stale_ratio: 0.0434,
+            heap_max_depth: 99,
+            heap_compactions: 2,
             events_per_sec: 56789.5,
             cell_wall_ms: 21.7,
+            ps_heavy_events: 4321,
+            ps_heavy_events_stale: 7,
+            ps_heavy_heap_max_depth: 600,
+            ps_heavy_events_per_sec: 98765.5,
+            ps_heavy_wall_ms: 43.7,
             jobs: 4,
             batch_wall_jobs1_ms: 180.0,
             batch_wall_jobsn_ms: 60.0,
             speedup: 3.0,
-        };
-        let j = r.to_json();
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_fields() {
+        let j = sample_report().to_json();
         assert_eq!(json_field(&j, "events_per_sec"), Some(56789.5));
         assert_eq!(json_field(&j, "speedup"), Some(3.0));
+        // The quoted needle keeps `events` from matching the longer
+        // `ps_heavy_events` / `events_stale` keys and vice versa.
         assert_eq!(json_field(&j, "events"), Some(1234.0));
+        assert_eq!(json_field(&j, "events_stale"), Some(56.0));
+        assert_eq!(json_field(&j, "ps_heavy_events"), Some(4321.0));
+        assert_eq!(json_field(&j, "ps_heavy_events_stale"), Some(7.0));
+        assert_eq!(json_field(&j, "ps_heavy_events_per_sec"), Some(98765.5));
+        assert_eq!(json_field(&j, "stale_ratio"), Some(0.0434));
+        assert_eq!(json_field(&j, "heap_max_depth"), Some(99.0));
         assert_eq!(json_field(&j, "missing"), None);
+    }
+
+    #[test]
+    fn check_field_flags_regressions_only() {
+        let j = sample_report().to_json();
+        // Same report as its own baseline: trivially passes.
+        assert_eq!(check_field(&j, &j, "events_per_sec"), 0);
+        assert_eq!(check_field(&j, &j, "ps_heavy_events_per_sec"), 0);
+        // A baseline far above the report trips the floor.
+        let inflated = j.replace("56789.5", "999999999.0");
+        assert_eq!(check_field(&j, &inflated, "events_per_sec"), 1);
+        assert_eq!(check_field(&j, &j, "no_such_field"), 2);
     }
 }

@@ -19,10 +19,13 @@
 //!   `s` lives on node `(s + r) % nodes`. Replicas of one service are
 //!   homogeneous, so capacity loss is modeled by count, reusing the same
 //!   drain machinery as a crash.
-//! * **Slowdown** — all service times of one service are multiplied by a
-//!   factor (noisy neighbor / interference). Composes multiplicatively
-//!   with overlapping slowdowns and with the user-facing
-//!   [`set_work_scale`](crate::engine::Simulation::set_work_scale) hook.
+//! * **Slowdown** — one service's replicas execute at `1/factor` speed
+//!   (noisy neighbor / interference): the processor-sharing progress
+//!   rate is divided by the factor for the window, stretching both new
+//!   and already-in-flight work. Composes multiplicatively with
+//!   overlapping slowdowns; the user-facing
+//!   [`set_work_scale`](crate::engine::Simulation::set_work_scale) hook
+//!   instead scales sampled demands at dispatch.
 //! * **RPC fault** — messages toward a callee service suffer a latency
 //!   spike and probabilistic loss with per-edge timeout and bounded
 //!   retry-with-backoff: each attempt is dropped with `drop_prob` (at most
@@ -68,11 +71,15 @@ pub enum FaultKind {
         /// The failing node index (`< FaultPlan::nodes`).
         node: usize,
     },
-    /// Multiply all service times of `service` by `factor` (> 1 slows).
+    /// Divide the processor-sharing progress rate of every `service`
+    /// replica by `factor` (> 1 slows). Because the window rescales the
+    /// rate rather than the sampled demands, it stretches work already
+    /// in flight too — a job caught mid-execution finishes later, just
+    /// as a real interference burst would hit it.
     Slowdown {
         /// The service slowed down.
         service: usize,
-        /// Service-time multiplier (must be strictly positive).
+        /// Execution-speed divisor (must be strictly positive).
         factor: f64,
     },
     /// Degrade RPC/MQ message delivery toward `service`.

@@ -20,6 +20,14 @@
 //!
 //! Queues serve strictly by [`crate::topology::Priority`], then FIFO. Scaling is by replica
 //! count (Kubernetes-style) with graceful draining on scale-in.
+//!
+//! Processor sharing is implemented in *virtual time* (see [`crate::ps`]):
+//! each replica advances one scalar clock instead of sweeping per-job
+//! countdowns, so arrivals and completions cost O(log n) instead of O(n)
+//! — the difference between a quadratic and a log-linear busy period in
+//! the overloaded regime. The event loop is stale-aware: superseded
+//! `PsCheck` timers are counted, skipped cheaply via a generation tag,
+//! and lazily compacted out of the event heap when they dominate it.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -29,6 +37,7 @@ use ursa_stats::dist::{Distribution, Exponential};
 use ursa_stats::rng::Rng;
 
 use crate::chaos::{ChaosState, FaultEvent, FaultKind, FaultPhase, FaultPlan};
+use crate::ps::{ps_rate, VtPs};
 use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::time::{SimDur, SimTime};
 use crate::topology::{CallMode, ClassId, EdgeKind, FlatClass, ServiceId, Topology};
@@ -42,6 +51,12 @@ const WORK_EPS: f64 = 1e-12;
 const MIN_WORK: f64 = 1e-9;
 /// Smallest allowed CPU limit.
 const MIN_CORES: f64 = 0.01;
+/// Stale `PsCheck` entries tolerated in the event heap before a lazy
+/// compaction pass rebuilds it. Compaction runs when the stale count
+/// exceeds this floor *and* at least half the heap is stale, so small
+/// heaps (the common case) never pay for it and large overloaded runs
+/// keep pop cost logarithmic in the *live* event count.
+const COMPACT_MIN_STALE: usize = 4096;
 
 /// Identifies one hop of one in-flight request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,20 +66,26 @@ struct Token {
     node: u16,
 }
 
+/// Event payloads are deliberately compact (every field fits in 32 bits)
+/// so an [`EventEntry`] stays at 32 bytes: the event heap is the hottest
+/// data structure in the engine and sift operations move whole entries.
 #[derive(Debug, Clone, Copy)]
 enum EventKind {
     /// Next candidate arrival of a class's Poisson source (thinning).
-    SourceNext { class: usize, gen: u64 },
+    SourceNext { class: u32, gen: u32 },
     /// A request hop arrives at its service (after network delay).
     NodeArrive { token: Token },
-    /// Possible processor-sharing completion on a replica.
+    /// Possible processor-sharing completion on a replica. `gen` is a
+    /// perf filter, not a correctness gate: a check firing with a stale
+    /// generation is skipped, but even a spuriously "live" one would only
+    /// advance the virtual clock and pop jobs that are actually due.
     PsCheck {
-        service: usize,
-        replica: usize,
-        gen: u64,
+        service: u16,
+        replica: u16,
+        gen: u32,
     },
     /// A trace-replay arrival scheduled via `schedule_arrivals`.
-    TraceArrival { class: usize },
+    TraceArrival { class: u32 },
     /// An installed fault window begins (index into the fault plan).
     ChaosStart { fault: u32 },
     /// An installed fault window ends.
@@ -135,13 +156,6 @@ impl PrioQueue {
     }
 }
 
-/// A compute phase in a replica's processor-sharing set.
-#[derive(Debug, Clone, Copy)]
-struct PsJob {
-    token: Token,
-    remaining: f64,
-}
-
 #[derive(Debug)]
 struct Replica {
     cores: f64,
@@ -155,9 +169,24 @@ struct Replica {
     /// Handler hops blocked submitting a continuation: `(parent, child_idx)`.
     blocked_submitters: VecDeque<(Token, u16)>,
     queue: PrioQueue,
-    active: Vec<PsJob>,
+    /// Active compute phases under virtual-time processor sharing.
+    ps: VtPs<Token>,
     last_advance: SimTime,
-    ps_gen: u64,
+    /// Generation of the newest scheduled `PsCheck`; older pending checks
+    /// are stale and skipped on pop.
+    ps_gen: u32,
+    /// Fire time of the current-generation pending check (valid while
+    /// `has_check`). A resync only schedules a *new* check when the true
+    /// next completion moved earlier; if it moved later, the pending
+    /// check fires early, finds nothing due, and re-arms exactly — so
+    /// most arrivals (any whose finish tag lands behind the head's)
+    /// push no event.
+    check_at: SimTime,
+    has_check: bool,
+    /// CPU telemetry accumulators, flushed to [`Telemetry`] on harvest
+    /// and replica removal instead of per advance.
+    busy_acc: f64,
+    cap_acc: f64,
     draining: bool,
 }
 
@@ -180,9 +209,13 @@ impl Replica {
             daemon_queue: VecDeque::new(),
             blocked_submitters: VecDeque::new(),
             queue: PrioQueue::new(levels),
-            active: Vec::new(),
+            ps: VtPs::new(),
             last_advance: now,
             ps_gen: 0,
+            check_at: SimTime::ZERO,
+            has_check: false,
+            busy_acc: 0.0,
+            cap_acc: 0.0,
             draining: false,
         }
     }
@@ -191,9 +224,41 @@ impl Replica {
         self.busy_workers == 0
             && self.busy_daemons == 0
             && self.queue.len() == 0
-            && self.active.is_empty()
+            && self.ps.is_empty()
             && self.daemon_queue.is_empty()
             && self.blocked_submitters.is_empty()
+    }
+
+    /// Integrates the virtual clock and the CPU accumulators up to `now`
+    /// at the PS rate implied by the current membership and the service
+    /// slowdown multiplier. O(1).
+    #[inline]
+    fn advance_to(&mut self, now: SimTime, slow: f64) {
+        let elapsed = (now - self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if elapsed <= 0.0 {
+            return;
+        }
+        let n = self.ps.len();
+        if n > 0 {
+            self.ps.advance(elapsed * ps_rate(self.cores, n, slow));
+            self.busy_acc += (n as f64).min(self.cores) * elapsed;
+        }
+        self.cap_acc += self.cores * elapsed;
+    }
+
+    /// Real fire time of the next PS completion under the pinned
+    /// nanosecond quantization, or `None` when idle. Assumes the clock
+    /// is already advanced to `now`.
+    #[inline]
+    fn next_check_at(&self, now: SimTime, slow: f64) -> Option<SimTime> {
+        let min_rem = self.ps.next_rem()?;
+        let rate = ps_rate(self.cores, self.ps.len(), slow);
+        // `x / 1.0 == x` bitwise: the gate skips the division, common on
+        // uncontended replicas, without changing the quantized result.
+        let dt_s = if rate == 1.0 { min_rem } else { min_rem / rate };
+        let dt_ns = (dt_s * 1e9).ceil().max(1.0) as u64;
+        Some(now + SimDur::from_nanos(dt_ns))
     }
 }
 
@@ -281,7 +346,7 @@ struct RequestRt {
 #[derive(Debug)]
 struct Source {
     rate: RateFn,
-    gen: u64,
+    gen: u32,
     rng: Rng,
 }
 
@@ -351,7 +416,18 @@ pub struct Simulation {
     telemetry: Telemetry,
     events: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
-    events_processed: u64,
+    /// Dispatched events that did real work (see [`events_processed`]).
+    events_live: u64,
+    /// Dispatched events that were stale on arrival: superseded `PsCheck`
+    /// generations and re-armed Poisson sources.
+    events_stale: u64,
+    /// Stale `PsCheck` entries currently sitting in the event heap,
+    /// maintained incrementally; drives lazy compaction.
+    heap_stale: usize,
+    /// High-water mark of the event heap.
+    heap_max_depth: usize,
+    /// Lazy compaction passes performed.
+    heap_compactions: u64,
     now: SimTime,
     rng: Rng,
     sources: Vec<Source>,
@@ -427,9 +503,13 @@ impl Simulation {
             node_pool: Vec::new(),
             ps_scratch: Vec::new(),
             telemetry,
-            events: BinaryHeap::new(),
+            events: BinaryHeap::with_capacity(1024),
             seq: 0,
-            events_processed: 0,
+            events_live: 0,
+            events_stale: 0,
+            heap_stale: 0,
+            heap_max_depth: 0,
+            heap_compactions: 0,
             now: SimTime::ZERO,
             rng,
             sources,
@@ -532,11 +612,40 @@ impl Simulation {
         self.in_flight
     }
 
-    /// Total discrete events dispatched since construction — the engine's
-    /// throughput denominator (`events_processed() / wall_seconds` =
-    /// events/sec for a run).
+    /// Discrete events dispatched since construction that did real work —
+    /// the engine's honest throughput denominator
+    /// (`events_processed() / wall_seconds` = events/sec for a run).
+    /// Stale dispatches (superseded `PsCheck` generations, re-armed
+    /// sources) are excluded; see [`events_stale`](Self::events_stale).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events_live
+    }
+
+    /// Dispatched events that were stale on arrival and did no work.
+    /// Historically these inflated `events_processed`, flattering
+    /// events/sec; they are now reported separately.
+    pub fn events_stale(&self) -> u64 {
+        self.events_stale
+    }
+
+    /// Current depth of the event heap (live + stale entries).
+    pub fn event_heap_depth(&self) -> usize {
+        self.events.len()
+    }
+
+    /// High-water mark of the event heap over the simulation's lifetime.
+    pub fn event_heap_max_depth(&self) -> usize {
+        self.heap_max_depth
+    }
+
+    /// Stale `PsCheck` entries currently in the event heap.
+    pub fn event_heap_stale(&self) -> usize {
+        self.heap_stale
+    }
+
+    /// Lazy heap-compaction passes performed so far.
+    pub fn heap_compactions(&self) -> u64 {
+        self.heap_compactions
     }
 
     /// Sets (or replaces) the arrival process of a request class.
@@ -551,14 +660,20 @@ impl Simulation {
         self.arm_source(class.0, gen);
     }
 
-    fn arm_source(&mut self, class: usize, gen: u64) {
+    fn arm_source(&mut self, class: usize, gen: u32) {
         let lam_max = self.sources[class].rate.max_rate();
         if lam_max <= 0.0 {
             return;
         }
         let dt = Exponential::new(lam_max).sample(&mut self.sources[class].rng);
         let at = self.now + SimDur::from_secs_f64(dt);
-        self.schedule(at, EventKind::SourceNext { class, gen });
+        self.schedule(
+            at,
+            EventKind::SourceNext {
+                class: class as u32,
+                gen,
+            },
+        );
     }
 
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
@@ -568,6 +683,36 @@ impl Simulation {
             seq: self.seq,
             kind,
         }));
+        let depth = self.events.len();
+        if depth > self.heap_max_depth {
+            self.heap_max_depth = depth;
+        }
+        if self.heap_stale >= COMPACT_MIN_STALE && self.heap_stale * 2 >= depth {
+            self.compact_events();
+        }
+    }
+
+    /// Rebuilds the event heap without its stale `PsCheck` entries. O(n)
+    /// heapify; pop order is unaffected because `(at, seq)` is a total
+    /// order independent of the heap's internal layout — determinism is
+    /// preserved no matter when compaction runs.
+    fn compact_events(&mut self) {
+        let heap = std::mem::take(&mut self.events);
+        let mut entries = heap.into_vec();
+        entries.retain(|Reverse(e)| match e.kind {
+            EventKind::PsCheck {
+                service,
+                replica,
+                gen,
+            } => matches!(
+                &self.services[service as usize].replicas[replica as usize],
+                Some(rep) if rep.ps_gen == gen
+            ),
+            _ => true,
+        });
+        self.events = BinaryHeap::from(entries);
+        self.heap_stale = 0;
+        self.heap_compactions += 1;
     }
 
     /// Injects one request of `class` right now (root hop arrives after the
@@ -634,7 +779,12 @@ impl Simulation {
                 "arrival {at} is in the past (now {})",
                 self.now
             );
-            self.schedule(at, EventKind::TraceArrival { class: class.0 });
+            self.schedule(
+                at,
+                EventKind::TraceArrival {
+                    class: class.0 as u32,
+                },
+            );
         }
     }
 
@@ -646,8 +796,11 @@ impl Simulation {
             }
             let Reverse(entry) = self.events.pop().expect("peeked");
             self.now = entry.at;
-            self.events_processed += 1;
-            self.dispatch(entry.kind);
+            if self.dispatch(entry.kind) {
+                self.events_live += 1;
+            } else {
+                self.events_stale += 1;
+            }
         }
         if t > self.now {
             self.now = t;
@@ -660,42 +813,57 @@ impl Simulation {
         self.run_until(t);
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
+    /// Dispatches one event; returns `false` when the event was stale on
+    /// arrival (a superseded `PsCheck` or re-armed source) and did no
+    /// work.
+    fn dispatch(&mut self, kind: EventKind) -> bool {
         match kind {
             EventKind::SourceNext { class, gen } => {
+                let class = class as usize;
                 if self.sources[class].gen != gen {
-                    return;
+                    return false;
                 }
                 let lam_max = self.sources[class].rate.max_rate();
-                let lam = self.sources[class].rate.rate(self.now);
                 if lam_max > 0.0 {
-                    let accept = self.sources[class].rng.next_f64() < lam / lam_max;
+                    // Constant-rate fast path: thinning always accepts, so
+                    // skip the accept draw (one fewer RNG advance per
+                    // arrival; the interarrival stream is unchanged).
+                    let accept = match self.sources[class].rate {
+                        RateFn::Constant(_) => true,
+                        _ => {
+                            let lam = self.sources[class].rate.rate(self.now);
+                            self.sources[class].rng.next_f64() < lam / lam_max
+                        }
+                    };
                     if accept {
                         self.inject(ClassId(class));
                     }
                     self.arm_source(class, gen);
                 }
+                true
             }
             EventKind::NodeArrive { token } => {
                 if self.token_alive(token) {
                     self.node_arrive(token);
                 }
+                true
             }
             EventKind::PsCheck {
                 service,
                 replica,
                 gen,
-            } => {
-                self.ps_check(service, replica, gen);
-            }
+            } => self.ps_check(service as usize, replica as usize, gen),
             EventKind::TraceArrival { class } => {
-                self.inject(ClassId(class));
+                self.inject(ClassId(class as usize));
+                true
             }
             EventKind::ChaosStart { fault } => {
                 self.chaos_start(fault as usize);
+                true
             }
             EventKind::ChaosEnd { fault } => {
                 self.chaos_end(fault as usize);
+                true
             }
         }
     }
@@ -710,7 +878,11 @@ impl Simulation {
         let fault = chaos.faults[i];
         let detail = match fault.kind {
             FaultKind::Slowdown { service, factor } => {
+                // Rate rescale, not tag rewrite: integrate progress up to
+                // now at the old rate, switch, recompute completions.
+                self.ps_sync_all(service);
                 self.chaos_mut().slow_on(service, factor);
+                self.ps_resync_all(service);
                 format!("svc {service}, x{factor}")
             }
             FaultKind::ReplicaCrash { service, count } => {
@@ -768,7 +940,9 @@ impl Simulation {
         let fault = chaos.faults[i];
         let detail = match fault.kind {
             FaultKind::Slowdown { service, factor } => {
+                self.ps_sync_all(service);
                 self.chaos_mut().slow_off(service, factor);
+                self.ps_resync_all(service);
                 format!("svc {service}")
             }
             FaultKind::ReplicaCrash { .. } | FaultKind::NodeFailure { .. } => {
@@ -1001,7 +1175,9 @@ impl Simulation {
 
     fn start_pre(&mut self, token: Token, s: usize, r: usize) {
         let class = self.req(token).class;
-        let scale = self.work_scale[s] * self.chaos_slow(s);
+        // Chaos slowdown is NOT applied here: it rescales the replica's PS
+        // rate (affecting in-flight work too), not the sampled demand.
+        let scale = self.work_scale[s];
         let tmpl = &self.templates[class].nodes[token.node as usize];
         let work = (tmpl.pre.sample(&mut self.rng) * scale).max(MIN_WORK);
         {
@@ -1020,100 +1196,170 @@ impl Simulation {
 
     // ---- Processor-sharing machinery -------------------------------------
 
+    /// Advances a replica's virtual clock to `now`. O(1): one clock add
+    /// plus two telemetry accumulator adds, regardless of how many jobs
+    /// are active.
     fn ps_advance(&mut self, s: usize, r: usize) {
         let now = self.now;
-        let (busy, cap) = {
-            let Some(rep) = self.services[s].replicas[r].as_mut() else {
-                return;
-            };
-            let elapsed = (now - rep.last_advance).as_secs_f64();
-            rep.last_advance = now;
-            if elapsed <= 0.0 {
-                return;
-            }
-            let n = rep.active.len();
-            let mut busy = 0.0;
-            if n > 0 {
-                let rate = (rep.cores / n as f64).min(1.0);
-                for j in &mut rep.active {
-                    j.remaining -= elapsed * rate;
-                }
-                busy = (n as f64).min(rep.cores) * elapsed;
-            }
-            (busy, rep.cores * elapsed)
-        };
-        self.telemetry.record_cpu(ServiceId(s), busy, cap);
-    }
-
-    fn ps_reschedule(&mut self, s: usize, r: usize) {
-        let (at, gen) = {
-            let Some(rep) = self.services[s].replicas[r].as_mut() else {
-                return;
-            };
-            rep.ps_gen += 1;
-            if rep.active.is_empty() {
-                return;
-            }
-            let n = rep.active.len() as f64;
-            let rate = (rep.cores / n).min(1.0);
-            let min_rem = rep
-                .active
-                .iter()
-                .map(|j| j.remaining)
-                .fold(f64::INFINITY, f64::min)
-                .max(0.0);
-            let dt_ns = ((min_rem / rate) * 1e9).ceil().max(1.0) as u64;
-            (self.now + SimDur::from_nanos(dt_ns), rep.ps_gen)
-        };
-        self.schedule(
-            at,
-            EventKind::PsCheck {
-                service: s,
-                replica: r,
-                gen,
-            },
-        );
-    }
-
-    fn ps_add(&mut self, s: usize, r: usize, token: Token, work: f64) {
-        self.ps_advance(s, r);
-        self.services[s].replicas[r]
-            .as_mut()
-            .expect("live replica")
-            .active
-            .push(PsJob {
-                token,
-                remaining: work,
-            });
-        self.ps_reschedule(s, r);
-    }
-
-    fn ps_check(&mut self, s: usize, r: usize, gen: u64) {
-        {
-            let Some(rep) = self.services[s].replicas[r].as_ref() else {
-                return;
-            };
-            if rep.ps_gen != gen {
-                return;
-            }
+        let slow = self.chaos_slow(s);
+        if let Some(rep) = self.services[s].replicas[r].as_mut() {
+            rep.advance_to(now, slow);
         }
-        self.ps_advance(s, r);
+    }
+
+    /// Recomputes the replica's next real-time completion from the head
+    /// finish tag — O(1) — and schedules a fresh `PsCheck` only when that
+    /// completion moved *earlier* than the pending check. If it moved
+    /// later (the common case on arrivals with typical work sizes), the
+    /// pending check fires early, finds nothing due, and re-arms here —
+    /// so most membership changes push no event at all.
+    ///
+    /// Call after any membership or rate change, with the clock already
+    /// advanced to `now` ([`Self::ps_advance`]).
+    fn ps_resync(&mut self, s: usize, r: usize) {
+        let now = self.now;
+        let slow = self.chaos_slow(s);
+        let (schedule, invalidated) = {
+            let Some(rep) = self.services[s].replicas[r].as_mut() else {
+                return;
+            };
+            match rep.next_check_at(now, slow) {
+                None => {
+                    // Idle: drop any pending check.
+                    let invalidated = rep.has_check;
+                    if invalidated {
+                        rep.ps_gen = rep.ps_gen.wrapping_add(1);
+                        rep.has_check = false;
+                    }
+                    (None, invalidated)
+                }
+                Some(at) => {
+                    if rep.has_check && at >= rep.check_at {
+                        // Pending check fires at or before the true next
+                        // completion and will re-arm itself: no new event.
+                        (None, false)
+                    } else {
+                        let invalidated = rep.has_check;
+                        rep.ps_gen = rep.ps_gen.wrapping_add(1);
+                        rep.check_at = at;
+                        rep.has_check = true;
+                        (Some((at, rep.ps_gen)), invalidated)
+                    }
+                }
+            }
+        };
+        if invalidated {
+            // The superseded check stays in the heap until popped (and
+            // skipped) or compacted away.
+            self.heap_stale += 1;
+        }
+        if let Some((at, gen)) = schedule {
+            self.schedule(
+                at,
+                EventKind::PsCheck {
+                    service: s as u16,
+                    replica: r as u16,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Admits one compute phase into a replica's PS queue — the fused
+    /// hot path: advance, admit, and re-arm under a single replica
+    /// borrow.
+    fn ps_add(&mut self, s: usize, r: usize, token: Token, work: f64) {
+        let now = self.now;
+        let slow = self.chaos_slow(s);
+        let (schedule, invalidated) = {
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            rep.advance_to(now, slow);
+            rep.ps.admit(work, token);
+            let at = rep.next_check_at(now, slow).expect("just admitted");
+            if rep.has_check && at >= rep.check_at {
+                (None, false)
+            } else {
+                let invalidated = rep.has_check;
+                rep.ps_gen = rep.ps_gen.wrapping_add(1);
+                rep.check_at = at;
+                rep.has_check = true;
+                (Some((at, rep.ps_gen)), invalidated)
+            }
+        };
+        if invalidated {
+            self.heap_stale += 1;
+        }
+        if let Some((at, gen)) = schedule {
+            self.schedule(
+                at,
+                EventKind::PsCheck {
+                    service: s as u16,
+                    replica: r as u16,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Advances every replica of `s` to `now` at the *current* rate.
+    /// Call immediately before a service-wide rate change (chaos
+    /// slowdown on/off), so the elapsed span is integrated at the rate
+    /// that actually held over it.
+    fn ps_sync_all(&mut self, s: usize) {
+        for r in 0..self.services[s].replicas.len() {
+            self.ps_advance(s, r);
+        }
+    }
+
+    /// Recomputes next completions for every replica of `s`. Call
+    /// immediately after a service-wide rate change.
+    fn ps_resync_all(&mut self, s: usize) {
+        for r in 0..self.services[s].replicas.len() {
+            self.ps_resync(s, r);
+        }
+    }
+
+    /// Handles a popped `PsCheck`; returns `false` when the check was
+    /// stale (superseded generation or removed replica) and did no work.
+    fn ps_check(&mut self, s: usize, r: usize, gen: u32) -> bool {
+        let now = self.now;
+        let slow = self.chaos_slow(s);
         // Collect completions into the reusable scratch buffer (taken out of
         // `self` for the duration — nothing below re-enters `ps_check`).
         let mut finished = std::mem::take(&mut self.ps_scratch);
         finished.clear();
-        {
-            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
-            rep.active.retain(|j| {
-                if j.remaining <= WORK_EPS {
-                    finished.push(j.token);
-                    false
-                } else {
-                    true
+        // Advance, pop, and re-arm under a single replica borrow. The
+        // firing check is the current generation by construction, so the
+        // re-arm never invalidates a pending event.
+        let schedule = {
+            let rep = match self.services[s].replicas[r].as_mut() {
+                Some(rep) if rep.ps_gen == gen => rep,
+                _ => {
+                    self.heap_stale = self.heap_stale.saturating_sub(1);
+                    self.ps_scratch = finished;
+                    return false;
                 }
-            });
+            };
+            rep.has_check = false;
+            rep.advance_to(now, slow);
+            rep.ps.pop_due(WORK_EPS, &mut finished);
+            rep.next_check_at(now, slow).map(|at| {
+                rep.ps_gen = rep.ps_gen.wrapping_add(1);
+                rep.check_at = at;
+                rep.has_check = true;
+                (at, rep.ps_gen)
+            })
+        };
+        if let Some((at, gen)) = schedule {
+            self.schedule(
+                at,
+                EventKind::PsCheck {
+                    service: s as u16,
+                    replica: r as u16,
+                    gen,
+                },
+            );
         }
-        self.ps_reschedule(s, r);
         for &token in &finished {
             let phase = self.req(token).nodes[token.node as usize].phase;
             match phase {
@@ -1124,6 +1370,7 @@ impl Simulation {
         }
         finished.clear();
         self.ps_scratch = finished;
+        true
     }
 
     // ---- Request state machine -------------------------------------------
@@ -1328,7 +1575,7 @@ impl Simulation {
         let class = self.req(token).class;
         let (s, work) = {
             let svc = self.templates[class].nodes[token.node as usize].service;
-            let scale = self.work_scale[svc] * self.chaos_slow(svc);
+            let scale = self.work_scale[svc];
             let t = &self.templates[class].nodes[token.node as usize];
             let w = t.post.sample(&mut self.rng) * scale;
             (t.service, w)
@@ -1460,6 +1707,16 @@ impl Simulation {
         );
         if remove {
             self.ps_advance(s, r); // final capacity accounting
+            let (busy, cap) = {
+                let rep = self.services[s].replicas[r].as_mut().expect("draining");
+                (
+                    std::mem::take(&mut rep.busy_acc),
+                    std::mem::take(&mut rep.cap_acc),
+                )
+            };
+            if busy != 0.0 || cap != 0.0 {
+                self.telemetry.record_cpu(ServiceId(s), busy, cap);
+            }
             self.services[s].replicas[r] = None;
         }
     }
@@ -1558,7 +1815,7 @@ impl Simulation {
             if self.services[s].replicas[r].is_some() {
                 self.ps_advance(s, r);
                 self.services[s].replicas[r].as_mut().expect("live").cores = cores;
-                self.ps_reschedule(s, r);
+                self.ps_resync(s, r);
             }
         }
     }
@@ -1617,6 +1874,16 @@ impl Simulation {
             for r in 0..self.services[s].replicas.len() {
                 if self.services[s].replicas[r].is_some() {
                     self.ps_advance(s, r);
+                    let (busy, cap) = {
+                        let rep = self.services[s].replicas[r].as_mut().expect("live");
+                        (
+                            std::mem::take(&mut rep.busy_acc),
+                            std::mem::take(&mut rep.cap_acc),
+                        )
+                    };
+                    if busy != 0.0 || cap != 0.0 {
+                        self.telemetry.record_cpu(ServiceId(s), busy, cap);
+                    }
                 }
             }
         }

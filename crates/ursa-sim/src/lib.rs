@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod control;
 pub mod engine;
 pub mod metrics;
+pub mod ps;
 pub mod telemetry;
 pub mod time;
 pub mod topology;

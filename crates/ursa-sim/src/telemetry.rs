@@ -191,11 +191,13 @@ impl MetricsSnapshot {
 #[derive(Debug)]
 pub struct Telemetry {
     num_classes: usize,
-    /// `[service][class]` windows; `None` for (service, class) pairs that
-    /// never interact (saves memory on large topologies).
-    tier_windows: Vec<Vec<Option<QuantileWindow>>>,
-    response_windows: Vec<Vec<Option<QuantileWindow>>>,
-    arrivals: Vec<Vec<u64>>,
+    /// Flattened `[service * num_classes + class]` windows; `None` for
+    /// (service, class) pairs that never interact (saves memory on large
+    /// topologies). Flat layout keeps the per-event record path to a
+    /// single bounds check and indirection.
+    tier_windows: Vec<Option<QuantileWindow>>,
+    response_windows: Vec<Option<QuantileWindow>>,
+    arrivals: Vec<u64>,
     e2e_windows: Vec<QuantileWindow>,
     completions: Vec<u64>,
     injections: Vec<u64>,
@@ -217,24 +219,19 @@ impl Telemetry {
     pub fn new(topology: &Topology) -> Self {
         let ns = topology.num_services();
         let nc = topology.num_classes();
-        let mut tier_windows: Vec<Vec<Option<QuantileWindow>>> = Vec::with_capacity(ns);
-        let mut response_windows: Vec<Vec<Option<QuantileWindow>>> = Vec::with_capacity(ns);
+        let mut tier_windows: Vec<Option<QuantileWindow>> = vec![None; ns * nc];
+        let mut response_windows: Vec<Option<QuantileWindow>> = vec![None; ns * nc];
         for s in 0..ns {
-            let touching = topology.classes_on_service(ServiceId(s));
-            let mut tier = vec![None; nc];
-            let mut resp = vec![None; nc];
-            for c in touching {
-                tier[c.0] = Some(QuantileWindow::new(SERVICE_WINDOW_CAP));
-                resp[c.0] = Some(QuantileWindow::new(SERVICE_WINDOW_CAP));
+            for c in topology.classes_on_service(ServiceId(s)) {
+                tier_windows[s * nc + c.0] = Some(QuantileWindow::new(SERVICE_WINDOW_CAP));
+                response_windows[s * nc + c.0] = Some(QuantileWindow::new(SERVICE_WINDOW_CAP));
             }
-            tier_windows.push(tier);
-            response_windows.push(resp);
         }
         Telemetry {
             num_classes: nc,
             tier_windows,
             response_windows,
-            arrivals: vec![vec![0; nc]; ns],
+            arrivals: vec![0; ns * nc],
             e2e_windows: (0..nc)
                 .map(|_| QuantileWindow::new(E2E_WINDOW_CAP))
                 .collect(),
@@ -251,8 +248,9 @@ impl Telemetry {
     }
 
     /// Records a request arriving at a service.
+    #[inline]
     pub fn record_arrival(&mut self, service: ServiceId, class: ClassId) {
-        self.arrivals[service.0][class.0] += 1;
+        self.arrivals[service.0 * self.num_classes + class.0] += 1;
     }
 
     /// Records an injected (root) request.
@@ -262,11 +260,13 @@ impl Telemetry {
 
     /// Records a hop's response: `tier` excludes nested downstream waits,
     /// `full` is enqueue→response.
+    #[inline]
     pub fn record_response(&mut self, service: ServiceId, class: ClassId, tier: f64, full: f64) {
-        if let Some(w) = &mut self.tier_windows[service.0][class.0] {
+        let idx = service.0 * self.num_classes + class.0;
+        if let Some(w) = &mut self.tier_windows[idx] {
             w.record(tier);
         }
-        if let Some(w) = &mut self.response_windows[service.0][class.0] {
+        if let Some(w) = &mut self.response_windows[idx] {
             w.record(full);
         }
     }
@@ -317,19 +317,20 @@ impl Telemetry {
             self.mq_area[s] += self.mq_last_depth[s] as f64 * dt;
             self.mq_last_change[s] = now;
         }
-        let services = (0..self.tier_windows.len())
+        let nc = self.num_classes;
+        let services = (0..self.busy_core_secs.len())
             .map(|s| {
-                let tier_latency = (0..self.num_classes)
+                let tier_latency = (0..nc)
                     .map(|c| {
-                        self.tier_windows[s][c]
+                        self.tier_windows[s * nc + c]
                             .as_ref()
                             .map(LatencySeries::from_window)
                             .unwrap_or_default()
                     })
                     .collect();
-                let response_latency = (0..self.num_classes)
+                let response_latency = (0..nc)
                     .map(|c| {
-                        self.response_windows[s][c]
+                        self.response_windows[s * nc + c]
                             .as_ref()
                             .map(LatencySeries::from_window)
                             .unwrap_or_default()
@@ -345,7 +346,7 @@ impl Telemetry {
                     } else {
                         0.0
                     },
-                    arrivals: self.arrivals[s].clone(),
+                    arrivals: self.arrivals[s * nc..(s + 1) * nc].to_vec(),
                     tier_latency,
                     response_latency,
                     mq_depth: mq_depths[s],
@@ -373,16 +374,14 @@ impl Telemetry {
             faults: Vec::new(),
         };
         // Reset for the next window.
-        for s in 0..self.tier_windows.len() {
-            for c in 0..self.num_classes {
-                if let Some(w) = &mut self.tier_windows[s][c] {
-                    w.clear();
-                }
-                if let Some(w) = &mut self.response_windows[s][c] {
-                    w.clear();
-                }
-                self.arrivals[s][c] = 0;
-            }
+        for w in self.tier_windows.iter_mut().flatten() {
+            w.clear();
+        }
+        for w in self.response_windows.iter_mut().flatten() {
+            w.clear();
+        }
+        self.arrivals.fill(0);
+        for s in 0..self.busy_core_secs.len() {
             self.busy_core_secs[s] = 0.0;
             self.capacity_core_secs[s] = 0.0;
             self.mq_area[s] = 0.0;
@@ -418,9 +417,9 @@ mod tests {
     #[test]
     fn windows_allocated_sparsely() {
         let t = Telemetry::new(&topo());
-        assert!(t.tier_windows[0][0].is_some());
+        assert!(t.tier_windows[0].is_some());
         assert!(
-            t.tier_windows[1][0].is_none(),
+            t.tier_windows[t.num_classes].is_none(),
             "class never touches service b"
         );
     }

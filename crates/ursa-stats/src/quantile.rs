@@ -83,13 +83,24 @@ impl QuantileWindow {
     }
 
     /// Records a sample, evicting the oldest if full.
+    ///
+    /// Hot path of the simulator's telemetry plane — branches instead of
+    /// `%` (an integer division) for the ring wrap-around.
+    #[inline]
     pub fn record(&mut self, value: f64) {
         let cap = self.buf.len();
-        self.buf[(self.head + self.len) % cap] = value;
+        let mut idx = self.head + self.len;
+        if idx >= cap {
+            idx -= cap;
+        }
+        self.buf[idx] = value;
         if self.len < cap {
             self.len += 1;
         } else {
-            self.head = (self.head + 1) % cap;
+            self.head += 1;
+            if self.head >= cap {
+                self.head = 0;
+            }
         }
         self.total_count += 1;
         self.cache_dirty.set(true);
