@@ -15,13 +15,15 @@
 //! for any `--jobs` value at a fixed `--seed` (enforced by
 //! `tests/chaos_determinism.rs`).
 
+use crate::postmortem::PostmortemObserver;
 use crate::runner::run_cells;
-use crate::{f3, pct, results_dir, LoadSpec, PreparedManagers, Scale, System, TsvTable};
+use crate::{f3, logging, pct, results_dir, LoadSpec, PreparedManagers, Scale, System, TsvTable};
 use ursa_apps::{social_network, App};
 use ursa_chaos::Scenario;
 use ursa_core::decision_log::DecisionKind;
 use ursa_sim::chaos::{FaultKind, FaultPlan};
 use ursa_sim::control::DeploymentReport;
+use ursa_sim::metrics::SimMetrics;
 use ursa_sim::time::{SimDur, SimTime};
 
 /// Seed base for the chaos grid (mixed with the global `--seed`).
@@ -210,15 +212,40 @@ pub fn run_cell(
     let system = System::ALL[si];
     let seed = CHAOS_SEED ^ ((fi as u64) << 8) ^ si as u64;
     let mut mgrs = managers.clone();
-    let report = mgrs.deploy_metered_with_faults(
-        app,
-        system,
-        &LoadSpec::Constant,
-        scale,
-        seed,
-        Some(plan),
-        None,
-    );
+    // `--postmortem-dir` arms the flight-recorder / bundle pipeline on the
+    // Ursa cells (the cells with a decision log to correlate). Observation
+    // is non-perturbing, so the TSV rows stay byte-identical either way.
+    let postmortem_dir = (system == System::Ursa)
+        .then(logging::postmortem_dir)
+        .flatten();
+    let report = if let Some(dir) = postmortem_dir {
+        let mut metrics = SimMetrics::for_topology(system.label(), &app.topology, &app.slas);
+        let mut obs = PostmortemObserver::new(
+            &dir,
+            &format!("chaos-{label}-{}", system.label()),
+            logging::snapshot_at(),
+        );
+        mgrs.deploy_observed_with_faults(
+            app,
+            system,
+            &LoadSpec::Constant,
+            scale,
+            seed,
+            Some(plan),
+            Some(&mut metrics),
+            Some(&mut obs),
+        )
+    } else {
+        mgrs.deploy_metered_with_faults(
+            app,
+            system,
+            &LoadSpec::Constant,
+            scale,
+            seed,
+            Some(plan),
+            None,
+        )
+    };
     let span = (
         plan.first_at().expect("non-empty plan"),
         plan.last_until().expect("non-empty plan"),

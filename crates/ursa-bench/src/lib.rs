@@ -15,7 +15,13 @@
 pub mod experiments;
 pub mod logging;
 pub mod perf;
+pub mod postmortem;
 pub mod runner;
+
+// The progress macros live in `ursa-metrics` (shared with the library
+// crates); re-export them under the historical `ursa_bench::{info,warn,
+// debug}` names every call site uses.
+pub use ursa_metrics::{log_debug as debug, log_info as info, log_warn as warn};
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -29,9 +35,10 @@ use ursa_baselines::{
 use ursa_core::exploration::ExplorationConfig;
 use ursa_core::manager::{Ursa, UrsaConfig};
 use ursa_core::profiling::ProfilingConfig;
-use ursa_sim::control::{run_deployment_metered, DeployConfig, DeploymentReport};
+use ursa_sim::control::{run_deployment_observed, DeployConfig, DeployObserver, DeploymentReport};
 use ursa_sim::engine::Simulation;
 use ursa_sim::metrics::SimMetrics;
+use ursa_sim::recorder::FlightRecorder;
 use ursa_sim::time::{SimDur, SimTime};
 use ursa_sim::topology::ServiceId;
 use ursa_sim::workload::RateFn;
@@ -397,11 +404,38 @@ impl PreparedManagers {
         faults: Option<&ursa_sim::chaos::FaultPlan>,
         metrics: Option<&mut SimMetrics>,
     ) -> DeploymentReport {
+        self.deploy_observed_with_faults(app, system, load, scale, seed, faults, metrics, None)
+    }
+
+    /// [`deploy_metered_with_faults`](Self::deploy_metered_with_faults)
+    /// with an optional [`DeployObserver`] — the post-mortem attachment
+    /// point. When an observer is given the deployment also arms the
+    /// simulator's flight recorder and span tracer so the observer has an
+    /// event window and live span trees to bundle; both planes are
+    /// non-perturbing (they draw no simulation randomness), so the
+    /// [`DeploymentReport`] stays bit-identical to the unobserved call
+    /// (enforced by `ursa-sim/tests/observability_bitident.rs`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_observed_with_faults(
+        &mut self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        faults: Option<&ursa_sim::chaos::FaultPlan>,
+        metrics: Option<&mut SimMetrics>,
+        observer: Option<&mut dyn DeployObserver>,
+    ) -> DeploymentReport {
         let seed = mix_seed(seed);
         let duration = scale.deploy_duration();
         let mut sim = app.build_sim(seed);
         if let Some(plan) = faults {
             sim.install_faults(plan, seed);
+        }
+        if observer.is_some() {
+            sim.arm_flight_recorder(FlightRecorder::DEFAULT_CAPACITY);
+            sim.enable_tracing(POSTMORTEM_TRACE_CAPACITY, POSTMORTEM_TRACE_SAMPLE_RATE);
         }
         load.apply(app, &mut sim, duration);
         let cfg = DeployConfig {
@@ -414,25 +448,48 @@ impl PreparedManagers {
             System::Ursa => {
                 let rates = default_rates(app);
                 self.ursa.apply_initial_allocation(&rates, &mut sim);
-                run_deployment_metered(&mut sim, &app.slas, &mut self.ursa, &cfg, metrics)
+                run_deployment_observed(
+                    &mut sim,
+                    &app.slas,
+                    &mut self.ursa,
+                    &cfg,
+                    metrics,
+                    observer,
+                )
             }
-            System::Sinan => {
-                run_deployment_metered(&mut sim, &app.slas, &mut self.sinan, &cfg, metrics)
-            }
-            System::Firm => {
-                run_deployment_metered(&mut sim, &app.slas, &mut self.firm, &cfg, metrics)
-            }
+            System::Sinan => run_deployment_observed(
+                &mut sim,
+                &app.slas,
+                &mut self.sinan,
+                &cfg,
+                metrics,
+                observer,
+            ),
+            System::Firm => run_deployment_observed(
+                &mut sim,
+                &app.slas,
+                &mut self.firm,
+                &cfg,
+                metrics,
+                observer,
+            ),
             System::AutoA => {
                 let mut auto = Autoscaler::auto_a(self.num_services);
-                run_deployment_metered(&mut sim, &app.slas, &mut auto, &cfg, metrics)
+                run_deployment_observed(&mut sim, &app.slas, &mut auto, &cfg, metrics, observer)
             }
             System::AutoB => {
                 let mut auto = Autoscaler::auto_b(self.num_services);
-                run_deployment_metered(&mut sim, &app.slas, &mut auto, &cfg, metrics)
+                run_deployment_observed(&mut sim, &app.slas, &mut auto, &cfg, metrics, observer)
             }
         }
     }
 }
+
+/// Span-tracer ring capacity armed for post-mortem deployments.
+const POSTMORTEM_TRACE_CAPACITY: usize = 512;
+/// Head-sampling rate of the post-mortem span tracer — low enough that the
+/// ring survives a full control window without megabytes of spans.
+const POSTMORTEM_TRACE_SAMPLE_RATE: f64 = 0.02;
 
 /// A simple TSV table writer that also renders to the terminal.
 #[derive(Debug, Clone)]

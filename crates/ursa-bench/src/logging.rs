@@ -1,16 +1,21 @@
 //! Leveled progress logging and artifact-output plumbing for the runner.
 //!
 //! Experiment *results* (tables, series) go to stdout via `println!` so
-//! they can be piped; *progress* goes to stderr through the [`info!`],
-//! [`warn!`], and [`debug!`] macros, which honor `--quiet` / `--verbose`.
-//! The level machinery itself lives in [`ursa_metrics::logging`] (shared
-//! with the library crates, so `--verbose` also surfaces e.g. `ursa-core`
-//! calibration diagnostics) and is re-exported here.
+//! they can be piped; *progress* goes to stderr through the `info!`,
+//! `warn!`, and `debug!` macros, which honor `--quiet` / `--verbose`.
+//! The macros and level machinery live in [`ursa_metrics::logging`]
+//! (shared with the library crates, so `--verbose` also surfaces e.g.
+//! `ursa-core` calibration diagnostics); this crate re-exports them under
+//! its historical names at the crate root — the macro bodies used to be a
+//! copy-paste of the `ursa-metrics` ones and the two had drifted
+//! (`log_warn!` only took a literal format string).
 //!
 //! `--trace-dir` registers a directory into which experiments dump span
 //! traces (Chrome trace-event JSON + JSONL) and decision logs;
 //! `--metrics-dir` does the same for metrics artifacts (Prometheus text,
-//! CSV, HTML dashboards).
+//! CSV, HTML dashboards); `--postmortem-dir` arms the flight-recorder /
+//! post-mortem pipeline (see [`crate::postmortem`]) and `--snapshot-at`
+//! adds an explicit bundle trigger at a simulated time.
 
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -19,6 +24,8 @@ pub use ursa_metrics::logging::{enabled, set_level, Level};
 
 static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static METRICS_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static POSTMORTEM_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static SNAPSHOT_AT: Mutex<Option<f64>> = Mutex::new(None);
 
 /// Registers the directory trace artifacts are written into (`None`
 /// disables trace output).
@@ -42,34 +49,26 @@ pub fn metrics_dir() -> Option<PathBuf> {
     METRICS_DIR.lock().expect("metrics dir lock").clone()
 }
 
-/// Prints a progress message to stderr unless `--quiet`.
-#[macro_export]
-macro_rules! info {
-    ($($arg:tt)*) => {
-        if $crate::logging::enabled($crate::logging::Level::Info) {
-            eprintln!($($arg)*);
-        }
-    };
+/// Registers the directory post-mortem bundles are written into (`None`
+/// disarms the pipeline).
+pub fn set_postmortem_dir(dir: Option<PathBuf>) {
+    *POSTMORTEM_DIR.lock().expect("postmortem dir lock") = dir;
 }
 
-/// Prints a warning (prefixed `warning:`) to stderr unless `--quiet`.
-#[macro_export]
-macro_rules! warn {
-    ($($arg:tt)*) => {
-        if $crate::logging::enabled($crate::logging::Level::Info) {
-            eprintln!("warning: {}", format_args!($($arg)*));
-        }
-    };
+/// The registered post-mortem output directory, if any.
+pub fn postmortem_dir() -> Option<PathBuf> {
+    POSTMORTEM_DIR.lock().expect("postmortem dir lock").clone()
 }
 
-/// Prints a detail message to stderr only with `--verbose`.
-#[macro_export]
-macro_rules! debug {
-    ($($arg:tt)*) => {
-        if $crate::logging::enabled($crate::logging::Level::Debug) {
-            eprintln!($($arg)*);
-        }
-    };
+/// Registers an explicit snapshot trigger at simulated time `t` seconds
+/// (the bundle dumps at the first control tick at or after `t`).
+pub fn set_snapshot_at(t: Option<f64>) {
+    *SNAPSHOT_AT.lock().expect("snapshot-at lock") = t;
+}
+
+/// The registered explicit snapshot time, if any.
+pub fn snapshot_at() -> Option<f64> {
+    *SNAPSHOT_AT.lock().expect("snapshot-at lock")
 }
 
 #[cfg(test)]
@@ -106,9 +105,25 @@ mod tests {
     }
 
     #[test]
+    fn postmortem_plumbing_roundtrip() {
+        set_postmortem_dir(Some(PathBuf::from("/tmp/pm")));
+        assert_eq!(postmortem_dir(), Some(PathBuf::from("/tmp/pm")));
+        set_postmortem_dir(None);
+        assert_eq!(postmortem_dir(), None);
+        set_snapshot_at(Some(300.0));
+        assert_eq!(snapshot_at(), Some(300.0));
+        set_snapshot_at(None);
+        assert_eq!(snapshot_at(), None);
+    }
+
+    #[test]
     fn macros_compile_at_all_levels() {
         crate::info!("info {}", 1);
-        crate::warn!("warn {}", 2);
+        // Non-literal first argument: only works because `warn!` is the
+        // shared `ursa_metrics::log_warn!`, whose matcher takes any
+        // format expression.
+        let fmt = format!("warn {}", 2);
+        crate::warn!("{}", fmt);
         crate::debug!("debug {}", 3);
     }
 }

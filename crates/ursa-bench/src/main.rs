@@ -6,6 +6,7 @@
 //! cargo run --release -p ursa-bench -- --exp chaos [--seed N]
 //! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
 //! cargo run --release -p ursa-bench -- --exp fig9 --metrics-dir metrics/
+//! cargo run --release -p ursa-bench -- --exp chaos --postmortem-dir results/postmortem
 //! cargo run --release -p ursa-bench -- perf [--out BENCH_sim.json] [--check baseline.json]
 //! ```
 
@@ -57,6 +58,19 @@ fn main() {
                 i += 1;
                 let dir = args.get(i).cloned().unwrap_or_else(|| usage());
                 logging::set_metrics_dir(Some(dir.into()));
+            }
+            "--postmortem-dir" => {
+                i += 1;
+                let dir = args.get(i).cloned().unwrap_or_else(|| usage());
+                logging::set_postmortem_dir(Some(dir.into()));
+            }
+            "--snapshot-at" => {
+                i += 1;
+                let t: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                logging::set_snapshot_at(Some(t));
             }
             "--help" | "-h" => {
                 usage();
@@ -159,7 +173,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation|chaos] \
          [--quick|--full] [--jobs N] [--seed N] [--quiet|--verbose] [--trace-dir DIR] \
-         [--metrics-dir DIR]\n\
+         [--metrics-dir DIR] [--postmortem-dir DIR] [--snapshot-at SECS]\n\
          \x20      ursa-bench perf [--out BENCH_sim.json] [--check baseline.json] [--jobs N]"
     );
     std::process::exit(2)

@@ -15,11 +15,19 @@
 //!
 //! Each cell also reports the stale-event split (live events drive
 //! state; stale pops are lazily-invalidated PS checks) plus event-heap
-//! depth/compaction counters. After the cells, an 8-cell batch runs
-//! under 1 worker and under the configured `--jobs` to report the
+//! depth/compaction counters. Each cell is timed as plain/profiled
+//! back-to-back pairs: the v3 schema reports a per-phase breakdown
+//! (`phases` / `ps_heavy_phases`, one `{phase, pct, ns_per_event}` row
+//! per [`SimPhase`]) so the next perf PR attacks the measured hot phase,
+//! plus the paired-minimum profiler overhead, asserting along the way
+//! that the profiled run's counters are identical to the plain run's
+//! (the profiler must observe, not perturb). After the cells, an 8-cell
+//! batch
+//! runs under 1 worker and under the configured `--jobs` to report the
 //! harness speedup. Results go to `BENCH_sim.json`; `--check
 //! <baseline.json>` compares both cells' events/sec against a committed
-//! baseline, which is what CI runs.
+//! baseline and gates the profiler overhead at
+//! [`PROFILER_OVERHEAD_BUDGET_PCT`], which is what CI runs.
 
 use std::path::Path;
 use std::time::Instant;
@@ -48,6 +56,11 @@ const MEASURE_REPS: usize = 5;
 /// complexity-class regressions (the ps_heavy cell slows ~3x if PS goes
 /// quadratic again), not single-digit codegen drift.
 const REGRESSION_TOLERANCE: f64 = 0.35;
+/// Maximum tolerated profiler overhead (`--check` gate): the sampled
+/// accounting must stay within 2 % of the plain wall on both cells,
+/// measured as the paired-minimum ratio (see [`time_cell_pair`]).
+/// Overhead below measurement noise clamps to zero.
+pub const PROFILER_OVERHEAD_BUDGET_PCT: f64 = 2.0;
 
 /// Counters harvested from one cell run (deterministic per seed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,17 +86,33 @@ fn stats_of(sim: &Simulation) -> CellStats {
 
 /// Runs the canonical cell and returns its counters.
 fn canonical_cell(seed: u64) -> CellStats {
+    canonical_cell_run(seed, false).0
+}
+
+/// [`canonical_cell`] with the phase profiler optionally enabled; returns
+/// the counters plus the profile when profiling was on.
+fn canonical_cell_run(seed: u64, profiled: bool) -> (CellStats, Option<ProfilerReport>) {
     let app = social_network(true);
     let mut sim = app.build_sim(seed);
+    if profiled {
+        sim.enable_profiler(PhaseProfiler::DEFAULT_SAMPLE_EVERY);
+    }
     app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
     sim.run_for(SimDur::from_secs(SIM_SECS));
-    stats_of(&sim)
+    let profile = sim.profiler().map(|p| p.report());
+    (stats_of(&sim), profile)
 }
 
 /// Runs the ps_heavy cell: a single replica pushed far past saturation
 /// so hundreds of jobs share its cores, exercising the virtual-time PS
 /// queue and the stale-check machinery at depth.
+#[cfg(test)]
 fn ps_heavy_cell(seed: u64) -> CellStats {
+    ps_heavy_cell_run(seed, false).0
+}
+
+/// [`ps_heavy_cell`] with the phase profiler optionally enabled.
+fn ps_heavy_cell_run(seed: u64, profiled: bool) -> (CellStats, Option<ProfilerReport>) {
     let topo = Topology::new(
         vec![ServiceCfg::new("svc", 8.0).with_workers(PS_HEAVY_WORKERS)],
         vec![ClassCfg {
@@ -94,26 +123,107 @@ fn ps_heavy_cell(seed: u64) -> CellStats {
     )
     .expect("static ps_heavy topology");
     let mut sim = Simulation::new(topo, SimConfig::default(), seed);
+    if profiled {
+        sim.enable_profiler(PhaseProfiler::DEFAULT_SAMPLE_EVERY);
+    }
     sim.set_rate(ClassId(0), RateFn::Constant(4000.0));
     sim.run_for(SimDur::from_secs(PS_HEAVY_SECS));
-    stats_of(&sim)
+    let profile = sim.profiler().map(|p| p.report());
+    (stats_of(&sim), profile)
 }
 
-/// Best-of-N wall-clock for `cell`, asserting the counters are
-/// identical across repetitions (they are a pure function of the seed).
-fn time_cell(cell: impl Fn() -> CellStats) -> (CellStats, f64) {
-    let mut best = f64::MAX;
+/// One cell timed both plain and profiled.
+struct CellTiming {
+    /// Deterministic counters (identical across every repetition, plain
+    /// and profiled alike).
+    stats: CellStats,
+    /// Best-of-N plain wall-clock, seconds.
+    wall: f64,
+    /// The profile from the fastest (least-disturbed) profiled rep.
+    profile: ProfilerReport,
+    /// Paired-minimum profiler overhead, percent (see below).
+    overhead_pct: f64,
+}
+
+/// Times `run(false)` / `run(true)` as back-to-back pairs, N times.
+///
+/// The overhead estimate is the *minimum over pairs* of the
+/// profiled/plain wall ratio, clamped at zero. Single best-of-N walls of
+/// two separately-timed populations wander by several percent on shared
+/// runners — far above the real sampled-profiler cost — so a
+/// difference-of-minima gate would flake. Pairing keeps machine state
+/// comparable within each ratio, and the minimum rejects pairs where the
+/// profiled half got unlucky; a *systematic* regression (the profiler
+/// suddenly doing real work per event) inflates every pair and still
+/// trips the gate.
+fn time_cell_pair(run: impl Fn(bool) -> (CellStats, Option<ProfilerReport>)) -> CellTiming {
+    let mut best_plain = f64::MAX;
+    let mut best_prof = f64::MAX;
+    let mut best_ratio = f64::MAX;
     let mut stats: Option<CellStats> = None;
+    let mut profile: Option<ProfilerReport> = None;
     for _ in 0..MEASURE_REPS {
         let t = Instant::now();
-        let s = cell();
-        best = best.min(t.elapsed().as_secs_f64());
+        let (s_plain, _) = run(false);
+        let wall_plain = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let (s_prof, p) = run(true);
+        let wall_prof = t.elapsed().as_secs_f64();
+        assert_eq!(s_plain, s_prof, "profiler perturbed the cell");
         if let Some(prev) = stats {
-            assert_eq!(prev, s, "cell counters must be deterministic");
+            assert_eq!(prev, s_plain, "cell counters must be deterministic");
         }
-        stats = Some(s);
+        stats = Some(s_plain);
+        best_plain = best_plain.min(wall_plain);
+        if wall_prof < best_prof {
+            best_prof = wall_prof;
+            profile = p;
+        }
+        best_ratio = best_ratio.min(wall_prof / wall_plain.max(1e-9));
     }
-    (stats.expect("MEASURE_REPS > 0"), best)
+    CellTiming {
+        stats: stats.expect("MEASURE_REPS > 0"),
+        wall: best_plain,
+        profile: profile.expect("profiled rep ran"),
+        overhead_pct: (best_ratio - 1.0).max(0.0) * 100.0,
+    }
+}
+
+/// One row of the v3 per-phase breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRow {
+    /// Stable phase label (see [`SimPhase::label`]).
+    pub phase: &'static str,
+    /// Share of estimated engine time, percent.
+    pub pct: f64,
+    /// Estimated nanoseconds per popped event in this phase.
+    pub ns_per_event: f64,
+}
+
+/// Flattens a [`ProfilerReport`] into the v3 `phases` rows.
+fn phase_rows(profile: &ProfilerReport) -> Vec<PhaseRow> {
+    profile
+        .phases
+        .iter()
+        .map(|s| PhaseRow {
+            phase: s.phase.label(),
+            pct: s.share * 100.0,
+            ns_per_event: profile.ns_per_event(s.phase),
+        })
+        .collect()
+}
+
+fn phases_json(rows: &[PhaseRow]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"phase\": \"{}\", \"pct\": {:.2}, \"ns_per_event\": {:.1}}}",
+                r.phase, r.pct, r.ns_per_event
+            )
+        })
+        .collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// One perf measurement.
@@ -143,6 +253,15 @@ pub struct PerfReport {
     pub ps_heavy_events_per_sec: f64,
     /// Best-of-N wall-clock of the ps_heavy cell, milliseconds.
     pub ps_heavy_wall_ms: f64,
+    /// Measured profiler overhead on the canonical cell, percent
+    /// (profiled best wall vs plain best wall, clamped at zero).
+    pub profiler_overhead_pct: f64,
+    /// Per-phase breakdown of the canonical cell (profiled run).
+    pub phases: Vec<PhaseRow>,
+    /// Measured profiler overhead on the ps_heavy cell, percent.
+    pub ps_heavy_profiler_overhead_pct: f64,
+    /// Per-phase breakdown of the ps_heavy cell (profiled run).
+    pub ps_heavy_phases: Vec<PhaseRow>,
     /// Workers used for the parallel batch.
     pub jobs: usize,
     /// Wall-clock of the batch with 1 worker, milliseconds.
@@ -157,7 +276,7 @@ impl PerfReport {
     /// Renders the report as JSON (stable key order, no dependencies).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"ursa-bench-perf/v2\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"schema\": \"ursa-bench-perf/v3\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"profiler_overhead_pct\": {:.2},\n  \"phases\": {},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"ps_heavy_profiler_overhead_pct\": {:.2},\n  \"ps_heavy_phases\": {},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
             self.events,
             self.events_stale,
             self.stale_ratio,
@@ -165,11 +284,15 @@ impl PerfReport {
             self.heap_compactions,
             self.events_per_sec,
             self.cell_wall_ms,
+            self.profiler_overhead_pct,
+            phases_json(&self.phases),
             self.ps_heavy_events,
             self.ps_heavy_events_stale,
             self.ps_heavy_heap_max_depth,
             self.ps_heavy_events_per_sec,
             self.ps_heavy_wall_ms,
+            self.ps_heavy_profiler_overhead_pct,
+            phases_json(&self.ps_heavy_phases),
             self.jobs,
             self.batch_wall_jobs1_ms,
             self.batch_wall_jobsn_ms,
@@ -183,8 +306,13 @@ pub fn measure() -> PerfReport {
     // Warm-up (page in code and allocator state).
     canonical_cell(1);
 
-    let (canon, canon_wall) = time_cell(|| canonical_cell(0xBE7C));
-    let (heavy, heavy_wall) = time_cell(|| ps_heavy_cell(0x9527));
+    // Each cell is timed as plain/profiled pairs: the plain best-of-N
+    // wall yields events/sec, the profiled best carries the v3 phase
+    // breakdown, and the paired-minimum ratio is the overhead gate. The
+    // counter equality inside `time_cell_pair` is the non-perturbation
+    // proof (the profiler observes; it never perturbs).
+    let canon = time_cell_pair(|profiled| canonical_cell_run(0xBE7C, profiled));
+    let heavy = time_cell_pair(|profiled| ps_heavy_cell_run(0x9527, profiled));
 
     let seeds: Vec<u64> = (0..BATCH_CELLS).map(|i| 0xBE7C ^ (i << 16)).collect();
     let t = Instant::now();
@@ -197,18 +325,23 @@ pub fn measure() -> PerfReport {
     assert_eq!(seq, par, "parallel batch must reproduce the sequential one");
 
     PerfReport {
-        events: canon.live,
-        events_stale: canon.stale,
-        stale_ratio: canon.stale as f64 / (canon.live + canon.stale).max(1) as f64,
-        heap_max_depth: canon.heap_max_depth,
-        heap_compactions: canon.compactions,
-        events_per_sec: canon.live as f64 / canon_wall.max(1e-9),
-        cell_wall_ms: canon_wall * 1e3,
-        ps_heavy_events: heavy.live,
-        ps_heavy_events_stale: heavy.stale,
-        ps_heavy_heap_max_depth: heavy.heap_max_depth,
-        ps_heavy_events_per_sec: heavy.live as f64 / heavy_wall.max(1e-9),
-        ps_heavy_wall_ms: heavy_wall * 1e3,
+        events: canon.stats.live,
+        events_stale: canon.stats.stale,
+        stale_ratio: canon.stats.stale as f64
+            / (canon.stats.live + canon.stats.stale).max(1) as f64,
+        heap_max_depth: canon.stats.heap_max_depth,
+        heap_compactions: canon.stats.compactions,
+        events_per_sec: canon.stats.live as f64 / canon.wall.max(1e-9),
+        cell_wall_ms: canon.wall * 1e3,
+        ps_heavy_events: heavy.stats.live,
+        ps_heavy_events_stale: heavy.stats.stale,
+        ps_heavy_heap_max_depth: heavy.stats.heap_max_depth,
+        ps_heavy_events_per_sec: heavy.stats.live as f64 / heavy.wall.max(1e-9),
+        ps_heavy_wall_ms: heavy.wall * 1e3,
+        profiler_overhead_pct: canon.overhead_pct,
+        phases: phase_rows(&canon.profile),
+        ps_heavy_profiler_overhead_pct: heavy.overhead_pct,
+        ps_heavy_phases: phase_rows(&heavy.profile),
         jobs,
         batch_wall_jobs1_ms: wall1.as_secs_f64() * 1e3,
         batch_wall_jobsn_ms: walln.as_secs_f64() * 1e3,
@@ -250,6 +383,23 @@ fn check_field(report: &str, baseline: &str, key: &str) -> i32 {
     0
 }
 
+/// Gates a measured profiler-overhead field against the fixed budget;
+/// returns an exit code (0 ok, 1 over budget, 2 missing field).
+fn check_overhead(report: &str, key: &str) -> i32 {
+    let Some(cur) = json_field(report, key) else {
+        eprintln!("error: report has no {key}");
+        return 2;
+    };
+    if cur > PROFILER_OVERHEAD_BUDGET_PCT {
+        eprintln!(
+            "PROFILER OVERHEAD: {key} {cur:.2}% exceeds the {PROFILER_OVERHEAD_BUDGET_PCT}% budget"
+        );
+        return 1;
+    }
+    println!("perf check ok: {key} {cur:.2}% <= {PROFILER_OVERHEAD_BUDGET_PCT}% budget");
+    0
+}
+
 /// Runs the measurement, writes `BENCH_sim.json`, optionally checks it
 /// against a baseline. Returns the process exit code (0 = ok, 1 =
 /// regression, 2 = bad baseline).
@@ -280,7 +430,9 @@ pub fn run(out: &Path, check: Option<&Path>) -> i32 {
     };
     let canon = check_field(&json, &baseline, "events_per_sec");
     let heavy = check_field(&json, &baseline, "ps_heavy_events_per_sec");
-    canon.max(heavy)
+    let canon_oh = check_overhead(&json, "profiler_overhead_pct");
+    let heavy_oh = check_overhead(&json, "ps_heavy_profiler_overhead_pct");
+    canon.max(heavy).max(canon_oh).max(heavy_oh)
 }
 
 #[cfg(test)]
@@ -324,6 +476,25 @@ mod tests {
             ps_heavy_heap_max_depth: 600,
             ps_heavy_events_per_sec: 98765.5,
             ps_heavy_wall_ms: 43.7,
+            profiler_overhead_pct: 0.85,
+            phases: vec![
+                PhaseRow {
+                    phase: "ps_advance",
+                    pct: 61.25,
+                    ns_per_event: 120.5,
+                },
+                PhaseRow {
+                    phase: "heap_pop",
+                    pct: 12.5,
+                    ns_per_event: 24.6,
+                },
+            ],
+            ps_heavy_profiler_overhead_pct: 1.15,
+            ps_heavy_phases: vec![PhaseRow {
+                phase: "ps_advance",
+                pct: 80.0,
+                ns_per_event: 300.0,
+            }],
             jobs: 4,
             batch_wall_jobs1_ms: 180.0,
             batch_wall_jobsn_ms: 60.0,
@@ -345,7 +516,50 @@ mod tests {
         assert_eq!(json_field(&j, "ps_heavy_events_per_sec"), Some(98765.5));
         assert_eq!(json_field(&j, "stale_ratio"), Some(0.0434));
         assert_eq!(json_field(&j, "heap_max_depth"), Some(99.0));
+        assert_eq!(json_field(&j, "profiler_overhead_pct"), Some(0.85));
+        assert_eq!(json_field(&j, "ps_heavy_profiler_overhead_pct"), Some(1.15));
         assert_eq!(json_field(&j, "missing"), None);
+    }
+
+    #[test]
+    fn v3_schema_and_phase_arrays() {
+        let j = sample_report().to_json();
+        assert!(j.contains("\"schema\": \"ursa-bench-perf/v3\""));
+        assert!(j.contains(
+            "\"phases\": [{\"phase\": \"ps_advance\", \"pct\": 61.25, \"ns_per_event\": 120.5}, \
+             {\"phase\": \"heap_pop\", \"pct\": 12.50, \"ns_per_event\": 24.6}]"
+        ));
+        assert!(j.contains(
+            "\"ps_heavy_phases\": [{\"phase\": \"ps_advance\", \"pct\": 80.00, \"ns_per_event\": 300.0}]"
+        ));
+    }
+
+    #[test]
+    fn overhead_gate_trips_only_over_budget() {
+        let j = sample_report().to_json();
+        assert_eq!(check_overhead(&j, "profiler_overhead_pct"), 0);
+        assert_eq!(check_overhead(&j, "ps_heavy_profiler_overhead_pct"), 0);
+        let hot = j.replace(
+            "\"profiler_overhead_pct\": 0.85",
+            "\"profiler_overhead_pct\": 7.30",
+        );
+        assert_eq!(check_overhead(&hot, "profiler_overhead_pct"), 1);
+        assert_eq!(check_overhead(&j, "no_such_field"), 2);
+    }
+
+    #[test]
+    fn profiled_cells_match_plain_counters() {
+        let (plain, prof) = (canonical_cell(3), canonical_cell_run(3, true));
+        assert_eq!(plain, prof.0);
+        let report = prof.1.expect("profiled run carries a report");
+        assert!(report.events_seen > 0);
+        let rows = phase_rows(&report);
+        assert_eq!(rows.len(), SimPhase::ALL.len());
+        let total: f64 = rows.iter().map(|r| r.pct).sum();
+        assert!(
+            (total - 100.0).abs() < 1.0,
+            "phase shares sum to ~100%: {total}"
+        );
     }
 
     #[test]

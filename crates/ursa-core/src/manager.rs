@@ -804,6 +804,12 @@ impl ResourceManager for Ursa {
             ("ctrl_fault_events_seen_total", self.faults_seen as f64),
         ]
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Opt in to observer downcasts: the post-mortem pipeline reads the
+        // decision log and re-exploration state through this.
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -43,11 +43,16 @@ macro_rules! log_info {
 }
 
 /// Prints a warning (prefixed `warning:`) to stderr unless `Quiet`.
+///
+/// Accepts any format expression, not just a literal — this matcher once
+/// drifted from `ursa-bench`'s copy (which already took arbitrary
+/// `format_args!` input), and the two layers are now one module with one
+/// behavior.
 #[macro_export]
 macro_rules! log_warn {
-    ($fmt:literal $($arg:tt)*) => {
+    ($($arg:tt)*) => {
         if $crate::logging::enabled($crate::logging::Level::Info) {
-            eprintln!(concat!("warning: ", $fmt) $($arg)*);
+            eprintln!("warning: {}", format_args!($($arg)*));
         }
     };
 }

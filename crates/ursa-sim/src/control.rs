@@ -98,6 +98,32 @@ pub trait ResourceManager {
     fn self_profile(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+    /// Downcast hook for observers that need manager-specific state (the
+    /// post-mortem pipeline reads Ursa's decision log through this). The
+    /// default opts out; managers with inspectable state return
+    /// `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Observer hooks on the deployment driver — the attachment point for the
+/// post-mortem pipeline (and any other tooling that wants to watch a run
+/// without being a resource manager).
+///
+/// The observer is called strictly *after* the window has simulated, the
+/// manager has ticked, and (when metered) the metrics collector has
+/// scraped — it sees the simulation only through `&` accessors, so it can
+/// never perturb the run.
+pub trait DeployObserver {
+    /// Called once per control window, after the manager's tick.
+    fn after_tick(
+        &mut self,
+        sim: &Simulation,
+        manager: &dyn ResourceManager,
+        metrics: Option<&crate::metrics::SimMetrics>,
+        snapshot: &MetricsSnapshot,
+    );
 }
 
 /// A manager that never changes anything (static allocation baseline).
@@ -239,7 +265,22 @@ pub fn run_deployment_metered(
     slas: &[Sla],
     manager: &mut dyn ResourceManager,
     cfg: &DeployConfig,
+    metrics: Option<&mut crate::metrics::SimMetrics>,
+) -> DeploymentReport {
+    run_deployment_observed(sim, slas, manager, cfg, metrics, None)
+}
+
+/// [`run_deployment_metered`] with an optional [`DeployObserver`] invoked
+/// after every control window — the hook the post-mortem pipeline hangs
+/// off. The observer reads the run through `&` accessors only, so the
+/// simulated outcome is bit-identical with `None`.
+pub fn run_deployment_observed(
+    sim: &mut Simulation,
+    slas: &[Sla],
+    manager: &mut dyn ResourceManager,
+    cfg: &DeployConfig,
     mut metrics: Option<&mut crate::metrics::SimMetrics>,
+    mut observer: Option<&mut dyn DeployObserver>,
 ) -> DeploymentReport {
     let num_classes = sim.topology().num_classes();
     let num_services = sim.topology().num_services();
@@ -306,6 +347,8 @@ pub fn run_deployment_metered(
         let wall = t0.elapsed();
         decision_nanos += wall.as_nanos();
         decisions += 1;
+        // Exact (unsampled) control-phase time; no-op when profiling is off.
+        sim.profiler_note_control(wall.as_nanos() as u64);
         if let Some(m) = metrics.as_mut() {
             let before = before.expect("captured when metered");
             let changes: Vec<(String, usize, usize)> = (0..num_services)
@@ -322,6 +365,9 @@ pub fn run_deployment_metered(
                 &changes,
             );
             m.scrape(snapshot.at);
+        }
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.after_tick(sim, &*manager, metrics.as_deref(), &snapshot);
         }
     }
     DeploymentReport {

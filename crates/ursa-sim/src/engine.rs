@@ -32,12 +32,15 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use ursa_stats::dist::{Distribution, Exponential};
 use ursa_stats::rng::Rng;
 
-use crate::chaos::{ChaosState, FaultEvent, FaultKind, FaultPhase, FaultPlan};
+use crate::chaos::{ChaosState, Fault, FaultEvent, FaultKind, FaultPhase, FaultPlan};
+use crate::profiler::{PhaseProfiler, SimPhase};
 use crate::ps::{ps_rate, VtPs};
+use crate::recorder::{FlightEntry, FlightEventKind, FlightRecorder};
 use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::time::{SimDur, SimTime};
 use crate::topology::{CallMode, ClassId, EdgeKind, FlatClass, ServiceId, Topology};
@@ -440,6 +443,20 @@ pub struct Simulation {
     /// `None` (the default) costs one predictable branch per hook and
     /// leaves output bit-identical to a chaos-free engine.
     chaos: Option<Box<ChaosState>>,
+    /// Phase profiler, installed via
+    /// [`enable_profiler`](Self::enable_profiler). Honors the same
+    /// bit-identical-when-disabled contract as the tracer and chaos
+    /// planes.
+    prof: Option<Box<PhaseProfiler>>,
+    /// True only while the currently dispatched event is being sampled in
+    /// detail *and* no profiler span is open — the one-word gate the inner
+    /// phase hooks check. Kept outside `prof` so the not-sampling path is
+    /// a plain bool load.
+    prof_sampling: bool,
+    /// Flight recorder, armed via
+    /// [`arm_flight_recorder`](Self::arm_flight_recorder). Purely
+    /// observational; same bit-identical contract.
+    recorder: Option<Box<FlightRecorder>>,
 }
 
 impl Simulation {
@@ -519,6 +536,9 @@ impl Simulation {
             in_flight: 0,
             tracer: None,
             chaos: None,
+            prof: None,
+            prof_sampling: false,
+            recorder: None,
         }
     }
 
@@ -554,6 +574,69 @@ impl Simulation {
     /// The tracer, if tracing is enabled — exposes sampling statistics.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Enables the engine phase profiler (see [`crate::profiler`]): every
+    /// `sample_every`-th dispatched event is wall-clock timed in detail
+    /// and attributed to phases. The profiler only *reads* the wall clock
+    /// — it never touches simulation state or any RNG — so enabling it
+    /// leaves simulated output bit-identical to a run without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn enable_profiler(&mut self, sample_every: u32) {
+        self.prof = Some(Box::new(PhaseProfiler::new(sample_every)));
+        self.prof_sampling = false;
+    }
+
+    /// The phase profiler, if enabled — call
+    /// [`report`](PhaseProfiler::report) for the breakdown.
+    pub fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.prof.as_deref()
+    }
+
+    /// Feeds exact control-callback wall time into the profiler (no-op
+    /// when profiling is off). Called by the deployment driver, which
+    /// already times each manager tick.
+    pub fn profiler_note_control(&mut self, nanos: u64) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.accrue_control(nanos);
+        }
+    }
+
+    /// Arms the flight recorder (see [`crate::recorder`]): the most
+    /// recent `capacity` engine events and control-plane transitions are
+    /// kept in a bounded ring for post-mortem dumps. Purely
+    /// observational; simulated output stays bit-identical to an unarmed
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn arm_flight_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(Box::new(FlightRecorder::new(capacity)));
+    }
+
+    /// The flight recorder, if armed.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Fault windows active right now: `(plan index, fault)` pairs whose
+    /// window contains the current simulated time. Empty when the chaos
+    /// plane is off.
+    pub fn active_faults(&self) -> Vec<(u32, Fault)> {
+        match self.chaos.as_deref() {
+            None => Vec::new(),
+            Some(c) => c
+                .faults
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.at <= self.now && self.now < f.until)
+                .map(|(i, f)| (i as u32, *f))
+                .collect(),
+        }
     }
 
     /// Installs a fault plan (see [`crate::chaos`]): each window's start
@@ -665,7 +748,9 @@ impl Simulation {
         if lam_max <= 0.0 {
             return;
         }
+        let t0 = self.prof_span();
         let dt = Exponential::new(lam_max).sample(&mut self.sources[class].rng);
+        self.prof_span_end(SimPhase::Rng, t0);
         let at = self.now + SimDur::from_secs_f64(dt);
         self.schedule(
             at,
@@ -677,6 +762,7 @@ impl Simulation {
     }
 
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let t0 = self.prof_span();
         self.seq += 1;
         self.events.push(Reverse(EventEntry {
             at,
@@ -690,6 +776,7 @@ impl Simulation {
         if self.heap_stale >= COMPACT_MIN_STALE && self.heap_stale * 2 >= depth {
             self.compact_events();
         }
+        self.prof_span_end(SimPhase::HeapPush, t0);
     }
 
     /// Rebuilds the event heap without its stale `PsCheck` entries. O(n)
@@ -756,7 +843,9 @@ impl Simulation {
                 .start(slot, class, self.now, num_nodes);
         }
         self.in_flight += 1;
+        let t0p = self.prof_span();
         self.telemetry.record_injection(class);
+        self.prof_span_end(SimPhase::Telemetry, t0p);
         let token = Token {
             slot,
             gen: self.gens[slot as usize],
@@ -794,16 +883,104 @@ impl Simulation {
             if entry.at > t {
                 break;
             }
+            // Profiler gate: one predictably-false branch when disabled;
+            // when enabled, only every N-th event reads the clock.
+            let ev_t0 = match self.prof.as_deref_mut() {
+                Some(p) => {
+                    if p.event_tick() {
+                        self.prof_sampling = true;
+                        Some(Instant::now())
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
             let Reverse(entry) = self.events.pop().expect("peeked");
+            let popped_at = ev_t0.map(|_| Instant::now());
             self.now = entry.at;
+            if self.recorder.is_some() {
+                self.record_event(&entry);
+            }
             if self.dispatch(entry.kind) {
                 self.events_live += 1;
             } else {
                 self.events_stale += 1;
             }
+            if let (Some(t0), Some(t1)) = (ev_t0, popped_at) {
+                let total = t0.elapsed().as_nanos() as u64;
+                let heap_pop = (t1 - t0).as_nanos() as u64;
+                self.prof_sampling = false;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.event_done(total, heap_pop);
+                }
+            }
         }
         if t > self.now {
             self.now = t;
+        }
+    }
+
+    /// Maps a popped event to its flight-recorder entry and records it.
+    /// Recording happens *before* dispatch so the ring reads causally:
+    /// first the event, then the transitions it provoked.
+    fn record_event(&mut self, entry: &EventEntry) {
+        let kind = match entry.kind {
+            EventKind::SourceNext { class, .. } => FlightEventKind::SourceNext { class },
+            EventKind::NodeArrive { token } => FlightEventKind::NodeArrive {
+                slot: token.slot,
+                node: token.node,
+            },
+            EventKind::PsCheck {
+                service,
+                replica,
+                gen,
+            } => FlightEventKind::PsCheck {
+                service,
+                replica,
+                live: matches!(
+                    &self.services[service as usize].replicas[replica as usize],
+                    Some(rep) if rep.ps_gen == gen
+                ),
+            },
+            EventKind::TraceArrival { class } => FlightEventKind::TraceArrival { class },
+            EventKind::ChaosStart { fault } => FlightEventKind::ChaosStart { fault },
+            EventKind::ChaosEnd { fault } => FlightEventKind::ChaosEnd { fault },
+        };
+        self.record_flight(entry.at, entry.seq, kind);
+    }
+
+    /// Appends one flight-recorder entry (no-op branch when disarmed).
+    #[inline]
+    fn record_flight(&mut self, at: SimTime, seq: u64, kind: FlightEventKind) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.push(FlightEntry { at, seq, kind });
+        }
+    }
+
+    /// Opens a profiler span: returns a start instant only while the
+    /// current event is sampled and no span is already open (outermost
+    /// span wins; nested hooks fold into it).
+    #[inline]
+    fn prof_span(&mut self) -> Option<Instant> {
+        if self.prof_sampling {
+            self.prof_sampling = false;
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a profiler span opened by [`Self::prof_span`], attributing
+    /// its wall time to `phase`.
+    #[inline]
+    fn prof_span_end(&mut self, phase: SimPhase, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            self.prof_sampling = true;
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.accrue(phase, nanos);
+            }
         }
     }
 
@@ -858,11 +1035,15 @@ impl Simulation {
                 true
             }
             EventKind::ChaosStart { fault } => {
+                let t0 = self.prof_span();
                 self.chaos_start(fault as usize);
+                self.prof_span_end(SimPhase::Chaos, t0);
                 true
             }
             EventKind::ChaosEnd { fault } => {
+                let t0 = self.prof_span();
                 self.chaos_end(fault as usize);
+                self.prof_span_end(SimPhase::Chaos, t0);
                 true
             }
         }
@@ -1062,7 +1243,9 @@ impl Simulation {
         let parent = tmpl.parent;
         let via_mq = matches!(parent, Some((_, EdgeKind::Mq)));
         let prio = self.templates[class].prio;
+        let t0p = self.prof_span();
         self.telemetry.record_arrival(ServiceId(s), ClassId(class));
+        self.prof_span_end(SimPhase::Telemetry, t0p);
         {
             let now = self.now;
             let node = &mut self.req_mut(token).nodes[token.node as usize];
@@ -1178,8 +1361,12 @@ impl Simulation {
         // Chaos slowdown is NOT applied here: it rescales the replica's PS
         // rate (affecting in-flight work too), not the sampled demand.
         let scale = self.work_scale[s];
-        let tmpl = &self.templates[class].nodes[token.node as usize];
-        let work = (tmpl.pre.sample(&mut self.rng) * scale).max(MIN_WORK);
+        let t0p = self.prof_span();
+        let work = {
+            let tmpl = &self.templates[class].nodes[token.node as usize];
+            (tmpl.pre.sample(&mut self.rng) * scale).max(MIN_WORK)
+        };
+        self.prof_span_end(SimPhase::Rng, t0p);
         {
             let node = &mut self.req_mut(token).nodes[token.node as usize];
             node.phase = Phase::Pre;
@@ -1200,11 +1387,13 @@ impl Simulation {
     /// plus two telemetry accumulator adds, regardless of how many jobs
     /// are active.
     fn ps_advance(&mut self, s: usize, r: usize) {
+        let t0 = self.prof_span();
         let now = self.now;
         let slow = self.chaos_slow(s);
         if let Some(rep) = self.services[s].replicas[r].as_mut() {
             rep.advance_to(now, slow);
         }
+        self.prof_span_end(SimPhase::PsAdvance, t0);
     }
 
     /// Recomputes the replica's next real-time completion from the head
@@ -1217,10 +1406,12 @@ impl Simulation {
     /// Call after any membership or rate change, with the clock already
     /// advanced to `now` ([`Self::ps_advance`]).
     fn ps_resync(&mut self, s: usize, r: usize) {
+        let t0 = self.prof_span();
         let now = self.now;
         let slow = self.chaos_slow(s);
         let (schedule, invalidated) = {
             let Some(rep) = self.services[s].replicas[r].as_mut() else {
+                self.prof_span_end(SimPhase::PsAdvance, t0);
                 return;
             };
             match rep.next_check_at(now, slow) {
@@ -1263,12 +1454,14 @@ impl Simulation {
                 },
             );
         }
+        self.prof_span_end(SimPhase::PsAdvance, t0);
     }
 
     /// Admits one compute phase into a replica's PS queue — the fused
     /// hot path: advance, admit, and re-arm under a single replica
     /// borrow.
     fn ps_add(&mut self, s: usize, r: usize, token: Token, work: f64) {
+        let t0 = self.prof_span();
         let now = self.now;
         let slow = self.chaos_slow(s);
         let (schedule, invalidated) = {
@@ -1299,6 +1492,7 @@ impl Simulation {
                 },
             );
         }
+        self.prof_span_end(SimPhase::PsAdmit, t0);
     }
 
     /// Advances every replica of `s` to `now` at the *current* rate.
@@ -1322,6 +1516,9 @@ impl Simulation {
     /// Handles a popped `PsCheck`; returns `false` when the check was
     /// stale (superseded generation or removed replica) and did no work.
     fn ps_check(&mut self, s: usize, r: usize, gen: u32) -> bool {
+        // Span covers advance + pop + re-arm; the completion fan-out below
+        // runs outside it so downstream phases attribute themselves.
+        let t0 = self.prof_span();
         let now = self.now;
         let slow = self.chaos_slow(s);
         // Collect completions into the reusable scratch buffer (taken out of
@@ -1337,6 +1534,7 @@ impl Simulation {
                 _ => {
                     self.heap_stale = self.heap_stale.saturating_sub(1);
                     self.ps_scratch = finished;
+                    self.prof_span_end(SimPhase::PsComplete, t0);
                     return false;
                 }
             };
@@ -1360,6 +1558,7 @@ impl Simulation {
                 },
             );
         }
+        self.prof_span_end(SimPhase::PsComplete, t0);
         for &token in &finished {
             let phase = self.req(token).nodes[token.node as usize].phase;
             match phase {
@@ -1494,7 +1693,10 @@ impl Simulation {
         }
         let mean = self.cfg.net_delay.as_secs_f64();
         let d = ursa_stats::dist::LogNormal::from_mean_cv(mean, self.cfg.net_delay_cv);
-        SimDur::from_secs_f64(d.sample(&mut self.rng))
+        let t0 = self.prof_span();
+        let delay = d.sample(&mut self.rng);
+        self.prof_span_end(SimPhase::Rng, t0);
+        SimDur::from_secs_f64(delay)
     }
 
     /// Tries to place an event-driven continuation on the replica's daemon
@@ -1573,6 +1775,7 @@ impl Simulation {
 
     fn start_post(&mut self, token: Token) {
         let class = self.req(token).class;
+        let t0p = self.prof_span();
         let (s, work) = {
             let svc = self.templates[class].nodes[token.node as usize].service;
             let scale = self.work_scale[svc];
@@ -1580,6 +1783,7 @@ impl Simulation {
             let w = t.post.sample(&mut self.rng) * scale;
             (t.service, w)
         };
+        self.prof_span_end(SimPhase::Rng, t0p);
         let r = self.req(token).nodes[token.node as usize].replica as usize;
         if work <= WORK_EPS {
             self.respond(token);
@@ -1611,8 +1815,10 @@ impl Simulation {
                 node.nested_wait,
             )
         };
+        let t0p = self.prof_span();
         self.telemetry
             .record_response(ServiceId(s), ClassId(class), tier, full);
+        self.prof_span_end(SimPhase::Telemetry, t0p);
         if self.req(token).traced {
             let now = self.now;
             if let Some(t) = self.tracer.as_mut() {
@@ -1680,7 +1886,9 @@ impl Simulation {
             self.free.push(token.slot);
             self.in_flight -= 1;
             let latency = (self.now - req.arrival).as_secs_f64();
+            let t0p = self.prof_span();
             self.telemetry.record_e2e(ClassId(req.class), latency);
+            self.prof_span_end(SimPhase::Telemetry, t0p);
             if req.traced {
                 let now = self.now;
                 if let Some(t) = self.tracer.as_mut() {
@@ -1696,8 +1904,10 @@ impl Simulation {
     /// only ever sees depths the queue actually held.
     fn note_mq_depth(&mut self, s: usize) {
         let depth = self.services[s].mq.len();
+        let t0 = self.prof_span();
         self.telemetry
             .record_mq_depth(ServiceId(s), self.now, depth);
+        self.prof_span_end(SimPhase::Telemetry, t0);
     }
 
     fn maybe_remove_drained(&mut self, s: usize, r: usize) {
@@ -1737,6 +1947,18 @@ impl Simulation {
         assert!(n > 0, "replica count must be at least 1");
         let s = service.0;
         let mut live = self.services[s].live_count();
+        if live != n {
+            let (at, seq) = (self.now, self.seq);
+            self.record_flight(
+                at,
+                seq,
+                FlightEventKind::Scale {
+                    service: s as u16,
+                    from: live as u16,
+                    to: n as u16,
+                },
+            );
+        }
         // Scale out: first un-drain, then create.
         while live < n {
             let undrained = {
@@ -1810,6 +2032,17 @@ impl Simulation {
     pub fn set_cpu_limit(&mut self, service: ServiceId, cores: f64) {
         let cores = cores.max(MIN_CORES);
         let s = service.0;
+        if (self.services[s].cores - cores).abs() > f64::EPSILON {
+            let (at, seq) = (self.now, self.seq);
+            self.record_flight(
+                at,
+                seq,
+                FlightEventKind::CpuLimit {
+                    service: s as u16,
+                    millicores: (cores * 1000.0).round() as u32,
+                },
+            );
+        }
         self.services[s].cores = cores;
         for r in 0..self.services[s].replicas.len() {
             if self.services[s].replicas[r].is_some() {
@@ -1898,6 +2131,8 @@ impl Simulation {
         if let Some(c) = self.chaos.as_deref_mut() {
             snapshot.faults = std::mem::take(&mut c.events);
         }
+        let (at, seq, in_flight) = (self.now, self.seq, self.in_flight as u32);
+        self.record_flight(at, seq, FlightEventKind::Harvest { in_flight });
         snapshot
     }
 }

@@ -42,7 +42,9 @@ pub mod cluster;
 pub mod control;
 pub mod engine;
 pub mod metrics;
+pub mod profiler;
 pub mod ps;
+pub mod recorder;
 pub mod telemetry;
 pub mod time;
 pub mod topology;
@@ -54,11 +56,14 @@ pub mod prelude {
     pub use crate::chaos::{Fault, FaultEvent, FaultKind, FaultPhase, FaultPlan};
     pub use crate::cluster::{CappedControlPlane, Cluster, MachineCfg, PlacementPolicy};
     pub use crate::control::{
-        run_deployment, run_deployment_metered, ControlPlane, DeployConfig, DeploymentReport,
-        ResourceManager, Sla, StaticManager, WindowRecord,
+        run_deployment, run_deployment_metered, run_deployment_observed, ControlPlane,
+        DeployConfig, DeployObserver, DeploymentReport, ResourceManager, Sla, StaticManager,
+        WindowRecord,
     };
     pub use crate::engine::{SimConfig, Simulation};
     pub use crate::metrics::SimMetrics;
+    pub use crate::profiler::{PhaseProfiler, PhaseStat, ProfilerReport, SimPhase};
+    pub use crate::recorder::{FlightEntry, FlightEventKind, FlightRecorder};
     pub use crate::telemetry::{LatencySeries, MetricsSnapshot, ServiceMetrics};
     pub use crate::time::{SimDur, SimTime};
     pub use crate::topology::{

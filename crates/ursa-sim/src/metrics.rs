@@ -27,6 +27,9 @@
 //! | `class_latency_p50/p95/p99` | `class` | end-to-end latency percentiles (gap when idle) |
 //! | `class_completions_total`, `class_injections_total` | `class` | cumulative counters |
 //! | `total_allocated_cores` | — | all replicas, live and draining |
+//! | `sim_events_live_total`, `sim_events_stale_total` | — | scheduler: dispatched events that did / did no work |
+//! | `sim_event_heap_depth`, `sim_event_heap_stale`, `sim_event_heap_max_depth` | — | scheduler: event-heap occupancy |
+//! | `sim_heap_compactions_total` | — | scheduler: lazy stale-entry compaction passes |
 //! | `slo_violation_fraction`, `slo_burn_rate_short/long` | `class` | SLO monitor (when SLAs given) |
 //! | `slo_alerts_active` | — | burn-rate alerts currently firing |
 //! | `ctrl_tick_wall_ms_*` | `system` | control-tick wall time (t-digest fan-out) |
@@ -78,6 +81,10 @@ pub struct SimMetrics {
     /// `(spec index, severity)` pairs firing at the previous harvest; used
     /// to annotate only alert *onsets*, not every interval of an incident.
     active_alerts: BTreeSet<(usize, &'static str)>,
+    /// Alerts that *started* firing at the most recent harvest, as
+    /// `(class name, severity, short-window burn rate)` — the SLO-page
+    /// trigger the post-mortem pipeline polls after each control tick.
+    alert_onsets: Vec<(String, &'static str, f64)>,
 }
 
 impl SimMetrics {
@@ -120,6 +127,7 @@ impl SimMetrics {
             slo_slas,
             annotations: Vec::new(),
             active_alerts: BTreeSet::new(),
+            alert_onsets: Vec::new(),
         }
     }
 
@@ -147,6 +155,15 @@ impl SimMetrics {
     /// The SLO monitor, when SLAs were given.
     pub fn slo(&self) -> Option<&SloMonitor> {
         self.slo.as_ref()
+    }
+
+    /// Alerts that began firing at the most recent harvest window, as
+    /// `(class name, severity, short-window burn rate)`. Empty when no new
+    /// alert started (alerts still burning from earlier windows are not
+    /// repeated). This is the hook the post-mortem pipeline uses as its
+    /// SLO-page trigger.
+    pub fn alert_onsets(&self) -> &[(String, &'static str, f64)] {
+        &self.alert_onsets
     }
 
     /// Updates per-service, per-class, and SLO instruments from one harvest
@@ -210,6 +227,41 @@ impl SimMetrics {
             Labels::empty(),
             sim.total_allocated_cores(),
         );
+        // Scheduler internals (PR 5's stale-aware event loop), surfaced so
+        // heap pathologies are visible next to the workload series.
+        {
+            let r = &mut self.registry;
+            r.counter_set(
+                "sim_events_live_total",
+                Labels::empty(),
+                sim.events_processed() as f64,
+            );
+            r.counter_set(
+                "sim_events_stale_total",
+                Labels::empty(),
+                sim.events_stale() as f64,
+            );
+            r.counter_set(
+                "sim_heap_compactions_total",
+                Labels::empty(),
+                sim.heap_compactions() as f64,
+            );
+            r.gauge_set(
+                "sim_event_heap_depth",
+                Labels::empty(),
+                sim.event_heap_depth() as f64,
+            );
+            r.gauge_set(
+                "sim_event_heap_stale",
+                Labels::empty(),
+                sim.event_heap_stale() as f64,
+            );
+            r.gauge_set(
+                "sim_event_heap_max_depth",
+                Labels::empty(),
+                sim.event_heap_max_depth() as f64,
+            );
+        }
         // Fault-plane events become dashboard annotations so injected
         // faults are visible against the latency/occupancy series.
         for fault in &snap.faults {
@@ -225,6 +277,7 @@ impl SimMetrics {
     /// Feeds one harvest window into the SLO monitor and refreshes the
     /// burn-rate gauges and alert annotations.
     fn observe_slo(&mut self, snap: &MetricsSnapshot) {
+        self.alert_onsets.clear();
         let Some(slo) = self.slo.as_mut() else {
             return;
         };
@@ -269,6 +322,8 @@ impl SimMetrics {
                         a.severity, a.class, a.short_burn
                     ),
                 ));
+                self.alert_onsets
+                    .push((a.class.clone(), a.severity, a.short_burn));
             }
         }
         self.active_alerts = now_active;
@@ -496,6 +551,12 @@ mod tests {
             "service_worker_occupancy",
             "class_latency_p99",
             "slo_burn_rate_short",
+            "sim_events_live_total",
+            "sim_events_stale_total",
+            "sim_event_heap_depth",
+            "sim_event_heap_stale",
+            "sim_event_heap_max_depth",
+            "sim_heap_compactions_total",
         ] {
             assert!(
                 store.series_named(name).next().is_some(),

@@ -1,0 +1,142 @@
+//! Property test: the observability planes are zero-cost when armed.
+//!
+//! The phase profiler and the flight recorder observe the engine; they
+//! must never perturb it. For random chain topologies, replica counts,
+//! and loads, a simulation with the profiler enabled, one with the
+//! flight recorder armed, and one with every observability plane on
+//! (profiler + recorder + span tracer) must all be bit-identical to the
+//! plain simulator — same event count and byte-identical telemetry.
+//! This is the contract that lets `--postmortem-dir` arm the recorder on
+//! production experiment cells without changing a single published row.
+
+use proptest::prelude::*;
+use ursa_sim::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    services: usize,
+    replicas: usize,
+    cores: f64,
+    work_ms: f64,
+    rps: f64,
+    seed: u64,
+}
+
+fn chain_spec() -> impl Strategy<Value = ChainSpec> {
+    (
+        1usize..5,
+        1usize..5,
+        (0usize..3).prop_map(|i| [1.0, 2.0, 4.0][i]),
+        0.5f64..5.0,
+        5.0f64..80.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(services, replicas, cores, work_ms, rps, seed)| ChainSpec {
+                services,
+                replicas,
+                cores,
+                work_ms,
+                rps,
+                seed,
+            },
+        )
+}
+
+/// Builds an N-deep RPC chain and drives it with Poisson arrivals.
+fn build(spec: &ChainSpec) -> Simulation {
+    let svcs: Vec<ServiceCfg> = (0..spec.services)
+        .map(|i| ServiceCfg::new(format!("s{i}"), spec.cores).with_replicas(spec.replicas))
+        .collect();
+    let mut root = CallNode::leaf(
+        ServiceId(spec.services - 1),
+        WorkDist::Exponential {
+            mean: spec.work_ms / 1000.0,
+        },
+    );
+    for i in (0..spec.services - 1).rev() {
+        root = CallNode::leaf(
+            ServiceId(i),
+            WorkDist::Exponential {
+                mean: spec.work_ms / 1000.0,
+            },
+        )
+        .with_child(EdgeKind::NestedRpc, root);
+    }
+    let topo = Topology::new(
+        svcs,
+        vec![ClassCfg {
+            name: "chain".into(),
+            priority: Priority::HIGH,
+            root,
+        }],
+    )
+    .unwrap();
+    let mut sim = Simulation::new(topo, SimConfig::default(), spec.seed);
+    sim.set_rate(ClassId(0), RateFn::Constant(spec.rps));
+    sim
+}
+
+/// Runs for a few windows and returns a byte-exact digest of everything
+/// observable: event count plus the debug rendering of every snapshot.
+fn digest(mut sim: Simulation) -> String {
+    let mut out = String::new();
+    for _ in 0..3 {
+        sim.run_for(SimDur::from_secs(40));
+        let snap = sim.harvest();
+        out.push_str(&format!("{snap:?}\n"));
+    }
+    out.push_str(&format!(
+        "events={} stale={}",
+        sim.events_processed(),
+        sim.events_stale()
+    ));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn observability_planes_are_bit_identical(spec in chain_spec()) {
+        let base = digest(build(&spec));
+
+        // Phase profiler: wall-clock sampling only, no sim-RNG draws.
+        let mut profiled = build(&spec);
+        profiled.enable_profiler(PhaseProfiler::DEFAULT_SAMPLE_EVERY);
+        prop_assert_eq!(&digest(profiled), &base, "profiler perturbed the run");
+
+        // A pathological sampling stride must not change anything either.
+        let mut dense = build(&spec);
+        dense.enable_profiler(1);
+        prop_assert_eq!(&digest(dense), &base, "sample_every=1 perturbed the run");
+
+        // Flight recorder: a bounded ring fed from existing branches.
+        let mut recorded = build(&spec);
+        recorded.arm_flight_recorder(64);
+        prop_assert_eq!(&digest(recorded), &base, "flight recorder perturbed the run");
+
+        // Everything on at once, as `--postmortem-dir` arms it.
+        let mut all = build(&spec);
+        all.enable_profiler(PhaseProfiler::DEFAULT_SAMPLE_EVERY);
+        all.arm_flight_recorder(FlightRecorder::DEFAULT_CAPACITY);
+        all.enable_tracing(256, 0.05);
+        prop_assert_eq!(&digest(all), &base, "combined planes perturbed the run");
+    }
+
+    #[test]
+    fn flight_recorder_ring_is_bounded_and_ordered(spec in chain_spec()) {
+        let mut sim = build(&spec);
+        sim.arm_flight_recorder(32);
+        sim.run_for(SimDur::from_secs(60));
+        let rec = sim.flight_recorder().expect("recorder armed");
+        prop_assert!(rec.len() <= rec.capacity());
+        prop_assert_eq!(rec.recorded(), rec.dropped() + rec.len() as u64);
+        // Pops are time-ordered, so the held window must be too (`seq` is
+        // the heap-push ticket, a tiebreaker, not a pop ordinal).
+        let entries: Vec<_> = rec.entries().collect();
+        for pair in entries.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at, "ring must stay in time order");
+        }
+    }
+}
