@@ -1,0 +1,676 @@
+//! `diff` subcommand — aligns two run manifests and reports what moved.
+//!
+//! `ursa-bench diff <run_a.json> <run_b.json>` loads two manifests written
+//! by [`crate::manifest`], aligns every section by key, and emits:
+//!
+//! * a machine-readable TSV (`diff.tsv`): one row per aligned entry with
+//!   both values, the absolute delta, the relative delta, and a
+//!   significance flag;
+//! * a script-free, self-contained HTML report (`diff.html`): the same
+//!   rows as static tables with significant entries highlighted, plus —
+//!   when `--history` points at a `history.jsonl` perf trajectory — an
+//!   inline-SVG sparkline of engine throughput over time.
+//!
+//! The significance rule is the one `perf --check` gates CI with: entry
+//! `b` differs significantly from baseline `a` when it falls outside
+//! `a × (1 ± tolerance)` (default tolerance [`crate::perf::REGRESSION_TOLERANCE`],
+//! overridable via `--tolerance` or `URSA_PERF_TOLERANCE`). Best-of-N
+//! minimum walls feed the perf scalars, so the same tolerance is
+//! meaningful on both sides of the pipeline.
+//!
+//! Diffing a manifest against itself yields all-zero deltas and — because
+//! manifests and this report are rendered from BTreeMap-backed state with
+//! fixed float formatting — byte-identical output for byte-identical
+//! inputs (enforced by `tests/diff_determinism.rs`).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::{parse_json, JsonValue};
+
+/// One aligned row of the diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Section the row belongs to (`series`, `phases`, `scalars`, ...).
+    pub section: String,
+    /// The aligned key.
+    pub key: String,
+    /// Value in run A (None = absent).
+    pub a: Option<f64>,
+    /// Value in run B (None = absent).
+    pub b: Option<f64>,
+    /// `b - a` when both are present.
+    pub delta: Option<f64>,
+    /// `(b - a) / |a|` when both are present and `a != 0`.
+    pub rel: Option<f64>,
+    /// True when the entry moved outside the tolerance band (or exists on
+    /// only one side).
+    pub significant: bool,
+}
+
+/// A fully aligned pair of manifests.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Identity lines (kind/seed/jobs/scale/topology, textual).
+    pub identity: Vec<(String, String, String)>,
+    /// Aligned numeric rows, in section + key order.
+    pub rows: Vec<DiffRow>,
+    /// Decision-log divergence notes, one per cell.
+    pub divergences: Vec<String>,
+    /// The applied tolerance.
+    pub tolerance: f64,
+}
+
+impl DiffReport {
+    /// Rows that moved significantly.
+    pub fn significant(&self) -> usize {
+        self.rows.iter().filter(|r| r.significant).count()
+    }
+
+    /// True when nothing moved at all (self-diff).
+    pub fn is_zero(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.delta == Some(0.0) && !r.significant)
+            && self.identity.iter().all(|(_, a, b)| a == b)
+            && self.divergences.is_empty()
+    }
+}
+
+fn fmt_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.6}"),
+        None => "-".into(),
+    }
+}
+
+/// Aligns one string-valued identity field.
+fn ident(out: &mut Vec<(String, String, String)>, key: &str, a: &JsonValue, b: &JsonValue) {
+    let get = |v: &JsonValue| -> String {
+        match v.get(key) {
+            Some(JsonValue::Str(s)) => s.clone(),
+            Some(JsonValue::Num(n)) => format!("{n}"),
+            Some(JsonValue::Null) | None => "-".into(),
+            Some(other) => format!("{other:?}"),
+        }
+    };
+    out.push((key.to_string(), get(a), get(b)));
+}
+
+/// Collects `key -> value` pairs from a manifest section into sorted rows.
+fn keyed_f64s(v: &JsonValue, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    match section {
+        "series" => {
+            for item in v.get("series").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+                let Some(key) = item.get("key").and_then(JsonValue::as_str) else {
+                    continue;
+                };
+                for stat in ["mean", "last", "min", "max", "count"] {
+                    if let Some(x) = item.get(stat).and_then(JsonValue::as_f64) {
+                        out.push((format!("{key}#{stat}"), x));
+                    }
+                }
+            }
+        }
+        "phases" => {
+            if let Some(p) = v.get("phase_profile") {
+                for row in p.get("phases").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+                    let Some(phase) = row.get("phase").and_then(JsonValue::as_str) else {
+                        continue;
+                    };
+                    for stat in ["pct", "ns_per_event", "count"] {
+                        if let Some(x) = row.get(stat).and_then(JsonValue::as_f64) {
+                            out.push((format!("{phase}#{stat}"), x));
+                        }
+                    }
+                }
+            }
+        }
+        "tables" => {
+            for (name, t) in v.get("tables").and_then(JsonValue::as_obj).unwrap_or(&[]) {
+                if let Some(rows) = t.get("rows").and_then(JsonValue::as_f64) {
+                    out.push((format!("{name}#rows"), rows));
+                }
+            }
+        }
+        "scalars" => {
+            for (key, val) in v.get("scalars").and_then(JsonValue::as_obj).unwrap_or(&[]) {
+                if let Some(x) = val.as_f64() {
+                    out.push((key.clone(), x));
+                }
+            }
+        }
+        _ => {}
+    }
+    out.sort_by(|x, y| x.0.cmp(&y.0));
+    out
+}
+
+/// Merges two sorted key/value lists into aligned diff rows.
+fn align(section: &str, a: &[(String, f64)], b: &[(String, f64)], tolerance: f64) -> Vec<DiffRow> {
+    let mut keys: Vec<&String> = a.iter().chain(b).map(|(k, _)| k).collect();
+    keys.sort();
+    keys.dedup();
+    let find = |xs: &[(String, f64)], k: &String| -> Option<f64> {
+        xs.binary_search_by(|(key, _)| key.cmp(k))
+            .ok()
+            .map(|i| xs[i].1)
+    };
+    keys.into_iter()
+        .map(|k| {
+            let va = find(a, k);
+            let vb = find(b, k);
+            let delta = match (va, vb) {
+                (Some(x), Some(y)) => Some(y - x),
+                _ => None,
+            };
+            let rel = match (va, delta) {
+                (Some(x), Some(d)) if x != 0.0 => Some(d / x.abs()),
+                _ => None,
+            };
+            // Count-like keys only flag on presence changes, not magnitude:
+            // tolerance applies to measured values.
+            let significant = match (va, vb) {
+                (Some(x), Some(y)) => {
+                    let band = tolerance * x.abs();
+                    (y - x).abs() > band && (y - x).abs() > 1e-12
+                }
+                _ => true,
+            };
+            DiffRow {
+                section: section.to_string(),
+                key: k.clone(),
+                a: va,
+                b: vb,
+                delta,
+                rel,
+                significant,
+            }
+        })
+        .collect()
+}
+
+/// Compares digest-valued maps (`chaos_plan_digests`, table digests) as
+/// identity rows with a changed/unchanged verdict.
+fn digest_rows(a: &JsonValue, b: &JsonValue) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let topo = |v: &JsonValue| {
+        v.get("topology_digest")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("-")
+            .to_string()
+    };
+    out.push(("topology_digest".into(), topo(a), topo(b)));
+    let mut names: Vec<String> = Vec::new();
+    for v in [a, b] {
+        for (name, _) in v
+            .get("chaos_plan_digests")
+            .and_then(JsonValue::as_obj)
+            .unwrap_or(&[])
+        {
+            names.push(name.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    let get = |v: &JsonValue, name: &str| -> String {
+        v.get("chaos_plan_digests")
+            .and_then(|o| o.get(name))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("-")
+            .to_string()
+    };
+    for name in names {
+        out.push((format!("chaos/{name}"), get(a, &name), get(b, &name)));
+    }
+    let mut table_names: Vec<String> = Vec::new();
+    for v in [a, b] {
+        for (name, _) in v.get("tables").and_then(JsonValue::as_obj).unwrap_or(&[]) {
+            table_names.push(name.clone());
+        }
+    }
+    table_names.sort();
+    table_names.dedup();
+    let tget = |v: &JsonValue, name: &str| -> String {
+        v.get("tables")
+            .and_then(|o| o.get(name))
+            .and_then(|t| t.get("digest"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("-")
+            .to_string()
+    };
+    for name in table_names {
+        out.push((format!("table/{name}"), tget(a, &name), tget(b, &name)));
+    }
+    out
+}
+
+/// Locates decision-log divergence per cell: identical digests mean the
+/// two runs took the exact same decision sequence; otherwise the first
+/// differing tail line (aligned from the end) localises where they split.
+fn decision_divergence(a: &JsonValue, b: &JsonValue) -> Vec<String> {
+    let mut cells: Vec<String> = Vec::new();
+    for v in [a, b] {
+        for (cell, _) in v
+            .get("decisions")
+            .and_then(JsonValue::as_obj)
+            .unwrap_or(&[])
+        {
+            cells.push(cell.clone());
+        }
+    }
+    cells.sort();
+    cells.dedup();
+    let mut out = Vec::new();
+    for cell in cells {
+        let da = a.get("decisions").and_then(|o| o.get(&cell));
+        let db = b.get("decisions").and_then(|o| o.get(&cell));
+        match (da, db) {
+            (Some(da), Some(db)) => {
+                let dig = |d: &JsonValue| {
+                    d.get("digest")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_string()
+                };
+                if dig(da) == dig(db) {
+                    continue;
+                }
+                let tails = |d: &JsonValue| -> Vec<String> {
+                    d.get("tail")
+                        .and_then(JsonValue::as_arr)
+                        .map(|xs| {
+                            xs.iter()
+                                .filter_map(|x| x.as_str().map(str::to_string))
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                };
+                let (ta, tb) = (tails(da), tails(db));
+                let total = |d: &JsonValue| {
+                    d.get("total").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize
+                };
+                let first_diff = ta
+                    .iter()
+                    .zip(tb.iter())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(ta.len().min(tb.len()));
+                out.push(format!(
+                    "{cell}: decision logs diverge ({} vs {} records); first differing tail \
+                     line {first_diff} of {}",
+                    total(da),
+                    total(db),
+                    ta.len().max(tb.len())
+                ));
+            }
+            (Some(_), None) => out.push(format!("{cell}: decisions only in run A")),
+            (None, Some(_)) => out.push(format!("{cell}: decisions only in run B")),
+            (None, None) => {}
+        }
+    }
+    out
+}
+
+/// Diffs two parsed manifests.
+pub fn diff_manifests(a: &JsonValue, b: &JsonValue, tolerance: f64) -> DiffReport {
+    let mut identity = Vec::new();
+    for key in ["schema", "kind", "seed", "jobs", "scale"] {
+        ident(&mut identity, key, a, b);
+    }
+    identity.extend(digest_rows(a, b));
+    let mut rows = Vec::new();
+    for section in ["scalars", "series", "phases", "tables"] {
+        let ka = keyed_f64s(a, section);
+        let kb = keyed_f64s(b, section);
+        rows.extend(align(section, &ka, &kb, tolerance));
+    }
+    DiffReport {
+        identity,
+        rows,
+        divergences: decision_divergence(a, b),
+        tolerance,
+    }
+}
+
+/// Renders the TSV artifact.
+pub fn render_tsv(report: &DiffReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "section\tkey\ta\tb\tdelta\trel\tsignificant");
+    for (key, a, b) in &report.identity {
+        let sig = if a == b { "no" } else { "yes" };
+        let _ = writeln!(out, "identity\t{key}\t{a}\t{b}\t-\t-\t{sig}");
+    }
+    for r in &report.rows {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.section,
+            r.key,
+            fmt_opt(r.a),
+            fmt_opt(r.b),
+            fmt_opt(r.delta),
+            fmt_opt(r.rel),
+            if r.significant { "yes" } else { "no" }
+        );
+    }
+    for d in &report.divergences {
+        let _ = writeln!(out, "divergence\t{d}\t-\t-\t-\t-\tyes");
+    }
+    out
+}
+
+fn html_esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders an inline-SVG sparkline of `values` (no scripts, no deps).
+fn sparkline_svg(values: &[f64], label: &str) -> String {
+    if values.len() < 2 {
+        return String::new();
+    }
+    let (w, h, pad) = (600.0f64, 120.0f64, 8.0f64);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-9);
+    let pts: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let x = pad + (w - 2.0 * pad) * i as f64 / (values.len() - 1) as f64;
+            let y = h - pad - (h - 2.0 * pad) * (v - min) / span;
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<h2>{}</h2>\n<svg width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.0} {h:.0}\" role=\"img\">\n\
+         <rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"#f6f8fa\"/>\n\
+         <polyline fill=\"none\" stroke=\"#0969da\" stroke-width=\"2\" points=\"{}\"/>\n\
+         </svg>\n<p>{} points, min {min:.0}, max {max:.0}</p>\n",
+        html_esc(label),
+        pts.join(" "),
+        values.len(),
+    )
+}
+
+/// Renders the self-contained HTML artifact.
+pub fn render_html(report: &DiffReport, history: &[f64]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>ursa-bench diff</title>\n<style>\n\
+         body { font-family: sans-serif; margin: 2em; color: #1f2328; }\n\
+         table { border-collapse: collapse; margin-bottom: 2em; }\n\
+         th, td { border: 1px solid #d0d7de; padding: 4px 10px; \
+         font-variant-numeric: tabular-nums; text-align: right; }\n\
+         th, td:first-child, td:nth-child(2) { text-align: left; }\n\
+         tr.sig td { background: #fff1f0; font-weight: bold; }\n\
+         </style>\n</head>\n<body>\n<h1>ursa-bench diff</h1>\n",
+    );
+    let _ = writeln!(
+        out,
+        "<p>{} aligned entries, {} significant at tolerance {:.2} \
+         (the <code>perf --check</code> band).</p>",
+        report.rows.len(),
+        report.significant(),
+        report.tolerance
+    );
+    out.push_str("<h2>Identity</h2>\n<table>\n<tr><th>key</th><th>run A</th><th>run B</th></tr>\n");
+    for (key, a, b) in &report.identity {
+        let cls = if a == b { "" } else { " class=\"sig\"" };
+        let _ = writeln!(
+            out,
+            "<tr{cls}><td>{}</td><td>{}</td><td>{}</td></tr>",
+            html_esc(key),
+            html_esc(a),
+            html_esc(b)
+        );
+    }
+    out.push_str("</table>\n");
+    if !report.divergences.is_empty() {
+        out.push_str("<h2>Decision-log divergence</h2>\n<ul>\n");
+        for d in &report.divergences {
+            let _ = writeln!(out, "<li>{}</li>", html_esc(d));
+        }
+        out.push_str("</ul>\n");
+    }
+    for section in ["scalars", "series", "phases", "tables"] {
+        let rows: Vec<&DiffRow> = report
+            .rows
+            .iter()
+            .filter(|r| r.section == section)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "<h2>{section}</h2>\n<table>\n<tr><th>key</th><th>a</th><th>b</th>\
+             <th>delta</th><th>rel</th></tr>"
+        );
+        for r in rows {
+            let cls = if r.significant { " class=\"sig\"" } else { "" };
+            let _ = writeln!(
+                out,
+                "<tr{cls}><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                html_esc(&r.key),
+                fmt_opt(r.a),
+                fmt_opt(r.b),
+                fmt_opt(r.delta),
+                fmt_opt(r.rel)
+            );
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str(&sparkline_svg(
+        history,
+        "events_per_sec trajectory (history.jsonl)",
+    ));
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Loads `events_per_sec` points from a `history.jsonl` trajectory (lines
+/// that fail to parse are skipped — the file is append-only across
+/// schema revisions).
+pub fn load_history(path: &Path) -> Vec<f64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            parse_json(line.trim())
+                .ok()?
+                .get("events_per_sec")?
+                .as_f64()
+        })
+        .collect()
+}
+
+/// Options for [`run`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Output directory for `diff.tsv` / `diff.html`.
+    pub out_dir: PathBuf,
+    /// Significance tolerance (the perf band).
+    pub tolerance: f64,
+    /// Optional `history.jsonl` to plot.
+    pub history: Option<PathBuf>,
+}
+
+/// Runs the diff end-to-end: load, align, write artifacts, print the
+/// summary. Returns the process exit code: 0 = no significant deltas,
+/// 1 = significant deltas or a decision-log divergence (the report was
+/// still written), 2 = bad input/IO.
+pub fn run(a_path: &Path, b_path: &Path, opts: &DiffOptions) -> i32 {
+    let load = |p: &Path| -> Result<JsonValue, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read: {e}"))?;
+        let v = parse_json(&text)?;
+        match v.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s.starts_with("ursa-run-manifest/") => Ok(v),
+            other => Err(format!("not a run manifest (schema {other:?})")),
+        }
+    };
+    let a = match load(a_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {}: {e}", a_path.display());
+            return 2;
+        }
+    };
+    let b = match load(b_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {}: {e}", b_path.display());
+            return 2;
+        }
+    };
+    let report = diff_manifests(&a, &b, opts.tolerance);
+    let history = opts
+        .history
+        .as_deref()
+        .map(load_history)
+        .unwrap_or_default();
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
+        return 2;
+    }
+    let tsv_path = opts.out_dir.join("diff.tsv");
+    let html_path = opts.out_dir.join("diff.html");
+    if let Err(e) = std::fs::write(&tsv_path, render_tsv(&report)) {
+        eprintln!("error: cannot write {}: {e}", tsv_path.display());
+        return 2;
+    }
+    if let Err(e) = std::fs::write(&html_path, render_html(&report, &history)) {
+        eprintln!("error: cannot write {}: {e}", html_path.display());
+        return 2;
+    }
+    println!(
+        "diff: {} aligned entries, {} significant (tolerance {:.2}), {} decision divergence(s)",
+        report.rows.len(),
+        report.significant(),
+        report.tolerance,
+        report.divergences.len()
+    );
+    for d in &report.divergences {
+        println!("  divergence: {d}");
+    }
+    if report.is_zero() {
+        println!("runs are identical under the manifest view");
+    }
+    println!("wrote {} and {}", tsv_path.display(), html_path.display());
+    if report.significant() > 0 || !report.divergences.is_empty() {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::RunManifest;
+
+    fn manifest(rps: f64) -> String {
+        let mut m = RunManifest::new("unit", 1, 2, "quick");
+        m.set_topology_digest(0xAB);
+        m.note_scalar("events_per_sec", rps);
+        m.note_scalar("speedup", 3.0);
+        m.note_table("t", 4, b"x\n");
+        m.to_json()
+    }
+
+    #[test]
+    fn self_diff_is_all_zero() {
+        let v = parse_json(&manifest(1000.0)).unwrap();
+        let report = diff_manifests(&v, &v, 0.35);
+        assert!(report.is_zero(), "{:?}", report.rows);
+        assert_eq!(report.significant(), 0);
+        let tsv = render_tsv(&report);
+        assert!(tsv.contains("events_per_sec\t1000.000000\t1000.000000\t0.000000"));
+        // Deterministic rendering.
+        assert_eq!(tsv, render_tsv(&diff_manifests(&v, &v, 0.35)));
+        assert_eq!(
+            render_html(&report, &[]),
+            render_html(&diff_manifests(&v, &v, 0.35), &[])
+        );
+    }
+
+    #[test]
+    fn significance_follows_the_perf_band() {
+        let a = parse_json(&manifest(1000.0)).unwrap();
+        // -30% stays inside the default 35% band; -50% trips it.
+        let ok = parse_json(&manifest(700.0)).unwrap();
+        let bad = parse_json(&manifest(500.0)).unwrap();
+        let r_ok = diff_manifests(&a, &ok, 0.35);
+        let row = r_ok
+            .rows
+            .iter()
+            .find(|r| r.key == "events_per_sec")
+            .unwrap();
+        assert!(!row.significant);
+        assert_eq!(row.delta, Some(-300.0));
+        assert!((row.rel.unwrap() + 0.3).abs() < 1e-12);
+        let r_bad = diff_manifests(&a, &bad, 0.35);
+        assert!(
+            r_bad
+                .rows
+                .iter()
+                .find(|r| r.key == "events_per_sec")
+                .unwrap()
+                .significant
+        );
+        // Improvements outside the band are flagged too (it is a change
+        // detector, not only a regression gate).
+        let better = parse_json(&manifest(2000.0)).unwrap();
+        let r_up = diff_manifests(&a, &better, 0.35);
+        assert!(
+            r_up.rows
+                .iter()
+                .find(|r| r.key == "events_per_sec")
+                .unwrap()
+                .significant
+        );
+    }
+
+    #[test]
+    fn one_sided_keys_are_flagged() {
+        let a = parse_json(&manifest(1000.0)).unwrap();
+        let mut m = RunManifest::new("unit", 1, 2, "quick");
+        m.note_scalar("events_per_sec", 1000.0);
+        let b = parse_json(&m.to_json()).unwrap();
+        let r = diff_manifests(&a, &b, 0.35);
+        let speedup = r.rows.iter().find(|x| x.key == "speedup").unwrap();
+        assert!(speedup.significant);
+        assert_eq!(speedup.b, None);
+        assert!(!r.is_zero());
+    }
+
+    #[test]
+    fn html_is_script_free_and_sparkline_renders() {
+        let v = parse_json(&manifest(1000.0)).unwrap();
+        let report = diff_manifests(&v, &v, 0.35);
+        let html = render_html(&report, &[100.0, 120.0, 110.0]);
+        assert!(!html.contains("<script"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("polyline"));
+        assert!(html.contains("events_per_sec"));
+    }
+
+    #[test]
+    fn history_loader_skips_bad_lines() {
+        let dir = std::env::temp_dir().join("ursa-diff-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        std::fs::write(
+            &path,
+            "{\"events_per_sec\": 100.5}\nnot json\n{\"other\": 1}\n{\"events_per_sec\": 200.0}\n",
+        )
+        .unwrap();
+        assert_eq!(load_history(&path), vec![100.5, 200.0]);
+        assert!(load_history(Path::new("/nonexistent")).is_empty());
+    }
+}

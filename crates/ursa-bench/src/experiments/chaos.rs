@@ -17,7 +17,9 @@
 
 use crate::postmortem::PostmortemObserver;
 use crate::runner::run_cells;
-use crate::{f3, logging, pct, results_dir, LoadSpec, PreparedManagers, Scale, System, TsvTable};
+use crate::{
+    f3, logging, manifest, pct, results_dir, LoadSpec, PreparedManagers, Scale, System, TsvTable,
+};
 use ursa_apps::{social_network, App};
 use ursa_chaos::Scenario;
 use ursa_core::decision_log::DecisionKind;
@@ -252,6 +254,14 @@ pub fn run_cell(
     );
     let m = resilience_metrics(&report, span, SimDur::from_mins(1));
     let reexplores = if system == System::Ursa {
+        // Digest + tail of the cell's decision log into the run manifest
+        // (keyed by cell name in a BTreeMap, so recording order under
+        // `--jobs N` cannot leak into the manifest). `diff` uses this to
+        // localise where two runs' control decisions first diverged.
+        manifest::note_decisions(
+            &format!("chaos-{label}-{}", system.label()),
+            mgrs.ursa.decisions(),
+        );
         mgrs.ursa
             .decisions()
             .records()
@@ -279,6 +289,10 @@ pub fn run(scale: Scale) -> ChaosResult {
     let app = social_network(false);
     let managers = PreparedManagers::prepare(&app, scale, CHAOS_SEED);
     let plans = fault_plans(&app, scale);
+    manifest::note_topology_digest(app.topology.digest());
+    for (name, plan) in &plans {
+        manifest::note_chaos_digest(name, plan.digest());
+    }
     let inputs: Vec<(usize, usize)> = (0..plans.len())
         .flat_map(|fi| (0..System::ALL.len()).map(move |si| (fi, si)))
         .collect();

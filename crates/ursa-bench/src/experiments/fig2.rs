@@ -205,6 +205,11 @@ pub fn run(scale: Scale) -> Vec<Heatmap> {
                 Err(e) => crate::warn!("[fig2] trace export failed: {e}"),
             }
         }
+        if let Some(m) = metrics.as_ref() {
+            // Digest every collected series into the run manifest (main
+            // thread, chain order — deterministic), keyed by chain stem.
+            crate::manifest::note_store(&format!("fig2_{}", hm.kind.to_lowercase()), m.store());
+        }
         if let (Some(dir), Some(m)) = (&metrics_dir, metrics.as_mut()) {
             let stem = format!("fig2_{}", hm.kind.to_lowercase());
             let title = format!("Fig. 2 — {} chain backpressure", hm.kind);

@@ -12,8 +12,10 @@
 //! reduced durations/sample counts — shapes hold, error bars are wider) and
 //! [`Scale::Full`] (paper-protocol durations).
 
+pub mod diff;
 pub mod experiments;
 pub mod logging;
+pub mod manifest;
 pub mod perf;
 pub mod postmortem;
 pub mod runner;
@@ -436,6 +438,11 @@ impl PreparedManagers {
         if observer.is_some() {
             sim.arm_flight_recorder(FlightRecorder::DEFAULT_CAPACITY);
             sim.enable_tracing(POSTMORTEM_TRACE_CAPACITY, POSTMORTEM_TRACE_SAMPLE_RATE);
+            // Observed deployments also run the phase profiler so bundles
+            // carry the engine's phase-profile summary. Like the recorder
+            // and tracer, sampling is non-perturbing (no simulation RNG
+            // draws), so the report stays bit-identical either way.
+            sim.enable_profiler(ursa_sim::profiler::PhaseProfiler::DEFAULT_SAMPLE_EVERY);
         }
         load.apply(app, &mut sim, duration);
         let cfg = DeployConfig {
@@ -559,7 +566,10 @@ impl TsvTable {
         out
     }
 
-    /// Writes the table as TSV under `dir`, returning the path.
+    /// Writes the table as TSV under `dir`, returning the path. The
+    /// written bytes are also digested into the armed run manifest, if
+    /// any (tables are written from the main thread after cell
+    /// collection, so manifest ordering is deterministic).
     ///
     /// # Errors
     ///
@@ -568,7 +578,9 @@ impl TsvTable {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.tsv", self.name));
         let mut f = std::fs::File::create(&path)?;
-        f.write_all(self.to_tsv().as_bytes())?;
+        let tsv = self.to_tsv();
+        f.write_all(tsv.as_bytes())?;
+        manifest::note_table(&self.name, self.rows.len(), tsv.as_bytes());
         Ok(path)
     }
 }

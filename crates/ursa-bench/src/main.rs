@@ -7,18 +7,28 @@
 //! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
 //! cargo run --release -p ursa-bench -- --exp fig9 --metrics-dir metrics/
 //! cargo run --release -p ursa-bench -- --exp chaos --postmortem-dir results/postmortem
-//! cargo run --release -p ursa-bench -- perf [--out BENCH_sim.json] [--check baseline.json]
+//! cargo run --release -p ursa-bench -- perf [--out BENCH_sim.json] [--check baseline.json] \
+//!     [--tolerance 0.35]
+//! cargo run --release -p ursa-bench -- diff results/bench/run_baseline.json \
+//!     results/bench/run.json [--out results/diff] [--history results/bench/history.jsonl]
 //! ```
+//!
+//! Every experiment writes a `run.json` manifest under its results
+//! directory (and `perf` under the `--out` directory); `diff` aligns two
+//! such manifests into `diff.tsv` + a script-free `diff.html`.
 
 use std::path::PathBuf;
 
 use ursa_bench::logging::{self, Level};
-use ursa_bench::{experiments, info, perf, runner, warn, Scale};
+use ursa_bench::{diff, experiments, info, manifest, perf, results_dir, runner, warn, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("perf") {
         std::process::exit(perf_main(&args[2..]));
+    }
+    if args.get(1).map(String::as_str) == Some("diff") {
+        std::process::exit(diff_main(&args[2..]));
     }
     let mut exp = "all".to_string();
     let mut scale = Scale::Quick;
@@ -84,6 +94,10 @@ fn main() {
     }
     let t0 = std::time::Instant::now();
     info!("[runner] {} worker(s)", runner::jobs());
+    let scale_label = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
     let run_one = |name: &str| match name {
         "fig2" => {
             experiments::fig2::run(scale);
@@ -120,15 +134,25 @@ fn main() {
             usage();
         }
     };
+    // Every experiment run is wrapped in a manifest: `begin` arms the
+    // global collector the experiment's note_* hooks feed, `finish`
+    // writes `results/<exp>/run.json` for `ursa-bench diff`.
+    let run_manifested = |name: &str| {
+        manifest::begin(name, ursa_bench::global_seed(), runner::jobs(), scale_label);
+        run_one(name);
+        if let Some(p) = manifest::finish(&results_dir().join(name).join("run.json")) {
+            info!("[manifest] wrote {}", p.display());
+        }
+    };
     if exp == "all" {
         for name in [
             "fig2", "fig4", "table5", "fig9", "fig11", "fig13", "table6", "fig14", "ablation",
         ] {
             println!();
-            run_one(name);
+            run_manifested(name);
         }
     } else {
-        run_one(&exp);
+        run_manifested(&exp);
     }
     info!(
         "\n[done in {:.1}s, results under results/]",
@@ -136,10 +160,22 @@ fn main() {
     );
 }
 
-/// `ursa-bench perf [--out PATH] [--check BASELINE] [--jobs N]`
+/// Resolves the perf/diff tolerance: `--tolerance` flag, then the
+/// `URSA_PERF_TOLERANCE` environment variable, then the built-in default.
+fn resolve_tolerance(flag: Option<f64>) -> f64 {
+    flag.or_else(|| {
+        std::env::var("URSA_PERF_TOLERANCE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    })
+    .unwrap_or(perf::REGRESSION_TOLERANCE)
+}
+
+/// `ursa-bench perf [--out PATH] [--check BASELINE] [--tolerance T] [--jobs N]`
 fn perf_main(args: &[String]) -> i32 {
     let mut out = PathBuf::from("BENCH_sim.json");
     let mut check: Option<PathBuf> = None;
+    let mut tolerance: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,6 +186,18 @@ fn perf_main(args: &[String]) -> i32 {
             "--check" => {
                 i += 1;
                 check = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            "--tolerance" => {
+                i += 1;
+                let t: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(0.0..1.0).contains(&t) {
+                    warn!("--tolerance must be in [0, 1)");
+                    usage();
+                }
+                tolerance = Some(t);
             }
             "--jobs" | "-j" => {
                 i += 1;
@@ -166,7 +214,52 @@ fn perf_main(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    perf::run(&out, check.as_deref())
+    perf::run(&out, check.as_deref(), resolve_tolerance(tolerance))
+}
+
+/// `ursa-bench diff RUN_A RUN_B [--out DIR] [--tolerance T] [--history PATH]`
+fn diff_main(args: &[String]) -> i32 {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut out_dir = results_dir().join("diff");
+    let mut tolerance: Option<f64> = None;
+    let mut history: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).map(PathBuf::from).unwrap_or_else(|| usage());
+            }
+            "--tolerance" => {
+                i += 1;
+                let t: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                tolerance = Some(t);
+            }
+            "--history" => {
+                i += 1;
+                history = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            flag if flag.starts_with("--") => {
+                warn!("unknown diff argument: {flag}");
+                usage();
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        warn!("diff needs exactly two manifest paths, got {}", paths.len());
+        usage();
+    }
+    let opts = diff::DiffOptions {
+        out_dir,
+        tolerance: resolve_tolerance(tolerance),
+        history,
+    };
+    diff::run(&paths[0], &paths[1], &opts)
 }
 
 fn usage() -> ! {
@@ -174,7 +267,10 @@ fn usage() -> ! {
         "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation|chaos] \
          [--quick|--full] [--jobs N] [--seed N] [--quiet|--verbose] [--trace-dir DIR] \
          [--metrics-dir DIR] [--postmortem-dir DIR] [--snapshot-at SECS]\n\
-         \x20      ursa-bench perf [--out BENCH_sim.json] [--check baseline.json] [--jobs N]"
+         \x20      ursa-bench perf [--out BENCH_sim.json] [--check baseline.json] \
+         [--tolerance T] [--jobs N]\n\
+         \x20      ursa-bench diff RUN_A.json RUN_B.json [--out DIR] [--tolerance T] \
+         [--history history.jsonl]"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,733 @@
+//! Self-describing run manifests (`run.json`) and the hand-rolled JSON
+//! layer `ursa-bench diff` reads them back with.
+//!
+//! Every experiment and perf run writes a manifest describing *what ran*
+//! (kind, seed, jobs, scale, topology digest, chaos-plan digests) and
+//! *what came out* (per-series metric digests, per-phase profile rows,
+//! TSV-table digests, decision-log tails, free-form scalars). Two
+//! manifests from different commits or machines can then be aligned by
+//! `ursa-bench diff` without re-running anything.
+//!
+//! Determinism contract: every collection in a manifest is BTreeMap-backed
+//! and series digests come from [`ursa_metrics::store_digests`] (sorted by
+//! name + labels), so the rendered JSON is byte-identical for a fixed
+//! seed regardless of `--jobs`, insertion order, or platform — enforced by
+//! `tests/diff_determinism.rs`. Wall-clock-derived values (perf scalars,
+//! phase `pct`/`ns_per_event`) are *allowed* in manifests; runs that need
+//! byte-identity simply don't record them (phase `count` and the structural
+//! digests are the deterministic core).
+//!
+//! The global collector mirrors the [`crate::logging`] pattern: the binary
+//! calls [`begin`] before an experiment and [`finish`] after; library code
+//! sprinkles `note_*` calls that are no-ops when no manifest is armed, so
+//! unit tests and embedders pay nothing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ursa_core::decision_log::DecisionLog;
+use ursa_metrics::{store_digests, SeriesSummary, TimeSeriesStore};
+use ursa_sim::profiler::ProfilerReport;
+
+/// Manifest schema identifier.
+pub const SCHEMA: &str = "ursa-run-manifest/v1";
+/// Decision-log tail lines retained per cell (divergence localisation).
+const DECISION_TAIL: usize = 8;
+
+/// FNV-1a 64-bit over raw bytes: platform-stable artifact digests (the
+/// std `DefaultHasher` is explicitly unspecified across releases).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One per-phase profile row embedded in a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfileRow {
+    /// Stable phase label (see `ursa_sim::profiler::SimPhase::label`).
+    pub phase: String,
+    /// Sampled event count in the phase (deterministic).
+    pub count: u64,
+    /// Share of estimated engine time, percent (wall-derived).
+    pub pct: f64,
+    /// Estimated nanoseconds per popped event (wall-derived).
+    pub ns_per_event: f64,
+}
+
+/// Phase-profile summary embedded in a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Sampling stride the profiler ran with.
+    pub sample_every: u64,
+    /// Events the engine processed while armed.
+    pub events_seen: u64,
+    /// Events that actually got timed.
+    pub events_sampled: u64,
+    /// One row per phase, in `SimPhase::ALL` order.
+    pub rows: Vec<PhaseProfileRow>,
+}
+
+impl PhaseProfile {
+    /// Flattens a profiler report into manifest rows.
+    pub fn from_report(report: &ProfilerReport) -> Self {
+        PhaseProfile {
+            sample_every: u64::from(report.sample_every),
+            events_seen: report.events_seen,
+            events_sampled: report.events_sampled,
+            rows: report
+                .phases
+                .iter()
+                .map(|s| PhaseProfileRow {
+                    phase: s.phase.label().to_string(),
+                    count: s.count,
+                    pct: s.share * 100.0,
+                    ns_per_event: report.ns_per_event(s.phase),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Digest of one written TSV table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableDigest {
+    /// Data rows (header excluded).
+    pub rows: usize,
+    /// FNV-1a digest of the exact TSV bytes.
+    pub digest: u64,
+}
+
+/// Digest + tail of one cell's decision log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionDigest {
+    /// Retained records.
+    pub total: usize,
+    /// FNV-1a digest of the full JSONL rendering.
+    pub digest: u64,
+    /// Last [`DECISION_TAIL`] JSONL lines, for divergence localisation.
+    pub tail: Vec<String>,
+}
+
+/// A run manifest under construction. Build one directly in tests; binary
+/// runs go through the global [`begin`]/[`finish`] collector instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    kind: String,
+    seed: u64,
+    jobs: usize,
+    scale: String,
+    topology_digest: Option<u64>,
+    chaos_digests: BTreeMap<String, u64>,
+    phase_profile: Option<PhaseProfile>,
+    series: BTreeMap<String, SeriesSummary>,
+    tables: BTreeMap<String, TableDigest>,
+    decisions: BTreeMap<String, DecisionDigest>,
+    scalars: BTreeMap<String, f64>,
+}
+
+impl RunManifest {
+    /// Starts an empty manifest for one run.
+    pub fn new(kind: &str, seed: u64, jobs: usize, scale: &str) -> Self {
+        RunManifest {
+            kind: kind.to_string(),
+            seed,
+            jobs,
+            scale: scale.to_string(),
+            topology_digest: None,
+            chaos_digests: BTreeMap::new(),
+            phase_profile: None,
+            series: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            decisions: BTreeMap::new(),
+            scalars: BTreeMap::new(),
+        }
+    }
+
+    /// Records the structural digest of the topology under test.
+    pub fn set_topology_digest(&mut self, digest: u64) {
+        self.topology_digest = Some(digest);
+    }
+
+    /// Records the digest of one compiled fault plan.
+    pub fn note_chaos_digest(&mut self, name: &str, digest: u64) {
+        self.chaos_digests.insert(name.to_string(), digest);
+    }
+
+    /// Records the run's phase-profile summary.
+    pub fn set_phase_profile(&mut self, profile: PhaseProfile) {
+        self.phase_profile = Some(profile);
+    }
+
+    /// Digests every series of a store under `prefix` (sorted by
+    /// name + labels, the satellite-6 ordering guarantee).
+    pub fn note_store(&mut self, prefix: &str, store: &TimeSeriesStore) {
+        for (key, summary) in store_digests(store) {
+            self.series
+                .insert(format!("{prefix}/{}", key.render()), summary);
+        }
+    }
+
+    /// Records one written TSV table.
+    pub fn note_table(&mut self, name: &str, rows: usize, tsv: &[u8]) {
+        self.tables.insert(
+            name.to_string(),
+            TableDigest {
+                rows,
+                digest: fnv64(tsv),
+            },
+        );
+    }
+
+    /// Records one cell's decision log (digest + tail).
+    pub fn note_decisions(&mut self, cell: &str, log: &DecisionLog) {
+        let mut buf: Vec<u8> = Vec::new();
+        log.write_jsonl(&mut buf)
+            .expect("Vec<u8> writes are infallible");
+        let text = String::from_utf8(buf).expect("decision JSONL is UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        let tail = lines
+            .iter()
+            .rev()
+            .take(DECISION_TAIL)
+            .rev()
+            .map(|s| s.to_string())
+            .collect();
+        self.decisions.insert(
+            cell.to_string(),
+            DecisionDigest {
+                total: log.len(),
+                digest: fnv64(text.as_bytes()),
+                tail,
+            },
+        );
+    }
+
+    /// Records one free-form scalar (perf numbers and the like).
+    pub fn note_scalar(&mut self, key: &str, value: f64) {
+        self.scalars.insert(key.to_string(), value);
+    }
+
+    /// Renders the manifest as JSON (stable key order, no dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"kind\": \"{}\",", esc(&self.kind));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"scale\": \"{}\",", esc(&self.scale));
+        match self.topology_digest {
+            Some(d) => {
+                let _ = writeln!(out, "  \"topology_digest\": \"{d:016x}\",");
+            }
+            None => {
+                let _ = writeln!(out, "  \"topology_digest\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"chaos_plan_digests\": {{");
+        for (i, (name, d)) in self.chaos_digests.iter().enumerate() {
+            let comma = trail(i, self.chaos_digests.len());
+            let _ = writeln!(out, "    \"{}\": \"{d:016x}\"{comma}", esc(name));
+        }
+        let _ = writeln!(out, "  }},");
+        match &self.phase_profile {
+            Some(p) => {
+                let _ = writeln!(out, "  \"phase_profile\": {{");
+                let _ = writeln!(out, "    \"sample_every\": {},", p.sample_every);
+                let _ = writeln!(out, "    \"events_seen\": {},", p.events_seen);
+                let _ = writeln!(out, "    \"events_sampled\": {},", p.events_sampled);
+                let _ = writeln!(out, "    \"phases\": [");
+                for (i, r) in p.rows.iter().enumerate() {
+                    let comma = trail(i, p.rows.len());
+                    let _ = writeln!(
+                        out,
+                        "      {{\"phase\": \"{}\", \"count\": {}, \"pct\": {:.2}, \
+                         \"ns_per_event\": {:.1}}}{comma}",
+                        esc(&r.phase),
+                        r.count,
+                        r.pct,
+                        r.ns_per_event
+                    );
+                }
+                let _ = writeln!(out, "    ]");
+                let _ = writeln!(out, "  }},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"phase_profile\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"series\": [");
+        for (i, (key, s)) in self.series.iter().enumerate() {
+            let comma = trail(i, self.series.len());
+            let _ = writeln!(
+                out,
+                "    {{\"key\": \"{}\", \"count\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"last\": {}}}{comma}",
+                esc(key),
+                s.count,
+                num(s.min),
+                num(s.max),
+                num(s.mean),
+                num(s.last)
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"tables\": {{");
+        for (i, (name, t)) in self.tables.iter().enumerate() {
+            let comma = trail(i, self.tables.len());
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"rows\": {}, \"digest\": \"{:016x}\"}}{comma}",
+                esc(name),
+                t.rows,
+                t.digest
+            );
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"decisions\": {{");
+        for (i, (cell, d)) in self.decisions.iter().enumerate() {
+            let comma = trail(i, self.decisions.len());
+            let tail: Vec<String> = d.tail.iter().map(|l| format!("\"{}\"", esc(l))).collect();
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"total\": {}, \"digest\": \"{:016x}\", \"tail\": [{}]}}{comma}",
+                esc(cell),
+                d.total,
+                d.digest,
+                tail.join(", ")
+            );
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"scalars\": {{");
+        for (i, (key, v)) in self.scalars.iter().enumerate() {
+            let comma = trail(i, self.scalars.len());
+            let _ = writeln!(out, "    \"{}\": {}{comma}", esc(key), num(*v));
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the manifest under `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<PathBuf> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())?;
+        Ok(path.to_path_buf())
+    }
+}
+
+fn trail(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a scalar as JSON (non-finite values become `null`).
+fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".into();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{x}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global collector (binary plumbing; every call is a no-op when disarmed).
+// ---------------------------------------------------------------------------
+
+static ACTIVE: Mutex<Option<RunManifest>> = Mutex::new(None);
+
+/// Arms the global manifest for one run. Any previously armed manifest is
+/// dropped.
+pub fn begin(kind: &str, seed: u64, jobs: usize, scale: &str) {
+    *ACTIVE.lock().expect("manifest lock") = Some(RunManifest::new(kind, seed, jobs, scale));
+}
+
+/// Mutates the armed manifest, if any (no-op otherwise).
+pub fn with_active(f: impl FnOnce(&mut RunManifest)) {
+    if let Some(m) = ACTIVE.lock().expect("manifest lock").as_mut() {
+        f(m);
+    }
+}
+
+/// Records the topology digest on the armed manifest.
+pub fn note_topology_digest(digest: u64) {
+    with_active(|m| m.set_topology_digest(digest));
+}
+
+/// Records a fault-plan digest on the armed manifest.
+pub fn note_chaos_digest(name: &str, digest: u64) {
+    with_active(|m| m.note_chaos_digest(name, digest));
+}
+
+/// Records a phase profile on the armed manifest.
+pub fn note_phase_profile(report: &ProfilerReport) {
+    with_active(|m| m.set_phase_profile(PhaseProfile::from_report(report)));
+}
+
+/// Digests a metrics store into the armed manifest.
+pub fn note_store(prefix: &str, store: &TimeSeriesStore) {
+    with_active(|m| m.note_store(prefix, store));
+}
+
+/// Records a written TSV table on the armed manifest.
+pub fn note_table(name: &str, rows: usize, tsv: &[u8]) {
+    with_active(|m| m.note_table(name, rows, tsv));
+}
+
+/// Records a cell's decision log on the armed manifest.
+pub fn note_decisions(cell: &str, log: &DecisionLog) {
+    with_active(|m| m.note_decisions(cell, log));
+}
+
+/// Records a scalar on the armed manifest.
+pub fn note_scalar(key: &str, value: f64) {
+    with_active(|m| m.note_scalar(key, value));
+}
+
+/// Disarms the global manifest and writes it under `path`. Returns the
+/// written path, or `None` when nothing was armed or the write failed
+/// (failure is logged, never fatal — manifests must not break runs).
+pub fn finish(path: &Path) -> Option<PathBuf> {
+    let m = ACTIVE.lock().expect("manifest lock").take()?;
+    match m.write(path) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("warning: failed to write manifest {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (diff reads manifests back without serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Object view (field list in document order).
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message with a byte offset on malformed input.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_metrics::{Labels, SeriesKey};
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest::new("chaos", 7, 4, "quick");
+        m.set_topology_digest(0xDEAD_BEEF);
+        m.note_chaos_digest("slowdown", 0x1234);
+        m.note_table("chaos_resilience", 30, b"a\tb\n1\t2\n");
+        m.note_scalar("events_per_sec", 123456.5);
+        let mut store = TimeSeriesStore::new();
+        store.append_row(
+            1.0,
+            vec![
+                (SeriesKey::new("zz_latency", Labels::empty()), 0.25),
+                (SeriesKey::new("aa_rps", Labels::new(&[("svc", "x")])), 10.0),
+            ],
+        );
+        m.note_store("cell0", &store);
+        m
+    }
+
+    #[test]
+    fn manifest_json_roundtrips_through_parser() {
+        let m = sample_manifest();
+        let json = m.to_json();
+        let v = parse_json(&json).expect("manifest parses");
+        assert_eq!(v.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+        assert_eq!(v.get("seed").and_then(JsonValue::as_f64), Some(7.0));
+        assert_eq!(
+            v.get("topology_digest").and_then(JsonValue::as_str),
+            Some("00000000deadbeef")
+        );
+        let series = v.get("series").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(series.len(), 2);
+        // Sorted by key: aa_rps before zz_latency.
+        assert!(series[0]
+            .get("key")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("aa_rps"));
+        let scalars = v.get("scalars").and_then(JsonValue::as_obj).unwrap();
+        assert_eq!(scalars[0].0, "events_per_sec");
+        assert_eq!(scalars[0].1.as_f64(), Some(123456.5));
+    }
+
+    #[test]
+    fn manifest_rendering_is_deterministic() {
+        assert_eq!(sample_manifest().to_json(), sample_manifest().to_json());
+    }
+
+    #[test]
+    fn parser_handles_escapes_nesting_and_errors() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, "x\ty\"z"], "b": {"c": null, "d": true}}"#)
+            .expect("valid json");
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\ty\"z"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Bool(true)));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn global_collector_is_noop_when_disarmed() {
+        // No begin(): all notes drop silently and finish returns None.
+        note_scalar("x", 1.0);
+        note_topology_digest(5);
+        assert!(finish(Path::new("/nonexistent/run.json")).is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vector: FNV-1a 64 of "a".
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+}

@@ -16,18 +16,21 @@
 //! Each cell also reports the stale-event split (live events drive
 //! state; stale pops are lazily-invalidated PS checks) plus event-heap
 //! depth/compaction counters. Each cell is timed as plain/profiled
-//! back-to-back pairs: the v3 schema reports a per-phase breakdown
-//! (`phases` / `ps_heavy_phases`, one `{phase, pct, ns_per_event}` row
-//! per [`SimPhase`]) so the next perf PR attacks the measured hot phase,
-//! plus the paired-minimum profiler overhead, asserting along the way
-//! that the profiled run's counters are identical to the plain run's
+//! back-to-back pairs: the v4 schema reports a per-phase breakdown
+//! (`phases` / `ps_heavy_phases`, one `{phase, count, pct, ns_per_event}`
+//! row per [`SimPhase`]) so the next perf PR attacks the measured hot
+//! phase, plus the paired-minimum profiler overhead, asserting along the
+//! way that the profiled run's counters are identical to the plain run's
 //! (the profiler must observe, not perturb). After the cells, an 8-cell
-//! batch
-//! runs under 1 worker and under the configured `--jobs` to report the
-//! harness speedup. Results go to `BENCH_sim.json`; `--check
-//! <baseline.json>` compares both cells' events/sec against a committed
-//! baseline and gates the profiler overhead at
-//! [`PROFILER_OVERHEAD_BUDGET_PCT`], which is what CI runs.
+//! batch runs under 1 worker and under the configured `--jobs` to report
+//! the harness speedup. Results go to `BENCH_sim.json`, a `run.json`
+//! manifest for `ursa-bench diff`, and an append-only `history.jsonl`
+//! trajectory point alongside; `--check <baseline.json>` compares both
+//! cells' events/sec against a committed baseline (tolerance from
+//! `--tolerance` / `URSA_PERF_TOLERANCE`, default
+//! [`REGRESSION_TOLERANCE`], with the remaining margin printed) and gates
+//! the profiler overhead at [`PROFILER_OVERHEAD_BUDGET_PCT`], which is
+//! what CI runs.
 
 use std::path::Path;
 use std::time::Instant;
@@ -37,7 +40,7 @@ use ursa_sim::prelude::*;
 use ursa_sim::time::SimDur;
 use ursa_sim::workload::RateFn;
 
-use crate::runner;
+use crate::{manifest, runner};
 
 /// Simulated seconds per canonical cell.
 const SIM_SECS: u64 = 30;
@@ -49,13 +52,14 @@ const PS_HEAVY_WORKERS: usize = 512;
 const BATCH_CELLS: u64 = 8;
 /// Wall-clock repetitions per cell; the minimum is reported.
 const MEASURE_REPS: usize = 5;
-/// Allowed events/sec regression vs the baseline before `--check`
-/// fails. Generous because the reference numbers come from shared,
-/// single-core runners where even best-of-N walls wander by tens of
-/// percent between machine windows; the check exists to catch
+/// Default allowed events/sec regression vs the baseline before
+/// `--check` fails (override with `--tolerance` or
+/// `URSA_PERF_TOLERANCE`). Generous because the reference numbers come
+/// from shared, single-core runners where even best-of-N walls wander by
+/// tens of percent between machine windows; the check exists to catch
 /// complexity-class regressions (the ps_heavy cell slows ~3x if PS goes
 /// quadratic again), not single-digit codegen drift.
-const REGRESSION_TOLERANCE: f64 = 0.35;
+pub const REGRESSION_TOLERANCE: f64 = 0.35;
 /// Maximum tolerated profiler overhead (`--check` gate): the sampled
 /// accounting must stay within 2 % of the plain wall on both cells,
 /// measured as the paired-minimum ratio (see [`time_cell_pair`]).
@@ -189,24 +193,27 @@ fn time_cell_pair(run: impl Fn(bool) -> (CellStats, Option<ProfilerReport>)) -> 
     }
 }
 
-/// One row of the v3 per-phase breakdown.
+/// One row of the v4 per-phase breakdown.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseRow {
     /// Stable phase label (see [`SimPhase::label`]).
     pub phase: &'static str,
+    /// Sampled spans accrued in the phase (deterministic per seed).
+    pub count: u64,
     /// Share of estimated engine time, percent.
     pub pct: f64,
     /// Estimated nanoseconds per popped event in this phase.
     pub ns_per_event: f64,
 }
 
-/// Flattens a [`ProfilerReport`] into the v3 `phases` rows.
+/// Flattens a [`ProfilerReport`] into the v4 `phases` rows.
 fn phase_rows(profile: &ProfilerReport) -> Vec<PhaseRow> {
     profile
         .phases
         .iter()
         .map(|s| PhaseRow {
             phase: s.phase.label(),
+            count: s.count,
             pct: s.share * 100.0,
             ns_per_event: profile.ns_per_event(s.phase),
         })
@@ -218,8 +225,8 @@ fn phases_json(rows: &[PhaseRow]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{{\"phase\": \"{}\", \"pct\": {:.2}, \"ns_per_event\": {:.1}}}",
-                r.phase, r.pct, r.ns_per_event
+                "{{\"phase\": \"{}\", \"count\": {}, \"pct\": {:.2}, \"ns_per_event\": {:.1}}}",
+                r.phase, r.count, r.pct, r.ns_per_event
             )
         })
         .collect();
@@ -276,7 +283,7 @@ impl PerfReport {
     /// Renders the report as JSON (stable key order, no dependencies).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"ursa-bench-perf/v3\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"profiler_overhead_pct\": {:.2},\n  \"phases\": {},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"ps_heavy_profiler_overhead_pct\": {:.2},\n  \"ps_heavy_phases\": {},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"schema\": \"ursa-bench-perf/v4\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"profiler_overhead_pct\": {:.2},\n  \"phases\": {},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"ps_heavy_profiler_overhead_pct\": {:.2},\n  \"ps_heavy_phases\": {},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
             self.events,
             self.events_stale,
             self.stale_ratio,
@@ -360,9 +367,11 @@ pub fn json_field(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Checks one throughput field of `report` against `baseline`; returns
-/// an exit code (0 ok, 1 regression, 2 missing field).
-fn check_field(report: &str, baseline: &str, key: &str) -> i32 {
+/// Checks one throughput field of `report` against `baseline` at the
+/// given tolerance; returns an exit code (0 ok, 1 regression, 2 missing
+/// field). The passing branch prints the measured-vs-gate margin so CI
+/// logs show how much headroom is left before the floor trips.
+fn check_field(report: &str, baseline: &str, key: &str, tolerance: f64) -> i32 {
     let Some(base) = json_field(baseline, key) else {
         eprintln!("error: baseline has no {key}");
         return 2;
@@ -371,7 +380,7 @@ fn check_field(report: &str, baseline: &str, key: &str) -> i32 {
         eprintln!("error: report has no {key}");
         return 2;
     };
-    let floor = base * (1.0 - REGRESSION_TOLERANCE);
+    let floor = base * (1.0 - tolerance);
     if cur < floor {
         eprintln!(
             "PERF REGRESSION: {key} {cur:.0} is below {floor:.0} ({}% under baseline {base:.0})",
@@ -379,7 +388,15 @@ fn check_field(report: &str, baseline: &str, key: &str) -> i32 {
         );
         return 1;
     }
-    println!("perf check ok: {key} {cur:.0} vs baseline {base:.0} (floor {floor:.0})");
+    let margin_pct = if floor > 0.0 {
+        100.0 * (cur / floor - 1.0)
+    } else {
+        0.0
+    };
+    println!(
+        "perf check ok: {key} {cur:.0} vs baseline {base:.0} \
+         (floor {floor:.0}, margin +{margin_pct:.0}%)"
+    );
     0
 }
 
@@ -400,10 +417,93 @@ fn check_overhead(report: &str, key: &str) -> i32 {
     0
 }
 
-/// Runs the measurement, writes `BENCH_sim.json`, optionally checks it
-/// against a baseline. Returns the process exit code (0 = ok, 1 =
-/// regression, 2 = bad baseline).
-pub fn run(out: &Path, check: Option<&Path>) -> i32 {
+/// Builds the perf run manifest (`run.json` next to the `--out` report):
+/// every scalar of the report plus the canonical cell's phase profile, so
+/// `ursa-bench diff` can align two perf runs without re-parsing the
+/// schema-versioned report format.
+fn perf_manifest(report: &PerfReport) -> manifest::RunManifest {
+    let mut m = manifest::RunManifest::new("perf", crate::global_seed(), report.jobs, "perf");
+    m.note_scalar("events", report.events as f64);
+    m.note_scalar("events_stale", report.events_stale as f64);
+    m.note_scalar("stale_ratio", report.stale_ratio);
+    m.note_scalar("heap_max_depth", report.heap_max_depth as f64);
+    m.note_scalar("heap_compactions", report.heap_compactions as f64);
+    m.note_scalar("events_per_sec", report.events_per_sec);
+    m.note_scalar("cell_wall_ms", report.cell_wall_ms);
+    m.note_scalar("profiler_overhead_pct", report.profiler_overhead_pct);
+    m.note_scalar("ps_heavy_events", report.ps_heavy_events as f64);
+    m.note_scalar("ps_heavy_events_per_sec", report.ps_heavy_events_per_sec);
+    m.note_scalar("ps_heavy_wall_ms", report.ps_heavy_wall_ms);
+    m.note_scalar(
+        "ps_heavy_profiler_overhead_pct",
+        report.ps_heavy_profiler_overhead_pct,
+    );
+    m.note_scalar("jobs", report.jobs as f64);
+    m.note_scalar("batch_wall_jobs1_ms", report.batch_wall_jobs1_ms);
+    m.note_scalar("batch_wall_jobsn_ms", report.batch_wall_jobsn_ms);
+    m.note_scalar("speedup", report.speedup);
+    m.set_phase_profile(manifest::PhaseProfile {
+        sample_every: u64::from(PhaseProfiler::DEFAULT_SAMPLE_EVERY),
+        events_seen: report.events,
+        events_sampled: report.phases.iter().map(|r| r.count).sum(),
+        rows: report
+            .phases
+            .iter()
+            .map(|r| manifest::PhaseProfileRow {
+                phase: r.phase.to_string(),
+                count: r.count,
+                pct: r.pct,
+                ns_per_event: r.ns_per_event,
+            })
+            .collect(),
+    });
+    m
+}
+
+/// One `history.jsonl` line: the perf trajectory point this run appends.
+fn history_line(report: &PerfReport) -> String {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{{\"schema\": \"ursa-bench-history/v1\", \"unix_s\": {unix_s}, \
+         \"events_per_sec\": {:.1}, \"ps_heavy_events_per_sec\": {:.1}, \
+         \"profiler_overhead_pct\": {:.2}, \"speedup\": {:.3}, \"jobs\": {}}}\n",
+        report.events_per_sec,
+        report.ps_heavy_events_per_sec,
+        report.profiler_overhead_pct,
+        report.speedup,
+        report.jobs,
+    )
+}
+
+/// Appends this run's point to the append-only perf trajectory.
+fn append_history(path: &Path, report: &PerfReport) {
+    use std::io::Write as _;
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let line = history_line(report);
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(mut f) => {
+            if f.write_all(line.as_bytes()).is_ok() {
+                println!("appended perf point to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot append history {}: {e}", path.display()),
+    }
+}
+
+/// Runs the measurement, writes `BENCH_sim.json` plus the `run.json`
+/// manifest, appends the `history.jsonl` trajectory point, and optionally
+/// checks against a baseline at `tolerance`. Returns the process exit
+/// code (0 = ok, 1 = regression, 2 = bad baseline).
+pub fn run(out: &Path, check: Option<&Path>, tolerance: f64) -> i32 {
     let report = measure();
     let json = report.to_json();
     if let Some(dir) = out.parent() {
@@ -417,6 +517,12 @@ pub fn run(out: &Path, check: Option<&Path>) -> i32 {
         }
     }
     print!("{json}");
+    let side = out.parent().unwrap_or(Path::new("."));
+    match perf_manifest(&report).write(&side.join("run.json")) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: failed to write perf manifest: {e}"),
+    }
+    append_history(&side.join("history.jsonl"), &report);
     let Some(baseline_path) = check else { return 0 };
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
@@ -428,8 +534,9 @@ pub fn run(out: &Path, check: Option<&Path>) -> i32 {
             return 2;
         }
     };
-    let canon = check_field(&json, &baseline, "events_per_sec");
-    let heavy = check_field(&json, &baseline, "ps_heavy_events_per_sec");
+    println!("perf check tolerance: {tolerance:.2}");
+    let canon = check_field(&json, &baseline, "events_per_sec", tolerance);
+    let heavy = check_field(&json, &baseline, "ps_heavy_events_per_sec", tolerance);
     let canon_oh = check_overhead(&json, "profiler_overhead_pct");
     let heavy_oh = check_overhead(&json, "ps_heavy_profiler_overhead_pct");
     canon.max(heavy).max(canon_oh).max(heavy_oh)
@@ -480,11 +587,13 @@ mod tests {
             phases: vec![
                 PhaseRow {
                     phase: "ps_advance",
+                    count: 90,
                     pct: 61.25,
                     ns_per_event: 120.5,
                 },
                 PhaseRow {
                     phase: "heap_pop",
+                    count: 10,
                     pct: 12.5,
                     ns_per_event: 24.6,
                 },
@@ -492,6 +601,7 @@ mod tests {
             ps_heavy_profiler_overhead_pct: 1.15,
             ps_heavy_phases: vec![PhaseRow {
                 phase: "ps_advance",
+                count: 44,
                 pct: 80.0,
                 ns_per_event: 300.0,
             }],
@@ -522,16 +632,35 @@ mod tests {
     }
 
     #[test]
-    fn v3_schema_and_phase_arrays() {
+    fn v4_schema_and_phase_arrays() {
         let j = sample_report().to_json();
-        assert!(j.contains("\"schema\": \"ursa-bench-perf/v3\""));
+        assert!(j.contains("\"schema\": \"ursa-bench-perf/v4\""));
         assert!(j.contains(
-            "\"phases\": [{\"phase\": \"ps_advance\", \"pct\": 61.25, \"ns_per_event\": 120.5}, \
-             {\"phase\": \"heap_pop\", \"pct\": 12.50, \"ns_per_event\": 24.6}]"
+            "\"phases\": [{\"phase\": \"ps_advance\", \"count\": 90, \"pct\": 61.25, \
+             \"ns_per_event\": 120.5}, {\"phase\": \"heap_pop\", \"count\": 10, \
+             \"pct\": 12.50, \"ns_per_event\": 24.6}]"
         ));
         assert!(j.contains(
-            "\"ps_heavy_phases\": [{\"phase\": \"ps_advance\", \"pct\": 80.00, \"ns_per_event\": 300.0}]"
+            "\"ps_heavy_phases\": [{\"phase\": \"ps_advance\", \"count\": 44, \"pct\": 80.00, \
+             \"ns_per_event\": 300.0}]"
         ));
+    }
+
+    #[test]
+    fn perf_manifest_carries_scalars_and_profile() {
+        let m = perf_manifest(&sample_report());
+        let json = m.to_json();
+        let v = crate::manifest::parse_json(&json).expect("manifest parses");
+        let scalars = v.get("scalars").unwrap();
+        assert_eq!(
+            scalars.get("events_per_sec").and_then(|x| x.as_f64()),
+            Some(56789.5)
+        );
+        assert_eq!(scalars.get("speedup").and_then(|x| x.as_f64()), Some(3.0));
+        let profile = v.get("phase_profile").unwrap();
+        let rows = profile.get("phases").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("count").and_then(|x| x.as_f64()), Some(90.0));
     }
 
     #[test]
@@ -566,11 +695,43 @@ mod tests {
     fn check_field_flags_regressions_only() {
         let j = sample_report().to_json();
         // Same report as its own baseline: trivially passes.
-        assert_eq!(check_field(&j, &j, "events_per_sec"), 0);
-        assert_eq!(check_field(&j, &j, "ps_heavy_events_per_sec"), 0);
+        assert_eq!(
+            check_field(&j, &j, "events_per_sec", REGRESSION_TOLERANCE),
+            0
+        );
+        assert_eq!(
+            check_field(&j, &j, "ps_heavy_events_per_sec", REGRESSION_TOLERANCE),
+            0
+        );
         // A baseline far above the report trips the floor.
         let inflated = j.replace("56789.5", "999999999.0");
-        assert_eq!(check_field(&j, &inflated, "events_per_sec"), 1);
-        assert_eq!(check_field(&j, &j, "no_such_field"), 2);
+        assert_eq!(
+            check_field(&j, &inflated, "events_per_sec", REGRESSION_TOLERANCE),
+            1
+        );
+        assert_eq!(
+            check_field(&j, &j, "no_such_field", REGRESSION_TOLERANCE),
+            2
+        );
+        // A tighter tolerance turns a tolerated drift into a failure: 10%
+        // down passes the default band but not a 5% one.
+        let drifted = j.replace("56789.5", "51110.6");
+        assert_eq!(check_field(&drifted, &j, "events_per_sec", 0.35), 0);
+        assert_eq!(check_field(&drifted, &j, "events_per_sec", 0.05), 1);
+    }
+
+    #[test]
+    fn history_line_is_one_json_object() {
+        let line = history_line(&sample_report());
+        assert!(line.ends_with('\n'));
+        let v = crate::manifest::parse_json(line.trim()).expect("history line parses");
+        assert_eq!(
+            v.get("events_per_sec").and_then(|x| x.as_f64()),
+            Some(56789.5)
+        );
+        assert_eq!(
+            v.get("schema").and_then(|x| x.as_str()),
+            Some("ursa-bench-history/v1")
+        );
     }
 }

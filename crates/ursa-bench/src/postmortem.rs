@@ -19,7 +19,8 @@
 //! * live span trees and recently finished traces from the tracer,
 //! * the last few control windows of the columnar metrics store,
 //! * the tail of Ursa's decision log,
-//! * the faults active at dump time, and
+//! * the faults active at dump time,
+//! * the engine phase-profile sample counts (when the profiler is armed), and
 //! * a topology/replica-state snapshot.
 //!
 //! Everything in a bundle is a pure function of the simulation seed and
@@ -481,6 +482,35 @@ fn render_json(
     }
     s.push_str("],\n");
 
+    // Engine phase profile — deterministic fields only. Per-phase
+    // `est_nanos`/`share` measure the host wall clock and would break the
+    // byte-identical-at-any-`--jobs` guarantee; sample counts are a pure
+    // function of the seed (every Nth popped event) and survive.
+    match sim.profiler() {
+        None => s.push_str("\"phase_profile\":null,\n"),
+        Some(p) => {
+            let report = p.report();
+            let _ = write!(
+                s,
+                "\"phase_profile\":{{\"sample_every\":{},\"events_seen\":{},\
+                 \"events_sampled\":{},\"counts\":[",
+                report.sample_every, report.events_seen, report.events_sampled
+            );
+            for (i, st) in report.phases.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"phase\":\"{}\",\"count\":{}}}",
+                    st.phase.label(),
+                    st.count
+                );
+            }
+            s.push_str("]},\n");
+        }
+    }
+
     // Flight-recorder window.
     match sim.flight_recorder() {
         None => s.push_str("\"flight_recorder\":null,\n"),
@@ -708,6 +738,26 @@ fn render_html(
                 e.at.as_secs_f64(),
                 e.seq,
                 e.kind.label(),
+            );
+        }
+        h.push_str("</table>\n");
+    }
+
+    if let Some(p) = sim.profiler() {
+        let report = p.report();
+        let _ = writeln!(
+            h,
+            "<h2>Engine phase profile ({} of {} events sampled, 1/{})</h2>\n\
+             <table><tr><th>phase</th><th>sampled spans</th></tr>",
+            report.events_sampled, report.events_seen, report.sample_every
+        );
+        // Counts only: wall-derived nanos would break bundle determinism.
+        for st in report.phases.iter().filter(|st| st.count > 0) {
+            let _ = writeln!(
+                h,
+                "<tr><td>{}</td><td>{}</td></tr>",
+                st.phase.label(),
+                st.count
             );
         }
         h.push_str("</table>\n");

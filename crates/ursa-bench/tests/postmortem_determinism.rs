@@ -44,6 +44,7 @@ fn snapshot_cell(app: &App, dir: &Path, seed: u64) -> Vec<(String, Vec<u8>)> {
     let mut sim = app.build_sim(seed);
     sim.arm_flight_recorder(FlightRecorder::DEFAULT_CAPACITY);
     sim.enable_tracing(256, 0.05);
+    sim.enable_profiler(ursa_sim::profiler::PhaseProfiler::DEFAULT_SAMPLE_EVERY);
     app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
     let mut auto = Autoscaler::auto_a(app.topology.num_services());
     let mut metrics = SimMetrics::for_topology("auto_a", &app.topology, &app.slas);
@@ -97,6 +98,12 @@ fn snapshot_bundles_are_jobs_invariant() {
         .map(|(_, bytes)| String::from_utf8(bytes.clone()).unwrap())
         .collect();
     assert!(all.contains("snapshot-at"), "{all}");
+    // The armed profiler's sample counts land in the bundle (the
+    // wall-derived nanos stay out — determinism above proves it).
+    assert!(
+        all.contains("\"phase_profile\":{\"sample_every\":"),
+        "{all}"
+    );
 }
 
 /// The acceptance-criterion path: the chaos grid's slowdown cell, run
@@ -114,6 +121,7 @@ fn slowdown_cell_dumps_anomaly_bundle() {
         sim.install_faults(plan, CHAOS_SEED);
         sim.arm_flight_recorder(FlightRecorder::DEFAULT_CAPACITY);
         sim.enable_tracing(512, 0.02);
+        sim.enable_profiler(ursa_sim::profiler::PhaseProfiler::DEFAULT_SAMPLE_EVERY);
         app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
         ursa.apply_initial_allocation(&default_rates(&app), &mut sim);
         let mut metrics = SimMetrics::for_topology("ursa", &app.topology, &app.slas);
@@ -150,6 +158,7 @@ fn slowdown_cell_dumps_anomaly_bundle() {
         "\"active_faults\"",
         "\"decisions\"",
         "\"flight_recorder\"",
+        "\"phase_profile\"",
         "\"spans\"",
         "\"metrics_window\"",
     ] {

@@ -12,6 +12,9 @@
 //!   alerts per SLA class.
 //! * [`export`] — Prometheus text format, CSV, and a zero-dependency
 //!   self-contained HTML dashboard (inline SVG).
+//! * [`digest`] — per-series scalar digests (count/min/max/mean/last) in
+//!   sorted key order, the series view run manifests embed for
+//!   `ursa-bench diff`.
 //! * [`logging`] — the leveled progress-logging layer shared by the
 //!   workspace (`--quiet`/`--verbose` in `ursa-bench`).
 //!
@@ -25,12 +28,14 @@
 //! [`registry::SeriesKey`] (metric name + sorted label pairs), so the
 //! export order is independent of label-insertion order (property-tested).
 
+pub mod digest;
 pub mod export;
 pub mod logging;
 pub mod registry;
 pub mod slo;
 pub mod store;
 
+pub use digest::{store_digests, SeriesSummary};
 pub use export::csv::write_csv;
 pub use export::dashboard::{render_dashboard, Annotation, PanelSpec};
 pub use export::prometheus::write_prometheus;

@@ -225,6 +225,55 @@ impl FaultPlan {
     pub fn last_until(&self) -> Option<SimTime> {
         self.faults.iter().map(|f| f.until).max()
     }
+
+    /// Structural digest of the plan (FNV-1a over every window's timing
+    /// and parameters, platform-stable). Run manifests embed it so
+    /// `ursa-bench diff` can tell whether two chaos runs injected the same
+    /// fault schedule.
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::topology::Fnv::new();
+        h.write_usize(self.nodes);
+        h.write_usize(self.faults.len());
+        for f in &self.faults {
+            h.write_usize(f.at.as_nanos() as usize);
+            h.write_usize(f.until.as_nanos() as usize);
+            match f.kind {
+                FaultKind::ReplicaCrash { service, count } => {
+                    h.write_usize(1);
+                    h.write_usize(service);
+                    h.write_usize(count);
+                }
+                FaultKind::NodeFailure { node } => {
+                    h.write_usize(2);
+                    h.write_usize(node);
+                }
+                FaultKind::Slowdown { service, factor } => {
+                    h.write_usize(3);
+                    h.write_usize(service);
+                    h.write_f64(factor);
+                }
+                FaultKind::RpcFault {
+                    service,
+                    extra_delay,
+                    drop_prob,
+                    timeout,
+                    max_retries,
+                } => {
+                    h.write_usize(4);
+                    h.write_usize(service);
+                    h.write_usize(extra_delay.as_nanos() as usize);
+                    h.write_f64(drop_prob);
+                    h.write_usize(timeout.as_nanos() as usize);
+                    h.write_usize(max_retries as usize);
+                }
+                FaultKind::MqStall { service } => {
+                    h.write_usize(5);
+                    h.write_usize(service);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Which edge of a fault window a [`FaultEvent`] marks.
@@ -391,6 +440,22 @@ mod tests {
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.first_at(), Some(SimTime::from_secs_f64(1.0)));
         assert_eq!(plan.last_until(), Some(SimTime::from_secs_f64(2.0)));
+    }
+
+    #[test]
+    fn plan_digest_is_stable_and_parameter_sensitive() {
+        let mk = |factor: f64| {
+            let mut plan = FaultPlan::new();
+            plan.push(Fault {
+                at: SimTime::from_secs_f64(1.0),
+                until: SimTime::from_secs_f64(2.0),
+                kind: FaultKind::Slowdown { service: 1, factor },
+            });
+            plan
+        };
+        assert_eq!(mk(2.0).digest(), mk(2.0).digest());
+        assert_ne!(mk(2.0).digest(), mk(3.0).digest());
+        assert_ne!(mk(2.0).digest(), FaultPlan::new().digest());
     }
 
     #[test]
