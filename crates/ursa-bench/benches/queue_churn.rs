@@ -1,0 +1,82 @@
+//! Criterion microbenchmark of the calendar event queue under churn.
+//!
+//! The engine's steady state is a hold-then-advance cycle: push a few
+//! events ahead of now, pop the earliest, occasionally invalidate a
+//! pending entry (a stale PS check) and sweep it out with `retain`. The
+//! interesting axis is the *horizon width* — how far ahead of now pushes
+//! land. Narrow horizons keep everything in the current band (or in
+//! hybrid heap mode at small depths); wide horizons scatter entries
+//! across bands and the overflow list, exercising promotion and the
+//! adaptive band resize. Each case runs the same interleaved
+//! push/pop/invalidate schedule at a fixed standing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ursa_sim::calq::CalQueue;
+use ursa_sim::time::SimTime;
+
+/// Standing queue depths: one below the hybrid heap→calendar threshold
+/// (1024), one well above it.
+const DEPTHS: [usize; 2] = [512, 8192];
+
+/// Horizon widths (ns ahead of now) spanning sub-band to far-overflow:
+/// the calendar's default band is 2^17 ns wide with 1024 bands in the
+/// ring, so 10^5 stays near the current band, 10^8 spreads over the
+/// ring, and 10^11 parks most entries in overflow.
+const HORIZONS: [u64; 3] = [100_000, 100_000_000, 100_000_000_000];
+
+/// One churn round: `n` interleaved operations at standing depth
+/// `depth`, pushes spread uniformly over `horizon` ns ahead of the
+/// popped frontier. A cheap LCG keeps the schedule deterministic without
+/// pulling a real RNG into the measurement.
+fn churn(depth: usize, horizon: u64, n: usize) -> u64 {
+    let mut q: CalQueue<u64> = CalQueue::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut lcg = 0x9E3779B97F4A7C15u64;
+    let mut next = |bound: u64| {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (lcg >> 16) % bound.max(1)
+    };
+    for _ in 0..depth {
+        q.push(SimTime::from_nanos(now + next(horizon)), seq, seq);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for i in 0..n {
+        q.push(SimTime::from_nanos(now + next(horizon)), seq, seq);
+        seq += 1;
+        if let Some(e) = q.pop() {
+            now = e.at.as_nanos();
+            acc = acc.wrapping_add(e.kind);
+        }
+        // Every 64th round, invalidate ~1/16 of pending entries — the
+        // stale-PS-check sweep the engine's lazy compaction performs.
+        if i % 64 == 63 {
+            q.retain(|&k| k % 16 != 0);
+            while q.len() < depth {
+                q.push(SimTime::from_nanos(now + next(horizon)), seq, seq);
+                seq += 1;
+            }
+        }
+    }
+    acc
+}
+
+fn bench_queue_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_churn");
+    group.sample_size(20);
+    for &depth in &DEPTHS {
+        for &horizon in &HORIZONS {
+            group.bench_function(
+                BenchmarkId::new(format!("depth_{depth}"), format!("horizon_{horizon}ns")),
+                |b| b.iter(|| churn(depth, horizon, 4096)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_churn);
+criterion_main!(benches);

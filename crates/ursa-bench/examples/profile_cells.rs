@@ -1,0 +1,71 @@
+//! Standalone driver for the perf-harness cells, sized for external
+//! profilers (gprofng, perf): long enough runs to dominate startup, no
+//! harness timing logic in the way.
+//!
+//! ```sh
+//! cargo build --release -p ursa-bench --example profile_cells
+//! gprofng collect app -o /tmp/prof.er target/release/examples/profile_cells ps_heavy 20
+//! gprofng display text -functions /tmp/prof.er | head -40
+//! ```
+
+use ursa_apps::social_network;
+use ursa_sim::prelude::*;
+use ursa_sim::workload::RateFn;
+
+fn ps_heavy(seed: u64) -> u64 {
+    let topo = Topology::new(
+        vec![ServiceCfg::new("svc", 8.0).with_workers(512)],
+        vec![ClassCfg {
+            name: "req".into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(0), WorkDist::Exponential { mean: 0.004 }),
+        }],
+    )
+    .expect("static ps_heavy topology");
+    let mut sim = Simulation::new(topo, SimConfig::default(), seed);
+    if std::env::var("PROF_EVERY").is_ok() {
+        sim.enable_profiler(1);
+    }
+    sim.set_rate(ClassId(0), RateFn::Constant(4000.0));
+    sim.run_for(SimDur::from_secs(10));
+    if let Some(p) = sim.profiler() {
+        for st in p.report().phases {
+            if st.count > 0 {
+                eprintln!(
+                    "{:12} count={:9} ns/ev={:8.1}",
+                    st.phase.label(),
+                    st.count,
+                    st.est_nanos / sim.events_processed() as f64
+                );
+            }
+        }
+    }
+    sim.events_processed()
+}
+
+fn canonical(seed: u64) -> u64 {
+    let app = social_network(true);
+    let mut sim = app.build_sim(seed);
+    app.apply_load(&mut sim, RateFn::Constant(app.default_rps));
+    sim.run_for(SimDur::from_secs(30));
+    sim.events_processed()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cell = args.get(1).map(String::as_str).unwrap_or("ps_heavy");
+    let reps: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let mut total = 0u64;
+    let t0 = std::time::Instant::now();
+    for rep in 0..reps {
+        total += match cell {
+            "canonical" => canonical(0xBE7C + rep),
+            _ => ps_heavy(0x9527 + rep),
+        };
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "{cell}: {total} events in {dt:.3}s = {:.0} ev/s",
+        total as f64 / dt
+    );
+}

@@ -14,12 +14,16 @@
 //!   cell exists so a regression back to O(n²) fails `--check` loudly.
 //!
 //! Each cell also reports the stale-event split (live events drive
-//! state; stale pops are lazily-invalidated PS checks) plus event-heap
-//! depth/compaction counters. Each cell is timed as plain/profiled
-//! back-to-back pairs: the v4 schema reports a per-phase breakdown
-//! (`phases` / `ps_heavy_phases`, one `{phase, count, pct, ns_per_event}`
-//! row per [`SimPhase`]) so the next perf PR attacks the measured hot
-//! phase, plus the paired-minimum profiler overhead, asserting along the
+//! state; stale pops are lazily-invalidated PS checks) plus event-queue
+//! depth/compaction counters and — new in the v5 schema — the calendar
+//! queue's band occupancy (band width, adaptive resizes, promotions into
+//! the current band, deepest single-band drain, overflow high-water) and
+//! the request arena's slot/node high-water marks. Each cell is timed as
+//! plain/profiled back-to-back pairs: the schema reports a per-phase
+//! breakdown (`phases` / `ps_heavy_phases`, one
+//! `{phase, count, pct, ns_per_event}` row per [`SimPhase`]) so the next
+//! perf PR attacks the measured hot phase, plus the paired-minimum
+//! profiler overhead, asserting along the
 //! way that the profiled run's counters are identical to the plain run's
 //! (the profiler must observe, not perturb). After the cells, an 8-cell
 //! batch runs under 1 worker and under the configured `--jobs` to report
@@ -73,10 +77,24 @@ struct CellStats {
     live: u64,
     /// Stale pops: lazily-invalidated PS checks and source timers.
     stale: u64,
-    /// High-water mark of the event heap.
+    /// High-water mark of the event queue.
     heap_max_depth: usize,
-    /// Lazy-compaction sweeps of the event heap.
+    /// Lazy-compaction sweeps of the event queue.
     compactions: u64,
+    /// Calendar-queue band width, nanoseconds of simulated time.
+    band_ns: u64,
+    /// Adaptive band-width resizes (including hybrid heap/calendar flips).
+    resizes: u64,
+    /// Entries promoted from ring/overflow into the current band.
+    promotions: u64,
+    /// Deepest single-band drain observed.
+    max_band_drain: usize,
+    /// High-water mark of the far-future overflow list.
+    overflow_max: usize,
+    /// Request-arena slot high-water mark.
+    arena_slots: usize,
+    /// Request-arena node (hop) high-water mark.
+    arena_nodes: usize,
 }
 
 fn stats_of(sim: &Simulation) -> CellStats {
@@ -85,6 +103,13 @@ fn stats_of(sim: &Simulation) -> CellStats {
         stale: sim.events_stale(),
         heap_max_depth: sim.event_heap_max_depth(),
         compactions: sim.heap_compactions(),
+        band_ns: sim.event_queue_band_ns(),
+        resizes: sim.event_queue_resizes(),
+        promotions: sim.event_queue_promotions(),
+        max_band_drain: sim.event_queue_max_band_drain(),
+        overflow_max: sim.event_queue_overflow_max(),
+        arena_slots: sim.arena_slots_high_water(),
+        arena_nodes: sim.arena_nodes_high_water(),
     }
 }
 
@@ -193,7 +218,7 @@ fn time_cell_pair(run: impl Fn(bool) -> (CellStats, Option<ProfilerReport>)) -> 
     }
 }
 
-/// One row of the v4 per-phase breakdown.
+/// One row of the per-phase breakdown.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseRow {
     /// Stable phase label (see [`SimPhase::label`]).
@@ -206,7 +231,7 @@ pub struct PhaseRow {
     pub ns_per_event: f64,
 }
 
-/// Flattens a [`ProfilerReport`] into the v4 `phases` rows.
+/// Flattens a [`ProfilerReport`] into the `phases` rows.
 fn phase_rows(profile: &ProfilerReport) -> Vec<PhaseRow> {
     profile
         .phases
@@ -242,10 +267,24 @@ pub struct PerfReport {
     pub events_stale: u64,
     /// stale / (live + stale) for the canonical cell.
     pub stale_ratio: f64,
-    /// Event-heap high-water mark in the canonical cell.
+    /// Event-queue high-water mark in the canonical cell.
     pub heap_max_depth: usize,
-    /// Event-heap lazy compactions in the canonical cell.
+    /// Event-queue lazy compactions in the canonical cell.
     pub heap_compactions: u64,
+    /// Calendar-queue band width in the canonical cell, ns.
+    pub queue_band_ns: u64,
+    /// Calendar-queue resizes (incl. hybrid flips) in the canonical cell.
+    pub queue_resizes: u64,
+    /// Calendar-queue promotions in the canonical cell.
+    pub queue_promotions: u64,
+    /// Deepest single-band drain in the canonical cell.
+    pub queue_max_band_drain: usize,
+    /// Overflow-list high-water in the canonical cell.
+    pub queue_overflow_max: usize,
+    /// Request-arena slot high-water in the canonical cell.
+    pub arena_slots_high_water: usize,
+    /// Request-arena node high-water in the canonical cell.
+    pub arena_nodes_high_water: usize,
     /// Single-thread engine throughput (live events / best wall).
     pub events_per_sec: f64,
     /// Best-of-N wall-clock of the canonical cell, milliseconds.
@@ -254,8 +293,22 @@ pub struct PerfReport {
     pub ps_heavy_events: u64,
     /// Stale event pops in the ps_heavy cell.
     pub ps_heavy_events_stale: u64,
-    /// Event-heap high-water mark in the ps_heavy cell.
+    /// Event-queue high-water mark in the ps_heavy cell.
     pub ps_heavy_heap_max_depth: usize,
+    /// Calendar-queue band width in the ps_heavy cell, ns.
+    pub ps_heavy_queue_band_ns: u64,
+    /// Calendar-queue resizes (incl. hybrid flips) in the ps_heavy cell.
+    pub ps_heavy_queue_resizes: u64,
+    /// Calendar-queue promotions in the ps_heavy cell.
+    pub ps_heavy_queue_promotions: u64,
+    /// Deepest single-band drain in the ps_heavy cell.
+    pub ps_heavy_queue_max_band_drain: usize,
+    /// Overflow-list high-water in the ps_heavy cell.
+    pub ps_heavy_queue_overflow_max: usize,
+    /// Request-arena slot high-water in the ps_heavy cell.
+    pub ps_heavy_arena_slots_high_water: usize,
+    /// Request-arena node high-water in the ps_heavy cell.
+    pub ps_heavy_arena_nodes_high_water: usize,
     /// ps_heavy throughput (live events / best wall).
     pub ps_heavy_events_per_sec: f64,
     /// Best-of-N wall-clock of the ps_heavy cell, milliseconds.
@@ -283,12 +336,19 @@ impl PerfReport {
     /// Renders the report as JSON (stable key order, no dependencies).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"ursa-bench-perf/v4\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"profiler_overhead_pct\": {:.2},\n  \"phases\": {},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"ps_heavy_profiler_overhead_pct\": {:.2},\n  \"ps_heavy_phases\": {},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+            "{{\n  \"schema\": \"ursa-bench-perf/v5\",\n  \"canonical_cell\": \"social_vanilla constant {SIM_SECS}s\",\n  \"events\": {},\n  \"events_stale\": {},\n  \"stale_ratio\": {:.4},\n  \"heap_max_depth\": {},\n  \"heap_compactions\": {},\n  \"queue_band_ns\": {},\n  \"queue_resizes\": {},\n  \"queue_promotions\": {},\n  \"queue_max_band_drain\": {},\n  \"queue_overflow_max\": {},\n  \"arena_slots_high_water\": {},\n  \"arena_nodes_high_water\": {},\n  \"events_per_sec\": {:.1},\n  \"cell_wall_ms\": {:.2},\n  \"profiler_overhead_pct\": {:.2},\n  \"phases\": {},\n  \"ps_heavy_cell\": \"1x8c {PS_HEAVY_WORKERS}w overload {PS_HEAVY_SECS}s\",\n  \"ps_heavy_events\": {},\n  \"ps_heavy_events_stale\": {},\n  \"ps_heavy_heap_max_depth\": {},\n  \"ps_heavy_queue_band_ns\": {},\n  \"ps_heavy_queue_resizes\": {},\n  \"ps_heavy_queue_promotions\": {},\n  \"ps_heavy_queue_max_band_drain\": {},\n  \"ps_heavy_queue_overflow_max\": {},\n  \"ps_heavy_arena_slots_high_water\": {},\n  \"ps_heavy_arena_nodes_high_water\": {},\n  \"ps_heavy_events_per_sec\": {:.1},\n  \"ps_heavy_wall_ms\": {:.2},\n  \"ps_heavy_profiler_overhead_pct\": {:.2},\n  \"ps_heavy_phases\": {},\n  \"batch_cells\": {BATCH_CELLS},\n  \"jobs\": {},\n  \"batch_wall_jobs1_ms\": {:.2},\n  \"batch_wall_jobsn_ms\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
             self.events,
             self.events_stale,
             self.stale_ratio,
             self.heap_max_depth,
             self.heap_compactions,
+            self.queue_band_ns,
+            self.queue_resizes,
+            self.queue_promotions,
+            self.queue_max_band_drain,
+            self.queue_overflow_max,
+            self.arena_slots_high_water,
+            self.arena_nodes_high_water,
             self.events_per_sec,
             self.cell_wall_ms,
             self.profiler_overhead_pct,
@@ -296,6 +356,13 @@ impl PerfReport {
             self.ps_heavy_events,
             self.ps_heavy_events_stale,
             self.ps_heavy_heap_max_depth,
+            self.ps_heavy_queue_band_ns,
+            self.ps_heavy_queue_resizes,
+            self.ps_heavy_queue_promotions,
+            self.ps_heavy_queue_max_band_drain,
+            self.ps_heavy_queue_overflow_max,
+            self.ps_heavy_arena_slots_high_water,
+            self.ps_heavy_arena_nodes_high_water,
             self.ps_heavy_events_per_sec,
             self.ps_heavy_wall_ms,
             self.ps_heavy_profiler_overhead_pct,
@@ -338,11 +405,25 @@ pub fn measure() -> PerfReport {
             / (canon.stats.live + canon.stats.stale).max(1) as f64,
         heap_max_depth: canon.stats.heap_max_depth,
         heap_compactions: canon.stats.compactions,
+        queue_band_ns: canon.stats.band_ns,
+        queue_resizes: canon.stats.resizes,
+        queue_promotions: canon.stats.promotions,
+        queue_max_band_drain: canon.stats.max_band_drain,
+        queue_overflow_max: canon.stats.overflow_max,
+        arena_slots_high_water: canon.stats.arena_slots,
+        arena_nodes_high_water: canon.stats.arena_nodes,
         events_per_sec: canon.stats.live as f64 / canon.wall.max(1e-9),
         cell_wall_ms: canon.wall * 1e3,
         ps_heavy_events: heavy.stats.live,
         ps_heavy_events_stale: heavy.stats.stale,
         ps_heavy_heap_max_depth: heavy.stats.heap_max_depth,
+        ps_heavy_queue_band_ns: heavy.stats.band_ns,
+        ps_heavy_queue_resizes: heavy.stats.resizes,
+        ps_heavy_queue_promotions: heavy.stats.promotions,
+        ps_heavy_queue_max_band_drain: heavy.stats.max_band_drain,
+        ps_heavy_queue_overflow_max: heavy.stats.overflow_max,
+        ps_heavy_arena_slots_high_water: heavy.stats.arena_slots,
+        ps_heavy_arena_nodes_high_water: heavy.stats.arena_nodes,
         ps_heavy_events_per_sec: heavy.stats.live as f64 / heavy.wall.max(1e-9),
         ps_heavy_wall_ms: heavy.wall * 1e3,
         profiler_overhead_pct: canon.overhead_pct,
@@ -428,6 +509,17 @@ fn perf_manifest(report: &PerfReport) -> manifest::RunManifest {
     m.note_scalar("stale_ratio", report.stale_ratio);
     m.note_scalar("heap_max_depth", report.heap_max_depth as f64);
     m.note_scalar("heap_compactions", report.heap_compactions as f64);
+    m.note_scalar("queue_band_ns", report.queue_band_ns as f64);
+    m.note_scalar("queue_resizes", report.queue_resizes as f64);
+    m.note_scalar("queue_promotions", report.queue_promotions as f64);
+    m.note_scalar(
+        "arena_slots_high_water",
+        report.arena_slots_high_water as f64,
+    );
+    m.note_scalar(
+        "arena_nodes_high_water",
+        report.arena_nodes_high_water as f64,
+    );
     m.note_scalar("events_per_sec", report.events_per_sec);
     m.note_scalar("cell_wall_ms", report.cell_wall_ms);
     m.note_scalar("profiler_overhead_pct", report.profiler_overhead_pct);
@@ -517,6 +609,17 @@ pub fn run(out: &Path, check: Option<&Path>, tolerance: f64) -> i32 {
         }
     }
     print!("{json}");
+    println!(
+        "queue band width: canonical {} ns, ps_heavy {} ns",
+        report.queue_band_ns, report.ps_heavy_queue_band_ns
+    );
+    println!(
+        "arena high-water: canonical {} slots / {} nodes, ps_heavy {} slots / {} nodes",
+        report.arena_slots_high_water,
+        report.arena_nodes_high_water,
+        report.ps_heavy_arena_slots_high_water,
+        report.ps_heavy_arena_nodes_high_water
+    );
     let side = out.parent().unwrap_or(Path::new("."));
     match perf_manifest(&report).write(&side.join("run.json")) {
         Ok(p) => println!("wrote {}", p.display()),
@@ -576,11 +679,25 @@ mod tests {
             stale_ratio: 0.0434,
             heap_max_depth: 99,
             heap_compactions: 2,
+            queue_band_ns: 131072,
+            queue_resizes: 3,
+            queue_promotions: 17,
+            queue_max_band_drain: 11,
+            queue_overflow_max: 5,
+            arena_slots_high_water: 120,
+            arena_nodes_high_water: 480,
             events_per_sec: 56789.5,
             cell_wall_ms: 21.7,
             ps_heavy_events: 4321,
             ps_heavy_events_stale: 7,
             ps_heavy_heap_max_depth: 600,
+            ps_heavy_queue_band_ns: 262144,
+            ps_heavy_queue_resizes: 0,
+            ps_heavy_queue_promotions: 0,
+            ps_heavy_queue_max_band_drain: 4,
+            ps_heavy_queue_overflow_max: 0,
+            ps_heavy_arena_slots_high_water: 9000,
+            ps_heavy_arena_nodes_high_water: 9000,
             ps_heavy_events_per_sec: 98765.5,
             ps_heavy_wall_ms: 43.7,
             profiler_overhead_pct: 0.85,
@@ -592,7 +709,7 @@ mod tests {
                     ns_per_event: 120.5,
                 },
                 PhaseRow {
-                    phase: "heap_pop",
+                    phase: "queue_pop",
                     count: 10,
                     pct: 12.5,
                     ns_per_event: 24.6,
@@ -626,18 +743,26 @@ mod tests {
         assert_eq!(json_field(&j, "ps_heavy_events_per_sec"), Some(98765.5));
         assert_eq!(json_field(&j, "stale_ratio"), Some(0.0434));
         assert_eq!(json_field(&j, "heap_max_depth"), Some(99.0));
+        assert_eq!(json_field(&j, "queue_band_ns"), Some(131072.0));
+        assert_eq!(json_field(&j, "queue_promotions"), Some(17.0));
+        assert_eq!(json_field(&j, "arena_slots_high_water"), Some(120.0));
+        assert_eq!(json_field(&j, "ps_heavy_queue_band_ns"), Some(262144.0));
+        assert_eq!(
+            json_field(&j, "ps_heavy_arena_nodes_high_water"),
+            Some(9000.0)
+        );
         assert_eq!(json_field(&j, "profiler_overhead_pct"), Some(0.85));
         assert_eq!(json_field(&j, "ps_heavy_profiler_overhead_pct"), Some(1.15));
         assert_eq!(json_field(&j, "missing"), None);
     }
 
     #[test]
-    fn v4_schema_and_phase_arrays() {
+    fn v5_schema_and_phase_arrays() {
         let j = sample_report().to_json();
-        assert!(j.contains("\"schema\": \"ursa-bench-perf/v4\""));
+        assert!(j.contains("\"schema\": \"ursa-bench-perf/v5\""));
         assert!(j.contains(
             "\"phases\": [{\"phase\": \"ps_advance\", \"count\": 90, \"pct\": 61.25, \
-             \"ns_per_event\": 120.5}, {\"phase\": \"heap_pop\", \"count\": 10, \
+             \"ns_per_event\": 120.5}, {\"phase\": \"queue_pop\", \"count\": 10, \
              \"pct\": 12.50, \"ns_per_event\": 24.6}]"
         ));
         assert!(j.contains(

@@ -1,0 +1,676 @@
+//! Calendar queue for the event core.
+//!
+//! Discrete-event arrivals are near-FIFO per short time band, which a
+//! comparison heap cannot exploit: every push/pop pays `O(log n)` sift work
+//! even when the popped entry was the one pushed a moment ago. This queue
+//! keeps the engine's `(time, seq)` total order while making the common case
+//! an O(1) append:
+//!
+//! * **`cur`** — a small array sorted descending by `(time, seq)`, holding
+//!   every entry whose time band is at or before the current band. Pops come
+//!   exclusively from here (`Vec::pop` from the tail — O(1)), and inserts
+//!   binary-search their position and shift the tail. At the working-set
+//!   sizes the engine sustains (a few dozen entries) the shift is one or two
+//!   cache lines of `memmove` — consistently cheaper than binary-heap sift
+//!   paths, which bounce across levels.
+//! * **ring** — `NB` unsorted buckets, one per upcoming band (band = time
+//!   nanos `>> shift`). A push inside the window is a plain `Vec::push`.
+//! * **overflow** — entries beyond the ring horizon, kept unsorted with a
+//!   tracked minimum band so unbounded horizons still work.
+//!
+//! When `cur` drains, the window advances one band at a time, *promoting*
+//! the next non-empty bucket into the heap. Before each advance the overflow
+//! minimum is checked so far-future entries are migrated into the ring the
+//! moment they become window-eligible — otherwise an old overflow entry
+//! could be popped after a later ring entry. If the ring is empty and only
+//! overflow remains, the window re-anchors at the overflow minimum instead
+//! of scanning the gap band by band.
+//!
+//! The band width adapts: a promotion that drains a bucket far larger than
+//! [`SPLIT_MAX`] halves the width (only when the drained entries actually
+//! span more than one narrower band — a burst of identical timestamps can
+//! never be split and must not trigger a shrink loop), and a window of
+//! promotions dominated by empty-bucket scans doubles it. Resizes are a
+//! deterministic function of the push/pop sequence, so two runs with the
+//! same seed see the same queue counters.
+//!
+//! Small queues bypass the calendar entirely: below [`HYBRID_HIGH`]
+//! entries the whole queue lives in `cur` as an ordinary binary heap,
+//! where `O(log n)` sift work on a dozen entries beats any bucket
+//! bookkeeping. The layouts swap with hysteresis ([`HYBRID_LOW`]) so a
+//! workload hovering at the boundary does not thrash rebuilds. Both
+//! transitions are pure functions of the push/pop sequence — determinism
+//! again — and pop order is invariant across them.
+//!
+//! Pop order — `(at, seq)` ascending — is invariant under band width,
+//! promotion timing, and resizes; `tests/event_core_reference.rs` checks
+//! this differentially against a `BinaryHeap` oracle.
+
+use crate::time::SimTime;
+
+/// Number of ring buckets (power of two).
+const NB: usize = 1024;
+const MASK: u64 = NB as u64 - 1;
+
+/// Default band width exponent: 2^17 ns ≈ 131 µs per bucket.
+pub const DEFAULT_SHIFT: u32 = 17;
+/// Narrowest band width: 2^10 ns ≈ 1 µs.
+const MIN_SHIFT: u32 = 10;
+/// Widest band width: 2^30 ns ≈ 1.07 s.
+const MAX_SHIFT: u32 = 30;
+
+/// A promotion draining more than this many entries asks for narrower bands.
+const SPLIT_MAX: usize = 256;
+/// Grow check window: every this many promotions, compare scan effort.
+const GROW_WINDOW: u64 = 512;
+/// Grow when empty-bucket scans exceed this multiple of promotions.
+const GROW_SCAN_FACTOR: u64 = 8;
+
+/// Entry count at which a heap-layout queue rebuilds into the calendar.
+const HYBRID_HIGH: usize = 1024;
+/// Entry count at which a calendar-layout queue falls back to one heap.
+const HYBRID_LOW: usize = 256;
+
+/// One scheduled entry. Ordered by `(at, seq)` only — `kind` is payload.
+#[derive(Clone, Copy, Debug)]
+pub struct QEntry<K> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: K,
+}
+
+impl<K> PartialEq for QEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<K> Eq for QEntry<K> {}
+
+impl<K> PartialOrd for QEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for QEntry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Calendar/bucket priority queue with a heap-ordered current band.
+#[derive(Debug)]
+pub struct CalQueue<K> {
+    /// Small-queue layout: every entry sits in `cur`, the ring is unused.
+    heap_mode: bool,
+    /// Entries with band ≤ `cur_band`, sorted descending by `(at, seq)` so
+    /// the next entry to pop is last; the only container pops read from.
+    cur: Vec<QEntry<K>>,
+    /// Highest band already merged into `cur`.
+    cur_band: u64,
+    /// Band width exponent: band = nanos >> shift.
+    shift: u32,
+    /// Ring of unsorted buckets for bands in `(cur_band, cur_band + NB)`.
+    bands: Vec<Vec<QEntry<K>>>,
+    /// Total entries across all ring buckets.
+    in_ring: usize,
+    /// Entries with band ≥ `cur_band + NB`.
+    overflow: Vec<QEntry<K>>,
+    /// Minimum band present in `overflow` (`u64::MAX` when empty).
+    overflow_min_band: u64,
+    len: usize,
+
+    // Diagnostics (deterministic; surfaced through ursa-bench perf v5).
+    max_depth: usize,
+    resizes: u64,
+    promotions: u64,
+    max_band_drain: usize,
+    overflow_max: usize,
+    window_promotions: u64,
+    window_scans: u64,
+}
+
+impl<K> Default for CalQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> CalQueue<K> {
+    pub fn new() -> Self {
+        Self::with_shift(DEFAULT_SHIFT)
+    }
+
+    pub fn with_shift(shift: u32) -> Self {
+        let shift = shift.clamp(MIN_SHIFT, MAX_SHIFT);
+        Self {
+            heap_mode: true,
+            cur: Vec::new(),
+            cur_band: 0,
+            shift,
+            bands: (0..NB).map(|_| Vec::new()).collect(),
+            in_ring: 0,
+            overflow: Vec::new(),
+            overflow_min_band: u64::MAX,
+            len: 0,
+            max_depth: 0,
+            resizes: 0,
+            promotions: 0,
+            max_band_drain: 0,
+            overflow_max: 0,
+            window_promotions: 0,
+            window_scans: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of `len()` over the queue's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of adaptive band-width rebuilds.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Number of bucket-to-heap promotions.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Largest single bucket drained by a promotion.
+    pub fn max_band_drain(&self) -> usize {
+        self.max_band_drain
+    }
+
+    /// High-water mark of the overflow (far-future) band.
+    pub fn overflow_max(&self) -> usize {
+        self.overflow_max
+    }
+
+    /// Current band width in nanoseconds.
+    pub fn band_ns(&self) -> u64 {
+        1u64 << self.shift
+    }
+
+    /// Route an entry to `cur`, the ring, or overflow. Does not touch `len`.
+    #[inline]
+    fn place(&mut self, e: QEntry<K>) {
+        let b = e.at.as_nanos() >> self.shift;
+        if b <= self.cur_band {
+            self.cur_insert(e);
+        } else if b - self.cur_band < NB as u64 {
+            self.bands[(b & MASK) as usize].push(e);
+            self.in_ring += 1;
+        } else {
+            if b < self.overflow_min_band {
+                self.overflow_min_band = b;
+            }
+            self.overflow.push(e);
+            if self.overflow.len() > self.overflow_max {
+                self.overflow_max = self.overflow.len();
+            }
+        }
+    }
+
+    /// Insert into `cur`, keeping it sorted descending by `(at, seq)`.
+    /// The common case — a new entry popping soon — lands near the tail.
+    #[inline]
+    fn cur_insert(&mut self, e: QEntry<K>) {
+        let key = (e.at, e.seq);
+        if let Some(last) = self.cur.last() {
+            if (last.at, last.seq) > key {
+                self.cur.push(e);
+                return;
+            }
+        } else {
+            self.cur.push(e);
+            return;
+        }
+        let pos = self.cur.partition_point(|x| (x.at, x.seq) > key);
+        self.cur.insert(pos, e);
+    }
+
+    #[inline]
+    pub fn push(&mut self, at: SimTime, seq: u64, kind: K) {
+        let e = QEntry { at, seq, kind };
+        if self.heap_mode {
+            self.cur_insert(e);
+        } else {
+            self.place(e);
+        }
+        self.len += 1;
+        if self.len > self.max_depth {
+            self.max_depth = self.len;
+        }
+        if self.heap_mode && self.len >= HYBRID_HIGH {
+            self.switch_to_calendar();
+        }
+    }
+
+    #[inline]
+    pub fn peek(&mut self) -> Option<&QEntry<K>> {
+        if !self.heap_mode {
+            self.ensure_cur();
+        }
+        self.cur.last()
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<QEntry<K>> {
+        if self.heap_mode {
+            return match self.cur.pop() {
+                Some(e) => {
+                    self.len -= 1;
+                    Some(e)
+                }
+                None => None,
+            };
+        }
+        self.ensure_cur();
+        match self.cur.pop() {
+            Some(e) => {
+                self.len -= 1;
+                if self.len <= HYBRID_LOW {
+                    self.switch_to_heap();
+                }
+                Some(e)
+            }
+            None => None,
+        }
+    }
+
+    /// Keep only entries whose payload satisfies `f`. Used by the engine's
+    /// stale-event compaction; pop order of survivors is unchanged.
+    pub fn retain<F: FnMut(&K) -> bool>(&mut self, mut f: F) {
+        self.cur.retain(|e| f(&e.kind));
+        self.in_ring = 0;
+        for slot in self.bands.iter_mut() {
+            slot.retain(|e| f(&e.kind));
+            self.in_ring += slot.len();
+        }
+        self.overflow.retain(|e| f(&e.kind));
+        self.overflow_min_band = self
+            .overflow
+            .iter()
+            .map(|e| e.at.as_nanos() >> self.shift)
+            .min()
+            .unwrap_or(u64::MAX);
+        self.len = self.cur.len() + self.in_ring + self.overflow.len();
+        if !self.heap_mode && self.len <= HYBRID_LOW {
+            self.switch_to_heap();
+        }
+    }
+
+    /// Heap → calendar: re-bucket everything under the current band width.
+    fn switch_to_calendar(&mut self) {
+        self.heap_mode = false;
+        self.rebuild(self.shift);
+    }
+
+    /// Calendar → heap: merge the ring and overflow into `cur`.
+    fn switch_to_heap(&mut self) {
+        self.heap_mode = true;
+        self.resizes += 1;
+        let cur = &mut self.cur;
+        for slot in self.bands.iter_mut() {
+            cur.append(slot);
+        }
+        self.in_ring = 0;
+        cur.append(&mut self.overflow);
+        cur.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        self.overflow_min_band = u64::MAX;
+    }
+
+    /// Refill `cur` from the ring/overflow until it can serve a pop (or the
+    /// queue is empty).
+    fn ensure_cur(&mut self) {
+        while self.cur.is_empty() && self.len > 0 {
+            if self.in_ring == 0 {
+                // Only far-future entries remain: re-anchor the window at
+                // the overflow minimum instead of sliding band by band.
+                self.reseed_from_overflow();
+                continue;
+            }
+            self.cur_band += 1;
+            self.window_scans += 1;
+            if self.overflow_min_band < self.cur_band + NB as u64 {
+                // Far-future entries just became window-eligible; fold them
+                // into the ring *before* draining, or they could be popped
+                // out of order later.
+                self.migrate_overflow();
+            }
+            let slot = (self.cur_band & MASK) as usize;
+            if self.bands[slot].is_empty() {
+                continue;
+            }
+            let drained = self.bands[slot].len();
+            self.in_ring -= drained;
+            let mut min_at = u64::MAX;
+            let mut max_at = 0u64;
+            let mut bucket = std::mem::take(&mut self.bands[slot]);
+            for e in bucket.drain(..) {
+                let ns = e.at.as_nanos();
+                min_at = min_at.min(ns);
+                max_at = max_at.max(ns);
+                self.cur.push(e);
+            }
+            // One descending sort re-establishes the pop order; `(at, seq)`
+            // keys are unique, so unstable sorting is still deterministic.
+            self.cur
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+            // Hand the allocation back so the bucket keeps its capacity.
+            self.bands[slot] = bucket;
+            self.promotions += 1;
+            self.window_promotions += 1;
+            if drained > self.max_band_drain {
+                self.max_band_drain = drained;
+            }
+            self.maybe_resize(drained, min_at, max_at);
+        }
+    }
+
+    fn reseed_from_overflow(&mut self) {
+        debug_assert!(!self.overflow.is_empty());
+        self.cur_band = self.overflow_min_band;
+        self.overflow_min_band = u64::MAX;
+        let entries = std::mem::take(&mut self.overflow);
+        for e in entries {
+            self.place(e);
+        }
+    }
+
+    /// Move every overflow entry that now fits the ring window into it.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cur_band + NB as u64;
+        let mut kept = Vec::with_capacity(self.overflow.len());
+        let mut min_band = u64::MAX;
+        for e in std::mem::take(&mut self.overflow) {
+            let b = e.at.as_nanos() >> self.shift;
+            if b < horizon {
+                debug_assert!(b > self.cur_band);
+                self.bands[(b & MASK) as usize].push(e);
+                self.in_ring += 1;
+            } else {
+                if b < min_band {
+                    min_band = b;
+                }
+                kept.push(e);
+            }
+        }
+        self.overflow = kept;
+        self.overflow_min_band = min_band;
+    }
+
+    fn maybe_resize(&mut self, drained: usize, min_at: u64, max_at: u64) {
+        // Shrink: an oversized bucket that genuinely spans more than one
+        // narrower band. (A burst of identical timestamps can never be
+        // split — without the span guard it would shrink forever.)
+        if drained > SPLIT_MAX
+            && self.shift > MIN_SHIFT
+            && (max_at >> (self.shift - 1)) > (min_at >> (self.shift - 1))
+        {
+            let new_shift = self.shift - 1;
+            self.rebuild(new_shift);
+            return;
+        }
+        // Grow: promotions dominated by empty-bucket scanning mean the
+        // bands are too narrow for the event spacing.
+        if self.window_promotions >= GROW_WINDOW {
+            if self.window_scans > GROW_SCAN_FACTOR * self.window_promotions
+                && self.shift < MAX_SHIFT
+            {
+                let new_shift = self.shift + 1;
+                self.rebuild(new_shift);
+            }
+            self.window_promotions = 0;
+            self.window_scans = 0;
+        }
+    }
+
+    /// Re-bucket every entry under a new band width. Order is preserved
+    /// because routing only depends on each entry's own time.
+    fn rebuild(&mut self, new_shift: u32) {
+        self.resizes += 1;
+        let mut all: Vec<QEntry<K>> = std::mem::take(&mut self.cur);
+        all.reserve(self.len.saturating_sub(all.len()));
+        for slot in self.bands.iter_mut() {
+            all.append(slot);
+        }
+        all.append(&mut self.overflow);
+        self.in_ring = 0;
+        self.overflow_min_band = u64::MAX;
+        self.shift = new_shift;
+        self.cur_band = all
+            .iter()
+            .map(|e| e.at.as_nanos() >> new_shift)
+            .min()
+            .unwrap_or(0);
+        for e in all {
+            self.place(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDur;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDur::from_nanos(ns)
+    }
+
+    /// Pops must come out in (at, seq) order regardless of push pattern.
+    #[test]
+    fn pops_in_time_seq_order() {
+        let mut q = CalQueue::new();
+        // Deliberately adversarial spread: same band, adjacent bands, far
+        // future, and exact ties broken by seq.
+        let times = [
+            5u64,
+            5,
+            131_072,
+            131_073,
+            1,
+            70_000_000_000,
+            42,
+            131_071,
+            262_144,
+            5,
+        ];
+        for (seq, &ns) in times.iter().enumerate() {
+            q.push(t(ns), seq as u64, seq);
+        }
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, &ns)| (ns, s as u64))
+            .collect();
+        expect.sort();
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push((e.at.as_nanos(), e.seq));
+        }
+        assert_eq!(got, expect);
+        assert!(q.is_empty());
+    }
+
+    /// Interleaved push/pop with a pseudo-random schedule matches a heap.
+    #[test]
+    fn interleaved_matches_reference_heap() {
+        let mut q = CalQueue::new();
+        let mut reference: BinaryHeap<Reverse<QEntry<u32>>> = BinaryHeap::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for seq in 0..5000u64 {
+            let r = next();
+            if r % 3 == 0 && !reference.is_empty() {
+                let a = q.pop().unwrap();
+                let b = reference.pop().unwrap().0;
+                assert_eq!((a.at, a.seq), (b.at, b.seq));
+                now = a.at.as_nanos();
+            } else {
+                // Mix of near (same few bands) and far (overflow) times.
+                let dt = if r % 17 == 0 {
+                    (r % 1_000_000_000) + 200_000_000
+                } else {
+                    r % 400_000
+                };
+                let at = t(now + dt);
+                q.push(at, seq, seq as u32);
+                reference.push(Reverse(QEntry {
+                    at,
+                    seq,
+                    kind: seq as u32,
+                }));
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        while let Some(a) = q.pop() {
+            let b = reference.pop().unwrap().0;
+            assert_eq!((a.at, a.seq), (b.at, b.seq));
+        }
+        assert!(reference.is_empty());
+    }
+
+    /// Far-future entries must re-anchor the window, not scan to it.
+    #[test]
+    fn overflow_reseed_and_migration() {
+        let mut q = CalQueue::new();
+        // Enough near entries to leave heap mode and engage the calendar.
+        for i in 0..HYBRID_HIGH as u64 {
+            q.push(t(10 + i), i, 0u8);
+        }
+        // Far beyond the ring horizon (1024 bands * 131µs ≈ 134ms).
+        let far = HYBRID_HIGH as u64;
+        q.push(t(3_600_000_000_000), far, 1);
+        q.push(t(3_600_000_000_500), far + 1, 2);
+        for _ in 0..HYBRID_HIGH {
+            assert_eq!(q.pop().unwrap().kind, 0);
+        }
+        assert_eq!(q.pop().unwrap().kind, 1);
+        assert_eq!(q.pop().unwrap().kind, 2);
+        assert!(q.pop().is_none());
+        assert!(q.overflow_max() >= 2);
+    }
+
+    /// An overflow entry that becomes window-eligible as the window slides
+    /// must still pop in global order (the migration path).
+    #[test]
+    fn overflow_migrates_into_sliding_window() {
+        let mut q = CalQueue::with_shift(DEFAULT_SHIFT);
+        let band = 1u64 << DEFAULT_SHIFT;
+        // One entry per band for 3000 bands: crosses into calendar mode
+        // mid-push, and the later entries start in overflow (beyond
+        // NB=1024 bands) and must migrate as we pop forward.
+        for i in 0..3000u64 {
+            q.push(t(i * band + 7), i, i);
+        }
+        for i in 0..3000u64 {
+            assert_eq!(q.pop().unwrap().seq, i, "out of order at {i}");
+        }
+    }
+
+    #[test]
+    fn retain_drops_matching_entries_only() {
+        // Large enough to exercise retain over the calendar layout.
+        let mut q = CalQueue::new();
+        for i in 0..2000u64 {
+            q.push(t(i * 50_000), i, i);
+        }
+        q.retain(|k| k % 3 != 0);
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push(e.kind);
+        }
+        let expect: Vec<u64> = (0..2000).filter(|k| k % 3 != 0).collect();
+        assert_eq!(got, expect);
+
+        // Small queues retain in heap mode.
+        let mut q = CalQueue::new();
+        for i in 0..100u64 {
+            q.push(t(i * 50_000), i, i);
+        }
+        q.retain(|k| k % 3 == 0);
+        assert_eq!(q.len(), 34);
+    }
+
+    /// Dense same-band bursts with distinct times trigger a shrink; a tie
+    /// burst (identical timestamps) must not shrink forever.
+    #[test]
+    fn adaptive_resize_is_bounded_and_order_preserving() {
+        let mut q = CalQueue::new();
+        let mut seq = 0u64;
+        // 4000 entries spread over a couple of bands → oversized buckets.
+        for i in 0..4000u64 {
+            q.push(t(200_000 + i * 60), seq, i);
+            seq += 1;
+        }
+        // Tie burst: same timestamp 1000 times.
+        for i in 0..1000u64 {
+            q.push(t(500_000), seq, 10_000 + i);
+            seq += 1;
+        }
+        let mut prev = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!((e.at, e.seq) >= prev);
+            prev = (e.at, e.seq);
+            n += 1;
+        }
+        assert_eq!(n, 5000);
+        assert!(q.band_ns() >= 1 << MIN_SHIFT);
+    }
+
+    #[test]
+    fn counters_track_depth_and_promotions() {
+        let mut q = CalQueue::new();
+        for i in 0..2000u64 {
+            q.push(t(i * 1_000_000), i, i);
+        }
+        assert_eq!(q.max_depth(), 2000);
+        while q.pop().is_some() {}
+        assert!(q.promotions() > 0, "deep queue must use the calendar");
+        // Two layout switches (heap→calendar→heap) count as resizes.
+        assert!(q.resizes() >= 2);
+        assert_eq!(q.len(), 0);
+    }
+
+    /// Below [`HYBRID_HIGH`] the queue is a plain heap: no promotions, no
+    /// ring bookkeeping, overflow never populated.
+    #[test]
+    fn small_queues_stay_in_heap_mode() {
+        let mut q = CalQueue::new();
+        for i in 0..(HYBRID_HIGH as u64 - 1) {
+            // Spread across far more than NB bands — would hit the
+            // overflow path if the calendar were engaged.
+            q.push(t(i * 1_000_000_000), i, i);
+        }
+        for i in 0..(HYBRID_HIGH as u64 - 1) {
+            assert_eq!(q.pop().unwrap().seq, i);
+        }
+        assert_eq!(q.promotions(), 0);
+        assert_eq!(q.resizes(), 0);
+        assert_eq!(q.overflow_max(), 0);
+    }
+}

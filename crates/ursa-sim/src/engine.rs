@@ -27,23 +27,38 @@
 //! — the difference between a quadratic and a log-linear busy period in
 //! the overloaded regime. The event loop is stale-aware: superseded
 //! `PsCheck` timers are counted, skipped cheaply via a generation tag,
-//! and lazily compacted out of the event heap when they dominate it.
+//! and lazily compacted out of the event queue when they dominate it.
+//!
+//! The event core (v3) is built for raw single-core throughput while
+//! preserving the seed → bit-identical-output contract:
+//!
+//! * events live in a calendar queue ([`crate::calq`]) — O(1) bucket
+//!   append for in-window pushes, heap order only over the current band;
+//! * in-flight request/hop state lives in a generational SoA arena
+//!   ([`crate::arena`]) instead of pooled per-request `Vec`s;
+//! * per-hop routing fields come from the topology's SoA hot table
+//!   ([`crate::topology::HotTable`]) instead of the wide flat nodes;
+//! * Poisson sources draw their RNG in refillable blocks
+//!   ([`ursa_stats::rng::BlockRng`]), preserving the exact draw stream.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ursa_stats::dist::{Distribution, Exponential};
-use ursa_stats::rng::Rng;
+use ursa_stats::dist::Distribution;
+use ursa_stats::rng::{BlockRng, Rng};
 
+use crate::arena::{Phase, ReqArena, NO_DAEMON};
+use crate::calq::{CalQueue, QEntry};
 use crate::chaos::{ChaosState, Fault, FaultEvent, FaultKind, FaultPhase, FaultPlan};
 use crate::profiler::{PhaseProfiler, SimPhase};
 use crate::ps::{ps_rate, VtPs};
 use crate::recorder::{FlightEntry, FlightEventKind, FlightRecorder};
 use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::time::{SimDur, SimTime};
-use crate::topology::{CallMode, ClassId, EdgeKind, FlatClass, ServiceId, Topology};
+use crate::topology::{
+    CallMode, ClassId, EdgeKind, FlatClass, HotTable, ServiceId, Topology, NO_NESTED_PARENT,
+};
 use crate::trace::{Trace, Tracer};
 use crate::workload::RateFn;
 
@@ -54,11 +69,11 @@ const WORK_EPS: f64 = 1e-12;
 const MIN_WORK: f64 = 1e-9;
 /// Smallest allowed CPU limit.
 const MIN_CORES: f64 = 0.01;
-/// Stale `PsCheck` entries tolerated in the event heap before a lazy
-/// compaction pass rebuilds it. Compaction runs when the stale count
-/// exceeds this floor *and* at least half the heap is stale, so small
-/// heaps (the common case) never pay for it and large overloaded runs
-/// keep pop cost logarithmic in the *live* event count.
+/// Stale `PsCheck` entries tolerated in the event queue before a lazy
+/// compaction pass filters them out. Compaction runs when the stale count
+/// exceeds this floor *and* at least half the queue is stale, so small
+/// queues (the common case) never pay for it and large overloaded runs
+/// keep pop cost bounded by the *live* event count.
 const COMPACT_MIN_STALE: usize = 4096;
 
 /// Identifies one hop of one in-flight request.
@@ -70,8 +85,9 @@ struct Token {
 }
 
 /// Event payloads are deliberately compact (every field fits in 32 bits)
-/// so an [`EventEntry`] stays at 32 bytes: the event heap is the hottest
-/// data structure in the engine and sift operations move whole entries.
+/// so a [`QEntry<EventKind>`] stays at 32 bytes: the event queue is the
+/// hottest data structure in the engine and bucket promotions move whole
+/// entries.
 #[derive(Debug, Clone, Copy)]
 enum EventKind {
     /// Next candidate arrival of a class's Poisson source (thinning).
@@ -93,30 +109,6 @@ enum EventKind {
     ChaosStart { fault: u32 },
     /// An installed fault window ends.
     ChaosEnd { fault: u32 },
-}
-
-#[derive(Debug)]
-struct EventEntry {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Strict-priority FIFO queue of tokens.
@@ -295,62 +287,14 @@ impl ServiceRt {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Queued,
-    Pre,
-    Issuing,
-    BlockedDaemon,
-    Waiting,
-    Post,
-    Responded,
-}
-
-#[derive(Debug, Clone)]
-struct NodeRt {
-    phase: Phase,
-    enqueue_at: SimTime,
-    nested_wait: SimDur,
-    wait_start: SimTime,
-    awaiting: u16,
-    next_child: u16,
-    replica: u32,
-    /// Replica (service, index) whose daemon pool this hop's response frees.
-    daemon_of: Option<(u32, u32)>,
-}
-
-impl NodeRt {
-    fn fresh() -> Self {
-        NodeRt {
-            phase: Phase::Queued,
-            enqueue_at: SimTime::ZERO,
-            nested_wait: SimDur::ZERO,
-            wait_start: SimTime::ZERO,
-            awaiting: 0,
-            next_child: 0,
-            replica: 0,
-            daemon_of: None,
-        }
-    }
-}
-
-#[derive(Debug)]
-struct RequestRt {
-    class: usize,
-    arrival: SimTime,
-    nodes: Vec<NodeRt>,
-    responded: u16,
-    /// True iff the request was head-sampled for tracing. Always false when
-    /// tracing is disabled, so hot-path hooks reduce to one branch on a
-    /// bool that is already in cache.
-    traced: bool,
-}
-
 #[derive(Debug)]
 struct Source {
     rate: RateFn,
     gen: u32,
-    rng: Rng,
+    /// Block-buffered so interarrival + thinning draws amortize the
+    /// xoshiro dependency chain; the observed stream is identical to a
+    /// plain [`Rng`].
+    rng: BlockRng,
 }
 
 /// Simulator configuration knobs.
@@ -404,31 +348,27 @@ pub struct Simulation {
     /// Flattened call trees, shared with the topology (and every other
     /// simulation of it) — never cloned per request or per simulation.
     templates: Arc<Vec<FlatClass>>,
+    /// SoA hot table over the flattened call trees: the per-hop fields
+    /// touched on every arrival/response, without the wide-node stride.
+    hot: Arc<HotTable>,
     services: Vec<ServiceRt>,
     names: Vec<String>,
-    slots: Vec<Option<RequestRt>>,
-    gens: Vec<u32>,
-    free: Vec<u32>,
-    /// Recycled per-request hop-state buffers: completed requests return
-    /// their `Vec<NodeRt>` here instead of freeing it, so steady-state
-    /// injection allocates nothing.
-    node_pool: Vec<Vec<NodeRt>>,
+    /// Generational SoA arena of in-flight request and hop state.
+    arena: ReqArena,
     /// Scratch buffer for processor-sharing completions (reused across
     /// `ps_check` calls).
     ps_scratch: Vec<Token>,
     telemetry: Telemetry,
-    events: BinaryHeap<Reverse<EventEntry>>,
+    events: CalQueue<EventKind>,
     seq: u64,
     /// Dispatched events that did real work (see [`events_processed`]).
     events_live: u64,
     /// Dispatched events that were stale on arrival: superseded `PsCheck`
     /// generations and re-armed Poisson sources.
     events_stale: u64,
-    /// Stale `PsCheck` entries currently sitting in the event heap,
+    /// Stale `PsCheck` entries currently sitting in the event queue,
     /// maintained incrementally; drives lazy compaction.
     heap_stale: usize,
-    /// High-water mark of the event heap.
-    heap_max_depth: usize,
     /// Lazy compaction passes performed.
     heap_compactions: u64,
     now: SimTime,
@@ -505,27 +445,25 @@ impl Simulation {
             .map(|_| Source {
                 rate: RateFn::Constant(0.0),
                 gen: 0,
-                rng: rng.split(),
+                rng: BlockRng::new(rng.split()),
             })
             .collect();
         let work_scale = vec![1.0; topology.num_services()];
+        let hot = topology.hot_table();
         Simulation {
             topology,
             templates,
+            hot,
             services,
             names,
-            slots: Vec::new(),
-            gens: Vec::new(),
-            free: Vec::new(),
-            node_pool: Vec::new(),
+            arena: ReqArena::new(),
             ps_scratch: Vec::new(),
             telemetry,
-            events: BinaryHeap::with_capacity(1024),
+            events: CalQueue::new(),
             seq: 0,
             events_live: 0,
             events_stale: 0,
             heap_stale: 0,
-            heap_max_depth: 0,
             heap_compactions: 0,
             now: SimTime::ZERO,
             rng,
@@ -711,24 +649,59 @@ impl Simulation {
         self.events_stale
     }
 
-    /// Current depth of the event heap (live + stale entries).
+    /// Current depth of the event queue (live + stale entries).
     pub fn event_heap_depth(&self) -> usize {
         self.events.len()
     }
 
-    /// High-water mark of the event heap over the simulation's lifetime.
+    /// High-water mark of the event queue over the simulation's lifetime.
     pub fn event_heap_max_depth(&self) -> usize {
-        self.heap_max_depth
+        self.events.max_depth()
     }
 
-    /// Stale `PsCheck` entries currently in the event heap.
+    /// Stale `PsCheck` entries currently in the event queue.
     pub fn event_heap_stale(&self) -> usize {
         self.heap_stale
     }
 
-    /// Lazy heap-compaction passes performed so far.
+    /// Lazy queue-compaction passes performed so far.
     pub fn heap_compactions(&self) -> u64 {
         self.heap_compactions
+    }
+
+    /// Current band width of the calendar event queue, in nanoseconds.
+    pub fn event_queue_band_ns(&self) -> u64 {
+        self.events.band_ns()
+    }
+
+    /// Adaptive band-width rebuilds of the calendar event queue.
+    pub fn event_queue_resizes(&self) -> u64 {
+        self.events.resizes()
+    }
+
+    /// Bucket-to-heap promotions performed by the calendar event queue.
+    pub fn event_queue_promotions(&self) -> u64 {
+        self.events.promotions()
+    }
+
+    /// Largest single bucket a promotion drained.
+    pub fn event_queue_max_band_drain(&self) -> usize {
+        self.events.max_band_drain()
+    }
+
+    /// High-water mark of the far-future overflow band.
+    pub fn event_queue_overflow_max(&self) -> usize {
+        self.events.overflow_max()
+    }
+
+    /// High-water mark of concurrently allocated request slots.
+    pub fn arena_slots_high_water(&self) -> usize {
+        self.arena.slots_high_water()
+    }
+
+    /// High-water mark of hop records carved in the request arena.
+    pub fn arena_nodes_high_water(&self) -> usize {
+        self.arena.nodes_high_water()
     }
 
     /// Sets (or replaces) the arrival process of a request class.
@@ -749,7 +722,10 @@ impl Simulation {
             return;
         }
         let t0 = self.prof_span();
-        let dt = Exponential::new(lam_max).sample(&mut self.sources[class].rng);
+        // Inverse-CDF exponential draw, the exact expression of
+        // `Exponential::sample`, inlined so the source pulls from its
+        // block-buffered RNG: identical stream, identical f64 result.
+        let dt = -self.sources[class].rng.next_f64_open().ln() / lam_max;
         self.prof_span_end(SimPhase::Rng, t0);
         let at = self.now + SimDur::from_secs_f64(dt);
         self.schedule(
@@ -764,40 +740,32 @@ impl Simulation {
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let t0 = self.prof_span();
         self.seq += 1;
-        self.events.push(Reverse(EventEntry {
-            at,
-            seq: self.seq,
-            kind,
-        }));
-        let depth = self.events.len();
-        if depth > self.heap_max_depth {
-            self.heap_max_depth = depth;
-        }
-        if self.heap_stale >= COMPACT_MIN_STALE && self.heap_stale * 2 >= depth {
+        self.events.push(at, self.seq, kind);
+        self.prof_span_end(SimPhase::QueuePush, t0);
+        if self.heap_stale >= COMPACT_MIN_STALE && self.heap_stale * 2 >= self.events.len() {
+            let t0 = self.prof_span();
             self.compact_events();
+            self.prof_span_end(SimPhase::QueueMaint, t0);
         }
-        self.prof_span_end(SimPhase::HeapPush, t0);
     }
 
-    /// Rebuilds the event heap without its stale `PsCheck` entries. O(n)
-    /// heapify; pop order is unaffected because `(at, seq)` is a total
-    /// order independent of the heap's internal layout — determinism is
+    /// Filters stale `PsCheck` entries out of the event queue. O(n); pop
+    /// order is unaffected because `(at, seq)` is a total order
+    /// independent of the queue's internal layout — determinism is
     /// preserved no matter when compaction runs.
     fn compact_events(&mut self) {
-        let heap = std::mem::take(&mut self.events);
-        let mut entries = heap.into_vec();
-        entries.retain(|Reverse(e)| match e.kind {
+        let services = &self.services;
+        self.events.retain(|kind| match *kind {
             EventKind::PsCheck {
                 service,
                 replica,
                 gen,
             } => matches!(
-                &self.services[service as usize].replicas[replica as usize],
+                &services[service as usize].replicas[replica as usize],
                 Some(rep) if rep.ps_gen == gen
             ),
             _ => true,
         });
-        self.events = BinaryHeap::from(entries);
         self.heap_stale = 0;
         self.heap_compactions += 1;
     }
@@ -806,36 +774,13 @@ impl Simulation {
     /// configured network delay).
     pub fn inject(&mut self, class: ClassId) {
         let num_nodes = self.templates[class.0].nodes.len();
-        let mut nodes = self.node_pool.pop().unwrap_or_default();
-        nodes.clear();
-        nodes.resize(num_nodes, NodeRt::fresh());
         let traced = match &mut self.tracer {
             Some(t) => t.wants_sample(),
             None => false,
         };
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize] = Some(RequestRt {
-                    class: class.0,
-                    arrival: self.now,
-                    nodes,
-                    responded: 0,
-                    traced,
-                });
-                s
-            }
-            None => {
-                self.slots.push(Some(RequestRt {
-                    class: class.0,
-                    arrival: self.now,
-                    nodes,
-                    responded: 0,
-                    traced,
-                }));
-                self.gens.push(0);
-                (self.slots.len() - 1) as u32
-            }
-        };
+        let slot = self
+            .arena
+            .alloc(class.0 as u32, self.now, num_nodes as u16, traced);
         if traced {
             self.tracer
                 .as_mut()
@@ -848,7 +793,7 @@ impl Simulation {
         self.prof_span_end(SimPhase::Telemetry, t0p);
         let token = Token {
             slot,
-            gen: self.gens[slot as usize],
+            gen: self.arena.gen(slot),
             node: 0,
         };
         let at = self.now + self.sample_net_delay();
@@ -879,7 +824,7 @@ impl Simulation {
 
     /// Runs the simulation until simulated time `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(entry)) = self.events.peek() {
+        while let Some(&entry) = self.events.peek() {
             if entry.at > t {
                 break;
             }
@@ -896,7 +841,7 @@ impl Simulation {
                 }
                 None => None,
             };
-            let Reverse(entry) = self.events.pop().expect("peeked");
+            let entry = self.events.pop().expect("peeked");
             let popped_at = ev_t0.map(|_| Instant::now());
             self.now = entry.at;
             if self.recorder.is_some() {
@@ -909,10 +854,10 @@ impl Simulation {
             }
             if let (Some(t0), Some(t1)) = (ev_t0, popped_at) {
                 let total = t0.elapsed().as_nanos() as u64;
-                let heap_pop = (t1 - t0).as_nanos() as u64;
+                let queue_pop = (t1 - t0).as_nanos() as u64;
                 self.prof_sampling = false;
                 if let Some(p) = self.prof.as_deref_mut() {
-                    p.event_done(total, heap_pop);
+                    p.event_done(total, queue_pop);
                 }
             }
         }
@@ -924,7 +869,7 @@ impl Simulation {
     /// Maps a popped event to its flight-recorder entry and records it.
     /// Recording happens *before* dispatch so the ring reads causally:
     /// first the event, then the transitions it provoked.
-    fn record_event(&mut self, entry: &EventEntry) {
+    fn record_event(&mut self, entry: &QEntry<EventKind>) {
         let kind = match entry.kind {
             EventKind::SourceNext { class, .. } => FlightEventKind::SourceNext { class },
             EventKind::NodeArrive { token } => FlightEventKind::NodeArrive {
@@ -1208,7 +1153,7 @@ impl Simulation {
     /// Extra delivery delay for a message toward its callee under an
     /// active RPC fault (zero, with no RNG draw, otherwise).
     fn chaos_rpc_penalty(&mut self, token: Token) -> SimDur {
-        let class = self.req(token).class;
+        let class = self.arena.class(token.slot);
         let callee = self.templates[class].nodes[token.node as usize].service;
         match self.chaos.as_deref_mut() {
             Some(c) => c.rpc_penalty(callee),
@@ -1216,60 +1161,62 @@ impl Simulation {
         }
     }
 
+    /// True iff `token`'s request is still in flight: the arena bumps a
+    /// slot's generation exactly when the request completes, so the
+    /// generation match alone decides liveness.
+    #[inline]
     fn token_alive(&self, token: Token) -> bool {
-        (token.slot as usize) < self.slots.len()
-            && self.gens[token.slot as usize] == token.gen
-            && self.slots[token.slot as usize].is_some()
+        self.arena.alive(token.slot, token.gen)
     }
 
-    fn req(&self, token: Token) -> &RequestRt {
-        self.slots[token.slot as usize]
-            .as_ref()
-            .expect("live request")
-    }
-
-    fn req_mut(&mut self, token: Token) -> &mut RequestRt {
-        self.slots[token.slot as usize]
-            .as_mut()
-            .expect("live request")
+    /// Index of `token`'s hop state in the arena node arrays (generation-
+    /// checked under debug assertions).
+    #[inline]
+    fn nidx(&self, token: Token) -> usize {
+        self.arena.node_index(token.slot, token.gen, token.node)
     }
 
     /// A hop arrives at its service: route to a replica queue (RPC) or the
     /// shared MQ queue, then try to start work.
     fn node_arrive(&mut self, token: Token) {
-        let class = self.req(token).class;
-        let tmpl = &self.templates[class].nodes[token.node as usize];
-        let s = tmpl.service;
-        let parent = tmpl.parent;
-        let via_mq = matches!(parent, Some((_, EdgeKind::Mq)));
-        let prio = self.templates[class].prio;
+        let class = self.arena.class(token.slot);
+        let h = self.hot.node(class, token.node);
+        let s = self.hot.service[h] as usize;
+        let prio = self.hot.class_prio[class] as usize;
         let t0p = self.prof_span();
         self.telemetry.record_arrival(ServiceId(s), ClassId(class));
         self.prof_span_end(SimPhase::Telemetry, t0p);
-        {
-            let now = self.now;
-            let node = &mut self.req_mut(token).nodes[token.node as usize];
-            node.enqueue_at = now;
-            node.phase = Phase::Queued;
-        }
-        if self.req(token).traced {
+        let ni = self.nidx(token);
+        self.arena.enqueue_at[ni] = self.now;
+        self.arena.phase[ni] = Phase::Queued;
+        if self.arena.traced(token.slot) {
+            let parent = self.templates[class].nodes[token.node as usize].parent;
             let now = self.now;
             if let Some(t) = self.tracer.as_mut() {
                 t.on_arrive(token.slot, token.node, ServiceId(s), parent, now);
             }
         }
-        if via_mq {
+        if self.hot.via_mq[h] {
             self.services[s].mq.push(prio, token);
             self.note_mq_depth(s);
             self.dispatch_shared(s);
         } else {
             let r = self.pick_replica(s);
-            self.services[s].replicas[r]
-                .as_mut()
-                .expect("live replica")
-                .queue
-                .push(prio, token);
-            self.try_start(s, r);
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            if rep.busy_workers < rep.workers && rep.queue.len() == 0 {
+                // Fast path: a free worker and an empty own queue mean
+                // `try_start` would pop this token right back out — the
+                // push/pop round-trip is a semantic no-op. (The shared MQ
+                // can hold no eligible work here: messages only stay
+                // queued when every live replica is saturated or the
+                // broker is stalled, and `try_start` skips a stalled
+                // broker anyway.)
+                rep.busy_workers += 1;
+                self.start_pre(token, s, r);
+            } else {
+                rep.queue.push(prio, token);
+                self.try_start(s, r);
+            }
         }
     }
 
@@ -1357,7 +1304,7 @@ impl Simulation {
     }
 
     fn start_pre(&mut self, token: Token, s: usize, r: usize) {
-        let class = self.req(token).class;
+        let class = self.arena.class(token.slot);
         // Chaos slowdown is NOT applied here: it rescales the replica's PS
         // rate (affecting in-flight work too), not the sampled demand.
         let scale = self.work_scale[s];
@@ -1367,12 +1314,10 @@ impl Simulation {
             (tmpl.pre.sample(&mut self.rng) * scale).max(MIN_WORK)
         };
         self.prof_span_end(SimPhase::Rng, t0p);
-        {
-            let node = &mut self.req_mut(token).nodes[token.node as usize];
-            node.phase = Phase::Pre;
-            node.replica = r as u32;
-        }
-        if self.req(token).traced {
+        let ni = self.nidx(token);
+        self.arena.phase[ni] = Phase::Pre;
+        self.arena.replica[ni] = r as u32;
+        if self.arena.traced(token.slot) {
             let now = self.now;
             if let Some(t) = self.tracer.as_mut() {
                 t.on_start(token.slot, token.node, now);
@@ -1560,7 +1505,7 @@ impl Simulation {
         }
         self.prof_span_end(SimPhase::PsComplete, t0);
         for &token in &finished {
-            let phase = self.req(token).nodes[token.node as usize].phase;
+            let phase = self.arena.phase[self.nidx(token)];
             match phase {
                 Phase::Pre => self.on_pre_done(token),
                 Phase::Post => self.respond(token),
@@ -1575,12 +1520,10 @@ impl Simulation {
     // ---- Request state machine -------------------------------------------
 
     fn on_pre_done(&mut self, token: Token) {
-        {
-            let node = &mut self.req_mut(token).nodes[token.node as usize];
-            node.phase = Phase::Issuing;
-            node.next_child = 0;
-            node.awaiting = 0;
-        }
+        let ni = self.nidx(token);
+        self.arena.phase[ni] = Phase::Issuing;
+        self.arena.next_child[ni] = 0;
+        self.arena.awaiting[ni] = 0;
         self.issue_children(token);
     }
 
@@ -1588,84 +1531,80 @@ impl Simulation {
     /// [`CallMode`]. May leave the node blocked on daemon submission or
     /// waiting for nested responses; otherwise proceeds to post-compute.
     fn issue_children(&mut self, token: Token) {
-        let class = self.req(token).class;
-        let (mode, n_children) = {
-            let t = &self.templates[class].nodes[token.node as usize];
-            (t.mode, t.children.len() as u16)
-        };
-        loop {
-            let (i, replica) = {
-                let node = &self.req(token).nodes[token.node as usize];
-                (node.next_child, node.replica as usize)
-            };
-            if i >= n_children {
-                break;
-            }
-            let (child_idx, edge) =
-                self.templates[class].nodes[token.node as usize].children[i as usize];
-            let s = self.templates[class].nodes[token.node as usize].service;
-            let child_token = Token {
-                node: child_idx,
-                ..token
-            };
-            match edge {
-                EdgeKind::Mq => {
-                    self.req_mut(token).nodes[token.node as usize].next_child = i + 1;
-                    self.launch_child(child_token);
+        let class = self.arena.class(token.slot);
+        let h = self.hot.node(class, token.node);
+        let n_children = self.hot.n_children[h];
+        let ni = self.nidx(token);
+        if n_children > 0 {
+            // Leaf nodes (the common case) skip the wide-template deref
+            // entirely; `mode` and the child list are only needed here.
+            let mode = self.templates[class].nodes[token.node as usize].mode;
+            let s = self.hot.service[h] as usize;
+            loop {
+                let i = self.arena.next_child[ni];
+                if i >= n_children {
+                    break;
                 }
-                EdgeKind::EventDrivenRpc => {
-                    let submitted = self.submit_continuation(s, replica, child_token);
-                    if submitted {
-                        self.req_mut(token).nodes[token.node as usize].next_child = i + 1;
-                    } else {
-                        // Daemon pool and queue full: block on submission.
-                        let node = &mut self.req_mut(token).nodes[token.node as usize];
-                        node.phase = Phase::BlockedDaemon;
-                        node.next_child = i;
-                        self.services[s].replicas[replica]
-                            .as_mut()
-                            .expect("live replica")
-                            .blocked_submitters
-                            .push_back((token, child_idx));
-                        if self.req(token).traced {
+                let (child_idx, edge) =
+                    self.templates[class].nodes[token.node as usize].children[i as usize];
+                let replica = self.arena.replica[ni] as usize;
+                let child_token = Token {
+                    node: child_idx,
+                    ..token
+                };
+                match edge {
+                    EdgeKind::Mq => {
+                        self.arena.next_child[ni] = i + 1;
+                        self.launch_child(child_token);
+                    }
+                    EdgeKind::EventDrivenRpc => {
+                        let submitted = self.submit_continuation(s, replica, child_token);
+                        if submitted {
+                            self.arena.next_child[ni] = i + 1;
+                        } else {
+                            // Daemon pool and queue full: block on submission.
+                            self.arena.phase[ni] = Phase::BlockedDaemon;
+                            self.arena.next_child[ni] = i;
+                            self.services[s].replicas[replica]
+                                .as_mut()
+                                .expect("live replica")
+                                .blocked_submitters
+                                .push_back((token, child_idx));
+                            if self.arena.traced(token.slot) {
+                                let now = self.now;
+                                if let Some(t) = self.tracer.as_mut() {
+                                    t.open_block(token.slot, token.node, now);
+                                }
+                            }
+                            return;
+                        }
+                    }
+                    EdgeKind::NestedRpc => {
+                        self.arena.next_child[ni] = i + 1;
+                        self.arena.awaiting[ni] += 1;
+                        self.launch_child(child_token);
+                        if mode == CallMode::Sequential {
                             let now = self.now;
-                            if let Some(t) = self.tracer.as_mut() {
-                                t.open_block(token.slot, token.node, now);
+                            self.arena.phase[ni] = Phase::Waiting;
+                            self.arena.wait_start[ni] = now;
+                            if self.arena.traced(token.slot) {
+                                if let Some(t) = self.tracer.as_mut() {
+                                    t.open_wait(token.slot, token.node, now);
+                                }
                             }
+                            return;
                         }
-                        return;
-                    }
-                }
-                EdgeKind::NestedRpc => {
-                    {
-                        let node = &mut self.req_mut(token).nodes[token.node as usize];
-                        node.next_child = i + 1;
-                        node.awaiting += 1;
-                    }
-                    self.launch_child(child_token);
-                    if mode == CallMode::Sequential {
-                        let now = self.now;
-                        let node = &mut self.req_mut(token).nodes[token.node as usize];
-                        node.phase = Phase::Waiting;
-                        node.wait_start = now;
-                        if self.req(token).traced {
-                            if let Some(t) = self.tracer.as_mut() {
-                                t.open_wait(token.slot, token.node, now);
-                            }
-                        }
-                        return;
                     }
                 }
             }
         }
         // All children issued; wait for outstanding nested responses.
-        let awaiting = self.req(token).nodes[token.node as usize].awaiting;
+        let awaiting = self.arena.awaiting[ni];
         if awaiting > 0 {
             let now = self.now;
-            let node = &mut self.req_mut(token).nodes[token.node as usize];
-            node.phase = Phase::Waiting;
-            node.wait_start = now;
-            if self.req(token).traced {
+            self.arena.phase[ni] = Phase::Waiting;
+            self.arena.wait_start[ni] = now;
+            if self.arena.traced(token.slot) {
                 if let Some(t) = self.tracer.as_mut() {
                     t.open_wait(token.slot, token.node, now);
                 }
@@ -1702,18 +1641,27 @@ impl Simulation {
     /// Tries to place an event-driven continuation on the replica's daemon
     /// pool (run now) or its bounded queue. Returns false if both are full.
     fn submit_continuation(&mut self, s: usize, r: usize, child_token: Token) -> bool {
-        let rep = self.services[s].replicas[r].as_mut().expect("live replica");
-        if rep.busy_daemons < rep.daemons {
-            rep.busy_daemons += 1;
-            self.req_mut(child_token).nodes[child_token.node as usize].daemon_of =
-                Some((s as u32, r as u32));
-            self.launch_child(child_token);
-            true
-        } else if rep.daemon_queue.len() < rep.daemon_cap {
-            rep.daemon_queue.push_back(child_token);
-            true
-        } else {
-            false
+        let verdict = {
+            let rep = self.services[s].replicas[r].as_mut().expect("live replica");
+            if rep.busy_daemons < rep.daemons {
+                rep.busy_daemons += 1;
+                0u8
+            } else if rep.daemon_queue.len() < rep.daemon_cap {
+                rep.daemon_queue.push_back(child_token);
+                1
+            } else {
+                2
+            }
+        };
+        match verdict {
+            0 => {
+                let ci = self.nidx(child_token);
+                self.arena.daemon_of[ci] = ((s as u64) << 32) | r as u64;
+                self.launch_child(child_token);
+                true
+            }
+            1 => true,
+            _ => false,
         }
     }
 
@@ -1738,7 +1686,8 @@ impl Simulation {
             }
         };
         if let Some(cont) = next {
-            self.req_mut(cont).nodes[cont.node as usize].daemon_of = Some((s as u32, r as u32));
+            let ci = self.nidx(cont);
+            self.arena.daemon_of[ci] = ((s as u64) << 32) | r as u64;
             self.launch_child(cont);
         }
         // Queue space may have opened: resume one blocked submitter.
@@ -1759,10 +1708,10 @@ impl Simulation {
             debug_assert!(ok, "submission must succeed after space opened");
             // `next_child` still holds the blocked child's position;
             // step past it and continue issuing the remaining children.
-            let node = &mut self.req_mut(parent).nodes[parent.node as usize];
-            node.phase = Phase::Issuing;
-            node.next_child += 1;
-            if self.req(parent).traced {
+            let pi = self.nidx(parent);
+            self.arena.phase[pi] = Phase::Issuing;
+            self.arena.next_child[pi] += 1;
+            if self.arena.traced(parent.slot) {
                 let now = self.now;
                 if let Some(t) = self.tracer.as_mut() {
                     t.close_block(parent.slot, parent.node, now);
@@ -1774,7 +1723,7 @@ impl Simulation {
     }
 
     fn start_post(&mut self, token: Token) {
-        let class = self.req(token).class;
+        let class = self.arena.class(token.slot);
         let t0p = self.prof_span();
         let (s, work) = {
             let svc = self.templates[class].nodes[token.node as usize].service;
@@ -1784,11 +1733,12 @@ impl Simulation {
             (t.service, w)
         };
         self.prof_span_end(SimPhase::Rng, t0p);
-        let r = self.req(token).nodes[token.node as usize].replica as usize;
+        let ni = self.nidx(token);
+        let r = self.arena.replica[ni] as usize;
         if work <= WORK_EPS {
             self.respond(token);
         } else {
-            self.req_mut(token).nodes[token.node as usize].phase = Phase::Post;
+            self.arena.phase[ni] = Phase::Post;
             self.ps_add(s, r, token, work);
         }
     }
@@ -1796,31 +1746,22 @@ impl Simulation {
     /// The hop responds: record latency, release its worker, notify the
     /// parent, and complete the request if every hop has responded.
     fn respond(&mut self, token: Token) {
-        let class = self.req(token).class;
-        let (s, parent) = {
-            let t = &self.templates[class].nodes[token.node as usize];
-            (t.service, t.parent)
-        };
-        let (r, full, tier, daemon_of, nested_wait) = {
-            let now = self.now;
-            let node = &mut self.req_mut(token).nodes[token.node as usize];
-            node.phase = Phase::Responded;
-            let full = (now - node.enqueue_at).as_secs_f64();
-            let tier = full - node.nested_wait.as_secs_f64();
-            (
-                node.replica as usize,
-                full,
-                tier.max(0.0),
-                node.daemon_of,
-                node.nested_wait,
-            )
-        };
+        let class = self.arena.class(token.slot);
+        let h = self.hot.node(class, token.node);
+        let s = self.hot.service[h] as usize;
+        let ni = self.nidx(token);
+        let now = self.now;
+        self.arena.phase[ni] = Phase::Responded;
+        let nested_wait = self.arena.nested_wait[ni];
+        let full = (now - self.arena.enqueue_at[ni]).as_secs_f64();
+        let tier = (full - nested_wait.as_secs_f64()).max(0.0);
+        let r = self.arena.replica[ni] as usize;
+        let daemon_of = self.arena.daemon_of[ni];
         let t0p = self.prof_span();
         self.telemetry
             .record_response(ServiceId(s), ClassId(class), tier, full);
         self.prof_span_end(SimPhase::Telemetry, t0p);
-        if self.req(token).traced {
-            let now = self.now;
+        if self.arena.traced(token.slot) {
             if let Some(t) = self.tracer.as_mut() {
                 t.on_respond(token.slot, token.node, now, nested_wait);
             }
@@ -1835,34 +1776,29 @@ impl Simulation {
         self.maybe_remove_drained(s, r);
 
         // Free the daemon that was awaiting this response (event-driven).
-        if let Some((ds, dr)) = daemon_of {
-            self.daemon_freed(ds as usize, dr as usize);
+        if daemon_of != NO_DAEMON {
+            self.daemon_freed(
+                (daemon_of >> 32) as usize,
+                (daemon_of & u32::MAX as u64) as usize,
+            );
         }
 
         // Notify a nested-waiting parent. The parent resumes only if it is
         // actually parked in `Waiting`; if it is blocked on daemon
         // submission (parallel mode mixing edge kinds), the daemon-unblock
         // path resumes it instead and re-checks `awaiting` at loop end.
-        if let Some((pidx, EdgeKind::NestedRpc)) = parent {
+        let pidx = self.hot.nested_parent[h];
+        if pidx != NO_NESTED_PARENT {
             let parent_token = Token {
                 node: pidx,
                 ..token
             };
-            let resume = {
-                let now = self.now;
-                let node = &mut self.req_mut(parent_token).nodes[pidx as usize];
-                node.awaiting -= 1;
-                if node.awaiting == 0 && node.phase == Phase::Waiting {
-                    node.nested_wait += now - node.wait_start;
-                    node.phase = Phase::Issuing;
-                    true
-                } else {
-                    false
-                }
-            };
-            if resume {
-                if self.req(parent_token).traced {
-                    let now = self.now;
+            let pi = self.nidx(parent_token);
+            self.arena.awaiting[pi] -= 1;
+            if self.arena.awaiting[pi] == 0 && self.arena.phase[pi] == Phase::Waiting {
+                self.arena.nested_wait[pi] += now - self.arena.wait_start[pi];
+                self.arena.phase[pi] = Phase::Issuing;
+                if self.arena.traced(parent_token.slot) {
                     if let Some(t) = self.tracer.as_mut() {
                         t.close_wait(parent_token.slot, pidx, now);
                     }
@@ -1872,24 +1808,16 @@ impl Simulation {
         }
 
         // Request-level completion.
-        let done = {
-            let req = self.req_mut(token);
-            req.responded += 1;
-            req.responded as usize == req.nodes.len()
-        };
-        if done {
-            let mut req = self.slots[token.slot as usize]
-                .take()
-                .expect("live request");
-            self.node_pool.push(std::mem::take(&mut req.nodes));
-            self.gens[token.slot as usize] = self.gens[token.slot as usize].wrapping_add(1);
-            self.free.push(token.slot);
+        if self.arena.respond_one(token.slot) {
+            let latency = (self.now - self.arena.arrival(token.slot)).as_secs_f64();
+            let req_class = self.arena.class(token.slot);
+            let traced = self.arena.traced(token.slot);
+            self.arena.release(token.slot);
             self.in_flight -= 1;
-            let latency = (self.now - req.arrival).as_secs_f64();
             let t0p = self.prof_span();
-            self.telemetry.record_e2e(ClassId(req.class), latency);
+            self.telemetry.record_e2e(ClassId(req_class), latency);
             self.prof_span_end(SimPhase::Telemetry, t0p);
-            if req.traced {
+            if traced {
                 let now = self.now;
                 if let Some(t) = self.tracer.as_mut() {
                     t.finish(token.slot, now);

@@ -37,6 +37,8 @@
 //! # Ok::<(), ursa_sim::topology::TopologyError>(())
 //! ```
 
+pub mod arena;
+pub mod calq;
 pub mod chaos;
 pub mod cluster;
 pub mod control;

@@ -35,10 +35,13 @@
 /// Engine phases distinguished by the profiler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SimPhase {
-    /// Event-heap peek + pop at the head of the dispatch loop.
-    HeapPop,
-    /// Event-heap push, depth bookkeeping, and lazy compaction.
-    HeapPush,
+    /// Event-queue pop at the head of the dispatch loop.
+    QueuePop,
+    /// Event-queue push (O(1) bucket append in the common case).
+    QueuePush,
+    /// Event-queue maintenance: stale-entry compaction and adaptive
+    /// band-width rebuilds of the calendar queue.
+    QueueMaint,
     /// Advancing a replica's virtual clock (`advance_to` / re-sync).
     PsAdvance,
     /// Admitting a compute phase into a PS queue (the fused hot path).
@@ -58,13 +61,14 @@ pub enum SimPhase {
 }
 
 /// Number of [`SimPhase`] variants.
-pub const PHASE_COUNT: usize = 10;
+pub const PHASE_COUNT: usize = 11;
 
 impl SimPhase {
     /// All phases, in reporting order.
     pub const ALL: [SimPhase; PHASE_COUNT] = [
-        SimPhase::HeapPop,
-        SimPhase::HeapPush,
+        SimPhase::QueuePop,
+        SimPhase::QueuePush,
+        SimPhase::QueueMaint,
         SimPhase::PsAdvance,
         SimPhase::PsAdmit,
         SimPhase::PsComplete,
@@ -75,11 +79,12 @@ impl SimPhase {
         SimPhase::Other,
     ];
 
-    /// Stable snake_case identifier (used in `BENCH_sim.json` v3).
+    /// Stable snake_case identifier (used in `BENCH_sim.json` v5).
     pub fn label(&self) -> &'static str {
         match self {
-            SimPhase::HeapPop => "heap_pop",
-            SimPhase::HeapPush => "heap_push",
+            SimPhase::QueuePop => "queue_pop",
+            SimPhase::QueuePush => "queue_push",
+            SimPhase::QueueMaint => "queue_maint",
             SimPhase::PsAdvance => "ps_advance",
             SimPhase::PsAdmit => "ps_admit",
             SimPhase::PsComplete => "ps_complete",
@@ -204,11 +209,13 @@ impl PhaseProfiler {
     }
 
     /// Closes a sampled event: `total` is its full dispatch wall time,
-    /// `heap_pop` the peek+pop portion. The remainder not covered by any
-    /// leaf span is booked as [`SimPhase::Other`].
+    /// `queue_pop` the pop portion. (Bucket promotions triggered by the
+    /// pre-dispatch peek run before the sampling window opens and are not
+    /// attributed — an accepted undercount of `queue_pop`.) The remainder
+    /// not covered by any leaf span is booked as [`SimPhase::Other`].
     #[inline]
-    pub(crate) fn event_done(&mut self, total: u64, heap_pop: u64) {
-        self.accrue(SimPhase::HeapPop, heap_pop);
+    pub(crate) fn event_done(&mut self, total: u64, queue_pop: u64) {
+        self.accrue(SimPhase::QueuePop, queue_pop);
         let covered = self.leaf_in_event;
         let other = total.saturating_sub(covered);
         self.nanos[SimPhase::Other as usize] += other;
@@ -293,7 +300,7 @@ mod tests {
         let r = p.report();
         let by = |ph: SimPhase| r.phases.iter().find(|s| s.phase == ph).unwrap();
         assert_eq!(by(SimPhase::PsAdmit).est_nanos, 1_000.0);
-        assert_eq!(by(SimPhase::HeapPop).est_nanos, 500.0);
+        assert_eq!(by(SimPhase::QueuePop).est_nanos, 500.0);
         assert_eq!(by(SimPhase::Other).est_nanos, 1_500.0);
         assert_eq!(by(SimPhase::Control).est_nanos, 1_000.0);
         let total: f64 = r.phases.iter().map(|s| s.est_nanos).sum();
@@ -309,7 +316,7 @@ mod tests {
         let r = p.report();
         assert_eq!(r.phases.len(), PHASE_COUNT);
         assert!(r.phases.iter().all(|s| s.share == 0.0));
-        assert_eq!(r.ns_per_event(SimPhase::HeapPop), 0.0);
+        assert_eq!(r.ns_per_event(SimPhase::QueuePop), 0.0);
     }
 
     #[test]

@@ -312,6 +312,67 @@ fn flatten(root: &CallNode, out: &mut Vec<FlatNode>, parent: Option<(u16, EdgeKi
     idx
 }
 
+/// Sentinel for [`HotTable::nested_parent`]: no nested-RPC parent.
+pub const NO_NESTED_PARENT: u16 = u16::MAX;
+
+/// Struct-of-arrays view of the per-hop fields the engine reads on *every*
+/// arrival and response. A [`FlatNode`] is large (two `WorkDist` enums plus
+/// a child vector), so walking `flat[class].nodes[node].service` on the hot
+/// path drags a whole cache line of cold payload along. The hot table packs
+/// the per-event fields into dense primitive arrays indexed by
+/// `class_base[class] + node`, one global namespace across classes.
+#[derive(Debug)]
+pub struct HotTable {
+    /// Per class: base index of its hops in the node arrays below.
+    pub class_base: Vec<u32>,
+    /// Per class: priority level (0 = highest), same as [`FlatClass::prio`].
+    pub class_prio: Vec<u8>,
+    /// Per hop: service executing it.
+    pub service: Vec<u16>,
+    /// Per hop: true iff it is reached through an [`EdgeKind::Mq`] edge.
+    pub via_mq: Vec<bool>,
+    /// Per hop: parent hop index when reached via [`EdgeKind::NestedRpc`],
+    /// else [`NO_NESTED_PARENT`] — exactly the question `respond` asks.
+    pub nested_parent: Vec<u16>,
+    /// Per hop: number of child calls it issues.
+    pub n_children: Vec<u16>,
+}
+
+impl HotTable {
+    fn build(flat: &[FlatClass]) -> Self {
+        let total: usize = flat.iter().map(|c| c.nodes.len()).sum();
+        let mut t = HotTable {
+            class_base: Vec::with_capacity(flat.len()),
+            class_prio: Vec::with_capacity(flat.len()),
+            service: Vec::with_capacity(total),
+            via_mq: Vec::with_capacity(total),
+            nested_parent: Vec::with_capacity(total),
+            n_children: Vec::with_capacity(total),
+        };
+        for class in flat {
+            t.class_base.push(t.service.len() as u32);
+            t.class_prio.push(class.prio as u8);
+            for node in &class.nodes {
+                t.service.push(node.service as u16);
+                t.via_mq
+                    .push(matches!(node.parent, Some((_, EdgeKind::Mq))));
+                t.nested_parent.push(match node.parent {
+                    Some((p, EdgeKind::NestedRpc)) => p,
+                    _ => NO_NESTED_PARENT,
+                });
+                t.n_children.push(node.children.len() as u16);
+            }
+        }
+        t
+    }
+
+    /// Index of hop `node` of `class` into the per-hop arrays.
+    #[inline]
+    pub fn node(&self, class: usize, node: u16) -> usize {
+        self.class_base[class] as usize + node as usize
+    }
+}
+
 /// A validated microservice application: services plus request classes.
 ///
 /// The flattened per-class call trees ([`FlatClass`]) are built once at
@@ -323,6 +384,7 @@ pub struct Topology {
     services: Vec<ServiceCfg>,
     classes: Vec<ClassCfg>,
     flat: Arc<Vec<FlatClass>>,
+    hot: Arc<HotTable>,
 }
 
 impl Topology {
@@ -386,7 +448,7 @@ impl Topology {
                 return Err(TopologyError(e));
             }
         }
-        let flat = Arc::new(
+        let flat: Arc<Vec<FlatClass>> = Arc::new(
             classes
                 .iter()
                 .map(|c| {
@@ -399,10 +461,12 @@ impl Topology {
                 })
                 .collect(),
         );
+        let hot = Arc::new(HotTable::build(&flat));
         Ok(Topology {
             services,
             classes,
             flat,
+            hot,
         })
     }
 
@@ -416,6 +480,12 @@ impl Topology {
     /// distributions per simulation.
     pub fn flat_classes(&self) -> Arc<Vec<FlatClass>> {
         Arc::clone(&self.flat)
+    }
+
+    /// The SoA hot table over the flattened call trees, shared by
+    /// reference count like [`flat_classes`](Self::flat_classes).
+    pub fn hot_table(&self) -> Arc<HotTable> {
+        Arc::clone(&self.hot)
     }
 
     /// The request classes of this application.

@@ -189,9 +189,92 @@ impl Default for Rng {
     }
 }
 
+/// Number of `u64` draws a [`BlockRng`] buffers per refill.
+pub const RNG_BLOCK: usize = 64;
+
+/// A [`Rng`] wrapper that draws `u64`s in refillable blocks.
+///
+/// Consumers that draw one value per event (e.g. a simulator's Poisson
+/// arrival sources) pay the full xoshiro state-update dependency chain on
+/// every draw. `BlockRng` amortizes that: a refill runs [`RNG_BLOCK`]
+/// state updates back to back (a tight, branch-predictable loop the CPU
+/// can pipeline), and the per-draw path is a buffer load plus a cursor
+/// bump.
+///
+/// The buffered values are handed out **in exactly the order the wrapped
+/// `Rng` produced them**, so any sequence of `next_u64`/`next_f64`/
+/// `next_f64_open` calls observes the same stream as calling the wrapped
+/// [`Rng`] directly — blocking is invisible to the output. (Values still
+/// buffered when the consumer stops are simply never observed.)
+#[derive(Debug, Clone)]
+pub struct BlockRng {
+    rng: Rng,
+    buf: [u64; RNG_BLOCK],
+    pos: usize,
+}
+
+impl BlockRng {
+    pub fn new(rng: Rng) -> Self {
+        BlockRng {
+            rng,
+            buf: [0; RNG_BLOCK],
+            pos: RNG_BLOCK,
+        }
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        for v in self.buf.iter_mut() {
+            *v = self.rng.next_u64();
+        }
+        self.pos = 0;
+    }
+
+    /// Same stream as [`Rng::next_u64`] on the wrapped generator.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        if self.pos == RNG_BLOCK {
+            self.refill();
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Same value stream as [`Rng::next_f64`]: uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Same value stream as [`Rng::next_f64_open`]: uniform in `(0, 1]`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn block_rng_matches_plain_stream() {
+        let mut plain = Rng::seed_from(0xB10C);
+        let mut block = BlockRng::new(Rng::seed_from(0xB10C));
+        // Cross a few refill boundaries with a mix of draw kinds; every
+        // call must observe the identical underlying stream.
+        for i in 0..(3 * RNG_BLOCK + 17) {
+            match i % 3 {
+                0 => assert_eq!(block.next_u64(), plain.next_u64()),
+                1 => assert_eq!(block.next_f64().to_bits(), plain.next_f64().to_bits()),
+                _ => assert_eq!(
+                    block.next_f64_open().to_bits(),
+                    plain.next_f64_open().to_bits()
+                ),
+            }
+        }
+    }
 
     #[test]
     fn same_seed_same_stream() {

@@ -1,0 +1,292 @@
+//! Differential tests of the event-core v3 data structures.
+//!
+//! The v3 engine swapped two load-bearing structures whose observable
+//! behavior must be *exactly* the old one's — the bit-identical-output
+//! contract of the whole grid rides on them:
+//!
+//! * [`CalQueue`] replaced `BinaryHeap<Reverse<(at, seq)>>` as the event
+//!   queue. It is a hybrid: small queues live in a sorted vec ("heap
+//!   mode"), large ones in a calendar of time bands with a far-future
+//!   overflow list, flipping between layouts with hysteresis. Whatever
+//!   layout it is in, pops must come out in strict `(at, seq)` order and
+//!   `retain` must drop exactly the condemned entries — so the proptests
+//!   drive it against the old `BinaryHeap` through randomized
+//!   push/pop/retain schedules (with deliberate timestamp ties) at sizes
+//!   straddling both hybrid thresholds.
+//!
+//! * [`ReqArena`] replaced per-class pooled `Vec<Vec<NodeRt>>` request
+//!   state. Slot IDs feed traces and the flight recorder, so the arena
+//!   must recycle slots in the *same LIFO order* the old free list did,
+//!   and generations must invalidate exactly the released slot — checked
+//!   against a naive boxed-per-request reference model over random
+//!   alloc/touch/release schedules with random call-tree widths.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use ursa::sim::arena::{Phase, ReqArena};
+use ursa::sim::calq::CalQueue;
+use ursa::sim::time::SimTime;
+
+// ---------------------------------------------------------------------
+// Calendar queue vs BinaryHeap
+// ---------------------------------------------------------------------
+
+/// The pre-v3 event queue: a min-heap over `(at, seq)` with `retain`
+/// implemented as drain-filter-rebuild (exactly what `compact_events`
+/// used to do).
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+}
+
+impl RefHeap {
+    fn push(&mut self, at: u64, seq: u64, kind: u32) {
+        self.heap.push(Reverse((at, seq, kind)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, u32)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn peek(&self) -> Option<(u64, u64, u32)> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    fn retain(&mut self, f: impl Fn(u32) -> bool) {
+        let kept: Vec<_> = self.heap.drain().filter(|Reverse(e)| f(e.2)).collect();
+        self.heap = kept.into_iter().collect();
+    }
+}
+
+/// One step of the randomized schedule. `pick` selects the operation,
+/// `off` the push offset ahead of the current virtual now. Offsets are
+/// drawn from a *small* set of buckets so timestamp collisions (ties
+/// broken only by `seq`) are common rather than astronomically rare.
+fn ops_strategy(len: usize) -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..8, 0u64..48), 1..len)
+}
+
+/// Drives both queues through the same schedule and requires identical
+/// peek/pop streams. `tie_scale` quantizes offsets into few distinct
+/// timestamps; `len` controls how deep the queue grows (past both
+/// hybrid thresholds when large).
+fn run_differential(ops: &[(u8, u64)], tie_scale: u64, push_bias: bool) {
+    let mut q: CalQueue<u32> = CalQueue::new();
+    let mut r = RefHeap::default();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut kind = 0u32;
+    for &(pick, off) in ops {
+        // With `push_bias`, 6 of 8 picks push, so the queue climbs past
+        // HYBRID_HIGH and exercises the calendar layout; without it the
+        // mix hovers in heap mode around the low watermark.
+        let is_push = if push_bias { pick < 6 } else { pick < 3 };
+        if is_push {
+            // Quantized offsets make (at, seq) ties routine; a huge
+            // offset every 16th kind lands in the overflow band.
+            let far = if kind % 16 == 15 { 1 << 40 } else { 0 };
+            let at = now + off * tie_scale + far;
+            q.push(SimTime::from_nanos(at), seq, kind);
+            r.push(at, seq, kind);
+            seq += 1;
+            kind += 1;
+        } else if pick == 6 && kind.is_multiple_of(3) {
+            // Stale-entry sweep: condemn a kind class, like the engine's
+            // lazy compaction of invalidated PS checks.
+            q.retain(|&k| k % 3 != 0 || k % 2 == 0);
+            r.retain(|k| k % 3 != 0 || k % 2 == 0);
+        } else {
+            assert_eq!(
+                q.peek().map(|e| (e.at.as_nanos(), e.seq, e.kind)),
+                r.peek(),
+                "peek diverged at seq {seq}"
+            );
+            let got = q.pop().map(|e| (e.at.as_nanos(), e.seq, e.kind));
+            let want = r.pop();
+            assert_eq!(got, want, "pop diverged at seq {seq}");
+            if let Some((at, _, _)) = want {
+                now = at;
+            }
+        }
+        assert_eq!(q.len(), r.heap.len(), "len diverged");
+    }
+    // Drain both completely: every remaining entry must come out in the
+    // same total order regardless of which bands it was parked in.
+    loop {
+        let got = q.pop().map(|e| (e.at.as_nanos(), e.seq, e.kind));
+        let want = r.pop();
+        assert_eq!(got, want, "drain diverged");
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small schedules: the queue stays in heap mode (sorted vec).
+    #[test]
+    fn calq_matches_heap_small(ops in ops_strategy(120)) {
+        run_differential(&ops, 1_000, false);
+    }
+
+    /// Push-biased schedules thousands of entries deep: crosses
+    /// HYBRID_HIGH into the calendar, spreads entries over many bands
+    /// and the overflow list, then drains back through HYBRID_LOW.
+    #[test]
+    fn calq_matches_heap_across_hybrid_flips(ops in ops_strategy(2600)) {
+        run_differential(&ops, 50_000, true);
+    }
+
+    /// Dense ties: offsets quantized to 4 distinct timestamps, so almost
+    /// every pop is decided by the seq tie-break alone.
+    #[test]
+    fn calq_matches_heap_under_dense_ties(ops in ops_strategy(400)) {
+        let tied: Vec<_> = ops.iter().map(|&(p, o)| (p, o % 4)).collect();
+        run_differential(&tied, 1 << 20, true);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request arena vs pooled-vec reference
+// ---------------------------------------------------------------------
+
+/// The pre-v3 request state: one boxed record per request, slots handed
+/// out through an explicit LIFO free list (this is the discipline whose
+/// slot-ID sequence the arena must reproduce bit-for-bit).
+#[derive(Default)]
+struct RefPool {
+    reqs: Vec<Option<RefReq>>,
+    free: Vec<u32>,
+}
+
+struct RefReq {
+    class: u32,
+    num_nodes: u16,
+    responded: u16,
+    phases: Vec<Phase>,
+    replicas: Vec<u32>,
+}
+
+impl RefPool {
+    fn alloc(&mut self, class: u32, num_nodes: u16) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.reqs.push(None);
+                (self.reqs.len() - 1) as u32
+            }
+        };
+        self.reqs[slot as usize] = Some(RefReq {
+            class,
+            num_nodes,
+            responded: 0,
+            phases: vec![Phase::Queued; num_nodes as usize],
+            replicas: vec![0; num_nodes as usize],
+        });
+        slot
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.reqs[slot as usize] = None;
+        self.free.push(slot);
+    }
+
+    fn live(&self) -> Vec<u32> {
+        (0..self.reqs.len() as u32)
+            .filter(|&s| self.reqs[s as usize].is_some())
+            .collect()
+    }
+}
+
+/// A schedule of arena operations: `(pick, width, detail)` where `width`
+/// sizes a fresh request's call tree (the "random topology" — hop counts
+/// vary per request, so node regions of different widths get recycled
+/// into each other's slots).
+fn arena_ops() -> impl Strategy<Value = Vec<(u8, u16, u32)>> {
+    proptest::collection::vec((0u8..8, 1u16..9, 0u32..1_000_000), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lockstep lifecycle: identical slot-ID streams, per-hop state
+    /// isolation, completion counting, and generation invalidation.
+    #[test]
+    fn arena_matches_pooled_vec_lifecycle(ops in arena_ops()) {
+        let mut a = ReqArena::new();
+        let mut r = RefPool::default();
+        // Live tokens: (slot, gen) pairs the arena handed out.
+        let mut gens: Vec<(u32, u32)> = Vec::new();
+        for (i, &(pick, width, detail)) in ops.iter().enumerate() {
+            let live = r.live();
+            if pick < 4 || live.is_empty() {
+                // Alloc: the arena must pick the same slot the LIFO
+                // reference picks.
+                let slot = a.alloc(detail, SimTime::from_nanos(i as u64), width, false);
+                let want = r.alloc(detail, width);
+                prop_assert_eq!(slot, want, "slot allocation order diverged");
+                gens.push((slot, a.gen(slot)));
+                // A fresh slot starts with every hop Queued — even when
+                // the slot previously held a wider or narrower request.
+                for n in 0..width {
+                    let ni = a.node_index(slot, a.gen(slot), n);
+                    prop_assert_eq!(a.phase[ni], Phase::Queued);
+                    prop_assert_eq!(a.replica[ni], 0);
+                }
+            } else if pick < 6 {
+                // Touch: write hop state through one model, mirror in
+                // the other, then verify *every* live request still
+                // reads back its own state (no cross-slot aliasing).
+                let slot = live[detail as usize % live.len()];
+                let req = r.reqs[slot as usize].as_mut().unwrap();
+                let hop = (detail % req.num_nodes as u32) as u16;
+                let ni = a.node_index(slot, a.gen(slot), hop);
+                a.phase[ni] = Phase::Pre;
+                a.replica[ni] = detail;
+                req.phases[hop as usize] = Phase::Pre;
+                req.replicas[hop as usize] = detail;
+                for &s in &live {
+                    let req = r.reqs[s as usize].as_ref().unwrap();
+                    prop_assert_eq!(a.class(s), req.class as usize);
+                    prop_assert_eq!(a.num_nodes(s), req.num_nodes);
+                    for n in 0..req.num_nodes {
+                        let ni = a.node_index(s, a.gen(s), n);
+                        prop_assert_eq!(a.phase[ni], req.phases[n as usize]);
+                        prop_assert_eq!(a.replica[ni], req.replicas[n as usize]);
+                    }
+                }
+            } else if pick == 6 {
+                // Respond one hop; completion must agree with the
+                // reference's counter.
+                let slot = live[detail as usize % live.len()];
+                let req = r.reqs[slot as usize].as_mut().unwrap();
+                if req.responded < req.num_nodes {
+                    req.responded += 1;
+                    let done = a.respond_one(slot);
+                    prop_assert_eq!(done, req.responded == req.num_nodes);
+                }
+            } else {
+                // Release: the freed slot's old generation dies; every
+                // other live token survives.
+                let slot = live[detail as usize % live.len()];
+                let old_gen = a.gen(slot);
+                a.release(slot);
+                r.release(slot);
+                prop_assert!(!a.alive(slot, old_gen), "released token stayed alive");
+                gens.retain(|&(s, _)| s != slot);
+                for &(s, g) in &gens {
+                    prop_assert!(a.alive(s, g), "release killed an unrelated token");
+                }
+            }
+            prop_assert_eq!(
+                a.slots_high_water(),
+                r.reqs.len(),
+                "slot high-water diverged"
+            );
+        }
+    }
+}
