@@ -202,27 +202,25 @@ fn digest_rows(a: &JsonValue, b: &JsonValue) -> Vec<(String, String, String)> {
             .to_string()
     };
     out.push(("topology_digest".into(), topo(a), topo(b)));
-    let mut names: Vec<String> = Vec::new();
-    for v in [a, b] {
-        for (name, _) in v
-            .get("chaos_plan_digests")
-            .and_then(JsonValue::as_obj)
-            .unwrap_or(&[])
-        {
-            names.push(name.clone());
+    for (field, prefix) in [("chaos_plan_digests", "chaos"), ("mem_plan_digests", "mem")] {
+        let mut names: Vec<String> = Vec::new();
+        for v in [a, b] {
+            for (name, _) in v.get(field).and_then(JsonValue::as_obj).unwrap_or(&[]) {
+                names.push(name.clone());
+            }
         }
-    }
-    names.sort();
-    names.dedup();
-    let get = |v: &JsonValue, name: &str| -> String {
-        v.get("chaos_plan_digests")
-            .and_then(|o| o.get(name))
-            .and_then(JsonValue::as_str)
-            .unwrap_or("-")
-            .to_string()
-    };
-    for name in names {
-        out.push((format!("chaos/{name}"), get(a, &name), get(b, &name)));
+        names.sort();
+        names.dedup();
+        let get = |v: &JsonValue, name: &str| -> String {
+            v.get(field)
+                .and_then(|o| o.get(name))
+                .and_then(JsonValue::as_str)
+                .unwrap_or("-")
+                .to_string()
+        };
+        for name in names {
+            out.push((format!("{prefix}/{name}"), get(a, &name), get(b, &name)));
+        }
     }
     let mut table_names: Vec<String> = Vec::new();
     for v in [a, b] {

@@ -374,6 +374,24 @@ impl PreparedManagers {
             .deploy_metered_with_faults(app, system, load, scale, seed, faults, metrics)
     }
 
+    /// [`deploy_cell`](Self::deploy_cell) with both planes: an optional
+    /// fault plan and an optional memory plan (the `--exp qos` cell path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_cell_with_planes(
+        &self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        faults: Option<&ursa_sim::chaos::FaultPlan>,
+        mem: Option<&ursa_sim::memory::MemPlan>,
+        metrics: Option<&mut SimMetrics>,
+    ) -> DeploymentReport {
+        self.clone()
+            .deploy_observed_full(app, system, load, scale, seed, faults, mem, metrics, None)
+    }
+
     /// [`deploy`](Self::deploy) with an optional metrics collector scraped
     /// once per control window (pass one built with
     /// [`SimMetrics::for_topology`] on `app.topology`).
@@ -429,11 +447,37 @@ impl PreparedManagers {
         metrics: Option<&mut SimMetrics>,
         observer: Option<&mut dyn DeployObserver>,
     ) -> DeploymentReport {
+        self.deploy_observed_full(
+            app, system, load, scale, seed, faults, None, metrics, observer,
+        )
+    }
+
+    /// The most general deployment entry point: optional fault plan,
+    /// optional memory plan, optional metrics collector, optional
+    /// post-mortem observer. Every other `deploy_*` method delegates here.
+    /// Passing `mem: None` is bit-identical to the plane-free call
+    /// (enforced by `ursa-sim/tests/memory_bitident.rs`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy_observed_full(
+        &mut self,
+        app: &App,
+        system: System,
+        load: &LoadSpec,
+        scale: Scale,
+        seed: u64,
+        faults: Option<&ursa_sim::chaos::FaultPlan>,
+        mem: Option<&ursa_sim::memory::MemPlan>,
+        metrics: Option<&mut SimMetrics>,
+        observer: Option<&mut dyn DeployObserver>,
+    ) -> DeploymentReport {
         let seed = mix_seed(seed);
         let duration = scale.deploy_duration();
         let mut sim = app.build_sim(seed);
         if let Some(plan) = faults {
             sim.install_faults(plan, seed);
+        }
+        if let Some(plan) = mem {
+            sim.install_memory_plane(plan);
         }
         if observer.is_some() {
             sim.arm_flight_recorder(FlightRecorder::DEFAULT_CAPACITY);

@@ -4,6 +4,7 @@
 //! cargo run --release -p ursa-bench -- --exp all [--full] [--jobs N] [--seed N]
 //! cargo run --release -p ursa-bench -- --exp fig2|fig4|table5|fig9|fig11|fig13|table6|fig14
 //! cargo run --release -p ursa-bench -- --exp chaos [--seed N]
+//! cargo run --release -p ursa-bench -- --exp qos [--seed N]
 //! cargo run --release -p ursa-bench -- --exp fig2 --trace-dir traces/
 //! cargo run --release -p ursa-bench -- --exp fig9 --metrics-dir metrics/
 //! cargo run --release -p ursa-bench -- --exp chaos --postmortem-dir results/postmortem
@@ -128,6 +129,9 @@ fn main() {
         }
         "chaos" => {
             experiments::chaos::run(scale);
+        }
+        "qos" => {
+            experiments::qos::run(scale);
         }
         other => {
             warn!("unknown experiment: {other}");
@@ -264,7 +268,7 @@ fn diff_main(args: &[String]) -> i32 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation|chaos] \
+        "usage: ursa-bench [--exp all|fig2|fig4|table5|fig9|fig11|fig13|table6|fig14|ablation|chaos|qos] \
          [--quick|--full] [--jobs N] [--seed N] [--quiet|--verbose] [--trace-dir DIR] \
          [--metrics-dir DIR] [--postmortem-dir DIR] [--snapshot-at SECS]\n\
          \x20      ursa-bench perf [--out BENCH_sim.json] [--check baseline.json] \

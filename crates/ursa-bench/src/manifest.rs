@@ -124,6 +124,7 @@ pub struct RunManifest {
     scale: String,
     topology_digest: Option<u64>,
     chaos_digests: BTreeMap<String, u64>,
+    mem_digests: BTreeMap<String, u64>,
     phase_profile: Option<PhaseProfile>,
     series: BTreeMap<String, SeriesSummary>,
     tables: BTreeMap<String, TableDigest>,
@@ -141,6 +142,7 @@ impl RunManifest {
             scale: scale.to_string(),
             topology_digest: None,
             chaos_digests: BTreeMap::new(),
+            mem_digests: BTreeMap::new(),
             phase_profile: None,
             series: BTreeMap::new(),
             tables: BTreeMap::new(),
@@ -157,6 +159,11 @@ impl RunManifest {
     /// Records the digest of one compiled fault plan.
     pub fn note_chaos_digest(&mut self, name: &str, digest: u64) {
         self.chaos_digests.insert(name.to_string(), digest);
+    }
+
+    /// Records the digest of one memory-plane plan (`MemPlan::digest`).
+    pub fn note_mem_digest(&mut self, name: &str, digest: u64) {
+        self.mem_digests.insert(name.to_string(), digest);
     }
 
     /// Records the run's phase-profile summary.
@@ -233,6 +240,12 @@ impl RunManifest {
         let _ = writeln!(out, "  \"chaos_plan_digests\": {{");
         for (i, (name, d)) in self.chaos_digests.iter().enumerate() {
             let comma = trail(i, self.chaos_digests.len());
+            let _ = writeln!(out, "    \"{}\": \"{d:016x}\"{comma}", esc(name));
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"mem_plan_digests\": {{");
+        for (i, (name, d)) in self.mem_digests.iter().enumerate() {
+            let comma = trail(i, self.mem_digests.len());
             let _ = writeln!(out, "    \"{}\": \"{d:016x}\"{comma}", esc(name));
         }
         let _ = writeln!(out, "  }},");
@@ -393,6 +406,11 @@ pub fn note_topology_digest(digest: u64) {
 /// Records a fault-plan digest on the armed manifest.
 pub fn note_chaos_digest(name: &str, digest: u64) {
     with_active(|m| m.note_chaos_digest(name, digest));
+}
+
+/// Records a memory-plan digest on the armed manifest.
+pub fn note_mem_digest(name: &str, digest: u64) {
+    with_active(|m| m.note_mem_digest(name, digest));
 }
 
 /// Records a phase profile on the armed manifest.
@@ -659,6 +677,7 @@ mod tests {
         let mut m = RunManifest::new("chaos", 7, 4, "quick");
         m.set_topology_digest(0xDEAD_BEEF);
         m.note_chaos_digest("slowdown", 0x1234);
+        m.note_mem_digest("qos", 0x5678);
         m.note_table("chaos_resilience", 30, b"a\tb\n1\t2\n");
         m.note_scalar("events_per_sec", 123456.5);
         let mut store = TimeSeriesStore::new();
@@ -683,6 +702,12 @@ mod tests {
         assert_eq!(
             v.get("topology_digest").and_then(JsonValue::as_str),
             Some("00000000deadbeef")
+        );
+        assert_eq!(
+            v.get("mem_plan_digests")
+                .and_then(|o| o.get("qos"))
+                .and_then(JsonValue::as_str),
+            Some("0000000000005678")
         );
         let series = v.get("series").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(series.len(), 2);

@@ -355,6 +355,16 @@ fn flight_event_json(at: f64, seq: u64, kind: &FlightEventKind) -> String {
         FlightEventKind::Harvest { in_flight } => {
             let _ = write!(s, ",\"in_flight\":{in_flight}");
         }
+        FlightEventKind::MemCheck => {}
+        FlightEventKind::OomKill { service, replica } => {
+            let _ = write!(s, ",\"service\":{service},\"replica\":{replica}");
+        }
+        FlightEventKind::Evict { service, tier } => {
+            let _ = write!(s, ",\"service\":{service},\"tier\":{tier}");
+        }
+        FlightEventKind::MemRestart { service } => {
+            let _ = write!(s, ",\"service\":{service}");
+        }
     }
     s.push('}');
     s
@@ -817,6 +827,15 @@ mod tests {
                 to: 4,
             },
             FlightEventKind::Harvest { in_flight: 7 },
+            FlightEventKind::OomKill {
+                service: 3,
+                replica: 1,
+            },
+            FlightEventKind::Evict {
+                service: 2,
+                tier: 0,
+            },
+            FlightEventKind::MemRestart { service: 3 },
         ];
         for k in kinds {
             let j = flight_event_json(1.0, 9, &k);

@@ -42,11 +42,16 @@
 //! # Ok::<(), ursa_mip::ModelError>(())
 //! ```
 
+pub mod alloc2d;
 pub mod dp;
 pub mod lp;
 pub mod model;
 pub mod solve;
 
+pub use alloc2d::{
+    pack_first_fit, solve_2d, Model2d, NodeCapacity, ResourceCost, ServiceModel2d, Solution2d,
+    Weights,
+};
 pub use lp::{solve_lp, Cmp, LpOutcome, LpProblem};
 pub use model::{LatencyMatrix, MipModel, ModelError, ServiceModel, SlaConstraint};
 pub use solve::{

@@ -19,6 +19,27 @@ pub struct MachineCfg {
     pub name: String,
     /// Allocatable CPU cores.
     pub cores: f64,
+    /// Allocatable memory in bytes. `0` means memory is not modeled on
+    /// this machine (the pre-resource-plane CPU-only cluster): memory
+    /// requests always fit and never influence placement scores.
+    pub mem_bytes: u64,
+}
+
+impl MachineCfg {
+    /// A CPU-only machine (memory unmodeled).
+    pub fn new(name: impl Into<String>, cores: f64) -> Self {
+        MachineCfg {
+            name: name.into(),
+            cores,
+            mem_bytes: 0,
+        }
+    }
+
+    /// Sets the allocatable memory, returning `self` for chaining.
+    pub fn with_mem(mut self, mem_bytes: u64) -> Self {
+        self.mem_bytes = mem_bytes;
+        self
+    }
 }
 
 /// Replica placement policy.
@@ -42,6 +63,8 @@ pub struct Placement {
     pub machine: usize,
     /// Cores reserved on the machine.
     pub cores: f64,
+    /// Memory reserved on the machine in bytes (0 for CPU-only placements).
+    pub mem_bytes: u64,
 }
 
 /// Error returned when a placement does not fit anywhere.
@@ -51,6 +74,8 @@ pub struct CapacityError {
     pub requested: f64,
     /// Largest free block available.
     pub largest_free: f64,
+    /// Memory requested in bytes (0 for CPU-only placements).
+    pub requested_mem: u64,
 }
 
 impl core::fmt::Display for CapacityError {
@@ -70,6 +95,7 @@ impl std::error::Error for CapacityError {}
 pub struct Cluster {
     machines: Vec<MachineCfg>,
     used: Vec<f64>,
+    mem_used: Vec<u64>,
     placements: Vec<Placement>,
     policy: PlacementPolicy,
 }
@@ -87,9 +113,11 @@ impl Cluster {
             "non-positive capacity"
         );
         let used = vec![0.0; machines.len()];
+        let mem_used = vec![0; machines.len()];
         Cluster {
             machines,
             used,
+            mem_used,
             placements: Vec::new(),
             policy,
         }
@@ -102,10 +130,7 @@ impl Cluster {
             cores
                 .iter()
                 .enumerate()
-                .map(|(i, &c)| MachineCfg {
-                    name: format!("node{i}"),
-                    cores: c,
-                })
+                .map(|(i, &c)| MachineCfg::new(format!("node{i}"), c))
                 .collect(),
             PlacementPolicy::BestFit,
         )
@@ -148,36 +173,84 @@ impl Cluster {
             .count()
     }
 
-    /// Places one replica of `service` needing `cores`.
+    /// Places one replica of `service` needing `cores` (CPU-only: memory
+    /// request 0, which always fits).
     ///
     /// # Errors
     ///
     /// Returns [`CapacityError`] if no machine has room.
     pub fn place(&mut self, service: ServiceId, cores: f64) -> Result<usize, CapacityError> {
-        let fits = self
-            .machines
-            .iter()
-            .zip(&self.used)
-            .enumerate()
-            .filter(|(_, (m, u))| m.cores - *u >= cores - 1e-9)
-            .map(|(i, (m, u))| (i, m.cores - u));
-        let chosen = match self.policy {
-            PlacementPolicy::BestFit => fits.min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")),
-            PlacementPolicy::WorstFit => fits.max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")),
-        };
+        self.place_2d(service, cores, 0)
+    }
+
+    /// Places one replica of `service` needing `cores` CPU and `mem_bytes`
+    /// memory.
+    ///
+    /// Placement scores are deterministic: a CPU-only request (memory 0)
+    /// scores on absolute free cores exactly as the pre-memory cluster
+    /// did, while a two-dimensional request scores on the mean free
+    /// *fraction* across both dimensions after placement (the
+    /// Kubernetes `LeastAllocated`/`MostAllocated` shape). Score ties
+    /// always break toward the lowest machine index under both policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if no machine fits both dimensions.
+    pub fn place_2d(
+        &mut self,
+        service: ServiceId,
+        cores: f64,
+        mem_bytes: u64,
+    ) -> Result<usize, CapacityError> {
+        let mut chosen: Option<(usize, f64)> = None;
+        for (i, m) in self.machines.iter().enumerate() {
+            let cpu_free = m.cores - self.used[i];
+            if cpu_free < cores - 1e-9 {
+                continue;
+            }
+            // A machine with mem_bytes == 0 doesn't model memory: any
+            // memory request fits and memory never enters its score.
+            let mem_modeled = m.mem_bytes > 0;
+            if mem_modeled && m.mem_bytes - self.mem_used[i] < mem_bytes {
+                continue;
+            }
+            let score = if mem_bytes > 0 && mem_modeled {
+                let cpu_frac = (cpu_free - cores) / m.cores;
+                let mem_frac =
+                    (m.mem_bytes - self.mem_used[i] - mem_bytes) as f64 / m.mem_bytes as f64;
+                0.5 * (cpu_frac + mem_frac)
+            } else {
+                cpu_free
+            };
+            // Strict comparisons on both policies: on a score tie the
+            // earlier (lower-index) machine wins. `min_by`/`max_by` had
+            // asymmetric tie handling (first vs last match), which made
+            // WorstFit placement order depend on iteration direction.
+            let better = match (&chosen, self.policy) {
+                (None, _) => true,
+                (Some((_, best)), PlacementPolicy::BestFit) => score < *best,
+                (Some((_, best)), PlacementPolicy::WorstFit) => score > *best,
+            };
+            if better {
+                chosen = Some((i, score));
+            }
+        }
         match chosen {
             Some((machine, _)) => {
                 self.used[machine] += cores;
+                self.mem_used[machine] += mem_bytes;
                 self.placements.push(Placement {
                     service,
                     machine,
                     cores,
+                    mem_bytes,
                 });
                 Ok(machine)
             }
             None => Err(CapacityError {
                 requested: cores,
                 largest_free: self.largest_free(),
+                requested_mem: mem_bytes,
             }),
         }
     }
@@ -188,6 +261,7 @@ impl Cluster {
         if let Some(idx) = self.placements.iter().rposition(|p| p.service == service) {
             let p = self.placements.remove(idx);
             self.used[p.machine] -= p.cores;
+            self.mem_used[p.machine] -= p.mem_bytes;
             true
         } else {
             false
@@ -200,6 +274,32 @@ impl Cluster {
             .iter()
             .zip(&self.used)
             .map(|(m, u)| u / m.cores)
+            .collect()
+    }
+
+    /// Total allocatable memory in bytes across modeled machines.
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.machines.iter().map(|m| m.mem_bytes).sum()
+    }
+
+    /// Memory currently reserved across machines, in bytes.
+    pub fn used_mem_bytes(&self) -> u64 {
+        self.mem_used.iter().sum()
+    }
+
+    /// Per-machine memory utilization of reservations in `[0, 1]`
+    /// (0 for machines that don't model memory).
+    pub fn machine_mem_utilization(&self) -> Vec<f64> {
+        self.machines
+            .iter()
+            .zip(&self.mem_used)
+            .map(|(m, &u)| {
+                if m.mem_bytes > 0 {
+                    u as f64 / m.mem_bytes as f64
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 }
@@ -294,16 +394,7 @@ mod tests {
 
     fn small_cluster() -> Cluster {
         Cluster::new(
-            vec![
-                MachineCfg {
-                    name: "a".into(),
-                    cores: 8.0,
-                },
-                MachineCfg {
-                    name: "b".into(),
-                    cores: 4.0,
-                },
-            ],
+            vec![MachineCfg::new("a", 8.0), MachineCfg::new("b", 4.0)],
             PlacementPolicy::BestFit,
         )
     }
@@ -330,23 +421,71 @@ mod tests {
     #[test]
     fn worst_fit_spreads() {
         let mut c = Cluster::new(
-            vec![
-                MachineCfg {
-                    name: "a".into(),
-                    cores: 8.0,
-                },
-                MachineCfg {
-                    name: "b".into(),
-                    cores: 4.0,
-                },
-            ],
+            vec![MachineCfg::new("a", 8.0), MachineCfg::new("b", 4.0)],
             PlacementPolicy::WorstFit,
         );
         assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0);
         assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0); // 6 free > 4 free
-                                                            // 4 free == 4 free: either machine is a valid worst-fit choice.
-        let third = c.place(ServiceId(0), 2.0).unwrap();
-        assert!(third == 0 || third == 1);
+                                                            // 4 free == 4 free: ties break toward the lowest machine index.
+        assert_eq!(c.place(ServiceId(0), 2.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn score_ties_break_by_machine_index() {
+        // Four identical machines: every placement scores a four-way tie,
+        // so the order is pinned — fill machine 0, then 1, then 2, then 3,
+        // under *both* policies. (Before the explicit tie-break, WorstFit
+        // kept the *last* maximal machine while BestFit kept the first.)
+        for policy in [PlacementPolicy::BestFit, PlacementPolicy::WorstFit] {
+            let mut c = Cluster::new(
+                (0..4)
+                    .map(|i| MachineCfg::new(format!("m{i}"), 4.0))
+                    .collect(),
+                policy,
+            );
+            assert_eq!(c.place(ServiceId(0), 4.0).unwrap(), 0, "{policy:?}");
+            assert_eq!(c.place(ServiceId(0), 4.0).unwrap(), 1, "{policy:?}");
+            assert_eq!(c.place(ServiceId(0), 4.0).unwrap(), 2, "{policy:?}");
+            assert_eq!(c.place(ServiceId(0), 4.0).unwrap(), 3, "{policy:?}");
+            assert!(c.place(ServiceId(0), 4.0).is_err());
+        }
+        // Same pin for 2-D placements on identical (cores, mem) machines.
+        let mut c = Cluster::new(
+            (0..3)
+                .map(|i| MachineCfg::new(format!("m{i}"), 8.0).with_mem(1 << 30))
+                .collect(),
+            PlacementPolicy::WorstFit,
+        );
+        assert_eq!(c.place_2d(ServiceId(0), 2.0, 1 << 28).unwrap(), 0);
+        assert_eq!(c.place_2d(ServiceId(0), 2.0, 1 << 28).unwrap(), 1);
+        assert_eq!(c.place_2d(ServiceId(0), 2.0, 1 << 28).unwrap(), 2);
+    }
+
+    #[test]
+    fn two_dimensional_fit_and_scoring() {
+        // Machine 0: plenty of CPU, tight memory. Machine 1: tight CPU,
+        // plenty of memory. A memory-hungry request must land on 1.
+        let mut c = Cluster::new(
+            vec![
+                MachineCfg::new("a", 16.0).with_mem(1 << 28), // 256 MiB
+                MachineCfg::new("b", 4.0).with_mem(8 << 30),  // 8 GiB
+            ],
+            PlacementPolicy::BestFit,
+        );
+        let m = c.place_2d(ServiceId(0), 2.0, 1 << 30).unwrap();
+        assert_eq!(m, 1, "memory dimension must gate the fit");
+        // Memory accounting is tracked and freed on evict.
+        assert_eq!(c.used_mem_bytes(), 1 << 30);
+        assert!(c.machine_mem_utilization()[1] > 0.1);
+        assert!(c.evict(ServiceId(0)));
+        assert_eq!(c.used_mem_bytes(), 0);
+        // A request exceeding every machine's memory fails with the
+        // memory request in the error.
+        let err = c.place_2d(ServiceId(0), 1.0, 64 << 30).unwrap_err();
+        assert_eq!(err.requested_mem, 64 << 30);
+        // CPU-only machines (mem unmodeled) accept any memory request.
+        let mut legacy = small_cluster();
+        assert!(legacy.place_2d(ServiceId(0), 1.0, u64::MAX / 2).is_ok());
     }
 
     #[test]

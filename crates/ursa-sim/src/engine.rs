@@ -51,6 +51,7 @@ use ursa_stats::rng::{BlockRng, Rng};
 use crate::arena::{Phase, ReqArena, NO_DAEMON};
 use crate::calq::{CalQueue, QEntry};
 use crate::chaos::{ChaosState, Fault, FaultEvent, FaultKind, FaultPhase, FaultPlan};
+use crate::memory::{select_victim, MemEvent, MemEventKind, MemPlan, MemState, VictimCandidate};
 use crate::profiler::{PhaseProfiler, SimPhase};
 use crate::ps::{ps_rate, VtPs};
 use crate::recorder::{FlightEntry, FlightEventKind, FlightRecorder};
@@ -109,6 +110,10 @@ enum EventKind {
     ChaosStart { fault: u32 },
     /// An installed fault window ends.
     ChaosEnd { fault: u32 },
+    /// Periodic memory-plane usage scan (see [`crate::memory`]).
+    MemCheck,
+    /// An OOM-killed or evicted replica of `service` restarts.
+    MemRestart { service: u32 },
 }
 
 /// Strict-priority FIFO queue of tokens.
@@ -397,6 +402,11 @@ pub struct Simulation {
     /// [`arm_flight_recorder`](Self::arm_flight_recorder). Purely
     /// observational; same bit-identical contract.
     recorder: Option<Box<FlightRecorder>>,
+    /// Memory plane, installed via
+    /// [`install_memory_plane`](Self::install_memory_plane). `None` (the
+    /// default) costs one predictable branch per PS rate lookup and
+    /// leaves output bit-identical to a memory-free engine.
+    mem: Option<Box<MemState>>,
 }
 
 impl Simulation {
@@ -477,6 +487,7 @@ impl Simulation {
             prof: None,
             prof_sampling: false,
             recorder: None,
+            mem: None,
         }
     }
 
@@ -616,6 +627,44 @@ impl Simulation {
     /// Number of fault windows installed (0 when the chaos plane is off).
     pub fn faults_installed(&self) -> usize {
         self.chaos.as_ref().map_or(0, |c| c.faults.len())
+    }
+
+    /// Installs the memory plane (see [`crate::memory`]): a periodic usage
+    /// scan becomes an ordinary discrete event that OOM-kills replicas
+    /// over their memory limit, evicts replicas under node memory
+    /// pressure in kubelet QoS order, and applies noisy-neighbor CPU
+    /// interference on overcommitted nodes through the same rate-swap
+    /// hook chaos slowdowns use. Demand is a deterministic function of
+    /// engine state — the plane draws no random numbers — so identical
+    /// workloads produce identical kill/eviction schedules. A plan with
+    /// no profiles schedules no events, leaving output bit-identical to a
+    /// run without the plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plane is already installed or the plan is invalid (no
+    /// nodes, out-of-range service, non-finite thresholds).
+    pub fn install_memory_plane(&mut self, plan: &MemPlan) {
+        assert!(self.mem.is_none(), "memory plane already installed");
+        let mut state = MemState::new(plan, &self.topology);
+        state.last_check = self.now;
+        let active = !plan.profiles.is_empty();
+        let first = self.now + plan.check_interval;
+        self.mem = Some(Box::new(state));
+        if active {
+            self.schedule(first, EventKind::MemCheck);
+        }
+    }
+
+    /// True when a memory plane is installed.
+    pub fn memory_plane_installed(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    /// Read-only view of the installed memory-plane state (`None` when
+    /// the plane is off) — for tests and diagnostics.
+    pub fn memory_plane(&self) -> Option<&MemState> {
+        self.mem.as_deref()
     }
 
     /// Current simulated time.
@@ -891,6 +940,10 @@ impl Simulation {
             EventKind::TraceArrival { class } => FlightEventKind::TraceArrival { class },
             EventKind::ChaosStart { fault } => FlightEventKind::ChaosStart { fault },
             EventKind::ChaosEnd { fault } => FlightEventKind::ChaosEnd { fault },
+            EventKind::MemCheck => FlightEventKind::MemCheck,
+            EventKind::MemRestart { service } => FlightEventKind::MemRestart {
+                service: service as u16,
+            },
         };
         self.record_flight(entry.at, entry.seq, kind);
     }
@@ -989,6 +1042,18 @@ impl Simulation {
                 let t0 = self.prof_span();
                 self.chaos_end(fault as usize);
                 self.prof_span_end(SimPhase::Chaos, t0);
+                true
+            }
+            EventKind::MemCheck => {
+                let t0 = self.prof_span();
+                let live = self.mem_check();
+                self.prof_span_end(SimPhase::Mem, t0);
+                live
+            }
+            EventKind::MemRestart { service } => {
+                let t0 = self.prof_span();
+                self.mem_restart(service as usize);
+                self.prof_span_end(SimPhase::Mem, t0);
                 true
             }
         }
@@ -1159,6 +1224,273 @@ impl Simulation {
             Some(c) => c.rpc_penalty(callee),
             None => SimDur::ZERO,
         }
+    }
+
+    // ---- Memory plane -----------------------------------------------------
+
+    /// Combined service-time multiplier: the chaos plane's slowdown times
+    /// the memory plane's noisy-neighbor interference. Exactly 1.0 when
+    /// both planes are off, and an exact `x * 1.0` when a plane is
+    /// installed but inactive — the PS hot path sees bit-identical rates.
+    #[inline]
+    fn slow_of(&self, s: usize) -> f64 {
+        let mut slow = self.chaos_slow(s);
+        if let Some(m) = &self.mem {
+            slow *= m.interf[s];
+        }
+        slow
+    }
+
+    fn mem_ref(&self) -> &MemState {
+        self.mem.as_deref().expect("memory plane installed")
+    }
+
+    fn mem_mut(&mut self) -> &mut MemState {
+        self.mem.as_deref_mut().expect("memory plane installed")
+    }
+
+    /// Deterministic memory usage of live replica slot `r` of service `s`
+    /// under the installed plane: profile demand driven by the replica's
+    /// in-flight load (PS-active plus queued) and its age. Zero without a
+    /// profile.
+    fn mem_usage_of(&self, s: usize, r: usize) -> u64 {
+        let m = self.mem_ref();
+        let Some(profile) = m.profiles[s] else {
+            return 0;
+        };
+        let rep = self.services[s].replicas[r].as_ref().expect("live replica");
+        let in_flight = rep.ps.len() + rep.queue.len();
+        let age = match m.births[s].get(r).copied().flatten() {
+            Some(b) => (self.now - b).as_secs_f64(),
+            None => 0.0,
+        };
+        profile.usage(in_flight, age)
+    }
+
+    /// One periodic memory-plane scan — the kubelet housekeeping tick.
+    /// Recomputes per-replica usage, OOM-kills limit violators, relieves
+    /// node pressure by QoS-ordered eviction, updates noisy-neighbor
+    /// interference, and re-arms the next scan.
+    fn mem_check(&mut self) -> bool {
+        let Some(m) = self.mem.as_deref() else {
+            return false;
+        };
+        let now = self.now;
+        let interval = m.check_interval;
+        let restart_delay = m.restart_delay;
+        let nodes = m.nodes.len();
+        let pressure = m.pressure_threshold;
+        let interference_threshold = m.interference_threshold;
+        let factor = m.interference_factor;
+        let ns = self.services.len();
+
+        // Integrate interference time since the previous scan at the
+        // multipliers that actually held over the span.
+        {
+            let last = self.mem_ref().last_check;
+            let span = (now - last).as_secs_f64();
+            let m = self.mem_mut();
+            for s in 0..ns {
+                if m.interf[s] > 1.0 {
+                    m.throttle_secs[s] += span;
+                }
+            }
+            m.last_check = now;
+        }
+
+        // Refresh per-slot birth times: live slots keep (or get) their
+        // first-seen time; drained/absent slots forget theirs, so a
+        // future replica reusing the slot starts with a fresh heap.
+        for s in 0..ns {
+            let slots = self.services[s].replicas.len();
+            let alive: Vec<bool> = (0..slots)
+                .map(|r| matches!(&self.services[s].replicas[r], Some(rep) if !rep.draining))
+                .collect();
+            let m = self.mem_mut();
+            m.births[s].resize(slots, None);
+            for (r, live) in alive.iter().enumerate() {
+                if *live {
+                    m.births[s][r].get_or_insert(now);
+                } else {
+                    m.births[s][r] = None;
+                }
+            }
+        }
+
+        // OOM-kill: memory is incompressible, so a replica over its
+        // service's limit is killed outright (the violating slot itself —
+        // graceful drain keeps in-PS work, matching fail-stop with
+        // connection draining) and restarts after the restart delay. The
+        // last live replica of a service restarts in place instead
+        // (capacity never drops to zero): the heap resets but the slot
+        // keeps serving.
+        for s in 0..ns {
+            let limit = self.mem_ref().limits[s];
+            if limit == 0 || self.mem_ref().profiles[s].is_none() {
+                continue;
+            }
+            let live: Vec<usize> = self.services[s].live.iter().map(|&r| r as usize).collect();
+            for r in live {
+                let usage = self.mem_usage_of(s, r);
+                if usage <= limit {
+                    continue;
+                }
+                let qos = self.mem_ref().qos[s];
+                let node = self.mem_ref().node_of(s, r);
+                let (at, seq) = (self.now, self.seq);
+                self.record_flight(
+                    at,
+                    seq,
+                    FlightEventKind::OomKill {
+                        service: s as u16,
+                        replica: r as u16,
+                    },
+                );
+                {
+                    let m = self.mem_mut();
+                    m.oom_kills += 1;
+                    m.record(MemEvent {
+                        at: now,
+                        kind: MemEventKind::OomKill,
+                        service: s,
+                        node,
+                        qos,
+                        usage_bytes: usage,
+                    });
+                }
+                if self.services[s].live_count() > 1 {
+                    self.mem_mut().births[s][r] = None;
+                    self.drain_replica(s, r);
+                    self.schedule(
+                        now + restart_delay,
+                        EventKind::MemRestart { service: s as u32 },
+                    );
+                } else {
+                    self.mem_mut().births[s][r] = Some(now);
+                }
+            }
+        }
+
+        // Node pressure: while a node's usage exceeds the pressure
+        // threshold, evict in the kubelet's order — lowest QoS tier
+        // first, then highest usage-over-request. Each eviction strictly
+        // shrinks the live set, so the loop terminates.
+        for node in 0..nodes {
+            let cap = self.mem_ref().nodes[node].mem_bytes as f64;
+            loop {
+                let mut usage_total = 0u64;
+                let mut cands: Vec<VictimCandidate> = Vec::new();
+                for s in 0..ns {
+                    if self.mem_ref().profiles[s].is_none() {
+                        continue;
+                    }
+                    let live: Vec<usize> =
+                        self.services[s].live.iter().map(|&r| r as usize).collect();
+                    let evictable = live.len() > 1;
+                    for r in live {
+                        if self.mem_ref().node_of(s, r) != node {
+                            continue;
+                        }
+                        let usage = self.mem_usage_of(s, r);
+                        usage_total += usage;
+                        cands.push(VictimCandidate {
+                            service: s,
+                            replica: r,
+                            qos: self.mem_ref().qos[s],
+                            usage_bytes: usage,
+                            request_bytes: self.mem_ref().requests[s],
+                            evictable,
+                        });
+                    }
+                }
+                self.mem_mut().node_util[node] = usage_total as f64 / cap;
+                if usage_total as f64 <= pressure * cap {
+                    break;
+                }
+                let Some(v) = select_victim(&cands) else {
+                    break;
+                };
+                let victim = cands[v];
+                let tier = MemState::tier_index(victim.qos);
+                let (at, seq) = (self.now, self.seq);
+                self.record_flight(
+                    at,
+                    seq,
+                    FlightEventKind::Evict {
+                        service: victim.service as u16,
+                        tier: tier as u8,
+                    },
+                );
+                {
+                    let m = self.mem_mut();
+                    m.evictions[tier] += 1;
+                    m.births[victim.service][victim.replica] = None;
+                    m.record(MemEvent {
+                        at: now,
+                        kind: MemEventKind::Evict,
+                        service: victim.service,
+                        node,
+                        qos: victim.qos,
+                        usage_bytes: victim.usage_bytes,
+                    });
+                }
+                self.drain_replica(victim.service, victim.replica);
+                self.schedule(
+                    now + restart_delay,
+                    EventKind::MemRestart {
+                        service: victim.service as u32,
+                    },
+                );
+            }
+        }
+
+        // Noisy-neighbor interference: services with a replica on a node
+        // above the interference threshold run slower (reclaim/paging
+        // stealing cycles), through the same sync → rate change → resync
+        // hook chaos slowdowns use. Applies to every co-located service,
+        // profiled or not.
+        if factor > 1.0 {
+            let node_hot: Vec<bool> = (0..nodes)
+                .map(|n| self.mem_ref().node_util[n] > interference_threshold)
+                .collect();
+            for s in 0..ns {
+                let hot = self.services[s]
+                    .live
+                    .iter()
+                    .any(|&r| node_hot[self.mem_ref().node_of(s, r as usize)]);
+                let want = if hot { factor } else { 1.0 };
+                if self.mem_ref().interf[s] != want {
+                    self.ps_sync_all(s);
+                    self.mem_mut().interf[s] = want;
+                    self.ps_resync_all(s);
+                }
+            }
+        }
+
+        self.schedule(now + interval, EventKind::MemCheck);
+        true
+    }
+
+    /// Restores one replica of `service` after its OOM/eviction restart
+    /// delay — on top of whatever the manager did meanwhile, exactly like
+    /// chaos recovery (the manager scales back in if over-provisioned).
+    fn mem_restart(&mut self, s: usize) {
+        if self.mem.is_none() {
+            return;
+        }
+        let live = self.services[s].live_count();
+        self.set_replicas(ServiceId(s), live + 1);
+        let now = self.now;
+        let node = self.mem_ref().node_of(s, live);
+        let qos = self.mem_ref().qos[s];
+        self.mem_mut().record(MemEvent {
+            at: now,
+            kind: MemEventKind::Restart,
+            service: s,
+            node,
+            qos,
+            usage_bytes: 0,
+        });
     }
 
     /// True iff `token`'s request is still in flight: the arena bumps a
@@ -1334,7 +1666,7 @@ impl Simulation {
     fn ps_advance(&mut self, s: usize, r: usize) {
         let t0 = self.prof_span();
         let now = self.now;
-        let slow = self.chaos_slow(s);
+        let slow = self.slow_of(s);
         if let Some(rep) = self.services[s].replicas[r].as_mut() {
             rep.advance_to(now, slow);
         }
@@ -1353,7 +1685,7 @@ impl Simulation {
     fn ps_resync(&mut self, s: usize, r: usize) {
         let t0 = self.prof_span();
         let now = self.now;
-        let slow = self.chaos_slow(s);
+        let slow = self.slow_of(s);
         let (schedule, invalidated) = {
             let Some(rep) = self.services[s].replicas[r].as_mut() else {
                 self.prof_span_end(SimPhase::PsAdvance, t0);
@@ -1408,7 +1740,7 @@ impl Simulation {
     fn ps_add(&mut self, s: usize, r: usize, token: Token, work: f64) {
         let t0 = self.prof_span();
         let now = self.now;
-        let slow = self.chaos_slow(s);
+        let slow = self.slow_of(s);
         let (schedule, invalidated) = {
             let rep = self.services[s].replicas[r].as_mut().expect("live replica");
             rep.advance_to(now, slow);
@@ -1465,7 +1797,7 @@ impl Simulation {
         // runs outside it so downstream phases attribute themselves.
         let t0 = self.prof_span();
         let now = self.now;
-        let slow = self.chaos_slow(s);
+        let slow = self.slow_of(s);
         // Collect completions into the reusable scratch buffer (taken out of
         // `self` for the duration — nothing below re-enters `ps_check`).
         let mut finished = std::mem::take(&mut self.ps_scratch);
@@ -1925,22 +2257,7 @@ impl Simulation {
                 .iter()
                 .rposition(|x| matches!(x, Some(rep) if !rep.draining))
                 .expect("live replica exists");
-            let moved = {
-                let rep = self.services[s].replicas[idx].as_mut().expect("live");
-                rep.draining = true;
-                rep.queue.drain_all()
-            };
-            self.services[s].rebuild_live();
-            for (prio, token) in moved {
-                let dst = self.pick_replica(s);
-                self.services[s].replicas[dst]
-                    .as_mut()
-                    .expect("live replica")
-                    .queue
-                    .push(prio, token);
-                self.try_start(s, dst);
-            }
-            self.maybe_remove_drained(s, idx);
+            self.drain_replica(s, idx);
             live -= 1;
         }
         // New capacity may be able to pull shared-queue work.
@@ -1948,6 +2265,30 @@ impl Simulation {
         for r in live_idx {
             self.try_start(s, r);
         }
+    }
+
+    /// Gracefully drains one specific replica slot: it leaves load
+    /// balancing at once, its queued work is re-dispatched, and in-PS
+    /// work completes before the slot is removed. The caller must leave
+    /// at least one live replica behind (`pick_replica` requires a
+    /// non-empty live set).
+    fn drain_replica(&mut self, s: usize, idx: usize) {
+        let moved = {
+            let rep = self.services[s].replicas[idx].as_mut().expect("live");
+            rep.draining = true;
+            rep.queue.drain_all()
+        };
+        self.services[s].rebuild_live();
+        for (prio, token) in moved {
+            let dst = self.pick_replica(s);
+            self.services[s].replicas[dst]
+                .as_mut()
+                .expect("live replica")
+                .queue
+                .push(prio, token);
+            self.try_start(s, dst);
+        }
+        self.maybe_remove_drained(s, idx);
     }
 
     /// CPU cores per replica of a service.
@@ -2058,6 +2399,9 @@ impl Simulation {
                 .harvest(self.now, &self.names, &replicas, &cores, &mq_depths);
         if let Some(c) = self.chaos.as_deref_mut() {
             snapshot.faults = std::mem::take(&mut c.events);
+        }
+        if let Some(m) = self.mem.as_deref_mut() {
+            snapshot.mem = Some(m.take_snapshot());
         }
         let (at, seq, in_flight) = (self.now, self.seq, self.in_flight as u32);
         self.record_flight(at, seq, FlightEventKind::Harvest { in_flight });

@@ -43,6 +43,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod control;
 pub mod engine;
+pub mod memory;
 pub mod metrics;
 pub mod profiler;
 pub mod ps;
@@ -63,14 +64,15 @@ pub mod prelude {
         WindowRecord,
     };
     pub use crate::engine::{SimConfig, Simulation};
+    pub use crate::memory::{MemEvent, MemEventKind, MemPlan, MemProfile, MemSnapshot, NodeMemCfg};
     pub use crate::metrics::SimMetrics;
     pub use crate::profiler::{PhaseProfiler, PhaseStat, ProfilerReport, SimPhase};
     pub use crate::recorder::{FlightEntry, FlightEventKind, FlightRecorder};
     pub use crate::telemetry::{LatencySeries, MetricsSnapshot, ServiceMetrics};
     pub use crate::time::{SimDur, SimTime};
     pub use crate::topology::{
-        CallMode, CallNode, ClassCfg, ClassId, EdgeKind, Priority, ServiceCfg, ServiceId, Topology,
-        WorkDist,
+        CallMode, CallNode, ClassCfg, ClassId, EdgeKind, Priority, QosClass, ResourceSpec,
+        ServiceCfg, ServiceId, Topology, WorkDist,
     };
     pub use crate::trace::{Trace, TraceSpan, Tracer};
     pub use crate::workload::RateFn;

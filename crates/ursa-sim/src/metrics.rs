@@ -30,6 +30,10 @@
 //! | `sim_events_live_total`, `sim_events_stale_total` | — | scheduler: dispatched events that did / did no work |
 //! | `sim_event_heap_depth`, `sim_event_heap_stale`, `sim_event_heap_max_depth` | — | scheduler: event-heap occupancy |
 //! | `sim_heap_compactions_total` | — | scheduler: lazy stale-entry compaction passes |
+//! | `node_mem_util` | `node` | node memory usage / capacity at the last scan (memory plane) |
+//! | `mem_oom_kills_total` | — | cumulative OOM-kills (memory plane) |
+//! | `mem_evictions_total` | `tier` | cumulative pressure evictions by QoS tier (memory plane) |
+//! | `service_mem_throttle_secs` | `service` | window seconds under noisy-neighbor interference |
 //! | `slo_violation_fraction`, `slo_burn_rate_short/long` | `class` | SLO monitor (when SLAs given) |
 //! | `slo_alerts_active` | — | burn-rate alerts currently firing |
 //! | `ctrl_tick_wall_ms_*` | `system` | control-tick wall time (t-digest fan-out) |
@@ -38,7 +42,9 @@
 //!
 //! Scale decisions and newly firing SLO alerts also become dashboard
 //! [`Annotation`]s, so the HTML export overlays control actions on every
-//! panel.
+//! panel. When the memory plane is installed, its OOM-kill/eviction/restart
+//! incidents are annotated the same way and three memory panels join the
+//! standard dashboard.
 
 use crate::control::Sla;
 use crate::engine::Simulation;
@@ -85,6 +91,10 @@ pub struct SimMetrics {
     /// `(class name, severity, short-window burn rate)` — the SLO-page
     /// trigger the post-mortem pipeline polls after each control tick.
     alert_onsets: Vec<(String, &'static str, f64)>,
+    /// Whether any observed snapshot carried memory-plane statistics; when
+    /// set, [`standard_panels`](Self::standard_panels) appends the memory
+    /// panels.
+    saw_mem: bool,
 }
 
 impl SimMetrics {
@@ -128,6 +138,7 @@ impl SimMetrics {
             annotations: Vec::new(),
             active_alerts: BTreeSet::new(),
             alert_onsets: Vec::new(),
+            saw_mem: false,
         }
     }
 
@@ -271,6 +282,44 @@ impl SimMetrics {
                 &fault.label(),
             ));
         }
+        // Memory-plane statistics (present only when the plane is
+        // installed): node utilization, incident counters, and the
+        // interference (compressible throttling) accumulator. Incidents
+        // reuse the fault annotation style — an OOM-kill is as visible a
+        // disruption as an injected fault.
+        if let Some(mem) = &snap.mem {
+            self.saw_mem = true;
+            let r = &mut self.registry;
+            for (n, util) in mem.node_util.iter().enumerate() {
+                r.gauge_set(
+                    "node_mem_util",
+                    Labels::new(&[("node", &n.to_string())]),
+                    *util,
+                );
+            }
+            r.counter_add("mem_oom_kills_total", Labels::empty(), mem.oom_kills as f64);
+            for (tier, label) in ["besteffort", "burstable", "guaranteed"]
+                .into_iter()
+                .enumerate()
+            {
+                r.counter_add(
+                    "mem_evictions_total",
+                    Labels::new(&[("tier", label)]),
+                    mem.evictions[tier] as f64,
+                );
+            }
+            for (i, secs) in mem.throttle_secs.iter().enumerate() {
+                r.gauge_set(
+                    "service_mem_throttle_secs",
+                    Labels::new(&[("service", &self.service_names[i])]),
+                    *secs,
+                );
+            }
+            for e in &mem.events {
+                self.annotations
+                    .push(Annotation::new(e.at.as_secs_f64(), "fault", &e.label()));
+            }
+        }
         self.observe_slo(snap);
     }
 
@@ -411,6 +460,23 @@ impl SimMetrics {
             ),
             PanelSpec::new("Total allocated cores", "cores", &["total_allocated_cores"]),
         ];
+        if self.saw_mem {
+            panels.push(PanelSpec::new(
+                "Node memory utilization",
+                "",
+                &["node_mem_util"],
+            ));
+            panels.push(PanelSpec::new(
+                "Memory incidents (cumulative)",
+                "",
+                &["mem_oom_kills_total", "mem_evictions_total"],
+            ));
+            panels.push(PanelSpec::new(
+                "Noisy-neighbor throttle",
+                "s/window",
+                &["service_mem_throttle_secs"],
+            ));
+        }
         if self.slo.is_some() {
             panels.push(PanelSpec::new(
                 "SLO burn rate (5-interval window)",
@@ -634,6 +700,66 @@ mod tests {
         assert!(html.contains("<svg"));
         assert!(!html.contains("<script"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_snapshot_feeds_series_panels_and_annotations() {
+        let mut s = sim(3);
+        let mut metrics = SimMetrics::new("static", &s, &[]);
+        s.run_for(SimDur::from_secs(10));
+        let mut snap = s.harvest();
+        // No memory plane installed: no mem series, no mem panels.
+        metrics.observe_snapshot(&s, &snap);
+        metrics.scrape(SimTime::ZERO + SimDur::from_secs(10));
+        assert!(metrics
+            .store()
+            .series_named("node_mem_util")
+            .next()
+            .is_none());
+        assert!(!metrics
+            .standard_panels()
+            .iter()
+            .any(|p| p.title.contains("memory")));
+        // Attach a memory snapshot (as the engine does when the plane is
+        // installed): series, panels, and incident annotations appear.
+        snap.mem = Some(crate::memory::MemSnapshot {
+            node_util: vec![0.5, 1.25],
+            oom_kills: 2,
+            evictions: [1, 0, 0],
+            throttle_secs: vec![0.75],
+            events: vec![crate::memory::MemEvent {
+                at: SimTime::ZERO + SimDur::from_secs(4),
+                kind: crate::memory::MemEventKind::OomKill,
+                service: 0,
+                node: 1,
+                qos: crate::topology::QosClass::Burstable,
+                usage_bytes: 256 << 20,
+            }],
+        });
+        metrics.observe_snapshot(&s, &snap);
+        metrics.scrape(SimTime::ZERO + SimDur::from_secs(20));
+        let store = metrics.store();
+        for name in [
+            "node_mem_util",
+            "mem_oom_kills_total",
+            "mem_evictions_total",
+            "service_mem_throttle_secs",
+        ] {
+            assert!(
+                store.series_named(name).next().is_some(),
+                "missing series {name}"
+            );
+        }
+        let key = SeriesKey::new("node_mem_util", Labels::new(&[("node", "1")]));
+        assert_eq!(store.values(&key).unwrap().last().copied(), Some(1.25));
+        assert!(metrics
+            .annotations()
+            .iter()
+            .any(|a| a.kind == "fault" && a.label.contains("oom_kill")));
+        assert!(metrics
+            .standard_panels()
+            .iter()
+            .any(|p| p.title.contains("memory utilization")));
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum SimPhase {
     Telemetry,
     /// Chaos fault injection / recovery actuation.
     Chaos,
+    /// Memory-plane scans: usage accounting, OOM-kill, eviction.
+    Mem,
     /// Resource-manager decision callbacks (exact, not sampled).
     Control,
     /// Sampled event time covered by no instrumented span.
@@ -61,7 +63,7 @@ pub enum SimPhase {
 }
 
 /// Number of [`SimPhase`] variants.
-pub const PHASE_COUNT: usize = 11;
+pub const PHASE_COUNT: usize = 12;
 
 impl SimPhase {
     /// All phases, in reporting order.
@@ -75,6 +77,7 @@ impl SimPhase {
         SimPhase::Rng,
         SimPhase::Telemetry,
         SimPhase::Chaos,
+        SimPhase::Mem,
         SimPhase::Control,
         SimPhase::Other,
     ];
@@ -91,6 +94,7 @@ impl SimPhase {
             SimPhase::Rng => "rng",
             SimPhase::Telemetry => "telemetry",
             SimPhase::Chaos => "chaos",
+            SimPhase::Mem => "mem",
             SimPhase::Control => "control",
             SimPhase::Other => "other",
         }

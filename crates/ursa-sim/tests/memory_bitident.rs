@@ -1,0 +1,118 @@
+//! Property test: the memory plane is zero-cost when disabled.
+//!
+//! For random chain topologies and loads, a simulation with no memory
+//! plane and one with a plan that has *no profiles* (nodes only) must be
+//! bit-identical in everything the engine simulates: same event count,
+//! byte-identical service metrics, latencies, and counters. The
+//! profile-less plan schedules no scan events and multiplies PS rates by
+//! an exact 1.0, so nothing downstream can diverge.
+
+use proptest::prelude::*;
+use ursa_sim::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    services: usize,
+    replicas: usize,
+    cores: f64,
+    work_ms: f64,
+    rps: f64,
+    seed: u64,
+}
+
+fn chain_spec() -> impl Strategy<Value = ChainSpec> {
+    (
+        1usize..5,
+        1usize..5,
+        (0usize..3).prop_map(|i| [1.0, 2.0, 4.0][i]),
+        0.5f64..5.0,
+        5.0f64..80.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(services, replicas, cores, work_ms, rps, seed)| ChainSpec {
+                services,
+                replicas,
+                cores,
+                work_ms,
+                rps,
+                seed,
+            },
+        )
+}
+
+fn build(spec: &ChainSpec) -> Simulation {
+    let svcs: Vec<ServiceCfg> = (0..spec.services)
+        .map(|i| ServiceCfg::new(format!("s{i}"), spec.cores).with_replicas(spec.replicas))
+        .collect();
+    let mut root = CallNode::leaf(
+        ServiceId(spec.services - 1),
+        WorkDist::Exponential {
+            mean: spec.work_ms / 1000.0,
+        },
+    );
+    for i in (0..spec.services - 1).rev() {
+        root = CallNode::leaf(
+            ServiceId(i),
+            WorkDist::Exponential {
+                mean: spec.work_ms / 1000.0,
+            },
+        )
+        .with_child(EdgeKind::NestedRpc, root);
+    }
+    let topo = Topology::new(
+        svcs,
+        vec![ClassCfg {
+            name: "chain".into(),
+            priority: Priority::HIGH,
+            root,
+        }],
+    )
+    .unwrap();
+    let mut sim = Simulation::new(topo, SimConfig::default(), spec.seed);
+    sim.set_rate(ClassId(0), RateFn::Constant(spec.rps));
+    sim
+}
+
+/// Byte-exact digest of everything the engine *simulates*. The `mem`
+/// observability field is rendered separately from the rest of the
+/// snapshot so the two runs can be compared field-by-field: an installed
+/// (but inert) plane legitimately attaches an all-zero `MemSnapshot`
+/// where the plain run attaches `None`, and that difference must be the
+/// *only* one.
+fn digest(mut sim: Simulation) -> (String, Vec<Option<MemSnapshot>>) {
+    let mut out = String::new();
+    let mut mems = Vec::new();
+    for _ in 0..3 {
+        sim.run_for(SimDur::from_secs(40));
+        let mut snap = sim.harvest();
+        mems.push(snap.mem.take());
+        out.push_str(&format!("{snap:?}\n"));
+    }
+    out.push_str(&format!("events={}", sim.events_processed()));
+    (out, mems)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn memory_plane_disabled_is_bit_identical(spec in chain_spec()) {
+        let (base, base_mems) = digest(build(&spec));
+        prop_assert!(base_mems.iter().all(Option::is_none));
+
+        // A plan with nodes but no profiles schedules no scan events.
+        let mut inert = build(&spec);
+        inert.install_memory_plane(&MemPlan::new(vec![NodeMemCfg::new(16 << 30); 4]));
+        let (inert_digest, inert_mems) = digest(inert);
+        prop_assert_eq!(&inert_digest, &base, "profile-less plan diverged");
+        // The attached snapshots exist but witnessed nothing.
+        for mem in inert_mems {
+            let mem = mem.expect("plane installed");
+            prop_assert_eq!(mem.oom_kills, 0);
+            prop_assert_eq!(mem.evictions, [0, 0, 0]);
+            prop_assert!(mem.events.is_empty());
+            prop_assert!(mem.throttle_secs.iter().all(|&t| t == 0.0));
+        }
+    }
+}
