@@ -118,6 +118,82 @@ fn is_update_class(name: &str) -> bool {
     name.contains("upload") || name.contains("update") || name.contains("rate-video")
 }
 
+/// Remaps a call tree into service group `g` of a scaled topology.
+fn offset_tree(node: &ursa_sim::topology::CallNode, offset: usize) -> ursa_sim::topology::CallNode {
+    let mut out = node.clone();
+    out.service = ServiceId(out.service.0 + offset);
+    out.children = node
+        .children
+        .iter()
+        .map(|(e, c)| (*e, offset_tree(c, offset)))
+        .collect();
+    out
+}
+
+/// Replicates an application's service group `k` times with namespaced
+/// names — group 0 keeps the original names, group `g > 0` gets `name#g` —
+/// producing a `k`×-larger topology of independent cells. Request classes,
+/// SLAs, and the mix are replicated alongside; `default_rps` scales by
+/// `k`. This is how the scaled perf/experiment topologies are generated
+/// instead of hand-written (`--scale K` in ursa-bench).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn scale_app(app: &App, k: usize) -> App {
+    assert!(k >= 1, "scale factor must be at least 1");
+    if k == 1 {
+        return app.clone();
+    }
+    let base_services = app.topology.services().to_vec();
+    let base_classes = app.topology.classes().to_vec();
+    let ns = base_services.len();
+
+    let mut services = Vec::with_capacity(ns * k);
+    let mut classes = Vec::with_capacity(base_classes.len() * k);
+    for g in 0..k {
+        for svc in &base_services {
+            let mut svc = svc.clone();
+            if g > 0 {
+                svc.name = format!("{}#{g}", svc.name);
+            }
+            services.push(svc);
+        }
+        for class in &base_classes {
+            let name = if g == 0 {
+                class.name.clone()
+            } else {
+                format!("{}#{g}", class.name)
+            };
+            classes.push(ursa_sim::topology::ClassCfg {
+                name,
+                priority: class.priority,
+                root: offset_tree(&class.root, g * ns),
+            });
+        }
+    }
+    let topology = Topology::new(services, classes).expect("scaled topology stays valid");
+
+    let nc = base_classes.len();
+    let slas = (0..k)
+        .flat_map(|g| {
+            app.slas.iter().map(move |s| Sla {
+                class: ClassId(s.class.0 + g * nc),
+                ..*s
+            })
+        })
+        .collect();
+    let mix = (0..k).flat_map(|_| app.mix.iter().copied()).collect();
+
+    App {
+        name: format!("{}x{k}", app.name),
+        topology,
+        slas,
+        mix,
+        default_rps: app.default_rps * k as f64,
+    }
+}
+
 /// All four applications evaluated in §VII-E.
 pub fn all_apps() -> Vec<App> {
     vec![
@@ -163,6 +239,34 @@ mod tests {
         assert!(app_by_name("media").is_some());
         assert!(app_by_name("video").is_some());
         assert!(app_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scale_app_replicates_groups_with_namespaced_names() {
+        let app = social_network(false);
+        let big = scale_app(&app, 3);
+        assert_eq!(big.topology.num_services(), app.topology.num_services() * 3);
+        assert_eq!(big.topology.num_classes(), app.topology.num_classes() * 3);
+        assert_eq!(big.slas.len(), app.slas.len() * 3);
+        assert_eq!(big.mix.len(), app.mix.len() * 3);
+        assert_eq!(big.default_rps, app.default_rps * 3.0);
+        // Group 0 keeps original names; later groups are namespaced.
+        assert!(big.service("compose-post").is_some());
+        assert!(big.service("compose-post#2").is_some());
+        assert!(big.class("read-timeline#1").is_some());
+        // Groups are disjoint: a scaled sim runs and completes requests in
+        // every group.
+        let mut sim = big.build_sim(9);
+        big.apply_load(&mut sim, RateFn::Constant(big.default_rps));
+        sim.run_for(SimDur::from_secs(5));
+        let snap = sim.harvest();
+        let nc = app.topology.num_classes();
+        for g in 0..3 {
+            let group: u64 = snap.completions[g * nc..(g + 1) * nc].iter().sum();
+            assert!(group > 0, "group {g} saw no completions");
+        }
+        // scale 1 is the identity.
+        assert_eq!(scale_app(&app, 1).name, app.name);
     }
 
     #[test]

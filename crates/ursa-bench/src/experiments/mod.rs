@@ -9,5 +9,6 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig9_10;
 pub mod qos;
+pub mod scale;
 pub mod table5;
 pub mod table6;

@@ -1,0 +1,136 @@
+//! **Scale** — sharded-engine scaling grid over a replicated topology.
+//!
+//! Runs the full social network replicated `--scale`× (default 3, 27
+//! services) on a grid of worker-shard counts (default 1/2/4) through
+//! [`ShardedSimulation`], and tabulates per-class injection/completion
+//! counts and e2e latency per shard count. The grid demonstrates the
+//! sharded engine's determinism contract in committed form:
+//!
+//! * injections and completions are *shard-count-invariant* — the
+//!   per-class source streams are split off the master RNG identically on
+//!   every shard, so the same requests exist at every `N`;
+//! * latency percentiles are *per-N deterministic* but differ across `N`
+//!   (work-sampling RNGs are decorrelated per shard and cross-shard
+//!   responses pay one extra network hop).
+//!
+//! Not part of `--exp all`: the golden `results/scale/scale_grid.tsv` /
+//! `scale_totals.tsv` are committed and CI regenerates and byte-diffs
+//! them, exactly like the chaos and qos goldens. Only simulation-event
+//! counters go into the tables — synchronization *round* counts are
+//! wall-clock dependent and stay out of everything digested.
+
+use crate::{mix_seed, results_dir, Scale, TsvTable};
+use ursa_apps::{scale_app, social_network};
+use ursa_sim::prelude::*;
+
+/// Simulated seconds per grid cell.
+const GRID_SECS: u64 = 20;
+/// Default worker-shard counts of the grid.
+const GRID_SHARDS: [usize; 3] = [1, 2, 4];
+/// Default topology replication factor (27 services at 3×).
+const GRID_SCALE: usize = 3;
+
+/// Builds the grid tables: one row per (shard count, class) with exact
+/// counts and latency percentiles, plus one totals row per shard count.
+/// Deterministic for a fixed (shard list, k, seed) triple — the
+/// rerun-determinism test renders it twice and CI byte-diffs the
+/// committed golden.
+pub fn grid_tables(shard_counts: &[usize], k: usize, seed: u64) -> (TsvTable, TsvTable) {
+    let app = scale_app(&social_network(false), k);
+    let mut grid = TsvTable::new(
+        "scale_grid",
+        &[
+            "shards",
+            "class",
+            "injections",
+            "completions",
+            "p50_ms",
+            "p99_ms",
+        ],
+    );
+    let mut totals = TsvTable::new(
+        "scale_totals",
+        &[
+            "shards",
+            "services",
+            "classes",
+            "events",
+            "msgs_sent",
+            "windows",
+        ],
+    );
+    for &n in shard_counts {
+        let mut sim = ShardedSimulation::new(app.topology.clone(), SimConfig::default(), seed, n);
+        let total: f64 = app.mix.iter().sum();
+        for (i, w) in app.mix.iter().enumerate() {
+            sim.set_rate(ClassId(i), RateFn::Constant(app.default_rps * w / total));
+        }
+        sim.run_for(SimDur::from_secs(GRID_SECS));
+        let report = sim.shard_report();
+        let snap = sim.harvest();
+        for (c, cfg) in app.topology.classes().iter().enumerate() {
+            grid.row(vec![
+                n.to_string(),
+                cfg.name.clone(),
+                snap.injections[c].to_string(),
+                snap.completions[c].to_string(),
+                format!(
+                    "{:.3}",
+                    snap.e2e_latency[c].percentile(50.0).unwrap_or(-1.0) * 1e3
+                ),
+                format!(
+                    "{:.3}",
+                    snap.e2e_latency[c].percentile(99.0).unwrap_or(-1.0) * 1e3
+                ),
+            ]);
+        }
+        totals.row(vec![
+            n.to_string(),
+            app.topology.num_services().to_string(),
+            app.topology.num_classes().to_string(),
+            sim.events_processed().to_string(),
+            report.msgs_sent.to_string(),
+            report.windows.to_string(),
+        ]);
+    }
+    (grid, totals)
+}
+
+/// Runs the scaling grid. `--shards N` collapses the shard grid to a
+/// single count and `--scale K` overrides the replication factor (the
+/// committed goldens use the defaults).
+pub fn run(_scale: Scale) {
+    println!("== Scale: sharded-engine scaling grid ==");
+    let shard_counts: Vec<usize> =
+        crate::shards_override().map_or_else(|| GRID_SHARDS.to_vec(), |n| vec![n]);
+    let k = crate::scale_override().unwrap_or(GRID_SCALE);
+    let (grid, totals) = grid_tables(&shard_counts, k, mix_seed(0x5CA1E));
+    print!("{}", totals.render());
+    let dir = results_dir().join("scale");
+    let _ = grid.write_tsv(&dir);
+    if let Ok(p) = totals.write_tsv(&dir) {
+        println!("wrote {}", p.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny grid conserves counts across shard counts: the injections
+    /// column must be identical between the 1-shard and 2-shard slices.
+    #[test]
+    fn grid_injections_are_shard_invariant() {
+        let (grid, totals) = grid_tables(&[1, 2], 2, 7);
+        let nc = grid.rows.len() / 2;
+        for c in 0..nc {
+            assert_eq!(
+                grid.rows[c][2],
+                grid.rows[nc + c][2],
+                "class {} injections differ across shard counts",
+                grid.rows[c][1]
+            );
+        }
+        assert_eq!(totals.rows.len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Bench-layer rerun determinism for the sharded engine: the committed
+//! `--exp scale` goldens are only meaningful if regenerating them is
+//! byte-stable, so the grid is built twice in-process and compared as
+//! exact TSV bytes and as the FNV digests the run manifest would record.
+//! Synchronization *round* counters are wall-clock dependent by design
+//! and are excluded from the tables — this test is what keeps them out.
+
+use ursa_bench::experiments::scale::grid_tables;
+use ursa_bench::manifest::fnv64;
+
+/// The default grid (shards 1/2/4, scale 3) rendered twice must be
+/// byte-identical — same TSV strings, same manifest digests.
+#[test]
+fn scale_grid_rerun_is_byte_identical() {
+    let (grid_a, totals_a) = grid_tables(&[1, 2, 4], 3, 0x5CA1E);
+    let (grid_b, totals_b) = grid_tables(&[1, 2, 4], 3, 0x5CA1E);
+    assert_eq!(grid_a.to_tsv(), grid_b.to_tsv());
+    assert_eq!(totals_a.to_tsv(), totals_b.to_tsv());
+    assert_eq!(
+        fnv64(grid_a.to_tsv().as_bytes()),
+        fnv64(grid_b.to_tsv().as_bytes())
+    );
+}
+
+/// Four worker shards, run twice: the parallel engine must not leak
+/// scheduling nondeterminism into anything digested.
+#[test]
+fn four_shard_grid_rerun_is_byte_identical() {
+    let (grid_a, totals_a) = grid_tables(&[4], 3, 0x5CA1E);
+    let (grid_b, totals_b) = grid_tables(&[4], 3, 0x5CA1E);
+    assert_eq!(grid_a.to_tsv(), grid_b.to_tsv());
+    assert_eq!(
+        fnv64(totals_a.to_tsv().as_bytes()),
+        fnv64(totals_b.to_tsv().as_bytes())
+    );
+}

@@ -1,0 +1,890 @@
+//! Sharded conservative-time parallel execution of one simulation.
+//!
+//! A [`ShardedSimulation`] partitions the services of a [`Topology`] across
+//! N worker shards and runs one full event core (calendar queue + request
+//! arena + virtual-time PS replicas) per shard on its own thread. Request
+//! call trees are executed as *fragments*: the maximal connected subtree of
+//! a class tree whose hops live on one shard runs locally; every call edge
+//! that crosses a shard boundary becomes a message through a bounded SPSC
+//! ring, carried with the same network delay a local hop would pay.
+//!
+//! # Conservative synchronization (Chandy–Misra / null-message style)
+//!
+//! There is no global barrier and no coordinator. Each shard `i` publishes
+//! a single monotone *bound* `B_i`: a promise that it will never again send
+//! a cross-shard message with timestamp `< B_i`. The bound is derived from
+//! the shard's own event horizon plus the cross-shard **lookahead** `L`
+//! (the minimum network latency on any cross-shard edge — every message is
+//! sent at `now + net_delay ≥ now + L`):
+//!
+//! ```text
+//! B_i = min(next local event time, safe_i) + L
+//! safe_i = min over sender shards p of B_p
+//! ```
+//!
+//! A shard may freely process local events with timestamp `< safe_i`. Each
+//! worker loop iteration reads peer bounds, drains inbound rings, processes
+//! the safe prefix of its event queue, and republishes its bound
+//! (republishing with no accompanying payload is the null message). The
+//! read-bounds-*then*-drain order is what makes the protocol barrier-free:
+//! a ring push happens-before the sender's next bound publish, so any
+//! message not yet drained when a bound is observed is timestamped at or
+//! above that bound.
+//!
+//! # Determinism contract
+//!
+//! * `shards = 1` is **bit-identical** to the plain [`Simulation`]: the
+//!   facade wraps one unmodified engine, no threads, no shard context.
+//! * `shards = N > 1` is bit-identical across reruns **for fixed N**: every
+//!   shard seeds per-class Poisson sources exactly as the single-engine
+//!   build does (so injection schedules are shard-layout-invariant), event
+//!   ordering ties are broken by shard-striped sequence numbers
+//!   (shard `i` draws `i, i+N, i+2N, …`), and the conservative protocol
+//!   makes the processed-event order independent of thread interleaving.
+//!   Different N interleave work-sampling RNG draws differently, so
+//!   results are pinned per shard count (see `DESIGN.md` §6).
+//!
+//! Wall-clock-dependent counters (sync rounds, null-message ratio, ring
+//! traffic) are reported via [`ShardReport`] for perf telemetry only and
+//! never feed deterministic artifacts.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::engine::{SimConfig, Simulation};
+use crate::profiler::ProfilerReport;
+use crate::telemetry::MetricsSnapshot;
+use crate::time::{SimDur, SimTime};
+use crate::topology::{ClassId, ServiceId, Topology};
+use crate::workload::RateFn;
+
+/// Capacity of each cross-shard SPSC ring (power of two). A full ring
+/// makes the sender drain its own inbound and retry, so capacity bounds
+/// memory, not correctness.
+const RING_CAP: usize = 8192;
+
+/// Pads hot atomics to a cache line so bound publishes and ring cursors
+/// don't false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Remote reference to a request slot on another shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotRef {
+    pub(crate) shard: u16,
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+/// Cross-shard message payloads. All variants are `Copy` and fit in a few
+/// words; rings move them by value.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Msg {
+    /// A call-tree hop crosses onto this shard: allocate a fragment slot
+    /// rooted at `node` and run it. `reply` names the parent fragment
+    /// (for the response notification), `home` the injecting shard's slot
+    /// (for end-to-end completion accounting).
+    Arrive {
+        class: u32,
+        node: u16,
+        reply: SlotRef,
+        home: SlotRef,
+    },
+    /// A fragment rooted at child hop `node` of slot `slot` has responded:
+    /// run the parent-side response bookkeeping (free the awaiting daemon,
+    /// resume a nested-waiting parent, count the response).
+    ChildDone { slot: u32, gen: u32, node: u16 },
+    /// A whole fragment of home slot `slot` has fully completed.
+    FragDone { slot: u32, gen: u32 },
+}
+
+/// A message plus its simulated delivery time and the sender-assigned
+/// event sequence number (the receiver schedules it verbatim, which is
+/// what keeps the merged event order deterministic).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Envelope {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) msg: Msg,
+}
+
+/// Bounded single-producer single-consumer ring of [`Envelope`]s.
+///
+/// One fixed producer (the sending shard's thread) and one fixed consumer
+/// (the receiving shard's thread) per ring; the mesh allocates one ring
+/// per directed shard pair, which is what makes the SPSC discipline hold
+/// by construction.
+pub(crate) struct Ring {
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    buf: Box<[UnsafeCell<MaybeUninit<Envelope>>]>,
+}
+
+// SAFETY: `buf` cells are only written by the single producer between its
+// tail load and tail store, and only read by the single consumer between
+// its head load and head store; the Release/Acquire pairs on `tail`/`head`
+// order those accesses.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field(
+                "len",
+                &(self.tail.0.load(Ordering::Relaxed) - self.head.0.load(Ordering::Relaxed)),
+            )
+            .finish()
+    }
+}
+
+impl Ring {
+    fn new() -> Self {
+        let buf = (0..RING_CAP)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            head: CachePadded(AtomicU64::new(0)),
+            tail: CachePadded(AtomicU64::new(0)),
+            buf,
+        }
+    }
+
+    /// Producer side: false when the ring is full (sender must drain its
+    /// own inbound and retry — never drop).
+    pub(crate) fn push(&self, env: Envelope) -> bool {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= RING_CAP as u64 {
+            return false;
+        }
+        let i = (tail as usize) & (RING_CAP - 1);
+        // SAFETY: slot `i` is unoccupied (tail - head < cap) and only this
+        // producer writes it until the tail store below publishes it.
+        unsafe { (*self.buf[i].get()).write(env) };
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side.
+    pub(crate) fn pop(&self) -> Option<Envelope> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let i = (head as usize) & (RING_CAP - 1);
+        // SAFETY: head < tail means slot `i` holds a fully published
+        // envelope; only this consumer reads it before the head store
+        // releases the slot back to the producer.
+        let env = unsafe { (*self.buf[i].get()).assume_init() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(env)
+    }
+}
+
+/// The shared synchronization fabric: one bound and one done flag per
+/// shard, one SPSC ring per directed shard pair.
+#[derive(Debug)]
+pub(crate) struct Mesh {
+    n: usize,
+    /// Cross-shard lookahead in nanoseconds (`SimConfig::net_delay`).
+    lookahead: u64,
+    /// `bounds[i]`: shard `i`'s promise — no future send below this time.
+    bounds: Vec<CachePadded<AtomicU64>>,
+    /// `rings[src * n + dst]`.
+    rings: Vec<Ring>,
+    /// Per-shard window-done flags, reset by the facade between windows.
+    done: Vec<CachePadded<AtomicBool>>,
+}
+
+impl Mesh {
+    fn new(n: usize, lookahead: SimDur) -> Self {
+        Mesh {
+            n,
+            lookahead: lookahead.as_nanos(),
+            bounds: (0..n).map(|_| CachePadded(AtomicU64::new(0))).collect(),
+            rings: (0..n * n).map(|_| Ring::new()).collect(),
+            done: (0..n)
+                .map(|_| CachePadded(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    pub(crate) fn ring(&self, src: u16, dst: u16) -> &Ring {
+        &self.rings[src as usize * self.n + dst as usize]
+    }
+
+    pub(crate) fn bound(&self, shard: usize) -> u64 {
+        self.bounds[shard].0.load(Ordering::Acquire)
+    }
+
+    /// Publishes shard `i`'s bound. `fetch_max` keeps the promise monotone
+    /// even if a stale value is recomputed after an inbound drain.
+    pub(crate) fn publish(&self, shard: u16, bound: u64) {
+        self.bounds[shard as usize]
+            .0
+            .fetch_max(bound, Ordering::AcqRel);
+    }
+
+    pub(crate) fn mark_done(&self, shard: u16) {
+        self.done[shard as usize].0.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn all_done(&self) -> bool {
+        self.done.iter().all(|d| d.0.load(Ordering::Acquire))
+    }
+
+    fn reset_done(&self) {
+        for d in &self.done {
+            d.0.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-floors every bound at the start of a window. A shard that went
+    /// idle last window published a promise far past the old horizon (up
+    /// to `u64::MAX` for pred-less shards), but the facade may schedule
+    /// new load between windows (`set_rate`) whose cross-shard sends
+    /// start as early as `window start + lookahead` — stale high promises
+    /// must be lowered before workers restart or peers would run ahead of
+    /// the new traffic. Only called between windows, when no worker
+    /// threads are live.
+    fn reset_bounds(&self, floor: u64) {
+        for b in &self.bounds {
+            b.0.store(floor, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The static shard layout for one topology: who owns which service, where
+/// each class is injected, per-fragment response counts, and which shard
+/// pairs can ever exchange messages.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// Number of shards.
+    pub n: usize,
+    /// `owner[s]`: shard owning service `s` (all its replicas and queues).
+    pub owner: Vec<u16>,
+    /// `home[c]`: shard injecting class `c` — the owner of its root
+    /// service, so the root hop never crosses a shard on injection.
+    pub home: Vec<u16>,
+    /// `frags_total[c]`: fragments per request of class `c`
+    /// (`1 + cross-shard edges in its tree`).
+    pub frags_total: Vec<u16>,
+    /// `expected[c][r]`: responses a fragment slot rooted at hop `r`
+    /// waits for — its local hops plus one per cross-shard child edge.
+    /// Only meaningful when `r` is a fragment root.
+    pub expected: Vec<Vec<u16>>,
+    /// `preds[j]`: shards that can ever send a message to shard `j`.
+    pub preds: Vec<Vec<usize>>,
+    /// Cross-shard lookahead (the uniform network delay).
+    pub lookahead: SimDur,
+}
+
+impl ShardPlan {
+    /// Builds the deterministic shard layout: partition services, derive
+    /// class homes, fragment response counts, and the reachability lists
+    /// that drive the conservative bounds.
+    pub fn build(topology: &Topology, n: usize, lookahead: SimDur) -> ShardPlan {
+        assert!(n >= 1, "shard count must be at least 1");
+        let owner = partition_services(topology, n);
+        let flat = topology.flat_classes();
+        let nc = topology.num_classes();
+        let home: Vec<u16> = (0..nc).map(|c| owner[flat[c].nodes[0].service]).collect();
+
+        let mut frags_total = vec![0u16; nc];
+        let mut expected: Vec<Vec<u16>> = Vec::with_capacity(nc);
+        for (ci, class) in flat.iter().enumerate() {
+            let node_owner = |node: usize| -> u16 { owner[class.nodes[node].service] };
+            let mut exp = vec![0u16; class.nodes.len()];
+            #[allow(clippy::needless_range_loop)] // `r` seeds a DFS, not just `exp[r]`
+            for r in 0..class.nodes.len() {
+                let is_root = match class.nodes[r].parent {
+                    None => true,
+                    Some((p, _)) => node_owner(p as usize) != node_owner(r),
+                };
+                if !is_root {
+                    continue;
+                }
+                frags_total[ci] += 1;
+                // Count the fragment: hops reachable from `r` without an
+                // ownership change, plus one per cross-shard child edge.
+                let (mut count, mut stack) = (0u16, vec![r]);
+                while let Some(x) = stack.pop() {
+                    count += 1;
+                    for &(c, _) in &class.nodes[x].children {
+                        if node_owner(c as usize) == node_owner(x) {
+                            stack.push(c as usize);
+                        } else {
+                            count += 1;
+                        }
+                    }
+                }
+                exp[r] = count;
+            }
+            expected.push(exp);
+        }
+
+        // Reachability: an Arrive flows parent-owner → child-owner and its
+        // ChildDone flows back; a FragDone flows fragment-owner → home.
+        let mut reach = vec![false; n * n];
+        for e in topology.call_edges() {
+            let (a, b) = (owner[e.from] as usize, owner[e.to] as usize);
+            if a != b {
+                reach[a * n + b] = true;
+                reach[b * n + a] = true;
+            }
+        }
+        for (ci, class) in flat.iter().enumerate() {
+            for r in 0..class.nodes.len() {
+                if expected[ci][r] == 0 {
+                    continue; // not a fragment root
+                }
+                let f = owner[class.nodes[r].service] as usize;
+                let h = home[ci] as usize;
+                if f != h {
+                    reach[f * n + h] = true;
+                }
+            }
+        }
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|j| (0..n).filter(|&i| reach[i * n + j]).collect())
+            .collect();
+
+        ShardPlan {
+            n,
+            owner,
+            home,
+            frags_total,
+            expected,
+            preds,
+            lookahead,
+        }
+    }
+}
+
+/// Deterministic service partition: connected components of the service
+/// graph (so tight RPC cliques co-locate), heaviest components split along
+/// BFS order until N parts exist, then longest-processing-time placement
+/// into N bins. Weight = call-tree hops hosted by the service.
+pub fn partition_services(topology: &Topology, n: usize) -> Vec<u16> {
+    let s = topology.num_services();
+    let adj = topology.service_adjacency();
+    let w: Vec<u64> = topology
+        .service_node_weights()
+        .iter()
+        .map(|&x| x.max(1))
+        .collect();
+
+    // Connected components, each in BFS visit order from its lowest id.
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut seen = vec![false; s];
+    for start in 0..s {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut comp = vec![start];
+        let mut qi = 0;
+        while qi < comp.len() {
+            let x = comp[qi];
+            qi += 1;
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    comp.push(y);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+
+    // Fewer components than shards: split the heaviest splittable
+    // component at its weight midpoint along BFS order (the prefix stays
+    // connected, keeping at least one tight clique intact per half).
+    let comp_w = |c: &[usize]| c.iter().map(|&x| w[x]).sum::<u64>();
+    while comps.len() < n {
+        let mut best: Option<usize> = None;
+        for (i, c) in comps.iter().enumerate() {
+            if c.len() < 2 {
+                continue;
+            }
+            if best.is_none_or(|b| comp_w(c) > comp_w(&comps[b])) {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break };
+        let total = comp_w(&comps[i]);
+        let mut acc = 0u64;
+        let mut cut = comps[i].len() - 1;
+        for (k, &x) in comps[i].iter().enumerate() {
+            acc += w[x];
+            if acc * 2 >= total && k + 1 < comps[i].len() {
+                cut = k + 1;
+                break;
+            }
+        }
+        let tail = comps[i].split_off(cut);
+        comps.push(tail);
+    }
+
+    // LPT: heaviest part first into the lightest bin (first bin on ties).
+    let mut order: Vec<usize> = (0..comps.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(comp_w(&comps[i])), comps[i][0]));
+    let mut bin_w = vec![0u64; n];
+    let mut owner = vec![0u16; s];
+    for i in order {
+        let mut b = 0;
+        for k in 1..n {
+            if bin_w[k] < bin_w[b] {
+                b = k;
+            }
+        }
+        for &svc in &comps[i] {
+            owner[svc] = b as u16;
+        }
+        bin_w[b] += comp_w(&comps[i]);
+    }
+    owner
+}
+
+/// Per-shard synchronization counters, accumulated by the worker loop.
+/// Wall-clock dependent — reported for perf telemetry, excluded from all
+/// deterministic artifacts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardStats {
+    /// Worker-loop iterations (bound read + drain + process + publish).
+    pub rounds: u64,
+    /// Iterations that advanced nothing — pure null-message republishes.
+    pub null_rounds: u64,
+    /// Cross-shard envelopes sent.
+    pub msgs_sent: u64,
+    /// Cross-shard envelopes received.
+    pub msgs_recv: u64,
+}
+
+/// Aggregated synchronization report for one [`ShardedSimulation`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard count.
+    pub shards: usize,
+    /// Conservative-time windows executed (`run_until` calls).
+    pub windows: u64,
+    /// Total worker-loop rounds across shards.
+    pub rounds: u64,
+    /// Rounds that only republished bounds (null messages).
+    pub null_rounds: u64,
+    /// Cross-shard envelopes sent.
+    pub msgs_sent: u64,
+    /// Live events processed per shard — the occupancy profile.
+    pub per_shard_events: Vec<u64>,
+}
+
+impl ShardReport {
+    /// Null-message rounds over all rounds, in `[0, 1]`.
+    pub fn null_message_ratio(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.null_rounds as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Per-shard engine state: plan + mesh handles and per-slot fragment
+/// bookkeeping, installed on a [`Simulation`] by the facade. Lives in this
+/// module; the engine drives it from its dispatch loop.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    pub(crate) me: u16,
+    pub(crate) plan: Arc<ShardPlan>,
+    pub(crate) mesh: Arc<Mesh>,
+    /// Per arena slot: the fragment's root hop (0 for home slots).
+    pub(crate) frag_root: Vec<u16>,
+    /// Per arena slot: parent fragment to notify when the root responds
+    /// (`None` on home slots — the class root has no parent).
+    pub(crate) reply: Vec<Option<SlotRef>>,
+    /// Per arena slot: the home slot of the owning request.
+    pub(crate) home: Vec<SlotRef>,
+    /// Per arena slot (home slots only): fragments still running.
+    pub(crate) remaining_frags: Vec<u16>,
+    /// Parked payloads of scheduled `EventKind::Remote` events.
+    pub(crate) slab: Vec<Envelope>,
+    pub(crate) slab_free: Vec<u32>,
+    pub(crate) stats: ShardStats,
+}
+
+impl ShardCtx {
+    pub(crate) fn new(me: u16, plan: Arc<ShardPlan>, mesh: Arc<Mesh>) -> Self {
+        ShardCtx {
+            me,
+            plan,
+            mesh,
+            frag_root: Vec::new(),
+            reply: Vec::new(),
+            home: Vec::new(),
+            remaining_frags: Vec::new(),
+            slab: Vec::new(),
+            slab_free: Vec::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Grows the per-slot arrays to cover `slot`.
+    pub(crate) fn ensure_slot(&mut self, slot: u32) {
+        let need = slot as usize + 1;
+        if self.frag_root.len() < need {
+            self.frag_root.resize(need, 0);
+            self.reply.resize(need, None);
+            self.home.resize(
+                need,
+                SlotRef {
+                    shard: 0,
+                    slot: 0,
+                    gen: 0,
+                },
+            );
+            self.remaining_frags.resize(need, 0);
+        }
+    }
+
+    /// Parks an envelope for a scheduled remote event, returning its index.
+    pub(crate) fn park(&mut self, env: Envelope) -> u32 {
+        match self.slab_free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = env;
+                i
+            }
+            None => {
+                self.slab.push(env);
+                (self.slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Takes a parked envelope back out.
+    pub(crate) fn unpark(&mut self, idx: u32) -> Envelope {
+        self.slab_free.push(idx);
+        self.slab[idx as usize]
+    }
+}
+
+/// N engine shards executing one simulation under conservative time
+/// synchronization. With `shards == 1` this is a zero-overhead wrapper
+/// around the plain engine (no threads, no shard context, bit-identical
+/// output).
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    shards: Vec<Simulation>,
+    plan: Arc<ShardPlan>,
+    mesh: Option<Arc<Mesh>>,
+    windows: u64,
+}
+
+impl ShardedSimulation {
+    /// Builds `n` shards of `topology`. Every shard constructs the full
+    /// `Simulation` identically (same seed), so per-class Poisson source
+    /// streams — split off the master RNG at construction — are identical
+    /// across shard layouts; the facade then routes each class's rate to
+    /// its home shard only, making the union of injection streams equal to
+    /// the single-engine schedule. Work-sampling RNGs are re-seeded per
+    /// shard to decorrelate service-time draws between shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `n > 1` with a zero or randomized network
+    /// delay (`net_delay` is the conservative lookahead, so it must be
+    /// positive and deterministic: `net_delay_cv == 0`).
+    pub fn new(topology: Topology, cfg: SimConfig, seed: u64, n: usize) -> Self {
+        assert!(n >= 1, "shard count must be at least 1");
+        if n == 1 {
+            let plan = Arc::new(ShardPlan::build(&topology, 1, cfg.net_delay));
+            let sim = Simulation::new(topology, cfg, seed);
+            return ShardedSimulation {
+                shards: vec![sim],
+                plan,
+                mesh: None,
+                windows: 0,
+            };
+        }
+        assert!(
+            cfg.net_delay > SimDur::ZERO,
+            "sharded runs need net_delay > 0: it is the conservative lookahead"
+        );
+        assert!(
+            cfg.net_delay_cv == 0.0,
+            "sharded runs need a deterministic net_delay (net_delay_cv == 0): \
+             a randomized hop below the mean would violate the lookahead bound"
+        );
+        let plan = Arc::new(ShardPlan::build(&topology, n, cfg.net_delay));
+        let mesh = Arc::new(Mesh::new(n, cfg.net_delay));
+        let shards = (0..n)
+            .map(|i| {
+                let mut sim = Simulation::new(topology.clone(), cfg.clone(), seed);
+                sim.install_shard_ctx(
+                    ShardCtx::new(i as u16, Arc::clone(&plan), Arc::clone(&mesh)),
+                    // Decorrelate work sampling across shards without
+                    // touching the already-split source streams.
+                    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1),
+                );
+                sim
+            })
+            .collect();
+        ShardedSimulation {
+            shards,
+            plan,
+            mesh: Some(mesh),
+            windows: 0,
+        }
+    }
+
+    /// Shard count.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard layout.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Current simulated time (all shards advance in lock-step windows).
+    pub fn now(&self) -> SimTime {
+        self.shards[0].now()
+    }
+
+    /// Sets a class's arrival process on its home shard.
+    pub fn set_rate(&mut self, class: ClassId, rate_fn: RateFn) {
+        let h = self.plan.home[class.0] as usize;
+        self.shards[h].set_rate(class, rate_fn);
+    }
+
+    /// Sets the live replica count of a service on its owning shard.
+    pub fn set_replicas(&mut self, service: ServiceId, n: usize) {
+        let o = self.plan.owner[service.0] as usize;
+        self.shards[o].set_replicas(service, n);
+    }
+
+    /// Sets the per-replica CPU limit of a service on its owning shard.
+    pub fn set_cpu_limit(&mut self, service: ServiceId, cores: f64) {
+        let o = self.plan.owner[service.0] as usize;
+        self.shards[o].set_cpu_limit(service, cores);
+    }
+
+    /// Requests in flight across all shards (fragments count toward their
+    /// executing shard until they complete).
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.in_flight()).sum()
+    }
+
+    /// Live events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed()).sum()
+    }
+
+    /// Live events processed per shard.
+    pub fn per_shard_events(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.events_processed()).collect()
+    }
+
+    /// Enables the phase profiler on every shard (same period everywhere
+    /// so reports can be merged).
+    pub fn enable_profiler(&mut self, sample_every: u32) {
+        for s in &mut self.shards {
+            s.enable_profiler(sample_every);
+        }
+    }
+
+    /// Merged profiler report across shards (`None` until
+    /// [`enable_profiler`](Self::enable_profiler) is called).
+    pub fn profiler_report(&self) -> Option<ProfilerReport> {
+        let mut iter = self.shards.iter().filter_map(|s| s.profiler());
+        let first = iter.next()?;
+        let mut merged = crate::profiler::PhaseProfiler::new(first.sample_every());
+        merged.absorb(first);
+        for p in iter {
+            merged.absorb(p);
+        }
+        Some(merged.report())
+    }
+
+    /// Runs all shards until simulated time `t` under conservative
+    /// synchronization (single-shard: plain `run_until`).
+    pub fn run_until(&mut self, t: SimTime) {
+        let Some(mesh) = self.mesh.as_ref() else {
+            self.shards[0].run_until(t);
+            return;
+        };
+        self.windows += 1;
+        // Every cross-shard send in the new window happens at some
+        // shard-local `now` (>= the shared horizon) plus the network hop,
+        // so `now + lookahead` is a sound floor for every bound.
+        let floor = self.shards[0]
+            .now()
+            .as_nanos()
+            .saturating_add(mesh.lookahead());
+        mesh.reset_bounds(floor);
+        mesh.reset_done();
+        std::thread::scope(|scope| {
+            for sim in &mut self.shards {
+                scope.spawn(move || sim.run_window(t));
+            }
+        });
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, dur: SimDur) {
+        let t = self.now() + dur;
+        self.run_until(t);
+    }
+
+    /// Harvests every shard and merges the snapshots deterministically:
+    /// per-service rows come from the owning shard, per-class series from
+    /// the home shard. Single-shard: plain `harvest`.
+    pub fn harvest(&mut self) -> MetricsSnapshot {
+        if self.mesh.is_none() {
+            return self.shards[0].harvest();
+        }
+        let parts: Vec<MetricsSnapshot> = self.shards.iter_mut().map(|s| s.harvest()).collect();
+        MetricsSnapshot::merge_sharded(&parts, &self.plan.owner, &self.plan.home)
+    }
+
+    /// Aggregated synchronization counters (zeroes for a 1-shard run).
+    pub fn shard_report(&self) -> ShardReport {
+        let mut r = ShardReport {
+            shards: self.shards.len(),
+            windows: self.windows,
+            rounds: 0,
+            null_rounds: 0,
+            msgs_sent: 0,
+            per_shard_events: self.per_shard_events(),
+        };
+        for s in &self.shards {
+            if let Some(st) = s.shard_stats() {
+                r.rounds += st.rounds;
+                r.null_rounds += st.null_rounds;
+                r.msgs_sent += st.msgs_sent;
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{
+        CallNode, ClassCfg, EdgeKind, Priority, ServiceCfg, ServiceId, WorkDist,
+    };
+
+    fn chain(names: &[&str], edge: EdgeKind) -> Topology {
+        let services = names.iter().map(|n| ServiceCfg::new(*n, 2.0)).collect();
+        let mut node = CallNode::leaf(ServiceId(names.len() - 1), WorkDist::Constant(0.001));
+        for i in (0..names.len() - 1).rev() {
+            node = CallNode::leaf(ServiceId(i), WorkDist::Constant(0.001)).with_child(edge, node);
+        }
+        let classes = vec![ClassCfg {
+            name: "req".into(),
+            priority: Priority::HIGH,
+            root: node,
+        }];
+        Topology::new(services, classes).expect("valid")
+    }
+
+    #[test]
+    fn ring_is_fifo_and_bounded() {
+        let r = Ring::new();
+        let env = |seq| Envelope {
+            at: SimTime::ZERO,
+            seq,
+            msg: Msg::FragDone { slot: 0, gen: 0 },
+        };
+        for i in 0..RING_CAP as u64 {
+            assert!(r.push(env(i)));
+        }
+        assert!(!r.push(env(9999)), "full ring rejects");
+        for i in 0..RING_CAP as u64 {
+            assert_eq!(r.pop().expect("non-empty").seq, i);
+        }
+        assert!(r.pop().is_none());
+        // Wrap-around works.
+        assert!(r.push(env(42)));
+        assert_eq!(r.pop().unwrap().seq, 42);
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_balanced() {
+        let t = chain(&["a", "b", "c", "d"], EdgeKind::NestedRpc);
+        let p1 = partition_services(&t, 2);
+        let p2 = partition_services(&t, 2);
+        assert_eq!(p1, p2, "deterministic");
+        assert!(p1.contains(&0) && p1.contains(&1));
+        // BFS-prefix split keeps the chain halves contiguous.
+        assert_eq!(p1[0], p1[1]);
+        assert_eq!(p1[2], p1[3]);
+    }
+
+    #[test]
+    fn connected_components_colocate_before_splitting() {
+        // Two disjoint two-service cliques over two shards: each clique
+        // lands whole on one shard.
+        let services = vec![
+            ServiceCfg::new("a0", 1.0),
+            ServiceCfg::new("a1", 1.0),
+            ServiceCfg::new("b0", 1.0),
+            ServiceCfg::new("b1", 1.0),
+        ];
+        let class = |name: &str, s0: usize, s1: usize| ClassCfg {
+            name: name.into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(s0), WorkDist::Constant(0.001)).with_child(
+                EdgeKind::NestedRpc,
+                CallNode::leaf(ServiceId(s1), WorkDist::Constant(0.001)),
+            ),
+        };
+        let t = Topology::new(services, vec![class("a", 0, 1), class("b", 2, 3)]).unwrap();
+        let p = partition_services(&t, 2);
+        assert_eq!(p[0], p[1], "clique a stays whole");
+        assert_eq!(p[2], p[3], "clique b stays whole");
+        assert_ne!(p[0], p[2], "cliques spread across shards");
+    }
+
+    #[test]
+    fn plan_counts_fragments_and_reachability() {
+        let t = chain(&["a", "b", "c", "d"], EdgeKind::NestedRpc);
+        let plan = ShardPlan::build(&t, 2, SimDur::from_nanos(100_000));
+        // Chain a-b | c-d: one cross edge → two fragments.
+        assert_eq!(plan.frags_total[0], 2);
+        assert_eq!(plan.home[0], plan.owner[0]);
+        // Home fragment: hops a,b plus the one cross edge = 3 responses.
+        assert_eq!(plan.expected[0][0], 3);
+        // Remote fragment rooted at hop 2: hops c,d = 2 responses.
+        assert_eq!(plan.expected[0][2], 2);
+        // Both directions are reachable (Arrive one way, ChildDone back).
+        let (h, f) = (plan.owner[0] as usize, plan.owner[2] as usize);
+        assert!(plan.preds[f].contains(&h));
+        assert!(plan.preds[h].contains(&f));
+    }
+
+    #[test]
+    fn disjoint_groups_have_no_preds() {
+        let services = vec![ServiceCfg::new("a", 1.0), ServiceCfg::new("b", 1.0)];
+        let class = |name: &str, s: usize| ClassCfg {
+            name: name.into(),
+            priority: Priority::HIGH,
+            root: CallNode::leaf(ServiceId(s), WorkDist::Constant(0.001)),
+        };
+        let t = Topology::new(services, vec![class("a", 0), class("b", 1)]).unwrap();
+        let plan = ShardPlan::build(&t, 2, SimDur::from_nanos(100_000));
+        assert!(plan.preds.iter().all(|p| p.is_empty()));
+        assert_eq!(plan.frags_total, vec![1, 1]);
+    }
+}

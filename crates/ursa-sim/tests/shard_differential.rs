@@ -1,0 +1,197 @@
+//! Differential property tests for the sharded engine.
+//!
+//! Sharding changes *where* work executes but not *what* work exists: for
+//! any topology, a sharded run must inject exactly the same requests as
+//! the single-engine run (per-class source streams are shard-layout
+//! invariant) and, once drained, complete every one of them. Latencies
+//! may differ across shard counts (work-sampling RNGs are decorrelated
+//! per shard; cross-shard responses pay an extra network hop), so the
+//! conservation law is over exact event *counts*: injections, completions,
+//! and per-(service, class) hop arrivals.
+//!
+//! Run under debug assertions: any generational-index misuse in fragment
+//! bookkeeping (a `ChildDone` for a released slot, an awaiting-count
+//! underflow) panics instead of corrupting counts.
+
+use proptest::prelude::*;
+use ursa_sim::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TopoSpec {
+    services: usize,
+    /// Per class: hop service ids (preorder), edge kind id, sequential?
+    classes: Vec<(Vec<usize>, u8, bool)>,
+    work_ms: f64,
+    rps: f64,
+    seed: u64,
+}
+
+fn topo_spec() -> impl Strategy<Value = TopoSpec> {
+    (2usize..6, 0.3f64..2.0, 10.0f64..60.0, any::<u64>()).prop_flat_map(
+        |(services, work_ms, rps, seed)| {
+            let class = (
+                proptest::collection::vec(0..services, 1..6),
+                0u8..3,
+                any::<bool>(),
+            );
+            proptest::collection::vec(class, 1..3).prop_map(move |classes| TopoSpec {
+                services,
+                classes,
+                work_ms,
+                rps,
+                seed,
+            })
+        },
+    )
+}
+
+/// Builds a topology whose class trees are chains over randomly chosen
+/// services — chains exercise every edge kind and arbitrary shard-crossing
+/// patterns (a→b→a re-entry included) without needing a tree generator.
+fn build_topology(spec: &TopoSpec) -> Topology {
+    let services: Vec<ServiceCfg> = (0..spec.services)
+        .map(|i| ServiceCfg::new(format!("s{i}"), 2.0))
+        .collect();
+    let work = WorkDist::Exponential {
+        mean: spec.work_ms / 1000.0,
+    };
+    let classes: Vec<ClassCfg> = spec
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, (hops, edge, sequential))| {
+            let edge = match edge {
+                0 => EdgeKind::NestedRpc,
+                1 => EdgeKind::EventDrivenRpc,
+                _ => EdgeKind::Mq,
+            };
+            let mode = if *sequential {
+                CallMode::Sequential
+            } else {
+                CallMode::Parallel
+            };
+            let mut node = CallNode::leaf(ServiceId(hops[hops.len() - 1]), work.clone());
+            for &svc in hops[..hops.len() - 1].iter().rev() {
+                node = CallNode::leaf(ServiceId(svc), work.clone())
+                    .with_mode(mode)
+                    .with_child(edge, node);
+            }
+            ClassCfg {
+                name: format!("c{i}"),
+                priority: Priority::HIGH,
+                root: node,
+            }
+        })
+        .collect();
+    Topology::new(services, classes).expect("generated topology is valid")
+}
+
+/// Runs `spec` for two simulated seconds, then drains to empty; returns
+/// (per-class injections, per-class completions, per-(service, class)
+/// arrivals).
+fn run_counts(spec: &TopoSpec, shards: usize) -> (Vec<u64>, Vec<u64>, Vec<Vec<u64>>) {
+    let topo = build_topology(spec);
+    let mut sim = ShardedSimulation::new(topo, SimConfig::default(), spec.seed, shards);
+    for c in 0..spec.classes.len() {
+        sim.set_rate(ClassId(c), RateFn::Constant(spec.rps));
+    }
+    sim.run_for(SimDur::from_secs(2));
+    for c in 0..spec.classes.len() {
+        sim.set_rate(ClassId(c), RateFn::Constant(0.0));
+    }
+    let mut windows = 0;
+    while sim.in_flight() > 0 {
+        sim.run_for(SimDur::from_secs(1));
+        windows += 1;
+        assert!(
+            windows < 300,
+            "failed to drain: {} in flight",
+            sim.in_flight()
+        );
+    }
+    let snap = sim.harvest();
+    let arrivals = snap.services.iter().map(|s| s.arrivals.clone()).collect();
+    (snap.injections, snap.completions, arrivals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 2-shard vs 1-shard: exact conservation of injections, completions,
+    /// and per-hop arrival counts over random topologies.
+    #[test]
+    fn two_shards_conserve_counts(spec in topo_spec()) {
+        let (inj1, comp1, arr1) = run_counts(&spec, 1);
+        let (inj2, comp2, arr2) = run_counts(&spec, 2);
+        prop_assert_eq!(&inj1, &inj2, "injection schedules must be shard-invariant");
+        prop_assert_eq!(&comp1, &inj1, "1-shard run must drain completely");
+        prop_assert_eq!(&comp2, &inj2, "2-shard run must drain completely");
+        prop_assert_eq!(arr1, arr2, "every hop must arrive exactly once per request");
+    }
+
+    /// Fixed shard count, same seed, run twice: byte-identical metrics
+    /// (the per-N determinism contract, below the bench/TSV layer).
+    #[test]
+    fn sharded_rerun_is_deterministic(spec in topo_spec()) {
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let topo = build_topology(&spec);
+                let mut sim =
+                    ShardedSimulation::new(topo, SimConfig::default(), spec.seed, 3);
+                for c in 0..spec.classes.len() {
+                    sim.set_rate(ClassId(c), RateFn::Constant(spec.rps));
+                }
+                sim.run_for(SimDur::from_secs(2));
+                let snap = sim.harvest();
+                let p99: Vec<u64> = snap
+                    .e2e_latency
+                    .iter()
+                    .map(|l| l.percentile(99.0).unwrap_or(-1.0).to_bits())
+                    .collect();
+                (snap.injections, snap.completions, p99, sim.events_processed())
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}
+
+/// The 1-shard facade is the plain engine: bit-identical snapshots and
+/// event counts, not merely equal-count ones.
+#[test]
+fn one_shard_facade_is_bit_identical_to_plain_engine() {
+    let spec = TopoSpec {
+        services: 4,
+        classes: vec![(vec![0, 1, 2, 3], 0, true), (vec![2, 0], 2, false)],
+        work_ms: 1.0,
+        rps: 80.0,
+        seed: 7,
+    };
+    let topo = build_topology(&spec);
+
+    let mut plain = Simulation::new(topo.clone(), SimConfig::default(), spec.seed);
+    let mut facade = ShardedSimulation::new(topo, SimConfig::default(), spec.seed, 1);
+    for c in 0..spec.classes.len() {
+        plain.set_rate(ClassId(c), RateFn::Constant(spec.rps));
+        facade.set_rate(ClassId(c), RateFn::Constant(spec.rps));
+    }
+    plain.run_for(SimDur::from_secs(5));
+    facade.run_for(SimDur::from_secs(5));
+    assert_eq!(plain.events_processed(), facade.events_processed());
+
+    let (a, b) = (plain.harvest(), facade.harvest());
+    assert_eq!(a.injections, b.injections);
+    assert_eq!(a.completions, b.completions);
+    for (la, lb) in a.e2e_latency.iter().zip(&b.e2e_latency) {
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(
+                la.percentile(p).map(f64::to_bits),
+                lb.percentile(p).map(f64::to_bits),
+                "p{p} must be bit-identical"
+            );
+        }
+    }
+    for (sa, sb) in a.services.iter().zip(&b.services) {
+        assert_eq!(sa.arrivals, sb.arrivals);
+        assert_eq!(sa.cpu_utilization.to_bits(), sb.cpu_utilization.to_bits());
+    }
+}
